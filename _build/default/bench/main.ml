@@ -1,0 +1,456 @@
+(* The benchmark harness: regenerates every figure of the paper.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe fig1       -- CDF of IETF standardization delay
+     dune exec bench/main.exe fig4       -- extension vs native performance
+     dune exec bench/main.exe fig5       -- valley-free fabric audit
+     dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
+
+   Environment knobs for fig4: XBGP_BENCH_ROUTES (table size, default
+   8000), XBGP_BENCH_RUNS (runs per configuration, default 15 — the
+   paper's count). *)
+
+let routes_n =
+  try int_of_string (Sys.getenv "XBGP_BENCH_ROUTES") with Not_found -> 8_000
+
+let runs_n =
+  try int_of_string (Sys.getenv "XBGP_BENCH_RUNS") with Not_found -> 15
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: Delay between first IETF draft and RFC publication          *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  Printf.printf "=== Fig. 1: BGP RFC standardization delay (40 RFCs) ===\n";
+  Printf.printf "%-8s %s\n" "delay(y)" "CDF";
+  List.iter
+    (fun (d, f) -> Printf.printf "%-8.1f %.3f\n" d f)
+    (Dataset.Rfc_delays.cdf ());
+  Printf.printf "median delay: %.2f years (paper: 3.5 years)\n"
+    (Dataset.Rfc_delays.median ());
+  Printf.printf "max delay:    %.2f years (paper: ~10 years)\n\n"
+    (Dataset.Rfc_delays.max_delay ())
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: relative performance impact of extension vs native code     *)
+(* ------------------------------------------------------------------ *)
+
+type usecase = Route_reflection | Origin_validation
+
+let usecase_name = function
+  | Route_reflection -> "Route Reflectors"
+  | Origin_validation -> "Origin Validation"
+
+let host_name = function `Frr -> "xFRRouting" | `Bird -> "xBIRD"
+
+(* one full Fig. 3 pipeline run; returns the wall-clock seconds between
+   the first announcement and the downstream router holding the full
+   table *)
+let timed_run ~host ~usecase ~extension routes roas =
+  let mode =
+    match (usecase, extension) with
+    | Route_reflection, false ->
+      Scenario.Testbed.mode ~host ~ibgp:true ~native_rr:true ()
+    | Route_reflection, true ->
+      Scenario.Testbed.mode ~host ~ibgp:true
+        ~manifest:Xprogs.Route_reflector.manifest ()
+    | Origin_validation, false ->
+      Scenario.Testbed.mode ~host ~ibgp:false ~native_ov_roas:roas ()
+    | Origin_validation, true ->
+      Scenario.Testbed.mode ~host ~ibgp:false
+        ~manifest:Xprogs.Origin_validation.manifest
+        ~xtras:[ ("roa_table", Xprogs.Util.encode_roa_table roas) ]
+        ()
+  in
+  let tb = Scenario.Testbed.create mode in
+  Scenario.Testbed.establish tb;
+  let n = List.length routes in
+  let t0 = Unix.gettimeofday () in
+  Scenario.Testbed.feed tb routes;
+  if not (Scenario.Testbed.run_until_downstream_has tb n) then
+    failwith "bench: pipeline did not converge";
+  Unix.gettimeofday () -. t0
+
+let median xs =
+  let a = Array.of_list (List.sort compare xs) in
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let quartiles xs =
+  let a = Array.of_list (List.sort compare xs) in
+  let n = Array.length a in
+  let q p =
+    let i = p *. float_of_int (n - 1) in
+    let lo = int_of_float i in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = i -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  in
+  (a.(0), q 0.25, q 0.5, q 0.75, a.(n - 1))
+
+let fig4_one ~host ~usecase routes roas =
+  let run extension () = timed_run ~host ~usecase ~extension routes roas in
+  let native = ref [] and ext = ref [] in
+  ignore (run false ());
+  (* warmup *)
+  for _ = 1 to runs_n do
+    native := run false () :: !native;
+    ext := run true () :: !ext
+  done;
+  let nat_med = median !native in
+  let rel = List.map (fun e -> (e -. nat_med) /. nat_med *. 100.) !ext in
+  let mn, q1, md, q3, mx = quartiles rel in
+  Printf.printf
+    "%-12s %-18s native_med=%.3fs ext_med=%.3fs  impact%%: min=%+.1f \
+     q1=%+.1f med=%+.1f q3=%+.1f max=%+.1f\n\
+     %!"
+    (host_name host) (usecase_name usecase) nat_med (median !ext) mn q1 md q3
+    mx
+
+let fig4 () =
+  Printf.printf
+    "=== Fig. 4: performance impact of extension bytecode vs native code \
+     ===\n";
+  Printf.printf
+    "(%d routes, %d runs per configuration; paper: 724k routes, 15 runs)\n"
+    routes_n runs_n;
+  let routes =
+    Dataset.Ris_gen.generate
+      { Dataset.Ris_gen.default_config with count = routes_n }
+  in
+  let ov_routes =
+    Dataset.Ris_gen.generate
+      {
+        Dataset.Ris_gen.default_config with
+        count = routes_n;
+        disjoint = true;
+        seed = 43;
+      }
+  in
+  let roas =
+    Dataset.Ris_gen.roas_for ~seed:7 ~valid_pct:75 ~invalid_pct:13 ov_routes
+  in
+  List.iter
+    (fun host ->
+      fig4_one ~host ~usecase:Route_reflection routes [];
+      fig4_one ~host ~usecase:Origin_validation ov_routes roas)
+    [ `Frr; `Bird ];
+  Printf.printf
+    "expected shape (paper): RR extension <20%% slower on both hosts;\n\
+     OV extension ~= native on BIRD and ~10%% FASTER than native on \
+     FRRouting (hash vs trie)\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5 / §3.3: valley-free fabric audit                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  Printf.printf "=== Fig. 5 / §3.3: data-center valley-free audit ===\n";
+  let audit config label =
+    let f = Scenario.Fabric.build ~with_transit:true config in
+    Scenario.Fabric.start f;
+    Scenario.Fabric.settle f 30;
+    let s2_ext_path =
+      match Scenario.Fabric.path f "S2" "EXT" with
+      | Some p -> String.concat " " (List.map string_of_int p)
+      | None -> "unreachable"
+    in
+    let t20_t23 = Scenario.Fabric.reaches f "T20" "T23" in
+    Printf.printf "%-8s S2->external path: [%s]  T20->T23: %b\n" label
+      s2_ext_path t20_t23
+  in
+  audit `Plain "plain";
+  audit `Xbgp "xBGP";
+  Printf.printf
+    "(xBGP: spine reaches external directly, never via a leaf valley)\n";
+  let partition config label =
+    let f = Scenario.Fabric.build config in
+    Scenario.Fabric.start f;
+    Scenario.Fabric.settle f 30;
+    Scenario.Fabric.fail_link f "L10" "S1";
+    Scenario.Fabric.fail_link f "L13" "S2";
+    Scenario.Fabric.settle f 60;
+    let ok = Scenario.Fabric.reaches f "L10" "L13" in
+    let path =
+      match Scenario.Fabric.path f "L10" "L13" with
+      | Some p -> String.concat " " (List.map string_of_int p)
+      | None -> "-"
+    in
+    Printf.printf
+      "%-8s after L10-S1 and L13-S2 fail: L10 reaches L13: %-5b path=[%s]\n"
+      label ok path
+  in
+  partition `Same_as "same-AS";
+  partition `Xbgp "xBGP";
+  Printf.printf
+    "(paper: duplicate-ASN config partitions; xBGP keeps the recovery path \
+     L10-S2-L12-S1-L13)\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let vm_loop =
+    let program =
+      Ebpf.Asm.(
+        assemble
+          [
+            movi Ebpf.Insn.R0 0;
+            movi Ebpf.Insn.R1 1000;
+            label "loop";
+            addi Ebpf.Insn.R0 3;
+            subi Ebpf.Insn.R1 1;
+            jnei Ebpf.Insn.R1 0 "loop";
+            exit_;
+          ])
+    in
+    Test.make ~name:"ebpf-interp-3k-insns"
+      (Staged.stage (fun () ->
+           let vm = Ebpf.Vm.create ~helpers:[] program in
+           ignore (Ebpf.Vm.run vm)))
+  in
+  let vm_loop_compiled =
+    let program =
+      Ebpf.Asm.(
+        assemble
+          [
+            movi Ebpf.Insn.R0 0;
+            movi Ebpf.Insn.R1 1000;
+            label "loop";
+            addi Ebpf.Insn.R0 3;
+            subi Ebpf.Insn.R1 1;
+            jnei Ebpf.Insn.R1 0 "loop";
+            exit_;
+          ])
+    in
+    let vm = Ebpf.Vm.create ~engine:Ebpf.Vm.Compiled ~helpers:[] program in
+    Test.make ~name:"ebpf-compiled-3k-insns"
+      (Staged.stage (fun () ->
+           Ebpf.Vm.set_budget vm 1_000_000;
+           ignore (Ebpf.Vm.run vm)))
+  in
+  let helper_call =
+    let program =
+      Ebpf.Asm.(
+        assemble
+          [
+            movi Ebpf.Insn.R6 200;
+            label "loop";
+            call 1;
+            subi Ebpf.Insn.R6 1;
+            jnei Ebpf.Insn.R6 0 "loop";
+            movi Ebpf.Insn.R0 0;
+            exit_;
+          ])
+    in
+    Test.make ~name:"ebpf-200-helper-calls"
+      (Staged.stage (fun () ->
+           let vm = Ebpf.Vm.create ~helpers:[ (1, fun _ _ -> 7L) ] program in
+           ignore (Ebpf.Vm.run vm)))
+  in
+  (* ROA lookup: FRR-style trie vs BIRD-style hash (the §3.4 story) *)
+  let routes =
+    Dataset.Ris_gen.generate
+      { Dataset.Ris_gen.default_config with count = 20_000; disjoint = true }
+  in
+  let roas =
+    Dataset.Ris_gen.roas_for ~seed:7 ~valid_pct:75 ~invalid_pct:13 routes
+  in
+  let trie = Rpki.Store_trie.of_list roas in
+  let hash = Rpki.Store_hash.of_list roas in
+  let probe =
+    Array.of_list
+      (List.map (fun (r : Dataset.Ris_gen.route) -> r.prefix) routes)
+  in
+  let trie_bench =
+    Test.make ~name:"roa-trie-1k-lookups"
+      (Staged.stage (fun () ->
+           for i = 0 to 999 do
+             ignore (Rpki.Store_trie.validate trie probe.(i) 1000)
+           done))
+  in
+  let hash_bench =
+    Test.make ~name:"roa-hash-1k-lookups"
+      (Staged.stage (fun () ->
+           for i = 0 to 999 do
+             ignore (Rpki.Store_hash.validate hash probe.(i) 1000)
+           done))
+  in
+  (* xBGP TLV adapter cost: FRR-like interned record vs BIRD-like eattrs *)
+  let attrs =
+    [
+      Bgp.Attr.v (Bgp.Attr.Origin Bgp.Attr.Igp);
+      Bgp.Attr.v (Bgp.Attr.As_path [ Bgp.Attr.Seq [ 1; 2; 3; 4 ] ]);
+      Bgp.Attr.v (Bgp.Attr.Next_hop 0x0A000001);
+      Bgp.Attr.v (Bgp.Attr.Communities [ 0x10001; 0x10002 ]);
+    ]
+  in
+  let frr_attrs = Frrouting.Attr_intern.of_attrs attrs in
+  let bird_attrs = Bird.Eattr.of_attrs attrs in
+  let frr_tlv =
+    Test.make ~name:"xbgp-get_attr-frr(convert)"
+      (Staged.stage (fun () ->
+           for _ = 1 to 100 do
+             ignore (Frrouting.Attr_intern.get_tlv frr_attrs 2)
+           done))
+  in
+  let bird_tlv =
+    Test.make ~name:"xbgp-get_attr-bird(wire)"
+      (Staged.stage (fun () ->
+           for _ = 1 to 100 do
+             ignore (Bird.Eattr.get_tlv bird_attrs 2)
+           done))
+  in
+  let tests =
+    [
+      vm_loop; vm_loop_compiled; helper_call; trie_bench; hash_bench;
+      frr_tlv; bird_tlv;
+    ]
+  in
+  Printf.printf "=== Micro-benchmarks (Bechamel) ===\n%!";
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false
+           ~predictors:[| Measure.run |])
+        Instance.monotonic_clock raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "%-36s %12.1f ns/iter\n%!" name est
+        | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
+      results
+  in
+  List.iter (fun t -> benchmark (Test.make_grouped ~name:"micro" [ t ])) tests;
+  Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Churn: convergence under withdrawal/re-announcement, extension vs   *)
+(* native (supporting experiment: the paper only measures the initial  *)
+(* full-table transfer; operators care about churn too)                *)
+(* ------------------------------------------------------------------ *)
+
+let churn () =
+  Printf.printf
+    "=== Churn: withdraw/re-announce half the table (route reflection) ===\n";
+  let n = max 1000 (routes_n / 2) in
+  let runs = max 3 (runs_n / 3) in
+  let routes =
+    Dataset.Ris_gen.generate { Dataset.Ris_gen.default_config with count = n }
+  in
+  let half =
+    List.filteri (fun i _ -> i mod 2 = 0) routes
+  in
+  let timed mode =
+    let tb = Scenario.Testbed.create mode in
+    Scenario.Testbed.establish tb;
+    Scenario.Testbed.feed tb routes;
+    if not (Scenario.Testbed.run_until_downstream_has tb n) then
+      failwith "churn: initial transfer did not converge";
+    let t0 = Unix.gettimeofday () in
+    (* withdraw every other prefix, then re-announce *)
+    List.iter
+      (fun (r : Dataset.Ris_gen.route) ->
+        Frrouting.Bgpd.withdraw_local tb.upstream r.prefix)
+      half;
+    if
+      not
+        (Netsim.Sched.run_until tb.sched (fun () ->
+             Scenario.Testbed.downstream_count tb <= n - List.length half))
+    then failwith "churn: withdrawals did not converge";
+    Scenario.Testbed.feed tb half;
+    if not (Scenario.Testbed.run_until_downstream_has tb n) then
+      failwith "churn: re-announcement did not converge";
+    Unix.gettimeofday () -. t0
+  in
+  let native_mode = Scenario.Testbed.mode ~ibgp:true ~native_rr:true () in
+  let ext_mode =
+    Scenario.Testbed.mode ~ibgp:true
+      ~manifest:Xprogs.Route_reflector.manifest ()
+  in
+  ignore (timed native_mode);
+  let native = ref [] and ext = ref [] in
+  for _ = 1 to runs do
+    native := timed native_mode :: !native;
+    ext := timed ext_mode :: !ext
+  done;
+  let nm = median !native and em = median !ext in
+  Printf.printf
+    "native churn median=%.3fs  extension churn median=%.3fs  impact: %+.1f%%\n\n%!"
+    nm em
+    ((em -. nm) /. nm *. 100.)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: interpreted vs closure-compiled eBPF engine               *)
+(* ------------------------------------------------------------------ *)
+
+(* §4 of the paper calls for comparing virtual machines by performance;
+   this ablation reruns the route-reflection experiment with the two
+   engines and reports their overhead against native code. *)
+let ablation () =
+  Printf.printf "=== Ablation: eBPF execution engine (route reflection) ===\n";
+  let n = max 1000 (routes_n / 2) in
+  let runs = max 3 (runs_n / 3) in
+  let routes =
+    Dataset.Ris_gen.generate { Dataset.Ris_gen.default_config with count = n }
+  in
+  let timed mode =
+    let tb = Scenario.Testbed.create mode in
+    Scenario.Testbed.establish tb;
+    let t0 = Unix.gettimeofday () in
+    Scenario.Testbed.feed tb routes;
+    if not (Scenario.Testbed.run_until_downstream_has tb n) then
+      failwith "ablation: did not converge";
+    Unix.gettimeofday () -. t0
+  in
+  let native_mode = Scenario.Testbed.mode ~ibgp:true ~native_rr:true () in
+  let ext_mode engine =
+    Scenario.Testbed.mode ~ibgp:true
+      ~manifest:Xprogs.Route_reflector.manifest ~engine ()
+  in
+  (* interleave the three configurations to spread machine noise *)
+  ignore (timed native_mode);
+  let native = ref [] and interp = ref [] and compiled = ref [] in
+  for _ = 1 to runs do
+    native := timed native_mode :: !native;
+    interp := timed (ext_mode Ebpf.Vm.Interpreted) :: !interp;
+    compiled := timed (ext_mode Ebpf.Vm.Compiled) :: !compiled
+  done;
+  let nat_med = median !native in
+  Printf.printf "%-22s median=%.3fs\n%!" "native" nat_med;
+  List.iter
+    (fun (label, times) ->
+      Printf.printf "%-22s median=%.3fs  overhead vs native: %+.1f%%\n%!"
+        label (median !times)
+        ((median !times -. nat_med) /. nat_med *. 100.))
+    [ ("extension/interpreted", interp); ("extension/compiled", compiled) ];
+  Printf.printf "\n"
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match which with
+  | "fig1" -> fig1 ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "micro" -> micro ()
+  | "ablation" -> ablation ()
+  | "churn" -> churn ()
+  | "all" ->
+    fig1 ();
+    fig4 ();
+    fig5 ();
+    ablation ();
+    churn ();
+    micro ()
+  | other ->
+    Printf.eprintf
+      "unknown bench %S (fig1|fig4|fig5|ablation|churn|micro|all)\n" other;
+    exit 1);
+  Printf.printf "done.\n"

@@ -1,0 +1,237 @@
+(* xbgp-sim: command-line front end to the xBGP reproduction.
+
+     xbgp-sim list            -- insertion points, helpers, programs
+     xbgp-sim disasm PROG     -- disassemble a registered xBGP program
+     xbgp-sim verify PROG     -- run the verifier over a program
+     xbgp-sim manifest FILE   -- parse and validate a manifest file
+     xbgp-sim run SCENARIO    -- run a scenario (rr|ov|dc) and report
+*)
+
+open Cmdliner
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    setup_logs ();
+    Fmt.pr "insertion points:@.";
+    List.iter
+      (fun p -> Fmt.pr "  %s@." (Xbgp.Api.point_name p))
+      Xbgp.Api.all_points;
+    Fmt.pr "@.helpers:@.";
+    List.iter
+      (fun id -> Fmt.pr "  %2d %s@." id (Xbgp.Api.helper_name id))
+      Xbgp.Api.all_helpers;
+    Fmt.pr "@.registered xBGP programs:@.";
+    List.iter
+      (fun (p : Xbgp.Xprog.t) ->
+        Fmt.pr "  %-20s bytecodes: %s  (%d instruction slots, %d maps)@."
+          p.name
+          (String.concat ", " (List.map fst p.bytecodes))
+          (Xbgp.Xprog.total_slots p)
+          (List.length p.maps))
+      Xprogs.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List insertion points, helpers and programs")
+    Term.(const run $ const ())
+
+(* --- disasm --- *)
+
+let prog_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROGRAM" ~doc:"Registered xBGP program name")
+
+let disasm_cmd =
+  let run name =
+    setup_logs ();
+    match Xprogs.Registry.find name with
+    | None ->
+      Fmt.epr "unknown program %S@." name;
+      1
+    | Some p ->
+      List.iter
+        (fun (bc, code) ->
+          Fmt.pr "=== %s/%s ===@.%s@." name bc
+            (Ebpf.Disasm.program_to_string code))
+        p.bytecodes;
+      0
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a registered xBGP program")
+    Term.(const run $ prog_arg)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let run name =
+    setup_logs ();
+    match Xprogs.Registry.find name with
+    | None ->
+      Fmt.epr "unknown program %S@." name;
+      1
+    | Some p ->
+      let failures = ref 0 in
+      List.iter
+        (fun (bc, code) ->
+          match
+            Ebpf.Verifier.check ?allowed_helpers:p.allowed_helpers code
+          with
+          | Ok () -> Fmt.pr "%s/%s: OK@." name bc
+          | Error es ->
+            incr failures;
+            Fmt.pr "%s/%s: REJECTED %a@." name bc
+              Fmt.(list ~sep:semi Ebpf.Verifier.pp_error)
+              es)
+        p.bytecodes;
+      if !failures = 0 then 0 else 1
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Verify a registered xBGP program")
+    Term.(const run $ prog_arg)
+
+(* --- manifest --- *)
+
+let manifest_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Manifest file")
+  in
+  let run file =
+    setup_logs ();
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Xbgp.Manifest.parse text with
+    | Error e ->
+      Fmt.epr "parse error: %s@." e;
+      1
+    | Ok m -> (
+      let vmm = Xbgp.Vmm.create ~host:"check" () in
+      match Xbgp.Manifest.load vmm ~registry:Xprogs.Registry.find m with
+      | Ok () ->
+        Fmt.pr "manifest OK: %d program(s), %d attachment(s)@."
+          (List.length m.programs)
+          (List.length m.attachments);
+        0
+      | Error e ->
+        Fmt.epr "manifest rejected: %s@." e;
+        1)
+  in
+  Cmd.v
+    (Cmd.info "manifest" ~doc:"Parse and validate an xBGP manifest file")
+    Term.(const run $ file_arg)
+
+(* --- run --- *)
+
+let host_arg =
+  let host = Arg.enum [ ("frr", `Frr); ("bird", `Bird) ] in
+  Arg.(
+    value & opt host `Frr
+    & info [ "host" ] ~docv:"HOST" ~doc:"DUT implementation (frr or bird)")
+
+let routes_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "routes" ] ~docv:"N" ~doc:"Size of the injected routing table")
+
+let run_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("rr", `Rr); ("ov", `Ov); ("dc", `Dc) ])) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"rr = route reflection, ov = origin validation, dc = Fig. 5")
+  in
+  let run scenario host routes =
+    setup_logs ();
+    match scenario with
+    | `Rr ->
+      let tb =
+        Scenario.Testbed.create
+          (Scenario.Testbed.mode ~host ~ibgp:true
+             ~manifest:Xprogs.Route_reflector.manifest ())
+      in
+      Scenario.Testbed.establish tb;
+      Scenario.Testbed.feed tb
+        (Dataset.Ris_gen.generate
+           { Dataset.Ris_gen.default_config with count = routes });
+      let ok = Scenario.Testbed.run_until_downstream_has tb routes in
+      Fmt.pr "route reflection on %s: %d/%d routes reflected downstream@."
+        (match host with `Frr -> "xFRRouting" | `Bird -> "xBIRD")
+        (Scenario.Testbed.downstream_count tb)
+        routes;
+      if ok then 0 else 1
+    | `Ov ->
+      let rts =
+        Dataset.Ris_gen.generate
+          { Dataset.Ris_gen.default_config with count = routes; disjoint = true }
+      in
+      let roas =
+        Dataset.Ris_gen.roas_for ~seed:7 ~valid_pct:75 ~invalid_pct:13 rts
+      in
+      let tb =
+        Scenario.Testbed.create
+          (Scenario.Testbed.mode ~host ~ibgp:false
+             ~manifest:Xprogs.Origin_validation.manifest
+             ~xtras:[ ("roa_table", Xprogs.Util.encode_roa_table roas) ]
+             ())
+      in
+      Scenario.Testbed.establish tb;
+      Scenario.Testbed.feed tb rts;
+      let ok = Scenario.Testbed.run_until_downstream_has tb routes in
+      let tagged tag =
+        List.length
+          (List.filter
+             (fun (r : Dataset.Ris_gen.route) ->
+               match
+                 Scenario.Daemon.best_communities
+                   (Scenario.Daemon.Frr tb.downstream) r.prefix
+               with
+               | Some cs -> List.mem tag cs
+               | None -> false)
+             rts)
+      in
+      Fmt.pr
+        "origin validation on %s: %d routes, valid=%d invalid=%d \
+         not-found=%d@."
+        (match host with `Frr -> "xFRRouting" | `Bird -> "xBIRD")
+        routes (tagged 0xFFFF0001) (tagged 0xFFFF0002) (tagged 0xFFFF0003);
+      if ok then 0 else 1
+    | `Dc ->
+      let f = Scenario.Fabric.build ~host ~with_transit:true `Xbgp in
+      Scenario.Fabric.start f;
+      Scenario.Fabric.settle f 30;
+      let pp r t =
+        match Scenario.Fabric.path f r t with
+        | Some p -> "[" ^ String.concat " " (List.map string_of_int p) ^ "]"
+        | None -> "(unreachable)"
+      in
+      Fmt.pr "Fig. 5 fabric under xBGP valley-free filtering:@.";
+      Fmt.pr "  S2  -> external: %s@." (pp "S2" "EXT");
+      Fmt.pr "  T20 -> T23:      %s@." (pp "T20" "T23");
+      Scenario.Fabric.fail_link f "L10" "S1";
+      Scenario.Fabric.fail_link f "L13" "S2";
+      Scenario.Fabric.settle f 60;
+      Fmt.pr "  after double failure, L10 -> L13: %s@." (pp "L10" "L13");
+      0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a use-case scenario on the simulated testbed")
+    Term.(const run $ scenario $ host_arg $ routes_arg)
+
+let () =
+  let info =
+    Cmd.info "xbgp-sim" ~version:"1.0.0"
+      ~doc:"xBGP (HotNets'20) reproduction: programmable BGP via eBPF"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ list_cmd; disasm_cmd; verify_cmd; manifest_cmd; run_cmd ]))

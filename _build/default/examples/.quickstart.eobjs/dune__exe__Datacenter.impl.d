@@ -1,0 +1,1 @@
+examples/datacenter.ml: Fmt List Scenario String

@@ -1,0 +1,1 @@
+examples/edge_policy.ml: Bgp Dataset Fmt Frrouting List Netsim String Xbgp Xprogs

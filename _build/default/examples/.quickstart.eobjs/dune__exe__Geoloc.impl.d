@@ -1,0 +1,1 @@
+examples/geoloc.ml: Bgp Bytes Fmt Frrouting List Netsim Xprogs

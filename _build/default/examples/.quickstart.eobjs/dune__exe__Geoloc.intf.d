@@ -1,0 +1,1 @@
+examples/geoloc.mli:

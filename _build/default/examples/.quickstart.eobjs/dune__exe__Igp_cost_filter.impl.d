@@ -1,0 +1,1 @@
+examples/igp_cost_filter.ml: Bgp Fmt Frrouting Igp List Netsim Option Xbgp Xprogs

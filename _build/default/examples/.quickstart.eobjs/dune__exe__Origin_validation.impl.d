@@ -1,0 +1,1 @@
+examples/origin_validation.ml: Bgp Dataset Fmt List Option Rpki Scenario String Xprogs

@@ -1,0 +1,1 @@
+examples/origin_validation.mli:

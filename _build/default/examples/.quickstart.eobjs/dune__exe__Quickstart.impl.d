@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bgp Ebpf Fmt Frrouting Netsim Xbgp

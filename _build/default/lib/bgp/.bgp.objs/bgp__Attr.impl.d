@@ -1,0 +1,1 @@
+lib/bgp/attr.ml: Buffer Bytes Fmt Int32 List Prefix Printf

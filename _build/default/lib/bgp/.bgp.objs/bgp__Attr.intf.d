@@ -1,0 +1,1 @@
+lib/bgp/attr.mli: Buffer Format

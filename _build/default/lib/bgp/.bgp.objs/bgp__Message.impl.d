@@ -1,0 +1,1 @@
+lib/bgp/message.ml: Attr Buffer Bytes Fmt Int32 List Prefix Printf

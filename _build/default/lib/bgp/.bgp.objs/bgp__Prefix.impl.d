@@ -1,0 +1,1 @@
+lib/bgp/prefix.ml: Bytes Fmt Int Printf String

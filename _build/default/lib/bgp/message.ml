@@ -1,0 +1,210 @@
+(* BGP-4 message codec (RFC 4271 §4): the 19-byte header with all-ones
+   marker, then OPEN / UPDATE / NOTIFICATION / KEEPALIVE bodies, plus a
+   stream deframer that extracts complete messages from a byte stream —
+   exactly what the simulated TCP sessions between routers carry. *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let header_size = 19
+let max_size = 4096
+
+type open_msg = {
+  version : int;
+  my_as : int;  (** 16-bit field; AS_TRANS (23456) for 32-bit ASNs *)
+  hold_time : int;
+  bgp_id : int;
+}
+
+type update = {
+  withdrawn : Prefix.t list;
+  attrs : Attr.t list;
+  nlri : Prefix.t list;
+}
+
+type notification = { code : int; subcode : int; data : bytes }
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Notification of notification
+  | Keepalive
+
+let as_trans = 23456
+
+let update_empty = { withdrawn = []; attrs = []; nlri = [] }
+
+let type_code = function
+  | Open _ -> 1
+  | Update _ -> 2
+  | Notification _ -> 3
+  | Keepalive -> 4
+
+(* --- encoding --- *)
+
+let encode_update_body b { withdrawn; attrs; nlri } =
+  let prefixes_bytes ps =
+    let size = List.fold_left (fun a p -> a + Prefix.wire_size p) 0 ps in
+    let buf = Bytes.create size in
+    let _ = List.fold_left (fun pos p -> Prefix.encode_into buf pos p) 0 ps in
+    buf
+  in
+  let w = prefixes_bytes withdrawn in
+  Buffer.add_uint16_be b (Bytes.length w);
+  Buffer.add_bytes b w;
+  let ab = Buffer.create 64 in
+  List.iter (Attr.encode_into_buffer ab) attrs;
+  Buffer.add_uint16_be b (Buffer.length ab);
+  Buffer.add_buffer b ab;
+  Buffer.add_bytes b (prefixes_bytes nlri)
+
+let encode msg =
+  let body = Buffer.create 64 in
+  (match msg with
+  | Open { version; my_as; hold_time; bgp_id } ->
+    Buffer.add_uint8 body version;
+    Buffer.add_uint16_be body (if my_as > 0xffff then as_trans else my_as);
+    Buffer.add_uint16_be body hold_time;
+    Buffer.add_int32_be body (Int32.of_int (bgp_id land 0xFFFFFFFF));
+    Buffer.add_uint8 body 0 (* no optional parameters *)
+  | Update u -> encode_update_body body u
+  | Notification { code; subcode; data } ->
+    Buffer.add_uint8 body code;
+    Buffer.add_uint8 body subcode;
+    Buffer.add_bytes body data
+  | Keepalive -> ());
+  let len = header_size + Buffer.length body in
+  if len > max_size then parse_error "message too large (%d bytes)" len;
+  let buf = Bytes.make (header_size + Buffer.length body) '\xff' in
+  Bytes.set_uint16_be buf 16 len;
+  Bytes.set_uint8 buf 18 (type_code msg);
+  Buffer.blit body 0 buf header_size (Buffer.length body);
+  buf
+
+(** Build a raw UPDATE frame from pre-encoded parts. The daemons use this
+    when the BGP_ENCODE_MESSAGE insertion point has appended attribute
+    bytes beyond what the native encoder produces. *)
+let encode_update_raw ~(withdrawn : Prefix.t list) ~(attr_bytes : bytes)
+    ~(nlri : Prefix.t list) =
+  let wsize = List.fold_left (fun a p -> a + Prefix.wire_size p) 0 withdrawn in
+  let nsize = List.fold_left (fun a p -> a + Prefix.wire_size p) 0 nlri in
+  let alen = Bytes.length attr_bytes in
+  let len = header_size + 2 + wsize + 2 + alen + nsize in
+  if len > max_size then parse_error "message too large (%d bytes)" len;
+  let buf = Bytes.make len '\xff' in
+  Bytes.set_uint16_be buf 16 len;
+  Bytes.set_uint8 buf 18 2;
+  let pos = header_size in
+  Bytes.set_uint16_be buf pos wsize;
+  let pos =
+    List.fold_left (fun p w -> Prefix.encode_into buf p w) (pos + 2) withdrawn
+  in
+  Bytes.set_uint16_be buf pos alen;
+  Bytes.blit attr_bytes 0 buf (pos + 2) alen;
+  let pos =
+    List.fold_left (fun p n -> Prefix.encode_into buf p n) (pos + 2 + alen) nlri
+  in
+  assert (pos = len);
+  buf
+
+(* --- decoding --- *)
+
+let decode_prefix_list buf pos limit =
+  let rec go pos acc =
+    if pos >= limit then List.rev acc
+    else
+      let p, pos =
+        try Prefix.decode_from buf pos limit
+        with Prefix.Parse_error m -> parse_error "%s" m
+      in
+      go pos (p :: acc)
+  in
+  go pos []
+
+let decode_update buf pos limit =
+  if pos + 2 > limit then parse_error "UPDATE: truncated withdrawn length";
+  let wlen = Bytes.get_uint16_be buf pos in
+  let wend = pos + 2 + wlen in
+  if wend > limit then parse_error "UPDATE: truncated withdrawn routes";
+  let withdrawn = decode_prefix_list buf (pos + 2) wend in
+  if wend + 2 > limit then parse_error "UPDATE: truncated attribute length";
+  let alen = Bytes.get_uint16_be buf wend in
+  let aend = wend + 2 + alen in
+  if aend > limit then parse_error "UPDATE: truncated attributes";
+  let rec attrs pos acc =
+    if pos >= aend then List.rev acc
+    else
+      let a, pos =
+        try Attr.decode_from buf pos aend
+        with Attr.Parse_error m -> parse_error "UPDATE: %s" m
+      in
+      attrs pos (a :: acc)
+  in
+  let attrs = attrs (wend + 2) [] in
+  let nlri = decode_prefix_list buf aend limit in
+  { withdrawn; attrs; nlri }
+
+(** Decode a full message (header included). @raise Parse_error *)
+let decode buf =
+  let total = Bytes.length buf in
+  if total < header_size then parse_error "truncated header";
+  for i = 0 to 15 do
+    if Bytes.get_uint8 buf i <> 0xff then parse_error "bad marker"
+  done;
+  let len = Bytes.get_uint16_be buf 16 in
+  if len <> total then parse_error "length field %d, got %d bytes" len total;
+  let ty = Bytes.get_uint8 buf 18 in
+  let pos = header_size in
+  match ty with
+  | 1 ->
+    if pos + 10 > total then parse_error "OPEN: truncated";
+    let version = Bytes.get_uint8 buf pos in
+    let my_as = Bytes.get_uint16_be buf (pos + 1) in
+    let hold_time = Bytes.get_uint16_be buf (pos + 3) in
+    let bgp_id = Int32.to_int (Bytes.get_int32_be buf (pos + 5)) land 0xFFFFFFFF in
+    Open { version; my_as; hold_time; bgp_id }
+  | 2 -> Update (decode_update buf pos total)
+  | 3 ->
+    if pos + 2 > total then parse_error "NOTIFICATION: truncated";
+    Notification
+      {
+        code = Bytes.get_uint8 buf pos;
+        subcode = Bytes.get_uint8 buf (pos + 1);
+        data = Bytes.sub buf (pos + 2) (total - pos - 2);
+      }
+  | 4 -> Keepalive
+  | t -> parse_error "unknown message type %d" t
+
+(* --- stream deframing --- *)
+
+(** [deframe buffer] splits the accumulated byte stream into complete
+    messages; returns the raw message frames and the leftover bytes. *)
+let deframe (data : bytes) : bytes list * bytes =
+  let total = Bytes.length data in
+  let rec go pos acc =
+    if pos + header_size > total then (List.rev acc, pos)
+    else
+      let len = Bytes.get_uint16_be data (pos + 16) in
+      if len < header_size || len > max_size then
+        parse_error "deframe: invalid length %d" len
+      else if pos + len > total then (List.rev acc, pos)
+      else go (pos + len) (Bytes.sub data pos len :: acc)
+  in
+  let frames, consumed = go 0 [] in
+  (frames, Bytes.sub data consumed (total - consumed))
+
+let pp ppf = function
+  | Open o ->
+    Fmt.pf ppf "OPEN v%d AS%d hold=%d id=%a" o.version o.my_as o.hold_time
+      Prefix.pp_addr o.bgp_id
+  | Update u ->
+    Fmt.pf ppf "UPDATE withdrawn=[%a] attrs=[%a] nlri=[%a]"
+      Fmt.(list ~sep:sp Prefix.pp)
+      u.withdrawn
+      Fmt.(list ~sep:semi Attr.pp)
+      u.attrs
+      Fmt.(list ~sep:sp Prefix.pp)
+      u.nlri
+  | Notification n -> Fmt.pf ppf "NOTIFICATION %d/%d" n.code n.subcode
+  | Keepalive -> Fmt.string ppf "KEEPALIVE"

@@ -1,0 +1,54 @@
+(** BGP-4 message codec (RFC 4271 §4): the 19-byte header with all-ones
+    marker, the OPEN / UPDATE / NOTIFICATION / KEEPALIVE bodies, and a
+    stream deframer for the byte streams the simulated TCP sessions
+    carry. *)
+
+exception Parse_error of string
+
+val header_size : int
+val max_size : int
+
+val as_trans : int
+(** AS_TRANS (23456), used in the 16-bit OPEN field for 32-bit ASNs. *)
+
+type open_msg = {
+  version : int;
+  my_as : int;
+  hold_time : int;
+  bgp_id : int;
+}
+
+type update = {
+  withdrawn : Prefix.t list;
+  attrs : Attr.t list;
+  nlri : Prefix.t list;
+}
+
+type notification = { code : int; subcode : int; data : bytes }
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Notification of notification
+  | Keepalive
+
+val update_empty : update
+
+val encode : t -> bytes
+(** Full frame, header included. @raise Parse_error when over
+    {!max_size}. *)
+
+val encode_update_raw :
+  withdrawn:Prefix.t list -> attr_bytes:bytes -> nlri:Prefix.t list -> bytes
+(** Build a raw UPDATE frame from pre-encoded attribute bytes — used when
+    the BGP_ENCODE_MESSAGE insertion point has appended attributes beyond
+    what the native encoder produces. *)
+
+val decode : bytes -> t
+(** Decode a full frame. @raise Parse_error *)
+
+val deframe : bytes -> bytes list * bytes
+(** Split an accumulated byte stream into complete frames plus the
+    leftover bytes. @raise Parse_error on an impossible length field. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+(** IPv4 prefixes.
+
+    Addresses are plain [int]s in the range [0, 2{^32}), which keeps
+    arithmetic allocation-free. Prefixes are always normalized — bits
+    beyond the mask length are zero — so structural equality coincides
+    with semantic equality. *)
+
+type t
+
+val v : int -> int -> t
+(** [v addr len] is the prefix [addr/len], with host bits cleared.
+    @raise Invalid_argument if [len] is outside [0, 32]. *)
+
+val addr : t -> int
+val len : t -> int
+
+val default : t
+(** [0.0.0.0/0]. *)
+
+val addr_of_quad : int * int * int * int -> int
+(** [addr_of_quad (a, b, c, d)] is the address [a.b.c.d]. *)
+
+val quad_of_addr : int -> int * int * int * int
+
+val pp_addr : Format.formatter -> int -> unit
+(** Dotted-quad rendering of an address. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> t
+(** Parse ["a.b.c.d/len"]. @raise Invalid_argument on malformed input. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Order by address, then more-specific (longer) first on ties. *)
+
+val mem : int -> t -> bool
+(** [mem a t]: address [a] belongs to prefix [t]. *)
+
+val subset : t -> t -> bool
+(** [subset sub sup]: every address of [sub] is in [sup]. *)
+
+val bit : t -> int -> int
+(** Value of bit [i] (0 = most significant) of the prefix address. *)
+
+val hash : t -> int
+
+(** {1 NLRI wire form} (RFC 4271 §4.3): a length octet followed by
+    [ceil(len/8)] address bytes. *)
+
+val wire_size : t -> int
+
+val encode_into : bytes -> int -> t -> int
+(** Write at the given offset; returns the next offset. *)
+
+exception Parse_error of string
+
+val decode_from : bytes -> int -> int -> t * int
+(** [decode_from buf pos limit] decodes one NLRI entry; returns the prefix
+    and the next position. @raise Parse_error on truncation or a length
+    octet above 32. *)

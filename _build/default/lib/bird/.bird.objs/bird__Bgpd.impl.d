@@ -1,0 +1,1 @@
+lib/bird/bgpd.ml: Array Bgp Buffer Bytes Eattr Hashtbl Int32 Lazy List Netsim Option Rib Rpki Session String Xbgp

@@ -1,0 +1,1 @@
+lib/bird/bgpd.mli: Bgp Eattr Netsim Rpki Session Xbgp

@@ -1,0 +1,1 @@
+lib/bird/eattr.ml: Bgp Buffer Bytes Char Int32 List String

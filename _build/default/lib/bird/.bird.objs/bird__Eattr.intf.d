@@ -1,0 +1,1 @@
+lib/bird/eattr.mli: Bgp

@@ -1,0 +1,1 @@
+lib/core/api.ml: Fmt List Printf

@@ -1,0 +1,1 @@
+lib/core/host_intf.ml: Api Bytes Int32

@@ -1,0 +1,1 @@
+lib/core/manifest.ml: Api Buffer List Printf Result String Vmm

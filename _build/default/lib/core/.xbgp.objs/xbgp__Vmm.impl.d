@@ -1,0 +1,1 @@
+lib/core/vmm.ml: Api Array Bytes Ebpf Fmt Hashtbl Host_intf Int Int32 Int64 Lazy List Logs Option Printf Xprog

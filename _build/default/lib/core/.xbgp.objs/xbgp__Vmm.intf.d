@@ -1,0 +1,1 @@
+lib/core/vmm.mli: Api Ebpf Host_intf Xprog

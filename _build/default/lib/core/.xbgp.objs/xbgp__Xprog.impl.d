@@ -1,0 +1,1 @@
+lib/core/xprog.ml: Ebpf List

@@ -1,0 +1,123 @@
+(* What a BGP implementation must expose to become xBGP-compliant.
+
+   Every call of [Vmm.run] passes an [ops] record binding the xBGP API to
+   the host's data structures *for the current operation* (current peer,
+   current route, current output buffer...). This is the paper's
+   "execution context": hidden from the extension code, visible to the
+   host, and the only channel through which helpers reach host state.
+
+   Attribute payloads are exchanged in the neutral network-byte-order TLV
+   form of [Bgp.Attr.to_tlv]/[of_tlv]; each daemon's adapter converts
+   to/from its internal representation (cheap for BIRD-like eattrs,
+   conversion work for FRR-like interned attributes — §2.1). *)
+
+type peer_info = {
+  peer_type : int;  (** [Api.ebgp_session] or [Api.ibgp_session] *)
+  peer_as : int;
+  peer_router_id : int;
+  peer_addr : int;
+  local_as : int;
+  local_router_id : int;
+  cluster_id : int;
+  rr_client : bool;  (** the peer is a route-reflector client *)
+}
+
+type ops = {
+  peer_info : unit -> peer_info option;
+      (** the peer of the current operation, if any *)
+  nexthop : unit -> (int * int) option;
+      (** (address, IGP metric) of the current route's NEXT_HOP *)
+  get_attr : int -> bytes option;
+      (** neutral TLV of the current route's attribute with this code *)
+  set_attr : bytes -> bool;
+      (** install/replace an attribute (neutral TLV) on the current route *)
+  remove_attr : int -> bool;
+  get_xtra : string -> bytes option;
+      (** named router-configuration extras (coordinates, manifest data) *)
+  write_buf : bytes -> bool;
+      (** append raw bytes to the message being encoded *)
+  rib_add : addr:int -> len:int -> nexthop:int -> bool;
+      (** inject a route into the RIB (uses hidden host arguments) *)
+  log : string -> unit;
+}
+
+(** An ops record where nothing is available; building block for hosts
+    that only wire the operations meaningful at a given insertion point. *)
+let null_ops =
+  {
+    peer_info = (fun () -> None);
+    nexthop = (fun () -> None);
+    get_attr = (fun _ -> None);
+    set_attr = (fun _ -> false);
+    remove_attr = (fun _ -> false);
+    get_xtra = (fun _ -> None);
+    write_buf = (fun _ -> false);
+    rib_add = (fun ~addr:_ ~len:_ ~nexthop:_ -> false);
+    log = ignore;
+  }
+
+let peer_info_to_bytes (p : peer_info) =
+  let b = Bytes.create Api.peer_info_size in
+  let set off v = Bytes.set_int32_le b off (Int32.of_int (v land 0xFFFFFFFF)) in
+  set Api.pi_peer_type p.peer_type;
+  set Api.pi_peer_as p.peer_as;
+  set Api.pi_peer_router_id p.peer_router_id;
+  set Api.pi_peer_addr p.peer_addr;
+  set Api.pi_local_as p.local_as;
+  set Api.pi_local_router_id p.local_router_id;
+  set Api.pi_cluster_id p.cluster_id;
+  set Api.pi_rr_client (if p.rr_client then 1 else 0);
+  b
+
+let nexthop_to_bytes (addr, metric) =
+  let b = Bytes.create Api.nexthop_size in
+  Bytes.set_int32_le b Api.nh_addr (Int32.of_int (addr land 0xFFFFFFFF));
+  Bytes.set_int32_le b Api.nh_igp_metric
+    (Int32.of_int (metric land 0xFFFFFFFF));
+  b
+
+(** The provenance of the route under filtering, exposed through
+    [Api.arg_source]. *)
+type source = {
+  src_peer_type : int;  (** 0 when the route is locally originated *)
+  src_router_id : int;
+  src_addr : int;
+  src_rr_client : bool;
+  src_is_local : bool;
+}
+
+let source_to_bytes s =
+  let b = Bytes.create Api.source_size in
+  let set off v = Bytes.set_int32_le b off (Int32.of_int (v land 0xFFFFFFFF)) in
+  set Api.src_peer_type s.src_peer_type;
+  set Api.src_router_id s.src_router_id;
+  set Api.src_addr s.src_addr;
+  set Api.src_rr_client (if s.src_rr_client then 1 else 0);
+  set Api.src_is_local (if s.src_is_local then 1 else 0);
+  b
+
+(** Summary of a candidate route for the [Bgp_decision] insertion point
+    (the paper's circle 3), encoded per the [Api.cd_*] layout. *)
+type candidate = {
+  cd_local_pref : int;
+  cd_as_path_len : int;
+  cd_origin : int;
+  cd_med : int;
+  cd_igp_metric : int;
+  cd_originator_id : int;
+  cd_peer_addr : int;
+  cd_is_ebgp : bool;
+}
+
+let candidate_to_bytes c =
+  let b = Bytes.create Api.candidate_size in
+  let set off v = Bytes.set_int32_le b off (Int32.of_int (v land 0xFFFFFFFF)) in
+  set Api.cd_local_pref c.cd_local_pref;
+  set Api.cd_as_path_len c.cd_as_path_len;
+  set Api.cd_origin c.cd_origin;
+  set Api.cd_med c.cd_med;
+  set Api.cd_igp_metric c.cd_igp_metric;
+  set Api.cd_originator_id c.cd_originator_id;
+  set Api.cd_peer_addr c.cd_peer_addr;
+  set Api.cd_is_ebgp (if c.cd_is_ebgp then 1 else 0);
+  b

@@ -1,0 +1,99 @@
+(* The deployment manifest (§2.1): "the VMM is initialized with a manifest
+   containing the extension bytecodes and the points where they must be
+   inserted [...] the manifest defines in which order they are executed".
+
+   Bytecode artifacts themselves are looked up by program name in a
+   registry (in this repository, [Xprogs.registry]); the manifest is the
+   small operator-editable text that decides what runs where:
+
+     # GeoLoc on the edge routers
+     program geoloc
+     attach geoloc receive  BGP_RECEIVE_MESSAGE 0
+     attach geoloc import   BGP_INBOUND_FILTER  10
+*)
+
+type attachment = {
+  program : string;
+  bytecode : string;
+  point : Api.point;
+  order : int;
+}
+
+type t = { programs : string list; attachments : attachment list }
+
+let empty = { programs = []; attachments = [] }
+
+let v ~programs ~attachments = { programs; attachments }
+
+(* --- text form --- *)
+
+let to_string t =
+  let b = Buffer.create 256 in
+  List.iter (fun p -> Buffer.add_string b ("program " ^ p ^ "\n")) t.programs;
+  List.iter
+    (fun a ->
+      Buffer.add_string b
+        (Printf.sprintf "attach %s %s %s %d\n" a.program a.bytecode
+           (Api.point_name a.point) a.order))
+    t.attachments;
+  Buffer.contents b
+
+let parse (s : string) : (t, string) result =
+  let err line fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" line m)) fmt
+  in
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok { programs = List.rev acc.programs |> List.rev; attachments = List.rev acc.attachments }
+    | line :: rest -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> go (lineno + 1) acc rest
+      | [ "program"; name ] ->
+        go (lineno + 1) { acc with programs = name :: acc.programs } rest
+      | [ "attach"; program; bytecode; point_s; order_s ] -> (
+        match (Api.point_of_name point_s, int_of_string_opt order_s) with
+        | Some point, Some order ->
+          let a = { program; bytecode; point; order } in
+          go (lineno + 1) { acc with attachments = a :: acc.attachments } rest
+        | None, _ -> err lineno "unknown insertion point %S" point_s
+        | _, None -> err lineno "bad order %S" order_s)
+      | w :: _ -> err lineno "unknown directive %S" w)
+  in
+  match go 1 { programs = []; attachments = [] } lines with
+  | Ok t -> Ok { t with programs = List.rev t.programs }
+  | e -> e
+
+(** Apply a manifest to a VMM: register every listed program (resolved
+    through [registry]) and attach its bytecodes. Stops at the first
+    error, leaving earlier registrations in place. *)
+let load vmm ~registry t : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let rec register_all = function
+    | [] -> Ok ()
+    | name :: rest -> (
+      match registry name with
+      | None -> Error (Printf.sprintf "unknown program %S" name)
+      | Some prog ->
+        let* () = Vmm.register vmm prog in
+        register_all rest)
+  in
+  let rec attach_all = function
+    | [] -> Ok ()
+    | a :: rest ->
+      let* () =
+        Vmm.attach vmm ~program:a.program ~bytecode:a.bytecode ~point:a.point
+          ~order:a.order
+      in
+      attach_all rest
+  in
+  let* () = register_all t.programs in
+  attach_all t.attachments

@@ -1,0 +1,35 @@
+(** The deployment manifest (§2.1): the VMM "is initialized with a
+    manifest containing the extension bytecodes and the points where they
+    must be inserted [...] the manifest defines in which order they are
+    executed".
+
+    Bytecode artifacts are resolved by program name through a registry;
+    the manifest is the small operator-editable text deciding what runs
+    where:
+
+    {v
+# GeoLoc on the edge routers
+program geoloc
+attach geoloc receive BGP_RECEIVE_MESSAGE 0
+attach geoloc import  BGP_INBOUND_FILTER  10
+    v} *)
+
+type attachment = {
+  program : string;
+  bytecode : string;
+  point : Api.point;
+  order : int;
+}
+
+type t = { programs : string list; attachments : attachment list }
+
+val empty : t
+val v : programs:string list -> attachments:attachment list -> t
+
+val to_string : t -> string
+val parse : string -> (t, string) result
+
+val load :
+  Vmm.t -> registry:(string -> Xprog.t option) -> t -> (unit, string) result
+(** Register every listed program and attach its bytecodes. Stops at the
+    first error, leaving earlier registrations in place. *)

@@ -1,0 +1,402 @@
+(* The Virtual Machine Manager — the runtime heart of libxbgp (§2.1).
+
+   The VMM owns the registered xBGP programs, the per-insertion-point
+   ordered queues of attached bytecodes, and the execution machinery. At
+   an insertion point the host calls [run]; the VMM then:
+
+   - executes the first attached bytecode in manifest order, in a fresh
+     eBPF VM whose memory holds a private ephemeral heap plus the
+     program's persistent scratch region;
+   - if the bytecode calls the special [next()] helper, moves on to the
+     next attachment, and past the last one falls back to the host's
+     native [default] function;
+   - if the bytecode returns, hands its r0 back to the host;
+   - if it faults (bad access, budget exhausted, helper misuse), logs the
+     error, notifies the host and falls back to the native default.
+
+   Ephemeral memory (every helper-returned structure, [ebpf_memalloc])
+   lives in the per-run heap and is freed wholesale when the bytecode
+   finishes — the paper's automatic ephemeral reclamation. *)
+
+let src = Logs.Src.create "xbgp.vmm" ~doc:"xBGP virtual machine manager"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Raised by the next() helper; never escapes [run]. *)
+exception Next
+
+type map_state = { spec : Xprog.map_spec; table : (string, bytes) Hashtbl.t }
+
+type ext = {
+  prog : Xprog.t;
+  maps : map_state array;
+  scratch : bytes;  (** persistent across runs, shared by the program *)
+}
+
+(* Per-attachment execution state. A virtual machine is built once, when
+   the bytecode is attached (§2: the VMM "attaches bytecode with an
+   associated virtual machine to one specific insertion point"), and
+   reused for every run: only the registers, the instruction budget and
+   the ephemeral-heap cursor are reset. The [ops]/[args] fields carry the
+   current operation's execution context into the helpers. *)
+type runtime = {
+  vm : Ebpf.Vm.t;
+  heap : Ebpf.Memory.region;
+  mutable heap_pos : int;
+  mutable ops : Host_intf.ops;
+  mutable args : (int * bytes) list;
+}
+
+type attachment = {
+  ext : ext;
+  bc_name : string;
+  order : int;
+  runtime : runtime;
+}
+
+type stats = {
+  mutable runs : int;  (** bytecode executions started *)
+  mutable native_fallbacks : int;  (** chains that ended in native code *)
+  mutable faults : int;
+  mutable next_calls : int;
+  mutable insns : int;  (** total eBPF instructions retired *)
+}
+
+type t = {
+  host : string;
+  extensions : (string, ext) Hashtbl.t;
+  points : (Api.point, attachment list ref) Hashtbl.t;
+  heap_size : int;
+  budget : int;
+  engine : Ebpf.Vm.engine;
+  stats : stats;
+}
+
+let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
+    ?(engine = Ebpf.Vm.Interpreted) ~host () =
+  let points = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace points p (ref [])) Api.all_points;
+  {
+    host;
+    extensions = Hashtbl.create 8;
+    points;
+    heap_size;
+    budget;
+    engine;
+    stats =
+      { runs = 0; native_fallbacks = 0; faults = 0; next_calls = 0; insns = 0 };
+  }
+
+let stats t = t.stats
+
+(** Register an xBGP program: verify every bytecode against the structural
+    checks and the program's helper whitelist, then instantiate its maps
+    and persistent scratch. *)
+let register t (prog : Xprog.t) : (unit, string) result =
+  if Hashtbl.mem t.extensions prog.name then
+    Error (Printf.sprintf "program %S already registered" prog.name)
+  else begin
+    let bad =
+      List.filter_map
+        (fun (name, code) ->
+          match
+            Ebpf.Verifier.check ?allowed_helpers:prog.allowed_helpers code
+          with
+          | Ok () -> None
+          | Error es ->
+            Some
+              (Fmt.str "%s/%s: %a" prog.name name
+                 Fmt.(list ~sep:semi Ebpf.Verifier.pp_error)
+                 es))
+        prog.bytecodes
+    in
+    match bad with
+    | e :: _ -> Error ("verifier rejected " ^ e)
+    | [] ->
+      let maps =
+        Array.of_list
+          (List.map
+             (fun spec -> { spec; table = Hashtbl.create 64 })
+             prog.maps)
+      in
+      let ext = { prog; maps; scratch = Bytes.create prog.scratch_size } in
+      Hashtbl.replace t.extensions prog.name ext;
+      Ok ()
+  end
+
+(* --- bytecode execution --- *)
+
+type exec_outcome = Value of int64 | Deferred | Faulted of string
+
+let blob_of_bytes payload =
+  let b = Bytes.create (Api.blob_header_size + Bytes.length payload) in
+  Bytes.set_int32_le b 0 (Int32.of_int (Bytes.length payload));
+  Bytes.blit payload 0 b Api.blob_header_size (Bytes.length payload);
+  b
+
+let u32_of v = Int64.to_int (Int64.logand v 0xFFFFFFFFL)
+
+(* The per-attachment VM, heap and helper bindings. Helpers read the
+   current operation's context through the runtime's mutable [ops]/[args]
+   fields. The ephemeral heap is reclaimed wholesale after each run by
+   resetting [heap_pos]; its *contents* are not scrubbed, which is safe
+   because the region belongs to one attachment of one program (its own
+   earlier writes are all it can ever see). *)
+let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
+  let mem = Ebpf.Memory.create () in
+  let heap =
+    Ebpf.Memory.add_region mem ~name:"heap" ~base:Api.heap_base ~writable:true
+      (Bytes.create t.heap_size)
+  in
+  if Bytes.length ext.scratch > 0 then
+    ignore
+      (Ebpf.Memory.add_region mem ~name:"scratch" ~base:Api.scratch_base
+         ~writable:true ext.scratch);
+  let rec rt =
+    lazy
+      {
+        vm = Ebpf.Vm.create ~budget:t.budget ~engine:t.engine ~mem ~helpers code;
+        heap;
+        heap_pos = 0;
+        ops = Host_intf.null_ops;
+        args = [];
+      }
+  and alloc_raw size =
+    let r = Lazy.force rt in
+    let aligned = (size + 7) land lnot 7 in
+    if r.heap_pos + aligned > t.heap_size then
+      raise (Ebpf.Vm.Error "extension heap exhausted");
+    let addr = Int64.add Api.heap_base (Int64.of_int r.heap_pos) in
+    r.heap_pos <- r.heap_pos + aligned;
+    addr
+  and alloc_bytes payload =
+    let addr = alloc_raw (Bytes.length payload) in
+    Ebpf.Memory.write_bytes mem addr payload;
+    addr
+  and ops () = (Lazy.force rt).ops
+  and args () = (Lazy.force rt).args
+  and read_mem vm addr len =
+    Ebpf.Memory.read_bytes (Ebpf.Vm.memory vm) addr len
+  and map_of_index idx =
+    if idx < 0 || idx >= Array.length ext.maps then
+      raise (Ebpf.Vm.Error (Printf.sprintf "no map %d" idx))
+    else ext.maps.(idx)
+  and helpers =
+    [
+      (Api.h_next, fun _ _ -> raise Next);
+      ( Api.h_get_arg,
+        fun _ a ->
+          match List.assoc_opt (u32_of a.(0)) (args ()) with
+          | Some payload -> alloc_bytes (blob_of_bytes payload)
+          | None -> 0L );
+      ( Api.h_arg_len,
+        fun _ a ->
+          match List.assoc_opt (u32_of a.(0)) (args ()) with
+          | Some payload -> Int64.of_int (Bytes.length payload)
+          | None -> -1L );
+      ( Api.h_get_peer_info,
+        fun _ _ ->
+          match (ops ()).peer_info () with
+          | Some pi -> alloc_bytes (Host_intf.peer_info_to_bytes pi)
+          | None -> 0L );
+      ( Api.h_get_nexthop,
+        fun _ _ ->
+          match (ops ()).nexthop () with
+          | Some nh -> alloc_bytes (Host_intf.nexthop_to_bytes nh)
+          | None -> 0L );
+      ( Api.h_get_attr,
+        fun _ a ->
+          match (ops ()).get_attr (u32_of a.(0)) with
+          | Some tlv -> alloc_bytes tlv
+          | None -> 0L );
+      ( Api.h_set_attr,
+        fun vm a ->
+          let header = read_mem vm a.(0) 4 in
+          let len = Bytes.get_uint16_be header 2 in
+          let tlv = read_mem vm a.(0) (4 + len) in
+          if (ops ()).set_attr tlv then 0L else -1L );
+      ( Api.h_add_attr,
+        fun vm a ->
+          let code = u32_of a.(0) land 0xff in
+          let flags = u32_of a.(1) land 0xff in
+          let len = u32_of a.(2) in
+          if len > 0xffff then raise (Ebpf.Vm.Error "add_attr: length");
+          let payload = read_mem vm a.(3) len in
+          let tlv = Bytes.create (4 + len) in
+          Bytes.set_uint8 tlv 0 flags;
+          Bytes.set_uint8 tlv 1 code;
+          Bytes.set_uint16_be tlv 2 len;
+          Bytes.blit payload 0 tlv 4 len;
+          if (ops ()).set_attr tlv then 0L else -1L );
+      ( Api.h_remove_attr,
+        fun _ a -> if (ops ()).remove_attr (u32_of a.(0)) then 0L else -1L );
+      ( Api.h_get_xtra,
+        fun vm a ->
+          let key = Ebpf.Memory.read_cstring (Ebpf.Vm.memory vm) a.(0) in
+          match (ops ()).get_xtra key with
+          | Some payload -> alloc_bytes (blob_of_bytes payload)
+          | None -> 0L );
+      ( Api.h_write_buf,
+        fun vm a ->
+          let len = u32_of a.(1) in
+          let data = read_mem vm a.(0) len in
+          if (ops ()).write_buf data then Int64.of_int len else -1L );
+      ( Api.h_memalloc,
+        fun _ a ->
+          let size = u32_of a.(0) in
+          if size <= 0 then 0L else alloc_raw size );
+      ( Api.h_print,
+        fun vm a ->
+          (ops ()).log (Ebpf.Memory.read_cstring (Ebpf.Vm.memory vm) a.(0));
+          0L );
+      (Api.h_htonl, fun _ a -> Int64.logand (Ebpf.Vm.bswap32 a.(0)) 0xFFFFFFFFL);
+      (Api.h_htons, fun _ a -> Ebpf.Vm.bswap16 a.(0));
+      ( Api.h_map_lookup,
+        fun vm a ->
+          let m = map_of_index (u32_of a.(0)) in
+          let key = read_mem vm a.(1) m.spec.key_size in
+          match Hashtbl.find_opt m.table (Bytes.to_string key) with
+          | Some value -> alloc_bytes value
+          | None -> 0L );
+      ( Api.h_map_update,
+        fun vm a ->
+          let m = map_of_index (u32_of a.(0)) in
+          let key = read_mem vm a.(1) m.spec.key_size in
+          let value = read_mem vm a.(2) m.spec.value_size in
+          Hashtbl.replace m.table (Bytes.to_string key) value;
+          0L );
+      ( Api.h_map_delete,
+        fun vm a ->
+          let m = map_of_index (u32_of a.(0)) in
+          let key = Bytes.to_string (read_mem vm a.(1) m.spec.key_size) in
+          if Hashtbl.mem m.table key then begin
+            Hashtbl.remove m.table key;
+            0L
+          end
+          else -1L );
+      ( Api.h_rib_add,
+        fun _ a ->
+          if
+            (ops ()).rib_add ~addr:(u32_of a.(0)) ~len:(u32_of a.(1))
+              ~nexthop:(u32_of a.(2))
+          then 0L
+          else -1L );
+      ( Api.h_log_int,
+        fun vm a ->
+          let label = Ebpf.Memory.read_cstring (Ebpf.Vm.memory vm) a.(0) in
+          (ops ()).log (Printf.sprintf "%s=%Ld" label a.(1));
+          0L );
+    ]
+  in
+  Lazy.force rt
+
+let exec_one t att ~(ops : Host_intf.ops) ~args : exec_outcome =
+  let rt = att.runtime in
+  rt.ops <- ops;
+  rt.args <- args;
+  rt.heap_pos <- 0;
+  Ebpf.Vm.set_budget rt.vm t.budget;
+  t.stats.runs <- t.stats.runs + 1;
+  let outcome =
+    try Value (Ebpf.Vm.run rt.vm) with
+    | Next ->
+      t.stats.next_calls <- t.stats.next_calls + 1;
+      Deferred
+    | Ebpf.Vm.Error msg | Ebpf.Memory.Fault msg -> Faulted msg
+  in
+  t.stats.insns <- t.stats.insns + Ebpf.Vm.executed rt.vm;
+  rt.ops <- Host_intf.null_ops;
+  rt.args <- [];
+  outcome
+
+(** Attach one bytecode of a registered program to an insertion point;
+    [order] positions it in the point's execution queue (§2.1: "the
+    manifest defines in which order they are executed"). *)
+let attach t ~program ~bytecode ~point ~order : (unit, string) result =
+  match Hashtbl.find_opt t.extensions program with
+  | None -> Error (Printf.sprintf "program %S not registered" program)
+  | Some ext -> (
+    match Xprog.bytecode ext.prog bytecode with
+    | None ->
+      Error (Printf.sprintf "program %S has no bytecode %S" program bytecode)
+    | Some code ->
+      let q = Hashtbl.find t.points point in
+      let att =
+        { ext; bc_name = bytecode; order; runtime = make_runtime t ext code }
+      in
+      q :=
+        List.sort
+          (fun a b -> Int.compare a.order b.order)
+          (att :: !q);
+      Ok ())
+
+let detach t ~program ~point =
+  let q = Hashtbl.find t.points point in
+  q := List.filter (fun a -> a.ext.prog.name <> program) !q
+
+let attachments t point =
+  List.map
+    (fun a -> (a.ext.prog.name, a.bc_name, a.order))
+    !(Hashtbl.find t.points point)
+
+let has_attachment t point = !(Hashtbl.find t.points point) <> []
+
+let registered t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.extensions []
+
+(** Execute the bytecode chain attached to [point].
+
+    [args] are the insertion-point arguments exposed through [get_arg]
+    (ids from [Api]); [default] is the host's native implementation of the
+    operation, used when nothing is attached, when the last bytecode calls
+    [next()], or when a bytecode faults. *)
+let run t point ~(ops : Host_intf.ops) ~args ~(default : unit -> int64) :
+    int64 =
+  match !(Hashtbl.find t.points point) with
+  | [] -> default ()
+  | atts ->
+    let rec chain = function
+      | [] ->
+        t.stats.native_fallbacks <- t.stats.native_fallbacks + 1;
+        default ()
+      | att :: rest -> (
+        match exec_one t att ~ops ~args with
+        | Value v -> v
+        | Deferred -> chain rest
+        | Faulted msg ->
+          t.stats.faults <- t.stats.faults + 1;
+          let err =
+            Printf.sprintf "%s: extension %s/%s at %s faulted: %s" t.host
+              att.ext.prog.name att.bc_name (Api.point_name point) msg
+          in
+          Log.warn (fun m -> m "%s" err);
+          ops.log err;
+          t.stats.native_fallbacks <- t.stats.native_fallbacks + 1;
+          default ())
+    in
+    chain atts
+
+(** Run every bytecode attached to [Bgp_init] once (manifest load time).
+    Faults are logged; initialization continues with the next bytecode. *)
+let run_init t ~ops =
+  List.iter
+    (fun att ->
+      match exec_one t att ~ops ~args:[] with
+      | Value _ | Deferred -> ()
+      | Faulted msg ->
+        t.stats.faults <- t.stats.faults + 1;
+        ops.log
+          (Printf.sprintf "%s: init of %s/%s faulted: %s" t.host
+             att.ext.prog.name att.bc_name msg))
+    !(Hashtbl.find t.points Api.Bgp_init)
+
+(* --- introspection used by tests and the CLI --- *)
+
+let map_size t ~program idx =
+  match Hashtbl.find_opt t.extensions program with
+  | Some ext when idx < Array.length ext.maps ->
+    Some (Hashtbl.length ext.maps.(idx).table)
+  | _ -> None
+
+let scratch t ~program =
+  Option.map (fun e -> e.scratch) (Hashtbl.find_opt t.extensions program)

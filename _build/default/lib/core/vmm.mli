@@ -1,0 +1,90 @@
+(** The Virtual Machine Manager — the runtime heart of libxbgp (§2.1).
+
+    The VMM owns the registered xBGP programs, the per-insertion-point
+    ordered queues of attached bytecodes, and the execution machinery.
+    At an insertion point the host calls {!run}; the VMM then
+
+    - executes the first attached bytecode in manifest order, in its
+      per-attachment eBPF VM (built at attach time and reused) whose
+      memory holds a private ephemeral heap plus the program's persistent
+      scratch region;
+    - on the special [next()] helper, moves to the next attachment, and
+      past the last one falls back to the host's native [default];
+    - on a normal return, hands r0 back to the host;
+    - on a fault (bad access, exhausted budget, helper misuse), logs,
+      notifies the host and falls back to the native default.
+
+    Ephemeral memory — every helper-returned structure and
+    [ebpf_memalloc] allocation — is reclaimed wholesale after each run:
+    the paper's automatic ephemeral reclamation. *)
+
+exception Next
+(** Raised by the [next()] helper; never escapes {!run}. *)
+
+type t
+
+type stats = {
+  mutable runs : int;  (** bytecode executions started *)
+  mutable native_fallbacks : int;  (** chains that ended in native code *)
+  mutable faults : int;
+  mutable next_calls : int;
+  mutable insns : int;  (** total eBPF instructions retired *)
+}
+
+val create :
+  ?heap_size:int ->
+  ?budget:int ->
+  ?engine:Ebpf.Vm.engine ->
+  host:string ->
+  unit ->
+  t
+(** [host] names the embedding implementation (for log messages);
+    [heap_size] is the per-attachment ephemeral heap (default 64 KiB);
+    [budget] the per-run instruction limit; [engine] selects the eBPF
+    execution engine for every attached bytecode. *)
+
+val stats : t -> stats
+
+val register : t -> Xprog.t -> (unit, string) result
+(** Verify every bytecode (structural checks plus the program's helper
+    whitelist) and instantiate the program's maps and scratch. *)
+
+val attach :
+  t ->
+  program:string ->
+  bytecode:string ->
+  point:Api.point ->
+  order:int ->
+  (unit, string) result
+(** Attach a bytecode to an insertion point; [order] positions it in the
+    point's execution queue. Builds the attachment's VM. *)
+
+val detach : t -> program:string -> point:Api.point -> unit
+
+val attachments : t -> Api.point -> (string * string * int) list
+(** [(program, bytecode, order)] per attachment, in execution order. *)
+
+val has_attachment : t -> Api.point -> bool
+val registered : t -> string list
+
+val run :
+  t ->
+  Api.point ->
+  ops:Host_intf.ops ->
+  args:(int * bytes) list ->
+  default:(unit -> int64) ->
+  int64
+(** Execute the chain attached to a point. [args] are the
+    insertion-point arguments exposed through [get_arg] (ids from
+    {!Api}); [default] is the host's native implementation, used when
+    nothing is attached, when the last bytecode calls [next()], or when a
+    bytecode faults. *)
+
+val run_init : t -> ops:Host_intf.ops -> unit
+(** Run every bytecode attached to [Bgp_init] once (manifest load time);
+    faults are logged and initialization continues. *)
+
+(** {1 Introspection} (tests and the CLI) *)
+
+val map_size : t -> program:string -> int -> int option
+val scratch : t -> program:string -> bytes option

@@ -1,0 +1,1 @@
+lib/dataset/clos.ml: Bgp List Printf

@@ -1,0 +1,1 @@
+lib/dataset/rfc_delays.ml: Array List

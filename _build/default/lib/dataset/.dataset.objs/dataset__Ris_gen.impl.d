@@ -1,0 +1,1 @@
+lib/dataset/ris_gen.ml: Array Bgp Hashtbl List Option Prng Rib Rpki

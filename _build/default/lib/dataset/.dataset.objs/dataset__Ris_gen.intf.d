@@ -1,0 +1,1 @@
+lib/dataset/ris_gen.mli: Bgp Rpki

@@ -1,0 +1,110 @@
+(* The data-center fabric of Fig. 5: two spines (level 0), four leaves
+   (level 1), four top-of-rack routers (level 2), plus an optional
+   transit router above the spines for the external-prefix scenario.
+
+   Every leaf connects to both spines; ToRs T20,T21 hang off leaves
+   L10,L11 and T22,T23 off L12,L13. The module only *describes* the
+   fabric (names, levels, ASNs, router ids, links, and the valley-free
+   manifest blobs); the examples and benches instantiate daemons from
+   the description. *)
+
+type router = {
+  rname : string;
+  level : int;  (** 0 = spine, 1 = leaf, 2 = ToR, -1 = transit *)
+  asn : int;
+  router_id : int;
+  addr : int;
+  loopback : Bgp.Prefix.t;
+      (** the prefix this router originates: a /32 loopback for fabric
+          routers, the rack subnet for ToRs, a large external prefix for
+          the transit router *)
+}
+
+type link = string * string
+
+type t = {
+  routers : router list;
+  links : link list;
+  vf_pairs : (int * int) list;  (** (child AS, parent AS) per session *)
+  internal_asns : int list;  (** ToR ASNs: fabric-internal origins *)
+}
+
+let router t name = List.find (fun r -> r.rname = name) t.routers
+
+let mk_router level i name =
+  let asn =
+    match level with
+    | -1 -> 64900
+    | 0 -> 65000 + i
+    | 1 -> 65010 + i
+    | _ -> 65020 + i
+  in
+  let addr = Bgp.Prefix.addr_of_quad (10, 0, level + 1, i + 1) in
+  let loopback =
+    match level with
+    | -1 -> Bgp.Prefix.of_string "8.8.0.0/16"
+    | 2 -> Bgp.Prefix.v (Bgp.Prefix.addr_of_quad (192, 168, 20 + i, 0)) 24
+    | l -> Bgp.Prefix.v (Bgp.Prefix.addr_of_quad (172, 16, l + 1, i + 1)) 32
+  in
+  { rname = name; level; asn; router_id = addr; addr; loopback }
+
+(** Build the Fig. 5 fabric. [with_transit] adds router EXT above both
+    spines. [same_spine_as] gives S1 and S2 (and each leaf pair) one AS
+    number — the configuration trick of §3.3 that xBGP replaces. *)
+let fig5 ?(with_transit = false) ?(same_spine_as = false) () =
+  let spines = List.init 2 (fun i -> mk_router 0 i (Printf.sprintf "S%d" (i + 1))) in
+  let leaves =
+    List.init 4 (fun i -> mk_router 1 i (Printf.sprintf "L1%d" i))
+  in
+  let tors = List.init 4 (fun i -> mk_router 2 i (Printf.sprintf "T2%d" i)) in
+  let spines, leaves =
+    if same_spine_as then
+      ( List.map (fun r -> { r with asn = 65000 }) spines,
+        List.map
+          (fun r ->
+            (* L10/L11 share one AS, L12/L13 another *)
+            let base = if r.rname = "L10" || r.rname = "L11" then 65010 else 65012 in
+            { r with asn = base })
+          leaves )
+    else (spines, leaves)
+  in
+  let transit = if with_transit then [ mk_router (-1) 0 "EXT" ] else [] in
+  let routers = transit @ spines @ leaves @ tors in
+  let links =
+    List.concat
+      [
+        (if with_transit then [ ("EXT", "S1"); ("EXT", "S2") ] else []);
+        (* every leaf to both spines *)
+        List.concat_map
+          (fun l -> [ (l.rname, "S1"); (l.rname, "S2") ])
+          leaves;
+        (* pods *)
+        [
+          ("T20", "L10"); ("T20", "L11"); ("T21", "L10"); ("T21", "L11");
+          ("T22", "L12"); ("T22", "L13"); ("T23", "L12"); ("T23", "L13");
+        ];
+      ]
+  in
+  let find n = List.find (fun r -> r.rname = n) routers in
+  (* (child, parent): the side with the larger level number is the child *)
+  let vf_pairs =
+    List.filter_map
+      (fun (a, b) ->
+        let ra = find a and rb = find b in
+        if ra.level = rb.level then None
+        else if ra.level > rb.level then Some (ra.asn, rb.asn)
+        else Some (rb.asn, ra.asn))
+      links
+    |> List.sort_uniq compare
+  in
+  (* every fabric AS (not the transit provider) originates internal
+     prefixes; valleys towards those are the price of staying connected
+     under multiple failures *)
+  let internal_asns =
+    List.sort_uniq compare
+      (List.map (fun r -> r.asn) (spines @ leaves @ tors))
+  in
+  { routers; links; vf_pairs; internal_asns }
+
+(** The prefix a router originates (see [router.loopback]). *)
+let originated_prefix (r : router) = r.loopback

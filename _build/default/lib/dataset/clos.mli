@@ -1,0 +1,32 @@
+(** The data-center fabric of Fig. 5: two spines, four leaves, four
+    top-of-rack routers, plus an optional transit provider above the
+    spines. This module only *describes* the fabric; {!Scenario.Fabric}
+    instantiates live daemons from it. *)
+
+type router = {
+  rname : string;
+  level : int;  (** 0 = spine, 1 = leaf, 2 = ToR, -1 = transit *)
+  asn : int;
+  router_id : int;
+  addr : int;
+  loopback : Bgp.Prefix.t;  (** the prefix this router originates *)
+}
+
+type link = string * string
+
+type t = {
+  routers : router list;
+  links : link list;
+  vf_pairs : (int * int) list;  (** (child AS, parent AS) per session *)
+  internal_asns : int list;  (** fabric ASNs (valley exemption) *)
+}
+
+val router : t -> string -> router
+(** @raise Not_found for an unknown name. *)
+
+val fig5 : ?with_transit:bool -> ?same_spine_as:bool -> unit -> t
+(** [with_transit] adds router EXT above both spines; [same_spine_as]
+    applies the §3.3 duplicate-ASN configuration trick (S1/S2 share an
+    AS, leaf pairs share ASes). *)
+
+val originated_prefix : router -> Bgp.Prefix.t

@@ -1,0 +1,16 @@
+(** Deterministic PRNG (splitmix64): every workload in the benchmarks and
+    tests is reproducible from its seed. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [0, bound). @raise Invalid_argument on bound <= 0. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+val choose : t -> 'a array -> 'a

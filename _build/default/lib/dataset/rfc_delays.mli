@@ -1,0 +1,17 @@
+(** Fig. 1 of the paper: delay between the first IETF draft and RFC
+    publication for 40 BGP-related RFCs. Values approximate the IETF
+    datatracker document histories; the distribution matches the paper's
+    headline statistics (median 3.5 years, maximum about a decade). *)
+
+type entry = { rfc : int; title : string; delay_years : float }
+
+val entries : entry list
+(** Exactly 40 entries. *)
+
+val delays : unit -> float list
+
+val cdf : unit -> (float * float) list
+(** (delay, cumulative fraction) points, sorted by delay. *)
+
+val median : unit -> float
+val max_delay : unit -> float

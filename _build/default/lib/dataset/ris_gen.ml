@@ -1,0 +1,148 @@
+(* Synthetic RIPE-RIS-like routing table generator.
+
+   The paper feeds its DUT "IPv4 BGP routes from a recent RIPE RIS
+   snapshot of June 2020" (724k prefixes). We cannot ship that snapshot,
+   so this module generates a table with the same statistical shape:
+   - prefix lengths concentrated at /24 (~55%), then /22-/23, /16-/21,
+     a few short prefixes — the well-known RIS length histogram;
+   - AS-path lengths mostly 3-6 hops, drawn from a fixed AS pool;
+   - occasional MED and a small community set.
+
+   The benchmark measures the *relative* slowdown of extension versus
+   native code over an identical stream, so only the shape matters (see
+   DESIGN.md substitution table). Everything is seeded and deterministic. *)
+
+type route = { prefix : Bgp.Prefix.t; attrs : Bgp.Attr.t list }
+
+(* cumulative prefix-length distribution (RIS-like) *)
+let length_dist =
+  [|
+    (8, 0.004); (12, 0.01); (14, 0.02); (16, 0.06); (18, 0.09); (19, 0.13);
+    (20, 0.19); (21, 0.25); (22, 0.35); (23, 0.44); (24, 1.0);
+  |]
+
+let pick_length rng =
+  let x = Prng.float rng in
+  let rec go i =
+    if i >= Array.length length_dist - 1 then fst length_dist.(i)
+    else if x <= snd length_dist.(i) then fst length_dist.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let pick_path_len rng =
+  (* roughly the RIS AS-path length histogram (mean ~4.2) *)
+  let x = Prng.float rng in
+  if x < 0.05 then 2
+  else if x < 0.25 then 3
+  else if x < 0.60 then 4
+  else if x < 0.82 then 5
+  else if x < 0.93 then 6
+  else if x < 0.98 then 7
+  else 8
+
+type config = {
+  seed : int;
+  count : int;
+  as_pool : int;  (** size of the AS-number pool *)
+  next_hops : int array;  (** candidate NEXT_HOP addresses *)
+  disjoint : bool;
+      (** forbid covering prefixes (exact-match ROA semantics in tests) *)
+}
+
+let default_config =
+  {
+    seed = 42;
+    count = 10_000;
+    as_pool = 2_000;
+    next_hops = [| Bgp.Prefix.addr_of_quad (10, 0, 0, 1) |];
+    disjoint = false;
+  }
+
+(** Generate the table. Prefixes are distinct; with [disjoint] no
+    generated prefix covers another. *)
+let generate (cfg : config) : route list =
+  let rng = Prng.create cfg.seed in
+  let seen : (Bgp.Prefix.t, unit) Hashtbl.t = Hashtbl.create cfg.count in
+  let cover_trie : unit Rib.Ptrie.t = Rib.Ptrie.create () in
+  let asn rng = 1000 + Prng.int rng cfg.as_pool in
+  let rec fresh_prefix () =
+    let len = pick_length rng in
+    (* public-ish space: avoid 0/8 and 10/8 *)
+    let hi = 11 + Prng.int rng 200 in
+    let addr =
+      (hi lsl 24)
+      lor (Prng.int rng (1 lsl 16) lsl 8)
+      lor Prng.int rng 256
+    in
+    let p = Bgp.Prefix.v addr len in
+    let clash =
+      Hashtbl.mem seen p
+      || (cfg.disjoint && Rib.Ptrie.overlaps cover_trie p)
+    in
+    if clash then fresh_prefix ()
+    else begin
+      Hashtbl.replace seen p ();
+      if cfg.disjoint then ignore (Rib.Ptrie.replace cover_trie p ());
+      p
+    end
+  in
+  List.init cfg.count (fun _ ->
+      let prefix = fresh_prefix () in
+      let plen = pick_path_len rng in
+      let first = asn rng in
+      let path = first :: List.init (plen - 1) (fun _ -> asn rng) in
+      let attrs =
+        List.concat
+          [
+            [
+              Bgp.Attr.v (Bgp.Attr.Origin Bgp.Attr.Igp);
+              Bgp.Attr.v (Bgp.Attr.As_path [ Bgp.Attr.Seq path ]);
+              Bgp.Attr.v (Bgp.Attr.Next_hop (Prng.choose rng cfg.next_hops));
+            ];
+            (if Prng.int rng 100 < 30 then
+               [ Bgp.Attr.v (Bgp.Attr.Med (Prng.int rng 200)) ]
+             else []);
+            (match Prng.int rng 4 with
+            | 0 -> []
+            | n ->
+              [
+                Bgp.Attr.v
+                  (Bgp.Attr.Communities
+                     (List.init n (fun _ ->
+                          (first lsl 16) lor Prng.int rng 1000)));
+              ]);
+          ]
+      in
+      { prefix; attrs })
+
+(** Origin AS of a generated route (rightmost ASN). *)
+let origin_as (r : route) =
+  List.find_map
+    (fun (a : Bgp.Attr.t) ->
+      match a.value with
+      | Bgp.Attr.As_path segs -> Bgp.Attr.as_path_origin segs
+      | _ -> None)
+    r.attrs
+
+(** Build a ROA list over the table: [valid_pct]% of routes get a ROA
+    matching their origin, [invalid_pct]% a ROA with a wrong origin, the
+    rest none (not-found) — the paper's "75% of the injected prefixes as
+    valid" setup. Deterministic per [seed]. *)
+let roas_for ~seed ~valid_pct ~invalid_pct (routes : route list) :
+    Rpki.Roa.t list =
+  let rng = Prng.create seed in
+  List.filter_map
+    (fun r ->
+      let origin = Option.value ~default:1 (origin_as r) in
+      let x = Prng.int rng 100 in
+      if x < valid_pct then
+        Some
+          (Rpki.Roa.v r.prefix ~max_len:(Bgp.Prefix.len r.prefix) ~asn:origin)
+      else if x < valid_pct + invalid_pct then
+        Some
+          (Rpki.Roa.v r.prefix
+             ~max_len:(Bgp.Prefix.len r.prefix)
+             ~asn:(origin + 7))
+      else None)
+    routes

@@ -1,0 +1,34 @@
+(** Synthetic RIPE-RIS-like routing table generator.
+
+    The paper feeds its DUT a June-2020 RIS snapshot (724k IPv4 routes);
+    this generator produces a table with the same statistical shape —
+    RIS-like prefix-length histogram (55% /24), 2–8-hop AS paths,
+    occasional MED, small community sets — seeded and deterministic. The
+    benchmark measures *relative* extension-vs-native slowdown over an
+    identical stream, so the shape, not the provenance, matters (see the
+    substitution table in DESIGN.md). *)
+
+type route = { prefix : Bgp.Prefix.t; attrs : Bgp.Attr.t list }
+
+type config = {
+  seed : int;
+  count : int;
+  as_pool : int;  (** size of the AS-number pool *)
+  next_hops : int array;  (** candidate NEXT_HOP addresses *)
+  disjoint : bool;
+      (** forbid covering prefixes (exact-match ROA semantics in tests) *)
+}
+
+val default_config : config
+(** seed 42, 10k routes, 2k ASNs, one next hop, overlaps allowed. *)
+
+val generate : config -> route list
+(** Distinct prefixes; with [disjoint] no prefix covers another. *)
+
+val origin_as : route -> int option
+
+val roas_for :
+  seed:int -> valid_pct:int -> invalid_pct:int -> route list -> Rpki.Roa.t list
+(** A ROA list over the table: [valid_pct]% of routes get a matching ROA,
+    [invalid_pct]% a wrong-origin ROA, the rest none — the paper's "75%
+    of the injected prefixes as valid" setup (§3.4). *)

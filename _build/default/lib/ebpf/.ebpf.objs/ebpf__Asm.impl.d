@@ -1,0 +1,1 @@
+lib/ebpf/asm.ml: Hashtbl Insn Int32 List Printf

@@ -1,0 +1,1 @@
+lib/ebpf/disasm.ml: Fmt Insn List

@@ -1,0 +1,1 @@
+lib/ebpf/insn.ml: Bytes Fmt Int32 Int64 List Printf

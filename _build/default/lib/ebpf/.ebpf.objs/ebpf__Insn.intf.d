@@ -1,0 +1,1 @@
+lib/ebpf/insn.mli: Format

@@ -1,0 +1,1 @@
+lib/ebpf/memory.ml: Buffer Bytes Char Insn Int64 List Printf

@@ -1,0 +1,1 @@
+lib/ebpf/memory.mli: Insn

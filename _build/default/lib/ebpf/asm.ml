@@ -1,0 +1,149 @@
+(* A small assembler for eBPF programs.
+
+   Programs are written as a list of [item]s: instructions plus symbolic
+   labels; [assemble] resolves labels to slot-relative jump offsets (in
+   8-byte slots, so LDDW counts for two). The combinators below keep the
+   extension sources in [lib/xprogs] close to classic eBPF assembly. *)
+
+exception Asm_error of string
+
+let asm_error fmt = Printf.ksprintf (fun s -> raise (Asm_error s)) fmt
+
+type item =
+  | Label of string
+  | Plain of Insn.t
+  | Ja_to of string
+  | Jcond_to of Insn.width * Insn.cond * Insn.reg * Insn.src * string
+
+let item_slots = function
+  | Label _ -> 0
+  | Plain i -> Insn.slots i
+  | Ja_to _ | Jcond_to _ -> 1
+
+(** Resolve labels and produce the final instruction list.
+    @raise Asm_error on unknown/duplicate labels or offsets out of range. *)
+let assemble (items : item list) : Insn.t list =
+  let labels = Hashtbl.create 17 in
+  let _ =
+    List.fold_left
+      (fun slot item ->
+        (match item with
+        | Label l ->
+          if Hashtbl.mem labels l then asm_error "duplicate label %S" l;
+          Hashtbl.add labels l slot
+        | _ -> ());
+        slot + item_slots item)
+      0 items
+  in
+  let target slot l =
+    match Hashtbl.find_opt labels l with
+    | None -> asm_error "unknown label %S" l
+    | Some t ->
+      let off = t - (slot + 1) in
+      if off < -32768 || off > 32767 then
+        asm_error "jump to %S out of 16-bit range (%d)" l off;
+      off
+  in
+  let _, rev =
+    List.fold_left
+      (fun (slot, acc) item ->
+        match item with
+        | Label _ -> (slot, acc)
+        | Plain i -> (slot + Insn.slots i, i :: acc)
+        | Ja_to l -> (slot + 1, Insn.Ja (target slot l) :: acc)
+        | Jcond_to (w, c, r, s, l) ->
+          (slot + 1, Insn.Jcond (w, c, r, s, target slot l) :: acc))
+      (0, []) items
+  in
+  List.rev rev
+
+(* --- combinators --- *)
+
+let label s = Label s
+
+let imm32_exn name v =
+  if v < -0x8000_0000 || v > 0x7FFF_FFFF then
+    asm_error "%s: immediate %d does not fit in 32 bits" name v;
+  Int32.of_int v
+
+open Insn
+
+(* 64-bit ALU, immediate and register forms *)
+let movi dst v = Plain (Alu (W64bit, Mov, dst, Imm (imm32_exn "movi" v)))
+let mov dst src = Plain (Alu (W64bit, Mov, dst, Reg src))
+let addi dst v = Plain (Alu (W64bit, Add, dst, Imm (imm32_exn "addi" v)))
+let add dst src = Plain (Alu (W64bit, Add, dst, Reg src))
+let subi dst v = Plain (Alu (W64bit, Sub, dst, Imm (imm32_exn "subi" v)))
+let sub dst src = Plain (Alu (W64bit, Sub, dst, Reg src))
+let muli dst v = Plain (Alu (W64bit, Mul, dst, Imm (imm32_exn "muli" v)))
+let mul dst src = Plain (Alu (W64bit, Mul, dst, Reg src))
+let divi dst v = Plain (Alu (W64bit, Div, dst, Imm (imm32_exn "divi" v)))
+let div dst src = Plain (Alu (W64bit, Div, dst, Reg src))
+let modi dst v = Plain (Alu (W64bit, Mod, dst, Imm (imm32_exn "modi" v)))
+let mod_ dst src = Plain (Alu (W64bit, Mod, dst, Reg src))
+let andi dst v = Plain (Alu (W64bit, And, dst, Imm (imm32_exn "andi" v)))
+let and_ dst src = Plain (Alu (W64bit, And, dst, Reg src))
+let ori dst v = Plain (Alu (W64bit, Or, dst, Imm (imm32_exn "ori" v)))
+let or_ dst src = Plain (Alu (W64bit, Or, dst, Reg src))
+let xori dst v = Plain (Alu (W64bit, Xor, dst, Imm (imm32_exn "xori" v)))
+let xor dst src = Plain (Alu (W64bit, Xor, dst, Reg src))
+let lshi dst v = Plain (Alu (W64bit, Lsh, dst, Imm (imm32_exn "lshi" v)))
+let lsh dst src = Plain (Alu (W64bit, Lsh, dst, Reg src))
+let rshi dst v = Plain (Alu (W64bit, Rsh, dst, Imm (imm32_exn "rshi" v)))
+let rsh dst src = Plain (Alu (W64bit, Rsh, dst, Reg src))
+let arshi dst v = Plain (Alu (W64bit, Arsh, dst, Imm (imm32_exn "arshi" v)))
+let arsh dst src = Plain (Alu (W64bit, Arsh, dst, Reg src))
+let neg dst = Plain (Alu (W64bit, Neg, dst, Imm 0l))
+
+(* 32-bit ALU (zero-extending) *)
+let movi32 dst v = Plain (Alu (W32bit, Mov, dst, Imm (imm32_exn "movi32" v)))
+let mov32 dst src = Plain (Alu (W32bit, Mov, dst, Reg src))
+let addi32 dst v = Plain (Alu (W32bit, Add, dst, Imm (imm32_exn "addi32" v)))
+let add32 dst src = Plain (Alu (W32bit, Add, dst, Reg src))
+
+let lddw dst v = Plain (Lddw (dst, v))
+
+(* byte swaps *)
+let be16 r = Plain (Endian (Be, r, 16))
+let be32 r = Plain (Endian (Be, r, 32))
+let be64 r = Plain (Endian (Be, r, 64))
+let le16 r = Plain (Endian (Le, r, 16))
+let le32 r = Plain (Endian (Le, r, 32))
+let le64 r = Plain (Endian (Le, r, 64))
+
+(* memory *)
+let ldxb dst src off = Plain (Ldx (W8, dst, src, off))
+let ldxh dst src off = Plain (Ldx (W16, dst, src, off))
+let ldxw dst src off = Plain (Ldx (W32, dst, src, off))
+let ldxdw dst src off = Plain (Ldx (W64, dst, src, off))
+let stxb dst off src = Plain (Stx (W8, dst, off, src))
+let stxh dst off src = Plain (Stx (W16, dst, off, src))
+let stxw dst off src = Plain (Stx (W32, dst, off, src))
+let stxdw dst off src = Plain (Stx (W64, dst, off, src))
+let stb dst off v = Plain (St (W8, dst, off, imm32_exn "stb" v))
+let sth dst off v = Plain (St (W16, dst, off, imm32_exn "sth" v))
+let stw dst off v = Plain (St (W32, dst, off, imm32_exn "stw" v))
+let stdw dst off v = Plain (St (W64, dst, off, imm32_exn "stdw" v))
+
+(* control flow *)
+let ja l = Ja_to l
+let jeq r s l = Jcond_to (W64bit, Eq, r, Reg s, l)
+let jeqi r v l = Jcond_to (W64bit, Eq, r, Imm (imm32_exn "jeqi" v), l)
+let jne r s l = Jcond_to (W64bit, Ne, r, Reg s, l)
+let jnei r v l = Jcond_to (W64bit, Ne, r, Imm (imm32_exn "jnei" v), l)
+let jgt r s l = Jcond_to (W64bit, Gt, r, Reg s, l)
+let jgti r v l = Jcond_to (W64bit, Gt, r, Imm (imm32_exn "jgti" v), l)
+let jge r s l = Jcond_to (W64bit, Ge, r, Reg s, l)
+let jgei r v l = Jcond_to (W64bit, Ge, r, Imm (imm32_exn "jgei" v), l)
+let jlt r s l = Jcond_to (W64bit, Lt, r, Reg s, l)
+let jlti r v l = Jcond_to (W64bit, Lt, r, Imm (imm32_exn "jlti" v), l)
+let jle r s l = Jcond_to (W64bit, Le, r, Reg s, l)
+let jlei r v l = Jcond_to (W64bit, Le, r, Imm (imm32_exn "jlei" v), l)
+let jsgt r s l = Jcond_to (W64bit, Sgt, r, Reg s, l)
+let jsgti r v l = Jcond_to (W64bit, Sgt, r, Imm (imm32_exn "jsgti" v), l)
+let jslt r s l = Jcond_to (W64bit, Slt, r, Reg s, l)
+let jslti r v l = Jcond_to (W64bit, Slt, r, Imm (imm32_exn "jslti" v), l)
+let jset r s l = Jcond_to (W64bit, Set, r, Reg s, l)
+let jseti r v l = Jcond_to (W64bit, Set, r, Imm (imm32_exn "jseti" v), l)
+let call id = Plain (Call id)
+let exit_ = Plain Exit

@@ -1,0 +1,117 @@
+(** A small assembler for eBPF programs.
+
+    Programs are written as a list of {!item}s — instructions plus
+    symbolic labels; {!assemble} resolves labels to slot-relative jump
+    offsets. The combinators below keep extension sources close to
+    classic eBPF assembly:
+
+    {[
+      assemble
+        [
+          movi R0 0;
+          label "top";
+          addi R0 1;
+          jnei R0 10 "top";
+          exit_;
+        ]
+    ]} *)
+
+exception Asm_error of string
+
+type item
+
+val assemble : item list -> Insn.t list
+(** Resolve labels and produce the final instruction list.
+    @raise Asm_error on unknown/duplicate labels, offsets out of the
+    16-bit range, or immediates that do not fit in 32 bits. *)
+
+val label : string -> item
+
+(** {1 64-bit ALU} — immediate ([*i]) and register forms *)
+
+val movi : Insn.reg -> int -> item
+val mov : Insn.reg -> Insn.reg -> item
+val addi : Insn.reg -> int -> item
+val add : Insn.reg -> Insn.reg -> item
+val subi : Insn.reg -> int -> item
+val sub : Insn.reg -> Insn.reg -> item
+val muli : Insn.reg -> int -> item
+val mul : Insn.reg -> Insn.reg -> item
+val divi : Insn.reg -> int -> item
+val div : Insn.reg -> Insn.reg -> item
+val modi : Insn.reg -> int -> item
+val mod_ : Insn.reg -> Insn.reg -> item
+val andi : Insn.reg -> int -> item
+val and_ : Insn.reg -> Insn.reg -> item
+val ori : Insn.reg -> int -> item
+val or_ : Insn.reg -> Insn.reg -> item
+val xori : Insn.reg -> int -> item
+val xor : Insn.reg -> Insn.reg -> item
+val lshi : Insn.reg -> int -> item
+val lsh : Insn.reg -> Insn.reg -> item
+val rshi : Insn.reg -> int -> item
+val rsh : Insn.reg -> Insn.reg -> item
+val arshi : Insn.reg -> int -> item
+val arsh : Insn.reg -> Insn.reg -> item
+val neg : Insn.reg -> item
+
+(** {1 32-bit ALU} (zero-extending) *)
+
+val movi32 : Insn.reg -> int -> item
+val mov32 : Insn.reg -> Insn.reg -> item
+val addi32 : Insn.reg -> int -> item
+val add32 : Insn.reg -> Insn.reg -> item
+
+val lddw : Insn.reg -> int64 -> item
+(** Load a full 64-bit immediate (occupies two slots). *)
+
+(** {1 Byte swaps} *)
+
+val be16 : Insn.reg -> item
+val be32 : Insn.reg -> item
+val be64 : Insn.reg -> item
+val le16 : Insn.reg -> item
+val le32 : Insn.reg -> item
+val le64 : Insn.reg -> item
+
+(** {1 Memory} — [ldx<sz> dst src off] loads [mem[src+off]];
+    [stx<sz> dst off src] stores [src]; [st<sz> dst off imm] stores an
+    immediate. *)
+
+val ldxb : Insn.reg -> Insn.reg -> int -> item
+val ldxh : Insn.reg -> Insn.reg -> int -> item
+val ldxw : Insn.reg -> Insn.reg -> int -> item
+val ldxdw : Insn.reg -> Insn.reg -> int -> item
+val stxb : Insn.reg -> int -> Insn.reg -> item
+val stxh : Insn.reg -> int -> Insn.reg -> item
+val stxw : Insn.reg -> int -> Insn.reg -> item
+val stxdw : Insn.reg -> int -> Insn.reg -> item
+val stb : Insn.reg -> int -> int -> item
+val sth : Insn.reg -> int -> int -> item
+val stw : Insn.reg -> int -> int -> item
+val stdw : Insn.reg -> int -> int -> item
+
+(** {1 Control flow} — jump targets are label names; [j..i] forms compare
+    against an immediate. Comparisons follow {!Insn.cond} signedness. *)
+
+val ja : string -> item
+val jeq : Insn.reg -> Insn.reg -> string -> item
+val jeqi : Insn.reg -> int -> string -> item
+val jne : Insn.reg -> Insn.reg -> string -> item
+val jnei : Insn.reg -> int -> string -> item
+val jgt : Insn.reg -> Insn.reg -> string -> item
+val jgti : Insn.reg -> int -> string -> item
+val jge : Insn.reg -> Insn.reg -> string -> item
+val jgei : Insn.reg -> int -> string -> item
+val jlt : Insn.reg -> Insn.reg -> string -> item
+val jlti : Insn.reg -> int -> string -> item
+val jle : Insn.reg -> Insn.reg -> string -> item
+val jlei : Insn.reg -> int -> string -> item
+val jsgt : Insn.reg -> Insn.reg -> string -> item
+val jsgti : Insn.reg -> int -> string -> item
+val jslt : Insn.reg -> Insn.reg -> string -> item
+val jslti : Insn.reg -> int -> string -> item
+val jset : Insn.reg -> Insn.reg -> string -> item
+val jseti : Insn.reg -> int -> string -> item
+val call : int -> item
+val exit_ : item

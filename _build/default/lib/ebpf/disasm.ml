@@ -1,0 +1,18 @@
+(* Textual disassembly of eBPF programs, one instruction per line with its
+   slot index — handy for debugging extension bytecode and used by the
+   [xbgp-sim disasm] CLI subcommand. *)
+
+let pp_program ppf (prog : Insn.t list) =
+  let _ =
+    List.fold_left
+      (fun slot i ->
+        Fmt.pf ppf "%4d: %a@." slot Insn.pp i;
+        slot + Insn.slots i)
+      0 prog
+  in
+  ()
+
+let program_to_string prog = Fmt.str "%a" pp_program prog
+
+(** Disassemble wire-form bytecode. @raise Insn.Decode_error *)
+let of_bytes buf = program_to_string (Insn.decode buf)

@@ -1,0 +1,8 @@
+(** Textual disassembly of eBPF programs, one instruction per line with
+    its slot index. *)
+
+val pp_program : Format.formatter -> Insn.t list -> unit
+val program_to_string : Insn.t list -> string
+
+val of_bytes : bytes -> string
+(** Disassemble wire-form bytecode. @raise Insn.Decode_error *)

@@ -1,0 +1,313 @@
+(* eBPF instruction set: decoded representation and the standard 8-byte wire
+   encoding (LDDW occupies two consecutive slots).
+
+   The encoding follows the classic eBPF layout:
+     byte 0      : opcode
+     byte 1      : dst register (low nibble) | src register (high nibble)
+     bytes 2-3   : signed 16-bit offset (little endian)
+     bytes 4-7   : signed 32-bit immediate (little endian)
+*)
+
+type reg = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+
+let reg_index = function
+  | R0 -> 0 | R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5
+  | R6 -> 6 | R7 -> 7 | R8 -> 8 | R9 -> 9 | R10 -> 10
+
+let reg_of_index = function
+  | 0 -> R0 | 1 -> R1 | 2 -> R2 | 3 -> R3 | 4 -> R4 | 5 -> R5
+  | 6 -> R6 | 7 -> R7 | 8 -> R8 | 9 -> R9 | 10 -> R10
+  | n -> invalid_arg (Printf.sprintf "Insn.reg_of_index: %d" n)
+
+let pp_reg ppf r = Fmt.pf ppf "r%d" (reg_index r)
+
+(** Memory access width. *)
+type size = W8 | W16 | W32 | W64
+
+let size_bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W64 -> 8
+
+(** ALU operations shared by the 32 and 64-bit classes. *)
+type alu_op =
+  | Add | Sub | Mul | Div | Or | And | Lsh | Rsh | Neg | Mod | Xor
+  | Mov | Arsh
+
+(** Conditional-jump predicates shared by JMP and JMP32 classes. *)
+type cond = Eq | Gt | Ge | Set | Ne | Sgt | Sge | Lt | Le | Slt | Sle
+
+(** Operand width of an ALU or conditional-jump instruction. *)
+type width = W32bit | W64bit
+
+(** Second operand: immediate or register. *)
+type src = Imm of int32 | Reg of reg
+
+type endianness = Le | Be
+
+type t =
+  | Alu of width * alu_op * reg * src
+      (** [dst <- dst op src]; 32-bit form zero-extends the result. *)
+  | Endian of endianness * reg * int
+      (** Byte-swap to little/big endian; int is 16, 32 or 64. *)
+  | Lddw of reg * int64  (** Load a 64-bit immediate (two slots). *)
+  | Ldx of size * reg * reg * int  (** [dst <- mem[src + off]]. *)
+  | St of size * reg * int * int32  (** [mem[dst + off] <- imm]. *)
+  | Stx of size * reg * int * reg  (** [mem[dst + off] <- src]. *)
+  | Ja of int  (** Unconditional relative jump. *)
+  | Jcond of width * cond * reg * src * int
+      (** Conditional relative jump; 32-bit form compares low words. *)
+  | Call of int  (** Call helper function by id. *)
+  | Exit
+
+(* --- opcode field constants --- *)
+
+let class_ld = 0x00
+and class_ldx = 0x01
+and class_st = 0x02
+and class_stx = 0x03
+and class_alu = 0x04
+and class_jmp = 0x05
+and class_jmp32 = 0x06
+and class_alu64 = 0x07
+
+let src_k = 0x00
+and src_x = 0x08
+
+let alu_code = function
+  | Add -> 0x0 | Sub -> 0x1 | Mul -> 0x2 | Div -> 0x3 | Or -> 0x4
+  | And -> 0x5 | Lsh -> 0x6 | Rsh -> 0x7 | Neg -> 0x8 | Mod -> 0x9
+  | Xor -> 0xa | Mov -> 0xb | Arsh -> 0xc
+
+let alu_of_code = function
+  | 0x0 -> Some Add | 0x1 -> Some Sub | 0x2 -> Some Mul | 0x3 -> Some Div
+  | 0x4 -> Some Or | 0x5 -> Some And | 0x6 -> Some Lsh | 0x7 -> Some Rsh
+  | 0x8 -> Some Neg | 0x9 -> Some Mod | 0xa -> Some Xor | 0xb -> Some Mov
+  | 0xc -> Some Arsh
+  | _ -> None
+
+let cond_code = function
+  | Eq -> 0x1 | Gt -> 0x2 | Ge -> 0x3 | Set -> 0x4 | Ne -> 0x5
+  | Sgt -> 0x6 | Sge -> 0x7 | Lt -> 0xa | Le -> 0xb | Slt -> 0xc
+  | Sle -> 0xd
+
+let cond_of_code = function
+  | 0x1 -> Some Eq | 0x2 -> Some Gt | 0x3 -> Some Ge | 0x4 -> Some Set
+  | 0x5 -> Some Ne | 0x6 -> Some Sgt | 0x7 -> Some Sge | 0xa -> Some Lt
+  | 0xb -> Some Le | 0xc -> Some Slt | 0xd -> Some Sle
+  | _ -> None
+
+let size_code = function W32 -> 0x00 | W16 -> 0x08 | W8 -> 0x10 | W64 -> 0x18
+
+let size_of_code = function
+  | 0x00 -> Some W32 | 0x08 -> Some W16 | 0x10 -> Some W8 | 0x18 -> Some W64
+  | _ -> None
+
+let mode_imm = 0x00
+and mode_mem = 0x60
+
+(** Number of 8-byte slots the instruction occupies (2 for LDDW). *)
+let slots = function Lddw _ -> 2 | _ -> 1
+
+(* --- encoding --- *)
+
+type raw = { opcode : int; dst : int; src : int; off : int; imm : int32 }
+
+let raw_zero = { opcode = 0; dst = 0; src = 0; off = 0; imm = 0l }
+
+let to_raw = function
+  | Alu (w, op, dst, src) ->
+    let cls = match w with W64bit -> class_alu64 | W32bit -> class_alu in
+    let sbit, sreg, imm =
+      match src with
+      | Imm i -> (src_k, 0, i)
+      | Reg r -> (src_x, reg_index r, 0l)
+    in
+    [ { opcode = (alu_code op lsl 4) lor sbit lor cls;
+        dst = reg_index dst; src = sreg; off = 0; imm } ]
+  | Endian (e, dst, bits) ->
+    let sbit = match e with Le -> src_k | Be -> src_x in
+    [ { opcode = (0xd lsl 4) lor sbit lor class_alu;
+        dst = reg_index dst; src = 0; off = 0; imm = Int32.of_int bits } ]
+  | Lddw (dst, v) ->
+    let lo = Int64.to_int32 v in
+    let hi = Int64.to_int32 (Int64.shift_right_logical v 32) in
+    [ { opcode = size_code W64 lor mode_imm lor class_ld;
+        dst = reg_index dst; src = 0; off = 0; imm = lo };
+      { raw_zero with imm = hi } ]
+  | Ldx (sz, dst, src, off) ->
+    [ { opcode = size_code sz lor mode_mem lor class_ldx;
+        dst = reg_index dst; src = reg_index src; off; imm = 0l } ]
+  | St (sz, dst, off, imm) ->
+    [ { opcode = size_code sz lor mode_mem lor class_st;
+        dst = reg_index dst; src = 0; off; imm } ]
+  | Stx (sz, dst, off, src) ->
+    [ { opcode = size_code sz lor mode_mem lor class_stx;
+        dst = reg_index dst; src = reg_index src; off; imm = 0l } ]
+  | Ja off ->
+    [ { raw_zero with opcode = (0x0 lsl 4) lor class_jmp; off } ]
+  | Jcond (w, c, dst, src, off) ->
+    let cls = match w with W64bit -> class_jmp | W32bit -> class_jmp32 in
+    let sbit, sreg, imm =
+      match src with
+      | Imm i -> (src_k, 0, i)
+      | Reg r -> (src_x, reg_index r, 0l)
+    in
+    [ { opcode = (cond_code c lsl 4) lor sbit lor cls;
+        dst = reg_index dst; src = sreg; off; imm } ]
+  | Call id ->
+    [ { raw_zero with
+        opcode = (0x8 lsl 4) lor class_jmp; imm = Int32.of_int id } ]
+  | Exit -> [ { raw_zero with opcode = (0x9 lsl 4) lor class_jmp } ]
+
+let write_raw buf pos { opcode; dst; src; off; imm } =
+  Bytes.set_uint8 buf pos opcode;
+  Bytes.set_uint8 buf (pos + 1) ((src lsl 4) lor dst);
+  Bytes.set_int16_le buf (pos + 2) off;
+  Bytes.set_int32_le buf (pos + 4) imm
+
+(** Serialize a program to its 8-byte-per-slot wire form. *)
+let encode (prog : t list) : bytes =
+  let n = List.fold_left (fun acc i -> acc + slots i) 0 prog in
+  let buf = Bytes.create (n * 8) in
+  let pos = ref 0 in
+  List.iter
+    (fun insn ->
+      List.iter
+        (fun r ->
+          write_raw buf !pos r;
+          pos := !pos + 8)
+        (to_raw insn))
+    prog;
+  buf
+
+exception Decode_error of string
+
+let decode_error fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+let read_raw buf pos =
+  let opcode = Bytes.get_uint8 buf pos in
+  let regs = Bytes.get_uint8 buf (pos + 1) in
+  let off = Bytes.get_int16_le buf (pos + 2) in
+  let imm = Bytes.get_int32_le buf (pos + 4) in
+  { opcode; dst = regs land 0xf; src = regs lsr 4; off; imm }
+
+let reg_checked idx =
+  if idx > 10 then decode_error "invalid register r%d" idx
+  else reg_of_index idx
+
+(** Decode a wire-form program back to instructions.
+    @raise Decode_error on malformed input. *)
+let decode (buf : bytes) : t list =
+  if Bytes.length buf mod 8 <> 0 then
+    decode_error "program length %d not a multiple of 8" (Bytes.length buf);
+  let nslots = Bytes.length buf / 8 in
+  let rec loop i acc =
+    if i >= nslots then List.rev acc
+    else
+      let r = read_raw buf (i * 8) in
+      let cls = r.opcode land 0x07 in
+      let insn, consumed =
+        if cls = class_alu || cls = class_alu64 then begin
+          let w = if cls = class_alu64 then W64bit else W32bit in
+          let opc = r.opcode lsr 4 in
+          if opc = 0xd then begin
+            let bits = Int32.to_int r.imm in
+            if bits <> 16 && bits <> 32 && bits <> 64 then
+              decode_error "endian width %d" bits;
+            let e = if r.opcode land src_x <> 0 then Be else Le in
+            (Endian (e, reg_checked r.dst, bits), 1)
+          end
+          else
+            match alu_of_code opc with
+            | None -> decode_error "alu opcode 0x%x" r.opcode
+            | Some op ->
+              let src =
+                if r.opcode land src_x <> 0 then Reg (reg_checked r.src)
+                else Imm r.imm
+              in
+              (Alu (w, op, reg_checked r.dst, src), 1)
+        end
+        else if cls = class_jmp || cls = class_jmp32 then begin
+          let opc = r.opcode lsr 4 in
+          match opc with
+          | 0x0 when cls = class_jmp -> (Ja r.off, 1)
+          | 0x8 when cls = class_jmp -> (Call (Int32.to_int r.imm), 1)
+          | 0x9 when cls = class_jmp -> (Exit, 1)
+          | _ -> (
+            match cond_of_code opc with
+            | None -> decode_error "jmp opcode 0x%x" r.opcode
+            | Some c ->
+              let w = if cls = class_jmp then W64bit else W32bit in
+              let src =
+                if r.opcode land src_x <> 0 then Reg (reg_checked r.src)
+                else Imm r.imm
+              in
+              (Jcond (w, c, reg_checked r.dst, src, r.off), 1))
+        end
+        else if cls = class_ld then begin
+          if r.opcode <> (size_code W64 lor mode_imm lor class_ld) then
+            decode_error "ld opcode 0x%x" r.opcode;
+          if i + 1 >= nslots then decode_error "truncated lddw";
+          let r2 = read_raw buf ((i + 1) * 8) in
+          if r2.opcode <> 0 then decode_error "bad lddw second slot";
+          let lo = Int64.logand (Int64.of_int32 r.imm) 0xFFFFFFFFL in
+          let hi = Int64.shift_left (Int64.of_int32 r2.imm) 32 in
+          (Lddw (reg_checked r.dst, Int64.logor hi lo), 2)
+        end
+        else if cls = class_ldx || cls = class_st || cls = class_stx then begin
+          if r.opcode land 0xe0 <> mode_mem then
+            decode_error "mode 0x%x not BPF_MEM" (r.opcode land 0xe0);
+          match size_of_code (r.opcode land 0x18) with
+          | None -> decode_error "size bits in 0x%x" r.opcode
+          | Some sz ->
+            if cls = class_ldx then
+              (Ldx (sz, reg_checked r.dst, reg_checked r.src, r.off), 1)
+            else if cls = class_st then
+              (St (sz, reg_checked r.dst, r.off, r.imm), 1)
+            else (Stx (sz, reg_checked r.dst, r.off, reg_checked r.src), 1)
+        end
+        else decode_error "instruction class %d" cls
+      in
+      loop (i + consumed) (insn :: acc)
+  in
+  loop 0 []
+
+(* --- pretty-printing (disassembly) --- *)
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Or -> "or"
+  | And -> "and" | Lsh -> "lsh" | Rsh -> "rsh" | Neg -> "neg" | Mod -> "mod"
+  | Xor -> "xor" | Mov -> "mov" | Arsh -> "arsh"
+
+let cond_name = function
+  | Eq -> "jeq" | Gt -> "jgt" | Ge -> "jge" | Set -> "jset" | Ne -> "jne"
+  | Sgt -> "jsgt" | Sge -> "jsge" | Lt -> "jlt" | Le -> "jle" | Slt -> "jslt"
+  | Sle -> "jsle"
+
+let size_name = function W8 -> "b" | W16 -> "h" | W32 -> "w" | W64 -> "dw"
+
+let pp_src ppf = function
+  | Imm i -> Fmt.pf ppf "%ld" i
+  | Reg r -> pp_reg ppf r
+
+let pp ppf = function
+  | Alu (w, op, dst, src) ->
+    let suffix = match w with W64bit -> "" | W32bit -> "32" in
+    if op = Neg then Fmt.pf ppf "neg%s %a" suffix pp_reg dst
+    else Fmt.pf ppf "%s%s %a, %a" (alu_name op) suffix pp_reg dst pp_src src
+  | Endian (Le, dst, bits) -> Fmt.pf ppf "le%d %a" bits pp_reg dst
+  | Endian (Be, dst, bits) -> Fmt.pf ppf "be%d %a" bits pp_reg dst
+  | Lddw (dst, v) -> Fmt.pf ppf "lddw %a, 0x%Lx" pp_reg dst v
+  | Ldx (sz, dst, src, off) ->
+    Fmt.pf ppf "ldx%s %a, [%a%+d]" (size_name sz) pp_reg dst pp_reg src off
+  | St (sz, dst, off, imm) ->
+    Fmt.pf ppf "st%s [%a%+d], %ld" (size_name sz) pp_reg dst off imm
+  | Stx (sz, dst, off, src) ->
+    Fmt.pf ppf "stx%s [%a%+d], %a" (size_name sz) pp_reg dst off pp_reg src
+  | Ja off -> Fmt.pf ppf "ja %+d" off
+  | Jcond (w, c, dst, src, off) ->
+    let suffix = match w with W64bit -> "" | W32bit -> "32" in
+    Fmt.pf ppf "%s%s %a, %a, %+d" (cond_name c) suffix pp_reg dst pp_src src
+      off
+  | Call id -> Fmt.pf ppf "call %d" id
+  | Exit -> Fmt.pf ppf "exit"
+
+let to_string i = Fmt.str "%a" pp i

@@ -1,0 +1,73 @@
+(** eBPF instruction set: decoded representation and the standard 8-byte
+    wire encoding.
+
+    The classic eBPF layout is used: opcode byte, dst/src register
+    nibbles, a signed 16-bit offset and a signed 32-bit immediate, all
+    little-endian. [Lddw] occupies two consecutive 8-byte slots, and jump
+    offsets are expressed in slots — exactly as in the kernel format, so
+    bytecode produced here is byte-compatible with other eBPF tooling. *)
+
+(** The eleven registers. [R0] carries results, [R1]–[R5] helper
+    arguments, [R6]–[R9] are callee-preserved by convention, [R10] is the
+    read-only frame pointer. *)
+type reg = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+
+val reg_index : reg -> int
+
+val reg_of_index : int -> reg
+(** @raise Invalid_argument when outside [0, 10]. *)
+
+val pp_reg : Format.formatter -> reg -> unit
+
+(** Memory access width. *)
+type size = W8 | W16 | W32 | W64
+
+val size_bytes : size -> int
+
+(** ALU operations shared by the 32 and 64-bit classes. *)
+type alu_op =
+  | Add | Sub | Mul | Div | Or | And | Lsh | Rsh | Neg | Mod | Xor
+  | Mov | Arsh
+
+(** Conditional-jump predicates shared by the JMP and JMP32 classes;
+    [Gt]/[Ge]/[Lt]/[Le] are unsigned, the [S]-prefixed forms signed. *)
+type cond = Eq | Gt | Ge | Set | Ne | Sgt | Sge | Lt | Le | Slt | Sle
+
+(** Operand width of an ALU or conditional-jump instruction. *)
+type width = W32bit | W64bit
+
+(** Second operand: immediate or register. *)
+type src = Imm of int32 | Reg of reg
+
+type endianness = Le | Be
+
+type t =
+  | Alu of width * alu_op * reg * src
+      (** [dst <- dst op src]; the 32-bit form zero-extends the result. *)
+  | Endian of endianness * reg * int
+      (** Byte-swap to little/big endian; the int is 16, 32 or 64. *)
+  | Lddw of reg * int64  (** Load a 64-bit immediate (two slots). *)
+  | Ldx of size * reg * reg * int  (** [dst <- mem\[src + off\]]. *)
+  | St of size * reg * int * int32  (** [mem\[dst + off\] <- imm]. *)
+  | Stx of size * reg * int * reg  (** [mem\[dst + off\] <- src]. *)
+  | Ja of int  (** Unconditional jump, slot-relative. *)
+  | Jcond of width * cond * reg * src * int
+      (** Conditional jump; the 32-bit form compares low words. *)
+  | Call of int  (** Call a helper function by id. *)
+  | Exit
+
+val slots : t -> int
+(** Number of 8-byte slots the instruction occupies (2 for [Lddw]). *)
+
+val encode : t list -> bytes
+(** Serialize a program to its wire form, 8 bytes per slot. *)
+
+exception Decode_error of string
+
+val decode : bytes -> t list
+(** Decode a wire-form program. @raise Decode_error on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly of one instruction, e.g. ["ldxw r0, \[r1+4\]"]. *)
+
+val to_string : t -> string

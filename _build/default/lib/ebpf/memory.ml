@@ -1,0 +1,119 @@
+(* Bounds-checked VM memory.
+
+   The VM sees a flat 64-bit address space populated by disjoint *regions*
+   (stack, program arguments, per-extension heap, shared memory...). Every
+   load and store resolves its address against the region table; anything
+   outside a region — or a write to a read-only region — faults. This is the
+   isolation property §2.1 of the paper relies on: extension code can only
+   touch memory explicitly granted by the host.
+
+   Multi-byte accesses are little-endian, as on mainstream eBPF targets. *)
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+type region = {
+  name : string;
+  base : int64;
+  data : bytes;
+  writable : bool;
+}
+
+type t = { mutable regions : region list }
+
+let create () = { regions = [] }
+
+let overlaps a b =
+  let a_end = Int64.add a.base (Int64.of_int (Bytes.length a.data)) in
+  let b_end = Int64.add b.base (Int64.of_int (Bytes.length b.data)) in
+  a.base < b_end && b.base < a_end
+
+(** Register a region. Raises [Invalid_argument] on overlap with an
+    existing region. *)
+let add_region t ~name ~base ~writable data =
+  let r = { name; base; data; writable } in
+  if Bytes.length data > 0 then
+    List.iter
+      (fun r' ->
+        if Bytes.length r'.data > 0 && overlaps r r' then
+          invalid_arg
+            (Printf.sprintf "Memory.add_region: %s overlaps %s" name r'.name))
+      t.regions;
+  t.regions <- r :: t.regions;
+  r
+
+let remove_region t r = t.regions <- List.filter (fun r' -> r' != r) t.regions
+
+let region_addr r = r.base
+let region_length r = Bytes.length r.data
+let region_bytes r = r.data
+
+let find t addr len =
+  let rec go = function
+    | [] -> None
+    | r :: rest ->
+      let off = Int64.sub addr r.base in
+      if
+        off >= 0L
+        && Int64.add off (Int64.of_int len)
+           <= Int64.of_int (Bytes.length r.data)
+      then Some (r, Int64.to_int off)
+      else go rest
+  in
+  go t.regions
+
+(** [check t addr len] is the region containing [addr, addr+len), or faults. *)
+let check t addr len =
+  match find t addr len with
+  | Some x -> x
+  | None -> fault "access to 0x%Lx (+%d) outside any region" addr len
+
+let load t size addr =
+  let nbytes = Insn.size_bytes size in
+  let r, off = check t addr nbytes in
+  match size with
+  | Insn.W8 -> Int64.of_int (Bytes.get_uint8 r.data off)
+  | Insn.W16 -> Int64.of_int (Bytes.get_uint16_le r.data off)
+  | Insn.W32 ->
+    Int64.logand (Int64.of_int32 (Bytes.get_int32_le r.data off)) 0xFFFFFFFFL
+  | Insn.W64 -> Bytes.get_int64_le r.data off
+
+let store t size addr v =
+  let nbytes = Insn.size_bytes size in
+  let r, off = check t addr nbytes in
+  if not r.writable then fault "write to read-only region %s" r.name;
+  match size with
+  | Insn.W8 -> Bytes.set_uint8 r.data off (Int64.to_int v land 0xff)
+  | Insn.W16 -> Bytes.set_uint16_le r.data off (Int64.to_int v land 0xffff)
+  | Insn.W32 -> Bytes.set_int32_le r.data off (Int64.to_int32 v)
+  | Insn.W64 -> Bytes.set_int64_le r.data off v
+
+(** Copy [len] bytes out of VM memory into a fresh buffer. Faults if the
+    range is not fully contained in one region. *)
+let read_bytes t addr len =
+  if len < 0 then fault "negative read length %d" len;
+  let r, off = check t addr len in
+  Bytes.sub r.data off len
+
+(** Copy a host buffer into VM memory at [addr]. *)
+let write_bytes t addr src =
+  let len = Bytes.length src in
+  let r, off = check t addr len in
+  if not r.writable then fault "write to read-only region %s" r.name;
+  Bytes.blit src 0 r.data off len
+
+(** Read a NUL-terminated string of at most [max] bytes starting at [addr]. *)
+let read_cstring t ?(max = 4096) addr =
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i >= max then fault "unterminated string at 0x%Lx" addr
+    else
+      let c = load t Insn.W8 (Int64.add addr (Int64.of_int i)) in
+      if c = 0L then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr (Int64.to_int c land 0xff));
+        go (i + 1)
+      end
+  in
+  go 0

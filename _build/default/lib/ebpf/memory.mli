@@ -1,0 +1,50 @@
+(** Bounds-checked VM memory.
+
+    The VM sees a flat 64-bit address space populated by disjoint
+    {e regions} (stack, program arguments, per-extension heap, shared
+    memory...). Every load and store resolves its address against the
+    region table; anything outside a region — or a write to a read-only
+    region — raises {!Fault}. This is the isolation property §2.1 of the
+    xBGP paper relies on: extension code can only touch memory explicitly
+    granted by the host.
+
+    Multi-byte accesses are little-endian, as on mainstream eBPF
+    targets. *)
+
+exception Fault of string
+
+type region
+(** A mapped range of VM addresses backed by a host [bytes] buffer. *)
+
+type t
+
+val create : unit -> t
+
+val add_region :
+  t -> name:string -> base:int64 -> writable:bool -> bytes -> region
+(** Map [bytes] at VM address [base].
+    @raise Invalid_argument if the range overlaps an existing region. *)
+
+val remove_region : t -> region -> unit
+
+val region_addr : region -> int64
+val region_length : region -> int
+val region_bytes : region -> bytes
+
+val load : t -> Insn.size -> int64 -> int64
+(** Bounds-checked little-endian load; sub-64-bit widths zero-extend.
+    @raise Fault on an unmapped access. *)
+
+val store : t -> Insn.size -> int64 -> int64 -> unit
+(** Bounds-checked store. @raise Fault on unmapped or read-only memory. *)
+
+val read_bytes : t -> int64 -> int -> bytes
+(** Copy a range out of VM memory. The range must lie within a single
+    region. @raise Fault otherwise. *)
+
+val write_bytes : t -> int64 -> bytes -> unit
+(** Copy a host buffer into VM memory. @raise Fault as {!store}. *)
+
+val read_cstring : t -> ?max:int -> int64 -> string
+(** Read a NUL-terminated string of at most [max] (default 4096) bytes.
+    @raise Fault when unterminated or unmapped. *)

@@ -1,0 +1,97 @@
+(* Static checks performed before bytecode may be attached to an insertion
+   point. These mirror the structural subset of the Linux verifier that
+   matters for an interpreter with fully bounds-checked memory:
+
+   - every jump lands on an instruction boundary inside the program;
+   - control flow cannot fall off the end of the program;
+   - the frame pointer r10 is never written;
+   - helper calls are restricted to the whitelist from the manifest
+     (the paper's manifest "lists the different xBGP API functions that
+     the bytecode uses");
+   - immediate division/modulo by zero is rejected outright;
+   - the program fits the size limit.
+
+   Dynamic properties (memory safety, termination) are enforced at run
+   time by [Memory] bounds checks and the [Vm] instruction budget. *)
+
+type error = { slot : int; message : string }
+
+let pp_error ppf { slot; message } = Fmt.pf ppf "slot %d: %s" slot message
+
+let max_insns = 65536
+
+type check_result = (unit, error list) result
+
+let writes_r10 (i : Insn.t) =
+  match i with
+  | Alu (_, _, R10, _) | Endian (_, R10, _) | Lddw (R10, _) | Ldx (_, R10, _, _)
+    ->
+    true
+  | _ -> false
+
+(** [check ?allowed_helpers prog] verifies [prog]; [allowed_helpers] is the
+    manifest whitelist ([None] = all helpers allowed). *)
+let check ?allowed_helpers (prog : Insn.t list) : check_result =
+  let errors = ref [] in
+  let err slot fmt =
+    Printf.ksprintf (fun message -> errors := { slot; message } :: !errors) fmt
+  in
+  let nslots = List.fold_left (fun a i -> a + Insn.slots i) 0 prog in
+  if prog = [] then err 0 "empty program";
+  if nslots > max_insns then
+    err 0 "program too large: %d slots (max %d)" nslots max_insns;
+  (* slot -> instruction start map *)
+  let starts = Array.make (max nslots 1) false in
+  let _ =
+    List.fold_left
+      (fun slot i ->
+        if slot < nslots then starts.(slot) <- true;
+        slot + Insn.slots i)
+      0 prog
+  in
+  let check_target slot off =
+    let tgt = slot + 1 + off in
+    if tgt < 0 || tgt >= nslots then
+      err slot "jump target %d outside program" tgt
+    else if not starts.(tgt) then
+      err slot "jump target %d lands inside lddw" tgt
+  in
+  let _ =
+    List.fold_left
+      (fun slot (i : Insn.t) ->
+        if writes_r10 i then err slot "write to frame pointer r10";
+        (match i with
+        | Ja off -> check_target slot off
+        | Jcond (_, _, _, _, off) ->
+          check_target slot off;
+          (* fall-through must stay in range *)
+          if slot + 1 >= nslots then err slot "conditional jump at end"
+        | Call id -> (
+          match allowed_helpers with
+          | Some allowed when not (List.mem id allowed) ->
+            err slot "helper %d not in manifest whitelist" id
+          | _ -> ())
+        | Alu (_, Div, _, Imm 0l) -> err slot "division by zero immediate"
+        | Alu (_, Mod, _, Imm 0l) -> err slot "modulo by zero immediate"
+        | Endian (_, _, bits) ->
+          if bits <> 16 && bits <> 32 && bits <> 64 then
+            err slot "invalid endian width %d" bits
+        | _ -> ());
+        (* no fall-off: any instruction whose successor would be past the
+           end must be an exit or an unconditional jump *)
+        (match i with
+        | Exit | Ja _ -> ()
+        | _ ->
+          if slot + Insn.slots i >= nslots then
+            err slot "control flow falls off the end of the program");
+        slot + Insn.slots i)
+      0 prog
+  in
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_exn ?allowed_helpers prog =
+  match check ?allowed_helpers prog with
+  | Ok () -> ()
+  | Error es ->
+    invalid_arg
+      (Fmt.str "verifier rejected program: %a" (Fmt.list ~sep:Fmt.semi pp_error) es)

@@ -1,0 +1,28 @@
+(** Static checks performed before bytecode may be attached to an
+    insertion point — the structural subset of the Linux verifier that
+    matters for an interpreter with fully bounds-checked memory:
+
+    - every jump lands on an instruction boundary inside the program;
+    - control flow cannot fall off the end;
+    - the frame pointer r10 is never written;
+    - helper calls are restricted to the manifest's whitelist;
+    - immediate division/modulo by zero is rejected;
+    - the program fits {!max_insns}.
+
+    Dynamic properties (memory safety, termination) are enforced at run
+    time by {!Memory} bounds checks and the {!Vm} instruction budget. *)
+
+type error = { slot : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val max_insns : int
+
+type check_result = (unit, error list) result
+
+val check : ?allowed_helpers:int list -> Insn.t list -> check_result
+(** Verify a program; [allowed_helpers] is the manifest whitelist ([None]
+    = all helpers allowed). *)
+
+val check_exn : ?allowed_helpers:int list -> Insn.t list -> unit
+(** @raise Invalid_argument with the error list rendered when rejected. *)

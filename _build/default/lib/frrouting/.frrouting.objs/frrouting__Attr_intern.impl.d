@@ -1,0 +1,1 @@
+lib/frrouting/attr_intern.ml: Bgp Bytes Hashtbl List Option

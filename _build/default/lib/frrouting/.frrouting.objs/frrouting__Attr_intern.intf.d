@@ -1,0 +1,1 @@
+lib/frrouting/attr_intern.mli: Bgp Hashtbl

@@ -1,0 +1,1 @@
+lib/frrouting/bgpd.ml: Array Attr_intern Bgp Buffer Bytes Hashtbl Int32 Lazy List Netsim Option Rib Rpki Session Xbgp

@@ -1,0 +1,1 @@
+lib/frrouting/bgpd.mli: Attr_intern Bgp Netsim Rpki Session Xbgp

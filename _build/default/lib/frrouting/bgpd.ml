@@ -1,0 +1,759 @@
+(* The FRR-like BGP daemon.
+
+   One of the two deliberately different xBGP hosts (§2.1). Its signature
+   traits, mirroring FRRouting:
+   - attributes are *interned host-byte-order records* ([Attr_intern]),
+     so every xBGP API call pays a conversion to/from the neutral TLV;
+   - the native parser drops unknown attributes and the native encoder
+     emits only known ones;
+   - native origin validation walks a dedicated ROA *trie* per check
+     ([Rpki.Store_trie], §3.4);
+   - route reflection (RFC 4456) is implemented natively and can be
+     switched off to be replaced by extension bytecode (§3.2).
+
+   The processing pipeline per received UPDATE follows Fig. 2:
+   receive-message point -> parse -> per-prefix inbound filter point ->
+   Adj-RIB-In -> Loc-RIB/decision -> per-peer outbound filter point ->
+   Adj-RIB-Out -> encode-message point -> wire. *)
+
+type peer_conf = {
+  pname : string;
+  remote_as : int;
+  remote_addr : int;
+  rr_client : bool;
+  port : Netsim.Pipe.port;
+}
+
+type config = {
+  name : string;
+  router_id : int;
+  local_as : int;
+  local_addr : int;  (** used for next-hop-self *)
+  cluster_id : int;
+  hold_time : int;
+  native_rr : bool;  (** RFC 4456 reflection in native code *)
+  native_ov : Rpki.Store_trie.t option;
+      (** native origin validation (trie-based, FRR-style) *)
+  igp_metric : int -> int;  (** IGP metric towards a next-hop address *)
+  xtras : (string * bytes) list;  (** config extras for [get_xtra] *)
+}
+
+let config ?(cluster_id = 0) ?(hold_time = 90) ?(native_rr = false)
+    ?native_ov ?(igp_metric = fun _ -> 0) ?(xtras = []) ~name ~router_id
+    ~local_as ~local_addr () =
+  {
+    name;
+    router_id;
+    local_as;
+    local_addr;
+    cluster_id = (if cluster_id = 0 then router_id else cluster_id);
+    hold_time;
+    native_rr;
+    native_ov;
+    igp_metric;
+    xtras;
+  }
+
+(* Communities used to tag origin-validation results, both by native code
+   and by the extension (the paper's extension tags but does not drop). *)
+let ov_community_valid = (65535 * 65536) + 1
+let ov_community_invalid = (65535 * 65536) + 2
+let ov_community_notfound = (65535 * 65536) + 3
+
+let src_local = 0
+let src_ebgp = 1
+let src_ibgp = 2
+
+type route = {
+  attrs : Attr_intern.t;
+  src : int;  (** peer index; -1 = locally originated *)
+  src_type : int;  (** [src_local] / [src_ebgp] / [src_ibgp] *)
+  src_router_id : int;
+  src_addr : int;
+  src_rr_client : bool;
+  igp_cost : int;
+}
+
+type peer = {
+  idx : int;
+  conf : peer_conf;
+  peer_type : int;  (** [src_ebgp] or [src_ibgp] *)
+  session : Session.Fsm.t;
+  mutable synced : bool;  (** initial table sent *)
+}
+
+type stats = {
+  mutable updates_rx : int;
+  mutable routes_in : int;
+  mutable withdrawals_rx : int;
+  mutable import_rejected : int;
+  mutable export_rejected : int;
+  mutable updates_tx : int;
+}
+
+type t = {
+  config : config;
+  sched : Netsim.Sched.t;
+  vmm : Xbgp.Vmm.t option;
+  mutable peers : peer array;
+  adj_in : route Rib.Adj_rib.t;
+  adj_out : Attr_intern.t Rib.Adj_rib.t;
+  loc : route Rib.Loc_rib.t;
+  pending_adv : (int, (Bgp.Prefix.t * Attr_intern.t) list ref) Hashtbl.t;
+  pending_wd : (int, Bgp.Prefix.t list ref) Hashtbl.t;
+  mutable flush_scheduled : bool;
+  xtras : (string, bytes) Hashtbl.t;
+  stats : stats;
+  mutable log_fn : string -> unit;
+}
+
+let decision_view : route Rib.Decision.view =
+  {
+    local_pref = (fun r -> Attr_intern.local_pref_or_default r.attrs);
+    as_path_len = (fun r -> r.attrs.as_path_len);
+    origin = (fun r -> r.attrs.origin);
+    med = (fun r -> Attr_intern.med_or_default r.attrs);
+    neighbor_as = (fun r -> Attr_intern.neighbor_as r.attrs);
+    is_ebgp = (fun r -> r.src_type = src_ebgp);
+    igp_cost = (fun r -> r.igp_cost);
+    originator_id =
+      (fun r ->
+        Option.value ~default:r.src_router_id r.attrs.originator_id);
+    cluster_list_len = (fun r -> List.length r.attrs.cluster_list);
+    peer_addr = (fun r -> r.src_addr);
+  }
+
+(* --- construction --- *)
+
+let peer_info t (p : peer) : Xbgp.Host_intf.peer_info =
+  {
+    peer_type =
+      (if p.peer_type = src_ebgp then Xbgp.Api.ebgp_session
+       else Xbgp.Api.ibgp_session);
+    peer_as = p.conf.remote_as;
+    peer_router_id = Session.Fsm.peer_id p.session;
+    peer_addr = p.conf.remote_addr;
+    local_as = t.config.local_as;
+    local_router_id = t.config.router_id;
+    cluster_id = t.config.cluster_id;
+    rr_client = p.conf.rr_client;
+  }
+
+(* forward declaration knot: base_ops needs route injection, which needs
+   the outbound machinery defined below *)
+let rib_add_hook :
+    (t -> addr:int -> len:int -> nexthop:int -> bool) ref =
+  ref (fun _ ~addr:_ ~len:_ ~nexthop:_ -> false)
+
+let base_ops t =
+  {
+    Xbgp.Host_intf.null_ops with
+    get_xtra = (fun key -> Hashtbl.find_opt t.xtras key);
+    rib_add = (fun ~addr ~len ~nexthop -> !rib_add_hook t ~addr ~len ~nexthop);
+    log = (fun m -> t.log_fn (t.config.name ^ ": " ^ m));
+  }
+
+let vmm_run t point ~ops ~args ~default =
+  match t.vmm with
+  | None -> default ()
+  | Some vmm -> Xbgp.Vmm.run vmm point ~ops ~args ~default
+
+let prefix_arg p =
+  let b = Bytes.create 5 in
+  Bytes.set_int32_be b 0 (Int32.of_int (Bgp.Prefix.addr p));
+  Bytes.set_uint8 b 4 (Bgp.Prefix.len p);
+  b
+
+let source_arg (r : route) =
+  Xbgp.Host_intf.source_to_bytes
+    {
+      src_peer_type = r.src_type;
+      src_router_id = r.src_router_id;
+      src_addr = r.src_addr;
+      src_rr_client = r.src_rr_client;
+      src_is_local = r.src = -1;
+    }
+
+(* ops over a mutable route under construction/modification *)
+let route_ops t ~peer ~(route_ref : route ref) =
+  {
+    (base_ops t) with
+    Xbgp.Host_intf.peer_info =
+      (fun () -> Option.map (fun p -> peer_info t p) peer);
+    nexthop =
+      (fun () ->
+        let nh = !route_ref.attrs.next_hop in
+        Some (nh, t.config.igp_metric nh));
+    get_attr = (fun code -> Attr_intern.get_tlv !route_ref.attrs code);
+    set_attr =
+      (fun tlv ->
+        match Attr_intern.set_tlv !route_ref.attrs tlv with
+        | attrs ->
+          route_ref := { !route_ref with attrs };
+          true
+        | exception Bgp.Attr.Parse_error _ -> false);
+    remove_attr =
+      (fun code ->
+        route_ref := { !route_ref with attrs = Attr_intern.remove !route_ref.attrs code };
+        true);
+  }
+
+(* The BGP_DECISION insertion point (circle 3 of Fig. 2): extension
+   bytecode may compare two candidate routes ahead of the native
+   RFC 4271 tie-breaking; a tie (or fault) falls back to it. *)
+let candidate_arg t (r : route) =
+  ignore t;
+  Xbgp.Host_intf.candidate_to_bytes
+    {
+      Xbgp.Host_intf.cd_local_pref = Attr_intern.local_pref_or_default r.attrs;
+      cd_as_path_len = r.attrs.as_path_len;
+      cd_origin = r.attrs.origin;
+      cd_med = Attr_intern.med_or_default r.attrs;
+      cd_igp_metric = r.igp_cost;
+      cd_originator_id =
+        Option.value ~default:r.src_router_id r.attrs.originator_id;
+      cd_peer_addr = r.src_addr;
+      cd_is_ebgp = r.src_type = src_ebgp;
+    }
+
+let decision_compare t vmm a b =
+  if Xbgp.Vmm.has_attachment vmm Xbgp.Api.Bgp_decision then begin
+    let verdict =
+      Xbgp.Vmm.run vmm Xbgp.Api.Bgp_decision ~ops:(base_ops t)
+        ~args:
+          [
+            (Xbgp.Api.arg_candidate_a, candidate_arg t a);
+            (Xbgp.Api.arg_candidate_b, candidate_arg t b);
+          ]
+        ~default:(fun () -> Xbgp.Api.decision_tie)
+    in
+    if verdict = Xbgp.Api.decision_first then -1
+    else if verdict = Xbgp.Api.decision_second then 1
+    else Rib.Decision.compare decision_view a b
+  end
+  else Rib.Decision.compare decision_view a b
+
+(* --- native policies --- *)
+
+(* Import policy: RFC 4456 loop checks when reflecting natively, then
+   origin validation tagging when a ROA store is configured. *)
+let native_import t (route_ref : route ref) prefix peer =
+  let r = !route_ref in
+  let reject = ref false in
+  if t.config.native_rr && peer.peer_type = src_ibgp then begin
+    (match r.attrs.originator_id with
+    | Some oid when oid = t.config.router_id -> reject := true
+    | _ -> ());
+    if List.mem t.config.cluster_id r.attrs.cluster_list then reject := true
+  end;
+  if !reject then Xbgp.Api.filter_reject
+  else begin
+    (match t.config.native_ov with
+    | Some store ->
+      let origin = Option.value ~default:0 (Attr_intern.origin_as r.attrs) in
+      let tag =
+        match Rpki.Store_trie.validate store prefix origin with
+        | Rpki.Roa.Valid -> ov_community_valid
+        | Rpki.Roa.Invalid -> ov_community_invalid
+        | Rpki.Roa.Not_found -> ov_community_notfound
+      in
+      let attrs =
+        Attr_intern.intern
+          {
+            r.attrs with
+            communities = r.attrs.communities @ [ tag ];
+          }
+      in
+      route_ref := { r with attrs }
+    | None -> ());
+    Xbgp.Api.filter_accept
+  end
+
+(* Export policy: split horizon on iBGP, native route reflection when
+   enabled. Modifies the outbound route (reflection attributes). *)
+let native_export t (route_ref : route ref) (target : peer) =
+  let r = !route_ref in
+  if r.src_type = src_ibgp && target.peer_type = src_ibgp then
+    if t.config.native_rr && (r.src_rr_client || target.conf.rr_client) then begin
+      (* reflection: RFC 4456 §8 *)
+      let attrs = r.attrs in
+      let attrs =
+        match attrs.originator_id with
+        | Some _ -> attrs
+        | None -> { attrs with originator_id = Some r.src_router_id }
+      in
+      let attrs =
+        { attrs with cluster_list = t.config.cluster_id :: attrs.cluster_list }
+      in
+      route_ref := { r with attrs = Attr_intern.intern attrs };
+      Xbgp.Api.filter_accept
+    end
+    else Xbgp.Api.filter_reject
+  else Xbgp.Api.filter_accept
+
+(* Standard outbound canonicalization, applied after the filters. *)
+let canonicalize t (r : route) (target : peer) =
+  let attrs = r.attrs in
+  if target.peer_type = src_ebgp then
+    Attr_intern.intern
+      {
+        attrs with
+        as_path = Bgp.Attr.as_path_prepend t.config.local_as attrs.as_path;
+        next_hop = t.config.local_addr;
+        local_pref = None;
+        (* MED is meant for the neighbouring AS but is not propagated
+           beyond it: strip it only from eBGP-learned routes *)
+        med = (if r.src_type = src_ebgp then None else attrs.med);
+        originator_id = None;
+        cluster_list = [];
+      }
+  else
+    Attr_intern.intern
+      {
+        attrs with
+        next_hop =
+          (if r.src_type = src_ibgp then attrs.next_hop
+           else t.config.local_addr);
+        local_pref = Some (Attr_intern.local_pref_or_default attrs);
+      }
+
+(* --- outbound machinery --- *)
+
+let pending_list tbl peer =
+  match Hashtbl.find_opt tbl peer with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.replace tbl peer l;
+    l
+
+let rec schedule_flush t =
+  if not t.flush_scheduled then begin
+    t.flush_scheduled <- true;
+    Netsim.Sched.after t.sched 0 (fun () ->
+        t.flush_scheduled <- false;
+        flush t)
+  end
+
+and flush t =
+  Array.iter
+    (fun peer ->
+      if Session.Fsm.is_established peer.session then begin
+        (* withdrawals first *)
+        (match Hashtbl.find_opt t.pending_wd peer.idx with
+        | Some ({ contents = _ :: _ } as l) ->
+          let prefixes = List.rev !l in
+          l := [];
+          send_withdrawals t peer prefixes
+        | _ -> ());
+        match Hashtbl.find_opt t.pending_adv peer.idx with
+        | Some ({ contents = _ :: _ } as l) ->
+          let advs = List.rev !l in
+          l := [];
+          send_advertisements t peer advs
+        | _ -> ()
+      end)
+    t.peers
+
+and send_withdrawals t peer prefixes =
+  let rec chunk acc size = function
+    | [] -> if acc <> [] then emit (List.rev acc)
+    | p :: rest ->
+      let s = Bgp.Prefix.wire_size p in
+      if size + s > 4000 then begin
+        emit (List.rev acc);
+        chunk [ p ] s rest
+      end
+      else chunk (p :: acc) (size + s) rest
+  and emit prefixes =
+    t.stats.updates_tx <- t.stats.updates_tx + 1;
+    Session.Fsm.send_raw peer.session
+      (Bgp.Message.encode_update_raw ~withdrawn:prefixes
+         ~attr_bytes:Bytes.empty ~nlri:[])
+  in
+  chunk [] 0 prefixes
+
+and send_advertisements t peer advs =
+  (* group prefixes sharing an interned attribute record; interning makes
+     physical equality the grouping key *)
+  let groups : Bgp.Prefix.t list ref Attr_intern.Interned_tbl.t =
+    Attr_intern.Interned_tbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun (p, attrs) ->
+      match Attr_intern.Interned_tbl.find_opt groups attrs with
+      | Some l -> l := p :: !l
+      | None ->
+        Attr_intern.Interned_tbl.replace groups attrs (ref [ p ]);
+        order := attrs :: !order)
+    advs;
+  List.iter
+    (fun attrs ->
+      let prefixes = List.rev !(Attr_intern.Interned_tbl.find groups attrs) in
+      (* native encoder: known attributes only *)
+      let buf = Buffer.create 64 in
+      List.iter
+        (Bgp.Attr.encode_into_buffer buf)
+        (Attr_intern.to_attrs attrs);
+      (* BGP_ENCODE_MESSAGE point: extensions may append attribute bytes
+         (e.g. the GeoLoc TLV the native encoder cannot emit) *)
+      let ops =
+        {
+          (base_ops t) with
+          Xbgp.Host_intf.peer_info = (fun () -> Some (peer_info t peer));
+          get_attr = (fun code -> Attr_intern.get_tlv attrs code);
+          write_buf =
+            (fun b ->
+              Buffer.add_bytes buf b;
+              true);
+        }
+      in
+      ignore
+        (vmm_run t Xbgp.Api.Bgp_encode_message ~ops
+           ~args:[ (Xbgp.Api.arg_update_payload, Buffer.to_bytes buf) ]
+           ~default:(fun () -> Xbgp.Api.ret_ok));
+      let attr_bytes = Buffer.to_bytes buf in
+      let budget = 4000 - Bytes.length attr_bytes in
+      let rec chunk acc size = function
+        | [] -> if acc <> [] then emit (List.rev acc)
+        | p :: rest ->
+          let s = Bgp.Prefix.wire_size p in
+          if size + s > budget && acc <> [] then begin
+            emit (List.rev acc);
+            chunk [ p ] s rest
+          end
+          else chunk (p :: acc) (size + s) rest
+      and emit nlri =
+        t.stats.updates_tx <- t.stats.updates_tx + 1;
+        Session.Fsm.send_raw peer.session
+          (Bgp.Message.encode_update_raw ~withdrawn:[] ~attr_bytes ~nlri)
+      in
+      chunk [] 0 prefixes)
+    (List.rev !order)
+
+and export t (target : peer) prefix (r : route) : Attr_intern.t option =
+  if r.src = target.idx then None
+  else begin
+    let route_ref = ref r in
+    let ops = route_ops t ~peer:(Some target) ~route_ref in
+    let verdict =
+      vmm_run t Xbgp.Api.Bgp_outbound_filter ~ops
+        ~args:
+          [
+            (Xbgp.Api.arg_prefix, prefix_arg prefix);
+            (Xbgp.Api.arg_source, source_arg r);
+          ]
+        ~default:(fun () -> native_export t route_ref target)
+    in
+    if verdict = Xbgp.Api.filter_accept then
+      Some (canonicalize t !route_ref target)
+    else begin
+      t.stats.export_rejected <- t.stats.export_rejected + 1;
+      None
+    end
+  end
+
+and propagate t prefix (change : route Rib.Loc_rib.change) =
+  match change with
+  | Rib.Loc_rib.Unchanged -> ()
+  | Rib.Loc_rib.Withdrawn ->
+    Array.iter
+      (fun peer ->
+        match Rib.Adj_rib.clear t.adj_out ~peer:peer.idx prefix with
+        | Some _ ->
+          let l = pending_list t.pending_wd peer.idx in
+          l := prefix :: !l
+        | None -> ())
+      t.peers;
+    schedule_flush t
+  | Rib.Loc_rib.New_best r ->
+    Array.iter
+      (fun peer ->
+        if Session.Fsm.is_established peer.session && peer.synced then
+          advertise_to t peer prefix r)
+      t.peers;
+    schedule_flush t
+
+and advertise_to t peer prefix r =
+  match export t peer prefix r with
+  | Some attrs ->
+    let previous = Rib.Adj_rib.find t.adj_out ~peer:peer.idx prefix in
+    if previous <> Some attrs then begin
+      ignore (Rib.Adj_rib.set t.adj_out ~peer:peer.idx prefix attrs);
+      let l = pending_list t.pending_adv peer.idx in
+      l := (prefix, attrs) :: !l
+    end
+  | None -> (
+    match Rib.Adj_rib.clear t.adj_out ~peer:peer.idx prefix with
+    | Some _ ->
+      let l = pending_list t.pending_wd peer.idx in
+      l := prefix :: !l
+    | None -> ())
+
+(* --- inbound processing --- *)
+
+let withdraw_prefix t peer prefix =
+  match Rib.Adj_rib.clear t.adj_in ~peer:peer.idx prefix with
+  | Some _ ->
+    t.stats.withdrawals_rx <- t.stats.withdrawals_rx + 1;
+    let change = Rib.Loc_rib.update t.loc ~peer:peer.idx prefix None in
+    propagate t prefix change
+  | None -> ()
+
+let learn_route t peer prefix (route : route) =
+  let route_ref = ref route in
+  let ops = route_ops t ~peer:(Some peer) ~route_ref in
+  let verdict =
+    vmm_run t Xbgp.Api.Bgp_inbound_filter ~ops
+      ~args:
+        [
+          (Xbgp.Api.arg_prefix, prefix_arg prefix);
+          (Xbgp.Api.arg_source, source_arg route);
+        ]
+      ~default:(fun () -> native_import t route_ref prefix peer)
+  in
+  if verdict = Xbgp.Api.filter_accept then begin
+    t.stats.routes_in <- t.stats.routes_in + 1;
+    ignore (Rib.Adj_rib.set t.adj_in ~peer:peer.idx prefix !route_ref);
+    let change =
+      Rib.Loc_rib.update t.loc ~peer:peer.idx prefix (Some !route_ref)
+    in
+    propagate t prefix change
+  end
+  else begin
+    t.stats.import_rejected <- t.stats.import_rejected + 1;
+    withdraw_prefix t peer prefix
+  end
+
+let on_update t peer (u : Bgp.Message.update) ~raw =
+  t.stats.updates_rx <- t.stats.updates_rx + 1;
+  (* BGP_RECEIVE_MESSAGE point: extensions may recover attributes the
+     native parser drops; additions are collected as neutral TLVs *)
+  let extra_tlvs = ref [] in
+  (if u.nlri <> [] then
+     let body =
+       Bytes.sub raw Bgp.Message.header_size
+         (Bytes.length raw - Bgp.Message.header_size)
+     in
+     let ops =
+       {
+         (base_ops t) with
+         Xbgp.Host_intf.peer_info = (fun () -> Some (peer_info t peer));
+         set_attr =
+           (fun tlv ->
+             extra_tlvs := tlv :: !extra_tlvs;
+             true);
+       }
+     in
+     ignore
+       (vmm_run t Xbgp.Api.Bgp_receive_message ~ops
+          ~args:[ (Xbgp.Api.arg_update_payload, body) ]
+          ~default:(fun () -> Xbgp.Api.ret_ok)));
+  List.iter (fun p -> withdraw_prefix t peer p) u.withdrawn;
+  if u.nlri <> [] then begin
+    let attrs0 = Attr_intern.of_attrs u.attrs in
+    (* apply extension-recovered attributes *)
+    let attrs0 =
+      List.fold_left
+        (fun acc tlv ->
+          match Attr_intern.set_tlv acc tlv with
+          | a -> a
+          | exception Bgp.Attr.Parse_error _ -> acc)
+        attrs0 (List.rev !extra_tlvs)
+    in
+    (* eBGP loop prevention: our own AS in the path *)
+    if
+      peer.peer_type = src_ebgp
+      && Attr_intern.contains_as attrs0 t.config.local_as
+    then ()
+    else begin
+      let route =
+        {
+          attrs = attrs0;
+          src = peer.idx;
+          src_type = peer.peer_type;
+          src_router_id = Session.Fsm.peer_id peer.session;
+          src_addr = peer.conf.remote_addr;
+          src_rr_client = peer.conf.rr_client;
+          igp_cost = t.config.igp_metric attrs0.next_hop;
+        }
+      in
+      List.iter (fun p -> learn_route t peer p route) u.nlri
+    end
+  end
+
+(* --- session lifecycle --- *)
+
+let sync_peer t peer =
+  peer.synced <- true;
+  Rib.Loc_rib.iter_best t.loc (fun prefix r -> advertise_to t peer prefix r);
+  schedule_flush t
+
+let on_close t peer =
+  peer.synced <- false;
+  let prefixes =
+    let acc = ref [] in
+    Rib.Adj_rib.iter_peer t.adj_in ~peer:peer.idx (fun p _ ->
+        acc := p :: !acc);
+    !acc
+  in
+  List.iter
+    (fun prefix ->
+      ignore (Rib.Adj_rib.clear t.adj_in ~peer:peer.idx prefix);
+      let change = Rib.Loc_rib.update t.loc ~peer:peer.idx prefix None in
+      propagate t prefix change)
+    prefixes;
+  Rib.Adj_rib.drop_peer t.adj_out peer.idx
+
+let create ?vmm ~sched (config : config) (peer_confs : peer_conf list) : t =
+  let t =
+    {
+      config;
+      sched;
+      vmm;
+      peers = [||];
+      adj_in = Rib.Adj_rib.create ();
+      adj_out = Rib.Adj_rib.create ();
+      loc = Rib.Loc_rib.create decision_view;
+      pending_adv = Hashtbl.create 8;
+      pending_wd = Hashtbl.create 8;
+      flush_scheduled = false;
+      xtras = Hashtbl.create 8;
+      stats =
+        {
+          updates_rx = 0;
+          routes_in = 0;
+          withdrawals_rx = 0;
+          import_rejected = 0;
+          export_rejected = 0;
+          updates_tx = 0;
+        };
+      log_fn = ignore;
+    }
+  in
+  List.iter (fun (k, v) -> Hashtbl.replace t.xtras k v) config.xtras;
+  t.peers <-
+    Array.of_list
+      (List.mapi
+         (fun idx conf ->
+           let peer_type =
+             if conf.remote_as = config.local_as then src_ibgp else src_ebgp
+           in
+           let session_config =
+             {
+               Session.Fsm.local_as = config.local_as;
+               local_id = config.router_id;
+               peer_as = conf.remote_as;
+               hold_time = config.hold_time;
+             }
+           in
+           let rec peer =
+             lazy
+               {
+                 idx;
+                 conf;
+                 peer_type;
+                 session =
+                   Session.Fsm.create sched conf.port session_config
+                     {
+                       on_update =
+                         (fun u ~raw -> on_update t (Lazy.force peer) u ~raw);
+                       on_established =
+                         (fun () -> sync_peer t (Lazy.force peer));
+                       on_close = (fun _ -> on_close t (Lazy.force peer));
+                     };
+                 synced = false;
+               }
+           in
+           Lazy.force peer)
+         peer_confs);
+  (match vmm with
+  | Some vmm -> Rib.Loc_rib.set_compare t.loc (Some (decision_compare t vmm))
+  | None -> ());
+  t
+
+(** Start all sessions and run extension initialization bytecodes. *)
+let start t =
+  (match t.vmm with
+  | Some vmm -> Xbgp.Vmm.run_init vmm ~ops:(base_ops t)
+  | None -> ());
+  Array.iter (fun p -> Session.Fsm.start p.session) t.peers
+
+(** Originate a route locally with explicit attributes (e.g. a RIS feed,
+    §3.2). The route enters the Loc-RIB and is advertised per policy. *)
+let originate t prefix (attrs : Bgp.Attr.t list) =
+  let route =
+    {
+      attrs = Attr_intern.of_attrs attrs;
+      src = -1;
+      src_type = src_local;
+      src_router_id = t.config.router_id;
+      src_addr = t.config.local_addr;
+      src_rr_client = false;
+      igp_cost = 0;
+    }
+  in
+  let change = Rib.Loc_rib.update t.loc ~peer:(-1) prefix (Some route) in
+  propagate t prefix change
+
+(* the add_route_to_rib helper (the paper's "dedicated helper enables an
+   extension to add a new route to the RIB"): inject a locally-sourced
+   route with incomplete origin and the requested next hop *)
+let () =
+  rib_add_hook :=
+    fun t ~addr ~len ~nexthop ->
+      match Bgp.Prefix.v addr len with
+      | prefix ->
+        originate t prefix
+          [
+            Bgp.Attr.v (Bgp.Attr.Origin Bgp.Attr.Incomplete);
+            Bgp.Attr.v (Bgp.Attr.As_path []);
+            Bgp.Attr.v (Bgp.Attr.Next_hop nexthop);
+          ];
+        true
+      | exception Invalid_argument _ -> false
+
+(** Withdraw a locally originated route. *)
+let withdraw_local t prefix =
+  let change = Rib.Loc_rib.update t.loc ~peer:(-1) prefix None in
+  propagate t prefix change
+
+(** Re-open any session that has fallen back to Idle (e.g. after a link
+    failure healed). Peers already Established are untouched. *)
+let restart_sessions t =
+  Array.iter
+    (fun p ->
+      if not (Session.Fsm.is_established p.session) then
+        Session.Fsm.start p.session)
+    t.peers
+
+(** Re-evaluate export policy for every best route towards every peer —
+    what a real daemon does when IGP state changes (§3.1: the export
+    filter consults the live IGP metric of the next hop). *)
+let refresh_exports t =
+  Rib.Loc_rib.iter_best t.loc (fun prefix r ->
+      Array.iter
+        (fun peer ->
+          if Session.Fsm.is_established peer.session && peer.synced then
+            advertise_to t peer prefix r)
+        t.peers);
+  schedule_flush t
+
+(* --- introspection --- *)
+
+let loc_count t = Rib.Loc_rib.count t.loc
+let loc_best t prefix = Rib.Loc_rib.best t.loc prefix
+let iter_loc t f = Rib.Loc_rib.iter_best t.loc f
+let stats t = t.stats
+let peer t idx = t.peers.(idx)
+let peer_established t idx = Session.Fsm.is_established t.peers.(idx).session
+let set_log t f = t.log_fn <- f
+let name t = t.config.name
+
+(** Attributes of the current best route, as the shared codec type — used
+    by tests to compare daemons. *)
+let best_attrs t prefix =
+  Option.map (fun r -> Attr_intern.to_attrs r.attrs) (loc_best t prefix)
+
+let best_route t prefix = loc_best t prefix

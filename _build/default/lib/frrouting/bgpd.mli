@@ -1,0 +1,119 @@
+(** The FRR-like BGP daemon — one of the two deliberately different xBGP
+    hosts (§2.1 of the paper).
+
+    Signature traits mirroring FRRouting: interned host-byte-order
+    attributes ({!Attr_intern}, so every xBGP call pays a TLV
+    conversion); a native parser that drops unknown attributes and an
+    encoder that emits only known ones; native origin validation through
+    a ROA {e trie} ({!Rpki.Store_trie}, §3.4); native RFC 4456 route
+    reflection that can be switched off and replaced by extension
+    bytecode (§3.2).
+
+    The pipeline per received UPDATE follows Fig. 2:
+    receive-message point -> parse -> per-prefix inbound-filter point ->
+    Adj-RIB-In -> Loc-RIB/decision (decision point) -> per-peer
+    outbound-filter point -> Adj-RIB-Out -> encode-message point ->
+    wire. *)
+
+type peer_conf = {
+  pname : string;
+  remote_as : int;
+  remote_addr : int;
+  rr_client : bool;  (** route-reflector client (RFC 4456) *)
+  port : Netsim.Pipe.port;
+}
+
+type config
+
+val config :
+  ?cluster_id:int ->
+  ?hold_time:int ->
+  ?native_rr:bool ->
+  ?native_ov:Rpki.Store_trie.t ->
+  ?igp_metric:(int -> int) ->
+  ?xtras:(string * bytes) list ->
+  name:string ->
+  router_id:int ->
+  local_as:int ->
+  local_addr:int ->
+  unit ->
+  config
+(** [cluster_id] defaults to the router id; [igp_metric] maps a next-hop
+    address to its IGP cost; [xtras] feed the [get_xtra] helper. *)
+
+(** Validation-result communities attached by native origin validation
+    and, identically, by the extension (65535:1/2/3). *)
+
+val ov_community_valid : int
+val ov_community_invalid : int
+val ov_community_notfound : int
+
+(** Route provenance tags. *)
+
+val src_local : int
+val src_ebgp : int
+val src_ibgp : int
+
+type route = {
+  attrs : Attr_intern.t;
+  src : int;  (** peer index; -1 = locally originated *)
+  src_type : int;
+  src_router_id : int;
+  src_addr : int;
+  src_rr_client : bool;
+  igp_cost : int;
+}
+
+type peer = {
+  idx : int;
+  conf : peer_conf;
+  peer_type : int;
+  session : Session.Fsm.t;
+  mutable synced : bool;
+}
+
+type stats = {
+  mutable updates_rx : int;
+  mutable routes_in : int;
+  mutable withdrawals_rx : int;
+  mutable import_rejected : int;
+  mutable export_rejected : int;
+  mutable updates_tx : int;
+}
+
+type t
+
+val create : ?vmm:Xbgp.Vmm.t -> sched:Netsim.Sched.t -> config ->
+  peer_conf list -> t
+(** Passing [vmm] makes the daemon xBGP-compliant: every insertion point
+    consults it, including the decision process. *)
+
+val start : t -> unit
+(** Run extension init bytecodes, then open all sessions. *)
+
+val originate : t -> Bgp.Prefix.t -> Bgp.Attr.t list -> unit
+(** Originate a route locally with explicit attributes (e.g. a RIS feed,
+    §3.2); it enters the Loc-RIB and is advertised per policy. *)
+
+val withdraw_local : t -> Bgp.Prefix.t -> unit
+
+val restart_sessions : t -> unit
+(** Re-open any session that has fallen back to Idle (e.g. after a link
+    failure healed). *)
+
+val refresh_exports : t -> unit
+(** Re-evaluate export policy for every best route — what a daemon does
+    when IGP state changes (§3.1). *)
+
+(** {1 Introspection} *)
+
+val loc_count : t -> int
+val loc_best : t -> Bgp.Prefix.t -> route option
+val best_route : t -> Bgp.Prefix.t -> route option
+val best_attrs : t -> Bgp.Prefix.t -> Bgp.Attr.t list option
+val iter_loc : t -> (Bgp.Prefix.t -> route -> unit) -> unit
+val stats : t -> stats
+val peer : t -> int -> peer
+val peer_established : t -> int -> bool
+val set_log : t -> (string -> unit) -> unit
+val name : t -> string

@@ -1,0 +1,1 @@
+lib/igp/spf.ml: Array Hashtbl List Option Topology

@@ -1,0 +1,1 @@
+lib/igp/topology.mli:

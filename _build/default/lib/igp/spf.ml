@@ -1,0 +1,112 @@
+(* Dijkstra shortest-path-first over an IGP topology.
+
+   A simple pairing of a leftist-ish binary heap with the distance map;
+   topologies in this repository are small (tens of routers), but the
+   implementation is the standard O((V+E) log V) one so it also holds up
+   in the property tests against a Floyd–Warshall reference. *)
+
+module Heap = struct
+  (* binary min-heap of (priority, value) *)
+  type t = {
+    mutable data : (int * int) array;
+    mutable len : int;
+  }
+
+  let create () = { data = Array.make 64 (0, 0); len = 0 }
+  let is_empty h = h.len = 0
+
+  let grow h =
+    if h.len = Array.length h.data then begin
+      let data = Array.make (2 * h.len) (0, 0) in
+      Array.blit h.data 0 data 0 h.len;
+      h.data <- data
+    end
+
+  let push h prio v =
+    grow h;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    h.data.(!i) <- (prio, v);
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if fst h.data.(parent) > fst h.data.(!i) then begin
+        let tmp = h.data.(parent) in
+        h.data.(parent) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.len = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    h.data.(0) <- h.data.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then
+        smallest := l;
+      if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then
+        smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+end
+
+type result = {
+  dist : (int, int) Hashtbl.t;  (** destination -> metric *)
+  first_hop : (int, int) Hashtbl.t;  (** destination -> first hop from src *)
+}
+
+(** Single-source shortest paths from [src]. Unreachable nodes are absent
+    from the result tables. *)
+let run topo ~src =
+  let dist = Hashtbl.create 32 in
+  let first_hop = Hashtbl.create 32 in
+  let heap = Heap.create () in
+  Hashtbl.replace dist src 0;
+  Heap.push heap 0 src;
+  while not (Heap.is_empty heap) do
+    let d, n = Heap.pop heap in
+    if d <= Option.value ~default:max_int (Hashtbl.find_opt dist n) then
+      List.iter
+        (fun (m, w) ->
+          let nd = d + w in
+          let cur = Option.value ~default:max_int (Hashtbl.find_opt dist m) in
+          if nd < cur then begin
+            Hashtbl.replace dist m nd;
+            (* first hop: inherit, except for src's direct neighbours *)
+            (if n = src then Hashtbl.replace first_hop m m
+             else
+               match Hashtbl.find_opt first_hop n with
+               | Some h -> Hashtbl.replace first_hop m h
+               | None -> ());
+            Heap.push heap nd m
+          end)
+        (Topology.neighbors topo n)
+  done;
+  { dist; first_hop }
+
+(** Metric from [src] to [dst], or [None] if unreachable. *)
+let cost topo ~src ~dst = Hashtbl.find_opt (run topo ~src).dist dst
+
+(** All-pairs distances by repeated Dijkstra; used by tests. *)
+let all_pairs topo =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun src ->
+      let r = run topo ~src in
+      Hashtbl.iter (fun dst d -> Hashtbl.replace tbl (src, dst) d) r.dist)
+    (Topology.nodes topo);
+  tbl

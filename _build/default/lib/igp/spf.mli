@@ -1,0 +1,15 @@
+(** Dijkstra shortest-path-first over an IGP topology; property-tested
+    against a Floyd–Warshall reference. *)
+
+type result = {
+  dist : (int, int) Hashtbl.t;  (** destination -> metric *)
+  first_hop : (int, int) Hashtbl.t;  (** destination -> first hop *)
+}
+
+val run : Topology.t -> src:int -> result
+(** Single-source shortest paths; unreachable nodes are absent. *)
+
+val cost : Topology.t -> src:int -> dst:int -> int option
+(** Metric between two nodes, or [None] if unreachable. *)
+
+val all_pairs : Topology.t -> (int * int, int) Hashtbl.t

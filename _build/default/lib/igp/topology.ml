@@ -1,0 +1,47 @@
+(* A link-state IGP topology: weighted undirected graph over router ids.
+   This is the substrate behind §3.1 of the paper (export filters keyed on
+   the IGP metric of the BGP next hop): the operator configures link
+   metrics, SPF computes per-destination costs, and the BGP daemon exposes
+   the cost towards each BGP next hop through the xBGP [get_nexthop]
+   helper. *)
+
+type t = {
+  adj : (int, (int * int) list) Hashtbl.t;  (** node -> (neighbor, metric) *)
+}
+
+let create () = { adj = Hashtbl.create 16 }
+
+let neighbors t n = Option.value ~default:[] (Hashtbl.find_opt t.adj n)
+
+let add_node t n =
+  if not (Hashtbl.mem t.adj n) then Hashtbl.replace t.adj n []
+
+(** Add (or update) the undirected link [a]--[b] with [metric].
+    @raise Invalid_argument on non-positive metric or a self-loop. *)
+let add_link t a b metric =
+  if metric <= 0 then invalid_arg "Topology.add_link: metric must be > 0";
+  if a = b then invalid_arg "Topology.add_link: self loop";
+  let set x y =
+    let l = List.remove_assoc y (neighbors t x) in
+    Hashtbl.replace t.adj x ((y, metric) :: l)
+  in
+  set a b;
+  set b a
+
+(** Remove the link [a]--[b] (no-op when absent) — used by the failure
+    scenarios of §3.1 and §3.3. *)
+let remove_link t a b =
+  let unset x y =
+    match Hashtbl.find_opt t.adj x with
+    | Some l -> Hashtbl.replace t.adj x (List.remove_assoc y l)
+    | None -> ()
+  in
+  unset a b;
+  unset b a
+
+let has_link t a b = List.mem_assoc b (neighbors t a)
+
+let nodes t = Hashtbl.fold (fun n _ acc -> n :: acc) t.adj []
+
+let link_count t =
+  Hashtbl.fold (fun _ l acc -> acc + List.length l) t.adj 0 / 2

@@ -1,0 +1,20 @@
+(** A link-state IGP topology: weighted undirected graph over router ids
+    — the substrate behind §3.1 of the paper (export filters keyed on the
+    IGP metric of the BGP next hop). *)
+
+type t
+
+val create : unit -> t
+val add_node : t -> int -> unit
+
+val add_link : t -> int -> int -> int -> unit
+(** Add (or update) an undirected link with a metric.
+    @raise Invalid_argument on a non-positive metric or a self-loop. *)
+
+val remove_link : t -> int -> int -> unit
+(** No-op when absent — used by the failure scenarios. *)
+
+val has_link : t -> int -> int -> bool
+val neighbors : t -> int -> (int * int) list
+val nodes : t -> int list
+val link_count : t -> int

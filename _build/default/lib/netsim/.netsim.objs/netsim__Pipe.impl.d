@@ -1,0 +1,1 @@
+lib/netsim/pipe.ml: Bytes List Sched

@@ -1,0 +1,1 @@
+lib/netsim/pipe.mli: Sched

@@ -1,0 +1,1 @@
+lib/netsim/sched.ml: Array

@@ -1,0 +1,68 @@
+(* A reliable, in-order, full-duplex byte pipe between two routers —
+   the simulated stand-in for the TCP sessions of the paper's testbed
+   (links L1/L2 in Fig. 3).
+
+   Each direction delivers byte chunks to the remote receiver callback
+   after [latency] microseconds; the scheduler's FIFO tie-break keeps
+   chunks in order. Receivers deframe the stream themselves (BGP messages
+   carry their own length), so a pipe knows nothing about BGP. *)
+
+type port = {
+  sched : Sched.t;
+  latency : int;
+  mutable receiver : (bytes -> unit) option;
+  mutable peer : port option;
+  mutable up : bool;
+  mutable tx_bytes : int;
+  mutable rx_backlog : bytes list;  (* chunks arriving before a receiver *)
+}
+
+let make_port sched latency =
+  {
+    sched;
+    latency;
+    receiver = None;
+    peer = None;
+    up = true;
+    tx_bytes = 0;
+    rx_backlog = [];
+  }
+
+(** Create a pipe; returns its two ports. [latency] in µs (default 100). *)
+let create ?(latency = 100) sched =
+  let a = make_port sched latency and b = make_port sched latency in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  (a, b)
+
+let deliver port chunk =
+  match port.receiver with
+  | Some f -> f chunk
+  | None -> port.rx_backlog <- port.rx_backlog @ [ chunk ]
+
+(** Install the receive callback; any chunks that arrived early are
+    flushed to it immediately. *)
+let set_receiver port f =
+  port.receiver <- Some f;
+  let backlog = port.rx_backlog in
+  port.rx_backlog <- [];
+  List.iter f backlog
+
+(** Send a chunk to the remote side. Silently dropped when the pipe is
+    down (the session layer notices via its hold timer). *)
+let send port chunk =
+  match port.peer with
+  | None -> invalid_arg "Pipe.send: unconnected port"
+  | Some peer ->
+    if port.up && peer.up then begin
+      port.tx_bytes <- port.tx_bytes + Bytes.length chunk;
+      Sched.after port.sched port.latency (fun () -> deliver peer chunk)
+    end
+
+(** Take the link down/up (failure injection for §3.1 / §3.3). *)
+let set_up port up =
+  port.up <- up;
+  match port.peer with Some p -> p.up <- up | None -> ()
+
+let is_up port = port.up
+let bytes_sent port = port.tx_bytes

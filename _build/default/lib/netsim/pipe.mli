@@ -1,0 +1,28 @@
+(** A reliable, in-order, full-duplex byte pipe between two routers — the
+    simulated stand-in for the TCP sessions of the paper's testbed
+    (links L1/L2 of Fig. 3).
+
+    Each direction delivers byte chunks to the remote receiver after a
+    latency; the scheduler's FIFO tie-break keeps them in order.
+    Receivers deframe the stream themselves — a pipe knows nothing about
+    BGP. *)
+
+type port
+
+val create : ?latency:int -> Sched.t -> port * port
+(** Create a pipe; [latency] in microseconds (default 100). *)
+
+val set_receiver : port -> (bytes -> unit) -> unit
+(** Install the receive callback; chunks that arrived early are flushed
+    to it immediately. *)
+
+val send : port -> bytes -> unit
+(** Send to the remote side; silently dropped while the pipe is down (the
+    session layer notices via its hold timer).
+    @raise Invalid_argument on an unconnected port. *)
+
+val set_up : port -> bool -> unit
+(** Fail / repair the link (both directions). *)
+
+val is_up : port -> bool
+val bytes_sent : port -> int

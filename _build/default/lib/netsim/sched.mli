@@ -1,0 +1,29 @@
+(** Discrete-event scheduler — the clock of the simulated testbed.
+
+    Time is in integer microseconds. Events with equal timestamps fire in
+    scheduling order, so runs are fully deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulated time in microseconds. *)
+
+val after : t -> int -> (unit -> unit) -> unit
+(** Schedule an action [delay] microseconds from now.
+    @raise Invalid_argument on a negative delay. *)
+
+val step : t -> bool
+(** Run a single event; false when the queue is empty. *)
+
+val run : ?until:int -> t -> int
+(** Run until the queue drains or [until] (simulated µs) is reached;
+    returns the number of events executed. When stopped by the limit the
+    clock is advanced to it. *)
+
+val run_until : t -> (unit -> bool) -> bool
+(** Run until the predicate holds (checked after each event) or the queue
+    drains; true iff the predicate was met. *)
+
+val pending : t -> int

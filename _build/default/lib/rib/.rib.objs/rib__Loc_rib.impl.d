@@ -1,0 +1,1 @@
+lib/rib/loc_rib.ml: Decision List Ptrie

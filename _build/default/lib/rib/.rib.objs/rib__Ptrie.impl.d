@@ -1,0 +1,1 @@
+lib/rib/ptrie.ml: Bgp List

@@ -1,0 +1,36 @@
+(* Adj-RIB-In / Adj-RIB-Out: one prefix-keyed store per peer (RFC 4271
+   §3.2). The same container serves both directions; daemons keep one
+   [t] for inbound state (exact routes as learned, pre-decision) and one
+   for outbound state (what has been advertised to each peer, which lets
+   them send implicit withdraws only when something actually changed). *)
+
+type 'r t = { tables : (int, 'r Ptrie.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 8 }
+
+let table t peer =
+  match Hashtbl.find_opt t.tables peer with
+  | Some tr -> tr
+  | None ->
+    let tr = Ptrie.create () in
+    Hashtbl.replace t.tables peer tr;
+    tr
+
+(** Store (or replace) the route for [p] learned from / sent to [peer];
+    returns the previous route if any. *)
+let set t ~peer p r = Ptrie.replace (table t peer) p r
+
+(** Remove the route for [p]; returns the removed route if any. *)
+let clear t ~peer p = Ptrie.remove (table t peer) p
+
+let find t ~peer p = Ptrie.find (table t peer) p
+
+(** Drop the whole table of [peer] (session reset). *)
+let drop_peer t peer = Hashtbl.remove t.tables peer
+
+let iter_peer t ~peer f = Ptrie.iter (table t peer) f
+let count_peer t ~peer = Ptrie.size (table t peer)
+
+let peers t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
+
+let total t = Hashtbl.fold (fun _ tr acc -> acc + Ptrie.size tr) t.tables 0

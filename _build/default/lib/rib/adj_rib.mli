@@ -1,0 +1,24 @@
+(** Adj-RIB-In / Adj-RIB-Out: one prefix-keyed store per peer (RFC 4271
+    §3.2). Daemons keep one [t] for inbound state (routes as learned,
+    pre-decision) and one for outbound state (what was advertised to each
+    peer, enabling implicit-withdraw suppression). *)
+
+type 'r t
+
+val create : unit -> 'r t
+
+val set : 'r t -> peer:int -> Bgp.Prefix.t -> 'r -> 'r option
+(** Store (or replace) a route; returns the previous one. *)
+
+val clear : 'r t -> peer:int -> Bgp.Prefix.t -> 'r option
+(** Remove a route; returns the removed one. *)
+
+val find : 'r t -> peer:int -> Bgp.Prefix.t -> 'r option
+
+val drop_peer : 'r t -> int -> unit
+(** Drop a peer's whole table (session reset). *)
+
+val iter_peer : 'r t -> peer:int -> (Bgp.Prefix.t -> 'r -> unit) -> unit
+val count_peer : 'r t -> peer:int -> int
+val peers : 'r t -> int list
+val total : 'r t -> int

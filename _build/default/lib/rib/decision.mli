@@ -1,0 +1,30 @@
+(** The BGP decision process (RFC 4271 §9.1.2.2 tie-breaking), written
+    against an abstract {e view} of a route so both daemons reuse it over
+    their different internal representations.
+
+    MED is compared only between routes from the same neighbouring AS
+    (per the RFC); because the steps are applied pairwise the resulting
+    relation is a total preorder — no MED-induced intransitivity. *)
+
+type 'r view = {
+  local_pref : 'r -> int;  (** higher wins *)
+  as_path_len : 'r -> int;  (** shorter wins *)
+  origin : 'r -> int;  (** 0 = IGP, 1 = EGP, 2 = incomplete; lower wins *)
+  med : 'r -> int;  (** lower wins, same neighbour AS only *)
+  neighbor_as : 'r -> int;  (** leftmost AS of the path; 0 if local *)
+  is_ebgp : 'r -> bool;  (** eBGP-learned beats iBGP-learned *)
+  igp_cost : 'r -> int;  (** IGP metric to NEXT_HOP; lower wins *)
+  originator_id : 'r -> int;  (** ORIGINATOR_ID or peer router id *)
+  cluster_list_len : 'r -> int;  (** RFC 4456 tie-break *)
+  peer_addr : 'r -> int;  (** final tie-break *)
+}
+
+val compare : 'r view -> 'r -> 'r -> int
+(** Total order; negative means the first route is preferred. *)
+
+val best : 'r view -> 'r list -> 'r option
+(** Best route of a candidate list; [None] on empty input. *)
+
+val deciding_step : 'r view -> 'r -> 'r -> int
+(** 1-based index of the first tie-break step separating the two routes;
+    0 when fully tied. For tests and debugging. *)

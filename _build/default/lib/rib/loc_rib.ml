@@ -1,0 +1,107 @@
+(* The Loc-RIB: per prefix, the candidate routes contributed by each peer
+   and the current best as picked by the decision process. Updates are
+   incremental — a daemon feeds the post-import-filter route (or a
+   withdrawal) and learns whether the best route changed, which is what
+   drives re-advertisement to the Adj-RIB-Out side. *)
+
+type 'r entry = {
+  mutable candidates : (int * 'r) list;  (** peer id, route *)
+  mutable best : (int * 'r) option;
+}
+
+type 'r t = {
+  trie : 'r entry Ptrie.t;
+  view : 'r Decision.view;
+  mutable best_count : int;  (** prefixes that currently have a best *)
+  mutable compare : 'r -> 'r -> int;
+      (** route order; defaults to [Decision.compare view] and may be
+          overridden (the xBGP BGP_DECISION insertion point) *)
+}
+
+type 'r change =
+  | Unchanged
+  | New_best of 'r  (** best route (re)selected for the prefix *)
+  | Withdrawn  (** no candidate left for the prefix *)
+
+let create view =
+  {
+    trie = Ptrie.create ();
+    view;
+    best_count = 0;
+    compare = Decision.compare view;
+  }
+
+(** Override the route order (pass [None] to restore the RFC 4271
+    decision process). Affects subsequent updates only. *)
+let set_compare t cmp =
+  t.compare <-
+    (match cmp with Some f -> f | None -> Decision.compare t.view)
+
+let select t entry =
+  match List.map snd entry.candidates with
+  | [] -> None
+  | r :: rest ->
+    Some
+      (List.fold_left
+         (fun acc r -> if t.compare r acc < 0 then r else acc)
+         r rest)
+
+(** [update t ~peer p route] replaces ([Some r]) or withdraws ([None]) the
+    candidate contributed by [peer] for prefix [p]. *)
+let update t ~peer p route =
+  let entry =
+    match Ptrie.find t.trie p with
+    | Some e -> e
+    | None ->
+      let e = { candidates = []; best = None } in
+      ignore (Ptrie.replace t.trie p e);
+      e
+  in
+  let without = List.remove_assoc peer entry.candidates in
+  (match route with
+  | Some r -> entry.candidates <- (peer, r) :: without
+  | None -> entry.candidates <- without);
+  let old_best = entry.best in
+  let new_best =
+    match select t entry with
+    | None -> None
+    | Some r ->
+      (* recover the contributing peer for bookkeeping *)
+      List.find_opt (fun (_, r') -> r' == r) entry.candidates
+  in
+  entry.best <- new_best;
+  (match (old_best, new_best) with
+  | None, Some _ -> t.best_count <- t.best_count + 1
+  | Some _, None -> t.best_count <- t.best_count - 1
+  | _ -> ());
+  if entry.candidates = [] then ignore (Ptrie.remove t.trie p);
+  match (old_best, new_best) with
+  | None, None -> Unchanged
+  | Some _, None -> Withdrawn
+  | None, Some (_, r) -> New_best r
+  | Some (op, or_), Some (np, nr) ->
+    if op = np && or_ == nr then Unchanged else New_best nr
+
+let best t p =
+  match Ptrie.find t.trie p with
+  | Some { best = Some (_, r); _ } -> Some r
+  | _ -> None
+
+let best_with_peer t p =
+  match Ptrie.find t.trie p with Some { best; _ } -> best | _ -> None
+
+let candidates t p =
+  match Ptrie.find t.trie p with Some e -> e.candidates | None -> []
+
+(** Number of prefixes that currently have a best route. O(1). *)
+let count t = t.best_count
+
+let iter_best t f =
+  Ptrie.iter t.trie (fun p e ->
+      match e.best with Some (_, r) -> f p r | None -> ())
+
+let fold_best t f acc =
+  Ptrie.fold t.trie
+    (fun p e acc ->
+      match e.best with Some (_, r) -> f p r acc | None -> acc)
+    acc

@@ -1,0 +1,33 @@
+(** The Loc-RIB: per prefix, the candidate routes contributed by each
+    peer and the current best under the decision process. Updates are
+    incremental: a daemon feeds the post-import-filter route (or a
+    withdrawal) and learns whether the best changed — which drives
+    re-advertisement towards the Adj-RIB-Out side. *)
+
+type 'r t
+
+type 'r change =
+  | Unchanged
+  | New_best of 'r  (** best route (re)selected for the prefix *)
+  | Withdrawn  (** no candidate left for the prefix *)
+
+val create : 'r Decision.view -> 'r t
+
+val set_compare : 'r t -> ('r -> 'r -> int) option -> unit
+(** Override the route order — the hook behind the xBGP BGP_DECISION
+    insertion point. [None] restores the RFC 4271 decision process.
+    Affects subsequent updates only. *)
+
+val update : 'r t -> peer:int -> Bgp.Prefix.t -> 'r option -> 'r change
+(** Replace ([Some r]) or withdraw ([None]) the candidate contributed by
+    [peer] for a prefix. *)
+
+val best : 'r t -> Bgp.Prefix.t -> 'r option
+val best_with_peer : 'r t -> Bgp.Prefix.t -> (int * 'r) option
+val candidates : 'r t -> Bgp.Prefix.t -> (int * 'r) list
+
+val count : 'r t -> int
+(** Number of prefixes that currently have a best route. O(1). *)
+
+val iter_best : 'r t -> (Bgp.Prefix.t -> 'r -> unit) -> unit
+val fold_best : 'r t -> (Bgp.Prefix.t -> 'r -> 'b -> 'b) -> 'b -> 'b

@@ -1,0 +1,163 @@
+(* A binary (bit-wise) trie keyed by IPv4 prefix.
+
+   This is the workhorse behind the Loc-RIB and the Adj-RIBs, and it is
+   also — deliberately — the data structure the FRR-like daemon uses for
+   its native ROA store (§3.4 of the paper observes FRRouting "browses a
+   dedicated trie for validated ROAs each time a prefix needs to be
+   checked", which is why the hash-based extension beats it).
+
+   Depth is bounded by 32, so no path compression is needed; nodes are
+   mutable for cheap incremental RIB updates. *)
+
+type 'a node = {
+  mutable value : 'a option;
+  mutable zero : 'a node option;  (** subtree where the next bit is 0 *)
+  mutable one : 'a node option;
+}
+
+type 'a t = { root : 'a node; mutable size : int }
+
+let make_node () = { value = None; zero = None; one = None }
+let create () = { root = make_node (); size = 0 }
+let size t = t.size
+let is_empty t = t.size = 0
+
+let child node bit = if bit = 0 then node.zero else node.one
+
+let set_child node bit c =
+  if bit = 0 then node.zero <- Some c else node.one <- Some c
+
+(* Walk (and optionally build) the path for [p], calling [f] on the final
+   node. *)
+let locate ?(build = false) t p =
+  let rec go node depth =
+    if depth = Bgp.Prefix.len p then Some node
+    else
+      let bit = Bgp.Prefix.bit p depth in
+      match child node bit with
+      | Some c -> go c (depth + 1)
+      | None ->
+        if build then begin
+          let c = make_node () in
+          set_child node bit c;
+          go c (depth + 1)
+        end
+        else None
+  in
+  go t.root 0
+
+(** Insert or replace the binding of [p]; returns the previous value. *)
+let replace t p v =
+  match locate ~build:true t p with
+  | None -> assert false
+  | Some node ->
+    let old = node.value in
+    node.value <- Some v;
+    if old = None then t.size <- t.size + 1;
+    old
+
+let find t p =
+  match locate t p with Some { value; _ } -> value | None -> None
+
+let mem t p = find t p <> None
+
+(** Remove the binding of [p]; returns the removed value. Nodes are left in
+    place (the trie only ever holds <= 2^25 nodes in our workloads and
+    de-allocation buys nothing for RIB churn patterns). *)
+let remove t p =
+  match locate t p with
+  | Some ({ value = Some v; _ } as node) ->
+    node.value <- None;
+    t.size <- t.size - 1;
+    Some v
+  | _ -> None
+
+(** Update the binding of [p] through [f]; [f None] inserts, returning
+    [None] from [f] removes. *)
+let update t p f =
+  match locate ~build:true t p with
+  | None -> assert false
+  | Some node -> (
+    let old = node.value in
+    match (old, f old) with
+    | None, None -> ()
+    | None, (Some _ as v) ->
+      node.value <- v;
+      t.size <- t.size + 1
+    | Some _, (Some _ as v) -> node.value <- v
+    | Some _, None ->
+      node.value <- None;
+      t.size <- t.size - 1)
+
+(** Longest-prefix match: the most specific binding covering address
+    [addr], searched down to [max_len] (default 32). *)
+let longest_match ?(max_len = 32) t addr =
+  let rec go node depth best =
+    let best =
+      match node.value with
+      | Some v -> Some (Bgp.Prefix.v addr depth, v)
+      | None -> best
+    in
+    if depth >= max_len then best
+    else
+      let bit = (addr lsr (31 - depth)) land 1 in
+      match child node bit with
+      | Some c -> go c (depth + 1) best
+      | None -> best
+  in
+  (* re-derive the matched prefix from the depth at which a value was seen *)
+  match go t.root 0 None with
+  | Some (p, v) -> Some (Bgp.Prefix.v (Bgp.Prefix.addr p) (Bgp.Prefix.len p), v)
+  | None -> None
+
+(** In-order iteration: prefixes in (address, shorter-first) trie order. *)
+let iter t f =
+  let rec go node addr depth =
+    (match node.value with
+    | Some v -> f (Bgp.Prefix.v addr depth) v
+    | None -> ());
+    (match node.zero with Some c -> go c addr (depth + 1) | None -> ());
+    match node.one with
+    | Some c -> go c (addr lor (1 lsl (31 - depth))) (depth + 1)
+    | None -> ()
+  in
+  go t.root 0 0
+
+let fold t f acc =
+  let acc = ref acc in
+  iter t (fun p v -> acc := f p v !acc);
+  !acc
+
+let to_list t = List.rev (fold t (fun p v acc -> (p, v) :: acc) [])
+
+(** [overlaps t p]: some binding covers [p] or lies inside [p] (i.e. the
+    two prefixes share addresses). *)
+let overlaps t p =
+  let rec on_path node depth =
+    node.value <> None
+    ||
+    if depth < Bgp.Prefix.len p then
+      match child node (Bgp.Prefix.bit p depth) with
+      | Some c -> on_path c (depth + 1)
+      | None -> false
+    else subtree node
+  and subtree node =
+    node.value <> None
+    || (match node.zero with Some c -> subtree c | None -> false)
+    || match node.one with Some c -> subtree c | None -> false
+  in
+  on_path t.root 0
+
+(** All bindings on the path from the root to [p] (i.e. every prefix that
+    covers [p]), least specific first. *)
+let covering t p f =
+  let rec go node depth =
+    (match node.value with
+    | Some v -> f (Bgp.Prefix.v (Bgp.Prefix.addr p) depth) v
+    | None -> ());
+    if depth < Bgp.Prefix.len p then
+      match child node (Bgp.Prefix.bit p depth) with
+      | Some c -> go c (depth + 1)
+      | None -> ()
+  in
+  go t.root 0

@@ -1,0 +1,1 @@
+lib/rpki/roa.ml: Bgp Fmt List Printf String

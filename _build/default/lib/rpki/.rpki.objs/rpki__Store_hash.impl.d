@@ -1,0 +1,1 @@
+lib/rpki/store_hash.ml: Array Bgp List Roa

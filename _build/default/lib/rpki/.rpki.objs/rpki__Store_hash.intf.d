@@ -1,0 +1,1 @@
+lib/rpki/store_hash.mli: Bgp Roa

@@ -1,0 +1,1 @@
+lib/rpki/store_trie.ml: List Rib Roa

@@ -1,0 +1,1 @@
+lib/rpki/store_trie.mli: Bgp Roa

@@ -1,0 +1,67 @@
+(* Route Origin Authorizations and RFC 6483 origin validation semantics.
+
+   A ROA asserts that [asn] may originate [prefix] up to [max_len]. A
+   route (p, origin) is:
+   - [Valid]    if some ROA covers p with matching origin and
+                [len p <= max_len];
+   - [Invalid]  if ROAs cover p but none matches;
+   - [Not_found] if no ROA covers p.
+
+   The two store implementations ([Store_trie], [Store_hash]) expose the
+   same interface; §3.4 of the paper hinges on their different lookup
+   costs (FRRouting walks a trie per check, BIRD and the xBGP extension
+   use a hash table). *)
+
+type t = { prefix : Bgp.Prefix.t; max_len : int; asn : int }
+
+type validation = Valid | Invalid | Not_found
+
+let pp_validation ppf v =
+  Fmt.string ppf
+    (match v with
+    | Valid -> "valid"
+    | Invalid -> "invalid"
+    | Not_found -> "not-found")
+
+let v prefix ~max_len ~asn =
+  if max_len < Bgp.Prefix.len prefix || max_len > 32 then
+    invalid_arg "Roa.v: max_len out of range";
+  { prefix; max_len; asn }
+
+let pp ppf r =
+  Fmt.pf ppf "%a-%d AS%d" Bgp.Prefix.pp r.prefix r.max_len r.asn
+
+(** [covers roa p] — the ROA's prefix covers route prefix [p]. *)
+let covers roa p = Bgp.Prefix.subset p roa.prefix
+
+(** [authorizes roa p origin] — covering, origin matches, length allowed. *)
+let authorizes roa p origin =
+  covers roa p && roa.asn = origin && Bgp.Prefix.len p <= roa.max_len
+
+(** Reference validation over a plain list; the stores must agree with
+    this (property-tested). *)
+let validate_list roas p origin =
+  let covering = List.filter (fun r -> covers r p) roas in
+  if covering = [] then Not_found
+  else if List.exists (fun r -> authorizes r p origin) covering then Valid
+  else Invalid
+
+(* --- text format: "a.b.c.d/len max_len asn" per line, '#' comments --- *)
+
+let to_line r =
+  Printf.sprintf "%s %d %d" (Bgp.Prefix.to_string r.prefix) r.max_len r.asn
+
+(** Parse the ROA text format. @raise Invalid_argument on bad lines. *)
+let parse_lines s =
+  String.split_on_char '\n' s
+  |> List.filteri (fun _ line ->
+         let line = String.trim line in
+         line <> "" && line.[0] <> '#')
+  |> List.map (fun line ->
+         match String.split_on_char ' ' (String.trim line) with
+         | [ p; ml; asn ] -> (
+           match (int_of_string_opt ml, int_of_string_opt asn) with
+           | Some max_len, Some asn ->
+             v (Bgp.Prefix.of_string p) ~max_len ~asn
+           | _ -> invalid_arg ("Roa.parse_lines: " ^ line))
+         | _ -> invalid_arg ("Roa.parse_lines: " ^ line))

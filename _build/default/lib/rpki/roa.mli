@@ -1,0 +1,33 @@
+(** Route Origin Authorizations and RFC 6483 origin validation.
+
+    A ROA asserts that [asn] may originate [prefix] up to [max_len].
+    A route [(p, origin)] is {!Valid} if some ROA covers [p] with a
+    matching origin and allowed length, {!Invalid} if ROAs cover [p] but
+    none matches, {!Not_found} if no ROA covers [p]. *)
+
+type t = private { prefix : Bgp.Prefix.t; max_len : int; asn : int }
+
+type validation = Valid | Invalid | Not_found
+
+val pp_validation : Format.formatter -> validation -> unit
+
+val v : Bgp.Prefix.t -> max_len:int -> asn:int -> t
+(** @raise Invalid_argument when [max_len] is below the prefix length or
+    above 32. *)
+
+val pp : Format.formatter -> t -> unit
+
+val covers : t -> Bgp.Prefix.t -> bool
+val authorizes : t -> Bgp.Prefix.t -> int -> bool
+
+val validate_list : t list -> Bgp.Prefix.t -> int -> validation
+(** Reference semantics over a plain list; the stores are property-tested
+    against it. *)
+
+(** {1 Text format}: ["a.b.c.d/len max_len asn"] per line, ['#']
+    comments — the "file" of ROAs the paper's DUT loads (§3.4). *)
+
+val to_line : t -> string
+
+val parse_lines : string -> t list
+(** @raise Invalid_argument on malformed lines. *)

@@ -1,0 +1,103 @@
+(* BIRD-style ROA store: open-addressed hash tables keyed by the masked
+   address, one per ROA prefix length (BIRD's fib keeps nets hashed per
+   length as well). A validation probes one table per *present* covering
+   length — a handful of independent O(1), allocation-free probes. This
+   is the structure the paper credits for BIRD's fast native validation,
+   and the one the xBGP origin-validation extension copies (§3.4). *)
+
+type table = {
+  mutable keys : int array;  (** -1 = empty slot *)
+  mutable values : Roa.t list array;
+  mutable used : int;
+}
+
+let table_create () = { keys = Array.make 16 (-1); values = Array.make 16 []; used = 0 }
+
+(* the low bits of a masked address are zero: mix before indexing *)
+let hash_addr addr mask =
+  let h = addr lxor (addr lsr 16) in
+  let h = h * 0x45d9f3b land max_int in
+  let h = h lxor (h lsr 16) in
+  h land mask
+
+let rec table_add tbl key roa =
+  let cap = Array.length tbl.keys in
+  if 2 * (tbl.used + 1) > cap then begin
+    (* grow and rehash *)
+    let old_keys = tbl.keys and old_values = tbl.values in
+    tbl.keys <- Array.make (2 * cap) (-1);
+    tbl.values <- Array.make (2 * cap) [];
+    tbl.used <- 0;
+    Array.iteri
+      (fun i k ->
+        if k >= 0 then
+          List.iter (fun r -> table_add tbl k r) (List.rev old_values.(i)))
+      old_keys
+  end;
+  let mask = Array.length tbl.keys - 1 in
+  let rec probe i =
+    if tbl.keys.(i) = -1 then begin
+      tbl.keys.(i) <- key;
+      tbl.values.(i) <- [ roa ];
+      tbl.used <- tbl.used + 1
+    end
+    else if tbl.keys.(i) = key then tbl.values.(i) <- roa :: tbl.values.(i)
+    else probe ((i + 1) land mask)
+  in
+  probe (hash_addr key mask)
+
+(* allocation-free lookup: [] when absent *)
+let table_find tbl key =
+  let mask = Array.length tbl.keys - 1 in
+  let rec probe i =
+    if tbl.keys.(i) = -1 then []
+    else if tbl.keys.(i) = key then tbl.values.(i)
+    else probe ((i + 1) land mask)
+  in
+  probe (hash_addr key mask)
+
+type t = {
+  by_len : table option array;  (** index = ROA prefix length *)
+  mutable count : int;
+}
+
+let create () = { by_len = Array.make 33 None; count = 0 }
+
+let add t (roa : Roa.t) =
+  let len = Bgp.Prefix.len roa.prefix in
+  let tbl =
+    match t.by_len.(len) with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = table_create () in
+      t.by_len.(len) <- Some tbl;
+      tbl
+  in
+  table_add tbl (Bgp.Prefix.addr roa.prefix) roa;
+  t.count <- t.count + 1
+
+let of_list roas =
+  let t = create () in
+  List.iter (add t) roas;
+  t
+
+let count t = t.count
+
+let validate t p origin =
+  let covering = ref false in
+  let valid = ref false in
+  let addr = Bgp.Prefix.addr p in
+  for len = Bgp.Prefix.len p downto 0 do
+    match t.by_len.(len) with
+    | None -> ()
+    | Some tbl ->
+      let masked = Bgp.Prefix.addr (Bgp.Prefix.v addr len) in
+      List.iter
+        (fun roa ->
+          if Roa.covers roa p then begin
+            covering := true;
+            if Roa.authorizes roa p origin then valid := true
+          end)
+        (table_find tbl masked)
+  done;
+  if !valid then Roa.Valid else if !covering then Roa.Invalid else Roa.Not_found

@@ -1,0 +1,13 @@
+(** BIRD-style ROA store: open-addressed hash tables keyed by the masked
+    address, one per ROA prefix length. A validation is a handful of
+    independent, allocation-free O(1) probes — the structure the paper
+    credits for BIRD's fast native validation, and the one the xBGP
+    origin-validation extension copies (§3.4). *)
+
+type t
+
+val create : unit -> t
+val add : t -> Roa.t -> unit
+val of_list : Roa.t list -> t
+val count : t -> int
+val validate : t -> Bgp.Prefix.t -> int -> Roa.validation

@@ -1,0 +1,39 @@
+(* FRRouting-style ROA store: a binary trie keyed by the ROA prefix, with
+   each validation walking the covering path from the root. This is the
+   per-check trie browse that §3.4 of the paper identifies as the reason
+   FRRouting's native origin validation loses to the hash-based xBGP
+   extension. *)
+
+type t = { trie : Roa.t list Rib.Ptrie.t; mutable count : int }
+
+let create () = { trie = Rib.Ptrie.create (); count = 0 }
+
+let add t (roa : Roa.t) =
+  Rib.Ptrie.update t.trie roa.prefix (function
+    | None -> Some [ roa ]
+    | Some l -> Some (roa :: l));
+  t.count <- t.count + 1
+
+let of_list roas =
+  let t = create () in
+  List.iter (add t) roas;
+  t
+
+let count t = t.count
+
+(* Like rtrlib's pfx_table_validate_r (which FRRouting calls per check):
+   the walk first *collects* every covering ROA record into a freshly
+   allocated result list, then scans it for an authorization — the
+   browse-then-scan behaviour §3.4 observes. *)
+let validate t p origin =
+  let found = ref [] in
+  Rib.Ptrie.covering t.trie p (fun _ roas ->
+      List.iter
+        (fun roa -> if Roa.covers roa p then found := roa :: !found)
+        roas);
+  match !found with
+  | [] -> Roa.Not_found
+  | covering ->
+    if List.exists (fun roa -> Roa.authorizes roa p origin) covering then
+      Roa.Valid
+    else Roa.Invalid

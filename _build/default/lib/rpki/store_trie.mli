@@ -1,0 +1,16 @@
+(** FRRouting-style ROA store: a binary trie keyed by the ROA prefix.
+
+    Like rtrlib's [pfx_table_validate_r] (which FRRouting calls per
+    check), each validation walks the covering path and first {e
+    collects} every covering record into a fresh list before scanning it
+    — the per-check trie browse §3.4 of the paper identifies as the
+    reason FRRouting's native origin validation loses to the hash-based
+    xBGP extension. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Roa.t -> unit
+val of_list : Roa.t list -> t
+val count : t -> int
+val validate : t -> Bgp.Prefix.t -> int -> Roa.validation

@@ -1,0 +1,1 @@
+lib/scenario/daemon.ml: Bgp Bird Frrouting List Option

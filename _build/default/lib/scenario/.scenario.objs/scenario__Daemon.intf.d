@@ -1,0 +1,1 @@
+lib/scenario/daemon.mli: Bgp Bird Frrouting

@@ -1,0 +1,1 @@
+lib/scenario/fabric.ml: Bgp Bird Daemon Dataset Frrouting List Netsim Printf Testbed Xprogs

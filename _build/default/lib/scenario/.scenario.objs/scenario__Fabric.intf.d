@@ -1,0 +1,1 @@
+lib/scenario/fabric.mli: Daemon Dataset Netsim Testbed

@@ -1,0 +1,1 @@
+lib/scenario/testbed.ml: Bgp Bird Daemon Dataset Ebpf Frrouting List Netsim Option Rpki Xbgp Xprogs

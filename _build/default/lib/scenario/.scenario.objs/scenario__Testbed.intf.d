@@ -1,0 +1,1 @@
+lib/scenario/testbed.mli: Daemon Dataset Ebpf Frrouting Netsim Rpki Xbgp

@@ -1,0 +1,75 @@
+(* A uniform handle over the two daemon implementations, for harness code
+   (tests, examples, benchmarks) that instantiates either host. This is
+   deliberately *not* part of the xBGP architecture — the daemons stay
+   independent programs; only the experiment harness needs to treat them
+   alike. *)
+
+type t = Frr of Frrouting.Bgpd.t | Bird of Bird.Bgpd.t
+
+let name = function
+  | Frr d -> Frrouting.Bgpd.name d
+  | Bird d -> Bird.Bgpd.name d
+
+let start = function
+  | Frr d -> Frrouting.Bgpd.start d
+  | Bird d -> Bird.Bgpd.start d
+
+let originate t prefix attrs =
+  match t with
+  | Frr d -> Frrouting.Bgpd.originate d prefix attrs
+  | Bird d -> Bird.Bgpd.originate d prefix attrs
+
+let withdraw_local t prefix =
+  match t with
+  | Frr d -> Frrouting.Bgpd.withdraw_local d prefix
+  | Bird d -> Bird.Bgpd.withdraw_local d prefix
+
+let loc_count = function
+  | Frr d -> Frrouting.Bgpd.loc_count d
+  | Bird d -> Bird.Bgpd.loc_count d
+
+(** Attributes of the best route for [prefix], in the shared codec type —
+    this is how the equivalence tests compare hosts. *)
+let best_attrs t prefix =
+  match t with
+  | Frr d -> Frrouting.Bgpd.best_attrs d prefix
+  | Bird d -> Bird.Bgpd.best_attrs d prefix
+
+let has_route t prefix = best_attrs t prefix <> None
+
+(** AS path (flattened) of the best route towards [prefix]. *)
+let best_path t prefix =
+  Option.bind (best_attrs t prefix) (fun attrs ->
+      List.find_map
+        (fun (a : Bgp.Attr.t) ->
+          match a.value with
+          | Bgp.Attr.As_path segs -> Some (Bgp.Attr.as_path_asns segs)
+          | _ -> None)
+        attrs)
+
+(** Community values of the best route towards [prefix]. *)
+let best_communities t prefix =
+  match best_attrs t prefix with
+  | None -> None
+  | Some attrs ->
+    Some
+      (Option.value ~default:[]
+         (List.find_map
+            (fun (a : Bgp.Attr.t) ->
+              match a.value with
+              | Bgp.Attr.Communities cs -> Some cs
+              | _ -> None)
+            attrs))
+
+let updates_rx = function
+  | Frr d -> (Frrouting.Bgpd.stats d).updates_rx
+  | Bird d -> (Bird.Bgpd.stats d).updates_rx
+
+let import_rejected = function
+  | Frr d -> (Frrouting.Bgpd.stats d).import_rejected
+  | Bird d -> (Bird.Bgpd.stats d).import_rejected
+
+let set_log t f =
+  match t with
+  | Frr d -> Frrouting.Bgpd.set_log d f
+  | Bird d -> Bird.Bgpd.set_log d f

@@ -1,0 +1,26 @@
+(** A uniform handle over the two daemon implementations, for harness
+    code (tests, examples, benchmarks) that instantiates either host.
+    Deliberately not part of the xBGP architecture — the daemons stay
+    independent programs. *)
+
+type t = Frr of Frrouting.Bgpd.t | Bird of Bird.Bgpd.t
+
+val name : t -> string
+val start : t -> unit
+val originate : t -> Bgp.Prefix.t -> Bgp.Attr.t list -> unit
+val withdraw_local : t -> Bgp.Prefix.t -> unit
+val loc_count : t -> int
+
+val best_attrs : t -> Bgp.Prefix.t -> Bgp.Attr.t list option
+(** Attributes of the best route in the shared codec type — how the
+    equivalence tests compare hosts. *)
+
+val has_route : t -> Bgp.Prefix.t -> bool
+
+val best_path : t -> Bgp.Prefix.t -> int list option
+(** Flattened AS path of the best route. *)
+
+val best_communities : t -> Bgp.Prefix.t -> int list option
+val updates_rx : t -> int
+val import_rejected : t -> int
+val set_log : t -> (string -> unit) -> unit

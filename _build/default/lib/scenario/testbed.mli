@@ -1,0 +1,56 @@
+(** The three-router testbed of Fig. 3: upstream — DUT — downstream.
+
+    As in the paper, upstream and downstream always run the FRR-like
+    daemon; the Device Under Test runs either host, natively or with
+    extension bytecode. Sessions are iBGP for the route-reflection
+    experiment (§3.2), eBGP for origin validation (§3.4). *)
+
+type host = [ `Bird | `Frr ]
+
+type mode = {
+  host : host;
+  ibgp : bool;
+  manifest : Xbgp.Manifest.t option;  (** extension config for the DUT *)
+  native_rr : bool;
+  native_ov_roas : Rpki.Roa.t list option;
+  xtras : (string * bytes) list;  (** DUT configuration extras *)
+  hold_time : int;
+  engine : Ebpf.Vm.engine;  (** eBPF engine for the DUT's extensions *)
+}
+
+val mode :
+  ?host:host ->
+  ?ibgp:bool ->
+  ?manifest:Xbgp.Manifest.t ->
+  ?native_rr:bool ->
+  ?native_ov_roas:Rpki.Roa.t list ->
+  ?xtras:(string * bytes) list ->
+  ?hold_time:int ->
+  ?engine:Ebpf.Vm.engine ->
+  unit ->
+  mode
+
+type t = {
+  sched : Netsim.Sched.t;
+  upstream : Frrouting.Bgpd.t;
+  dut : Daemon.t;
+  downstream : Frrouting.Bgpd.t;
+  dut_vmm : Xbgp.Vmm.t option;
+}
+
+val create : mode -> t
+(** Also resets the FRR intern table (fresh-process semantics). *)
+
+val establish : t -> unit
+(** Bring all sessions up. @raise Failure if they do not establish. *)
+
+val feed : t -> Dataset.Ris_gen.route list -> unit
+(** Originate the table at the upstream router (§3.2: "the upstream
+    router is first fed with IPv4 BGP routes"). *)
+
+val run_until_downstream_has : t -> int -> bool
+(** Run the simulation until the downstream router holds that many
+    routes — the paper's measurement interval; false if the event queue
+    drains first. *)
+
+val downstream_count : t -> int

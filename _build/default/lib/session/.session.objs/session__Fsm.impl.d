@@ -1,0 +1,1 @@
+lib/session/fsm.ml: Bgp Bytes Fmt List Logs Netsim Printf

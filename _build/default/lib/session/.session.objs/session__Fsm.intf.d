@@ -1,0 +1,1 @@
+lib/session/fsm.mli: Bgp Netsim

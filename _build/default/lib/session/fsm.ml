@@ -1,0 +1,207 @@
+(* The BGP session finite-state machine (RFC 4271 §8), simplified to the
+   transitions a deterministic simulated transport can exercise:
+
+     Idle -> Open_sent -> Open_confirm -> Established
+
+   Both ends are active openers (the simulated pipe cannot fail to
+   connect); collisions cannot happen because each pipe carries exactly
+   one session. Keepalives are emitted every hold_time/3 and a hold timer
+   tears the session down when the peer goes quiet — which happens when a
+   pipe is failed via [Netsim.Pipe.set_up]. *)
+
+let src = Logs.Src.create "session" ~doc:"BGP session FSM"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type state = Idle | Open_sent | Open_confirm | Established
+
+let state_name = function
+  | Idle -> "Idle"
+  | Open_sent -> "OpenSent"
+  | Open_confirm -> "OpenConfirm"
+  | Established -> "Established"
+
+type config = {
+  local_as : int;
+  local_id : int;  (** router id *)
+  peer_as : int;  (** expected remote AS (eBGP) or own AS (iBGP) *)
+  hold_time : int;  (** seconds of simulated time *)
+}
+
+type callbacks = {
+  on_update : Bgp.Message.update -> raw:bytes -> unit;
+      (** a decoded UPDATE, plus the raw frame for the
+          BGP_RECEIVE_MESSAGE insertion point *)
+  on_established : unit -> unit;
+  on_close : string -> unit;
+}
+
+type t = {
+  sched : Netsim.Sched.t;
+  port : Netsim.Pipe.port;
+  config : config;
+  callbacks : callbacks;
+  mutable state : state;
+  mutable peer_id : int;  (** learned from the peer's OPEN *)
+  mutable pending : bytes;  (** unconsumed stream bytes *)
+  mutable hold_deadline : int;  (** absolute sim time *)
+  mutable keepalive_gen : int;  (** cancels stale keepalive timers *)
+  mutable msgs_rx : int;
+  mutable msgs_tx : int;
+}
+
+let sec s = s * 1_000_000
+
+let rec create sched port config callbacks =
+  let t =
+    {
+      sched;
+      port;
+      config;
+      callbacks;
+      state = Idle;
+      peer_id = 0;
+      pending = Bytes.empty;
+      hold_deadline = max_int;
+      keepalive_gen = 0;
+      msgs_rx = 0;
+      msgs_tx = 0;
+    }
+  in
+  Netsim.Pipe.set_receiver port (fun chunk -> receive t chunk);
+  t
+
+and send_msg t msg =
+  t.msgs_tx <- t.msgs_tx + 1;
+  Netsim.Pipe.send t.port (Bgp.Message.encode msg)
+
+and close t reason =
+  if t.state <> Idle then begin
+    Log.debug (fun m -> m "AS%d: session closed: %s" t.config.local_as reason);
+    t.state <- Idle;
+    t.keepalive_gen <- t.keepalive_gen + 1;
+    t.pending <- Bytes.empty;
+    t.callbacks.on_close reason
+  end
+
+and arm_hold_timer t =
+  let deadline = Netsim.Sched.now t.sched + sec t.config.hold_time in
+  t.hold_deadline <- deadline;
+  Netsim.Sched.after t.sched (sec t.config.hold_time) (fun () ->
+      if t.state <> Idle && Netsim.Sched.now t.sched >= t.hold_deadline then begin
+        send_msg t
+          (Bgp.Message.Notification
+             { code = 4; subcode = 0; data = Bytes.empty });
+        close t "hold timer expired"
+      end)
+
+and schedule_keepalive t =
+  let gen = t.keepalive_gen in
+  let interval = max 1 (t.config.hold_time / 3) in
+  Netsim.Sched.after t.sched (sec interval) (fun () ->
+      if t.state = Established && gen = t.keepalive_gen then begin
+        send_msg t Bgp.Message.Keepalive;
+        schedule_keepalive t
+      end)
+
+and establish t =
+  t.state <- Established;
+  arm_hold_timer t;
+  schedule_keepalive t;
+  t.callbacks.on_established ()
+
+and handle_msg t msg ~raw =
+  t.msgs_rx <- t.msgs_rx + 1;
+  match (t.state, msg) with
+  | _, Bgp.Message.Notification n ->
+    close t (Printf.sprintf "notification %d/%d received" n.code n.subcode)
+  | Open_sent, Bgp.Message.Open o ->
+    let expected =
+      if t.config.peer_as > 0xffff then Bgp.Message.as_trans
+      else t.config.peer_as
+    in
+    if o.version <> 4 then begin
+      send_msg t
+        (Bgp.Message.Notification { code = 2; subcode = 1; data = Bytes.empty });
+      close t "unsupported version"
+    end
+    else if o.my_as <> expected then begin
+      send_msg t
+        (Bgp.Message.Notification { code = 2; subcode = 2; data = Bytes.empty });
+      close t
+        (Printf.sprintf "bad peer AS %d (expected %d)" o.my_as expected)
+    end
+    else begin
+      t.peer_id <- o.bgp_id;
+      t.state <- Open_confirm;
+      send_msg t Bgp.Message.Keepalive;
+      arm_hold_timer t
+    end
+  | Open_confirm, Bgp.Message.Keepalive ->
+    arm_hold_timer t;
+    establish t
+  | Established, Bgp.Message.Keepalive -> arm_hold_timer t
+  | Established, Bgp.Message.Update u ->
+    arm_hold_timer t;
+    t.callbacks.on_update u ~raw
+  | state, msg ->
+    send_msg t
+      (Bgp.Message.Notification { code = 5; subcode = 0; data = Bytes.empty });
+    close t
+      (Fmt.str "unexpected %a in state %s" Bgp.Message.pp msg
+         (state_name state))
+
+and receive t chunk =
+  t.pending <-
+    (if Bytes.length t.pending = 0 then chunk
+     else Bytes.cat t.pending chunk);
+  match Bgp.Message.deframe t.pending with
+  | frames, rest ->
+    t.pending <- rest;
+    List.iter
+      (fun raw ->
+        if t.state <> Idle then
+          match Bgp.Message.decode raw with
+          | msg -> handle_msg t msg ~raw
+          | exception Bgp.Message.Parse_error e ->
+            send_msg t
+              (Bgp.Message.Notification
+                 { code = 1; subcode = 0; data = Bytes.empty });
+            close t ("parse error: " ^ e))
+      frames
+  | exception Bgp.Message.Parse_error e ->
+    send_msg t
+      (Bgp.Message.Notification { code = 1; subcode = 0; data = Bytes.empty });
+    close t ("framing error: " ^ e)
+
+(** Actively open the session (send OPEN). *)
+let start t =
+  if t.state = Idle then begin
+    t.state <- Open_sent;
+    send_msg t
+      (Bgp.Message.Open
+         {
+           version = 4;
+           my_as = t.config.local_as;
+           hold_time = t.config.hold_time;
+           bgp_id = t.config.local_id;
+         });
+    arm_hold_timer t
+  end
+
+(** Send an UPDATE; silently ignored unless Established. *)
+let send_update t u =
+  if t.state = Established then send_msg t (Bgp.Message.Update u)
+
+(** Send a pre-encoded UPDATE frame (the daemons build these themselves so
+    the BGP_ENCODE_MESSAGE insertion point can append attribute bytes). *)
+let send_raw t frame =
+  if t.state = Established then begin
+    t.msgs_tx <- t.msgs_tx + 1;
+    Netsim.Pipe.send t.port frame
+  end
+
+let state t = t.state
+let is_established t = t.state = Established
+let peer_id t = t.peer_id
+let stats t = (t.msgs_rx, t.msgs_tx)

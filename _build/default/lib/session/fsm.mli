@@ -1,0 +1,51 @@
+(** The BGP session finite-state machine (RFC 4271 §8), simplified to the
+    transitions a deterministic simulated transport can exercise:
+
+    {v Idle -> OpenSent -> OpenConfirm -> Established v}
+
+    Both ends open actively; keepalives are emitted every [hold_time]/3
+    and the hold timer tears the session down when the peer goes quiet
+    (e.g. after {!Netsim.Pipe.set_up}[ false]). *)
+
+type state = Idle | Open_sent | Open_confirm | Established
+
+val state_name : state -> string
+
+type config = {
+  local_as : int;
+  local_id : int;  (** router id *)
+  peer_as : int;  (** expected remote AS *)
+  hold_time : int;  (** seconds of simulated time *)
+}
+
+type callbacks = {
+  on_update : Bgp.Message.update -> raw:bytes -> unit;
+      (** decoded UPDATE plus the raw frame, for the BGP_RECEIVE_MESSAGE
+          insertion point *)
+  on_established : unit -> unit;
+  on_close : string -> unit;
+}
+
+type t
+
+val create : Netsim.Sched.t -> Netsim.Pipe.port -> config -> callbacks -> t
+
+val start : t -> unit
+(** Actively open the session (send OPEN). *)
+
+val send_update : t -> Bgp.Message.update -> unit
+(** Ignored unless Established. *)
+
+val send_raw : t -> bytes -> unit
+(** Send a pre-encoded UPDATE frame — the daemons build frames themselves
+    so the BGP_ENCODE_MESSAGE insertion point can append attribute
+    bytes. *)
+
+val state : t -> state
+val is_established : t -> bool
+
+val peer_id : t -> int
+(** The peer's router id, learned from its OPEN. *)
+
+val stats : t -> int * int
+(** Messages received, messages sent. *)

@@ -1,0 +1,1 @@
+lib/xprogs/community_strip.ml: Bgp Ebpf List Util Xbgp

@@ -1,0 +1,1 @@
+lib/xprogs/community_strip.mli: Xbgp

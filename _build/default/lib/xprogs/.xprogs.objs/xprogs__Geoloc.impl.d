@@ -1,0 +1,1 @@
+lib/xprogs/geoloc.ml: Bgp Ebpf List Util Xbgp

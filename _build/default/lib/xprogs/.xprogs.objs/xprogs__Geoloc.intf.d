@@ -1,0 +1,1 @@
+lib/xprogs/geoloc.mli: Xbgp

@@ -1,0 +1,1 @@
+lib/xprogs/igp_filter.ml: Ebpf List Util Xbgp

@@ -1,0 +1,1 @@
+lib/xprogs/igp_filter.mli: Xbgp

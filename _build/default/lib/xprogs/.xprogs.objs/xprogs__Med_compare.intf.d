@@ -1,0 +1,1 @@
+lib/xprogs/med_compare.mli: Xbgp

@@ -1,0 +1,1 @@
+lib/xprogs/origin_validation.mli: Xbgp

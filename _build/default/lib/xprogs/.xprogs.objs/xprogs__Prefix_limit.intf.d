@@ -1,0 +1,1 @@
+lib/xprogs/prefix_limit.mli: Xbgp

@@ -1,0 +1,1 @@
+lib/xprogs/registry.ml: Community_strip Geoloc Igp_filter List Med_compare Origin_validation Prefix_limit Route_reflector Valley_free Xbgp

@@ -1,0 +1,1 @@
+lib/xprogs/registry.mli: Ebpf Xbgp

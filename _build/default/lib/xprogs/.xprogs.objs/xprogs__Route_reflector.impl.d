@@ -1,0 +1,1 @@
+lib/xprogs/route_reflector.ml: Bgp Ebpf List Util Xbgp

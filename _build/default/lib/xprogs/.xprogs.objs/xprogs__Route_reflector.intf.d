@@ -1,0 +1,1 @@
+lib/xprogs/route_reflector.mli: Xbgp

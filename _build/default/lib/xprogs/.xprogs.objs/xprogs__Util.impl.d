@@ -1,0 +1,1 @@
+lib/xprogs/util.ml: Asm Bgp Bytes Char Ebpf Float Insn Int32 List Rpki String Xbgp

@@ -1,0 +1,1 @@
+lib/xprogs/util.mli: Ebpf Rpki

@@ -1,0 +1,1 @@
+lib/xprogs/valley_free.ml: Bgp Ebpf List Util Xbgp

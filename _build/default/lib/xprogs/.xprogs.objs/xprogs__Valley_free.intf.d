@@ -1,0 +1,1 @@
+lib/xprogs/valley_free.mli: Xbgp

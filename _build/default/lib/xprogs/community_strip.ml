@@ -1,0 +1,102 @@
+(* Strip internal BGP communities at the AS boundary — the classic
+   "scrub your communities on export" policy (cf. the paper's §3.1
+   discussion of community-based filtering and its operational pitfalls).
+
+   On eBGP sessions, the [export] bytecode rewrites the COMMUNITY
+   attribute, dropping every value whose high 16 bits equal the local AS
+   number (the operator's own tagging space). Everything else — and every
+   iBGP session — passes through untouched via next(). *)
+
+open Ebpf.Asm
+open Ebpf.Insn
+
+let export =
+  assemble
+    (List.concat
+       [
+         [
+           call Xbgp.Api.h_get_peer_info;
+           jeqi R0 0 "defer";
+           ldxw R1 R0 Xbgp.Api.pi_peer_type;
+           jnei R1 Xbgp.Api.ebgp_session "defer";
+           ldxw R9 R0 Xbgp.Api.pi_local_as;
+           (* r9 = our AS (the tag space to strip) *)
+           movi R1 Bgp.Attr.code_communities;
+           call Xbgp.Api.h_get_attr;
+           jeqi R0 0 "defer";
+           mov R6 R0;
+           ldxh R7 R6 2;
+           be16 R7;
+           (* r7 = payload length *)
+           mov R1 R7;
+           call Xbgp.Api.h_memalloc;
+           jeqi R0 0 "defer";
+           mov R8 R0;
+           (* r8 = output buffer *)
+           movi R3 0;
+           (* input offset *)
+           movi R4 0;
+           (* output offset *)
+           label "scan";
+           jge R3 R7 "done";
+           mov R2 R6;
+           add R2 R3;
+           ldxw R1 R2 4;
+           be32 R1;
+           (* r1 = community value *)
+           mov R2 R1;
+           rshi R2 16;
+           jeq R2 R9 "skip";
+           (* keep: write BE back into the output *)
+           be32 R1;
+           mov R2 R8;
+           add R2 R4;
+           stxw R2 0 R1;
+           addi R4 4;
+           label "skip";
+           addi R3 4;
+           ja "scan";
+           label "done";
+           jeq R4 R7 "defer";
+           (* nothing stripped *)
+           jnei R4 0 "rewrite";
+           (* all stripped: drop the attribute entirely *)
+           movi R1 Bgp.Attr.code_communities;
+           call Xbgp.Api.h_remove_attr;
+           ja "defer";
+           label "rewrite";
+           movi R1 Bgp.Attr.code_communities;
+           movi R2 (Bgp.Attr.flag_optional lor Bgp.Attr.flag_transitive);
+           mov R3 R4;
+           mov R4 R8;
+           call Xbgp.Api.h_add_attr;
+           label "defer";
+         ];
+         Util.tail_next;
+       ])
+
+let program =
+  Xbgp.Xprog.v ~name:"community_strip"
+    ~allowed_helpers:
+      Xbgp.Api.
+        [
+          h_next;
+          h_get_peer_info;
+          h_get_attr;
+          h_add_attr;
+          h_remove_attr;
+          h_memalloc;
+        ]
+    [ ("export", export) ]
+
+let manifest =
+  Xbgp.Manifest.v ~programs:[ "community_strip" ]
+    ~attachments:
+      [
+        {
+          program = "community_strip";
+          bytecode = "export";
+          point = Xbgp.Api.Bgp_outbound_filter;
+          order = 0;
+        };
+      ]

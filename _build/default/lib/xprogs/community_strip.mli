@@ -1,0 +1,9 @@
+(** Scrub internal communities at the AS boundary: on eBGP export, drop every community whose high 16 bits equal the local AS.
+
+    See the .ml for the annotated bytecode. *)
+
+val program : Xbgp.Xprog.t
+(** The deployable program (verified at registration). *)
+
+val manifest : Xbgp.Manifest.t
+(** The standard attachment manifest for this program. *)

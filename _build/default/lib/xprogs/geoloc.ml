@@ -1,0 +1,295 @@
+(* §2 / Fig. 2: the GeoLoc attribute — a new optional-transitive BGP
+   attribute (code 42, 8-byte payload [lat u32 BE][lon u32 BE]) recording
+   where a route entered the network, with a filter that drops routes
+   learned too far away.
+
+   Exactly the paper's four bytecodes:
+
+   1. [receive]  at BGP_RECEIVE_MESSAGE: the native parser drops unknown
+      attributes, so this bytecode re-scans the raw UPDATE (get_arg) for
+      attribute 42 and re-attaches it (add_attr).
+   2. [import]   at BGP_INBOUND_FILTER: on eBGP sessions where the route
+      has no GeoLoc yet, stamp the router's own coordinates
+      (get_xtra("coords")); when a GeoLoc is present and the router
+      configures "geo_max_dist2", reject routes whose squared coordinate
+      distance exceeds it.
+   3. [export]   at BGP_OUTBOUND_FILTER: strip GeoLoc before it leaves
+      the AS (eBGP peers), defer otherwise.
+   4. [encode]   at BGP_ENCODE_MESSAGE: the native encoder only emits
+      known attributes, so write the GeoLoc attribute bytes into iBGP
+      updates with write_buf.
+
+   Coordinates use the unsigned fixed-point encoding of
+   [Util.coord_of_degrees]; distances are compared squared, in 64-bit
+   arithmetic (wrap-around makes the squared difference correct even for
+   "negative" diffs). *)
+
+open Ebpf.Asm
+open Ebpf.Insn
+
+let attr_code = 42
+let attr_flags = Bgp.Attr.flag_optional lor Bgp.Attr.flag_transitive
+
+let receive =
+  assemble
+    (List.concat
+       [
+         [
+           movi R1 Xbgp.Api.arg_update_payload;
+           call Xbgp.Api.h_get_arg;
+           jeqi R0 0 "done";
+           mov R6 R0;
+           ldxw R9 R6 0;
+           (* blob length = body length *)
+           add R9 R6;
+           addi R9 4;
+           (* r9 = end of body *)
+           addi R6 4;
+           (* r6 = body start *)
+           (* skip withdrawn routes *)
+           ldxh R1 R6 0;
+           be16 R1;
+           add R6 R1;
+           addi R6 2;
+           (* attribute section *)
+           ldxh R7 R6 0;
+           be16 R7;
+           addi R6 2;
+           add R7 R6;
+           (* r7 = end of attributes *)
+           jgt R7 R9 "done";
+           (* corrupt: attributes past body *)
+           label "scan";
+           mov R1 R6;
+           addi R1 3;
+           jgt R1 R7 "done";
+           ldxb R2 R6 0;
+           (* flags *)
+           ldxb R3 R6 1;
+           (* code *)
+           mov R5 R2;
+           andi R5 0x10;
+           jeqi R5 0 "std_len";
+           ldxh R4 R6 2;
+           be16 R4;
+           movi R5 4;
+           ja "have_len";
+           label "std_len";
+           ldxb R4 R6 2;
+           movi R5 3;
+           label "have_len";
+           (* r4 = attr length, r5 = header size *)
+           jnei R3 attr_code "skip";
+           mov R8 R6;
+           add R8 R5;
+           (* r8 = attribute data *)
+           movi R1 attr_code;
+           (* r2 already = flags *)
+           mov R3 R4;
+           mov R4 R8;
+           call Xbgp.Api.h_add_attr;
+           ja "done";
+           label "skip";
+           add R6 R5;
+           add R6 R4;
+           ja "scan";
+           label "done";
+         ];
+         Util.tail_next;
+       ])
+
+let coords_at = -16
+let maxdist_at = -32
+
+let import =
+  assemble
+    (List.concat
+       [
+         [
+           movi R1 attr_code;
+           call Xbgp.Api.h_get_attr;
+           jnei R0 0 "have_attr";
+           (* no GeoLoc: stamp our coordinates on eBGP sessions *)
+           call Xbgp.Api.h_get_peer_info;
+           jeqi R0 0 "defer";
+           ldxw R1 R0 Xbgp.Api.pi_peer_type;
+           jnei R1 Xbgp.Api.ebgp_session "defer";
+         ];
+         Util.store_cstring ~at:coords_at "coords";
+         [
+           mov R1 R10;
+           addi R1 coords_at;
+           call Xbgp.Api.h_get_xtra;
+           jeqi R0 0 "defer";
+           mov R4 R0;
+           addi R4 4;
+           (* payload of the blob *)
+           movi R1 attr_code;
+           movi R2 attr_flags;
+           movi R3 8;
+           call Xbgp.Api.h_add_attr;
+           ja "defer";
+           label "have_attr";
+           mov R6 R0;
+           (* r6 = GeoLoc TLV *)
+         ];
+         Util.store_cstring ~at:maxdist_at "geo_max_dist2";
+         [
+           mov R1 R10;
+           addi R1 maxdist_at;
+           call Xbgp.Api.h_get_xtra;
+           jeqi R0 0 "defer";
+           ldxw R7 R0 4;
+           be32 R7;
+           (* r7 = max squared distance *)
+         ];
+         Util.store_cstring ~at:coords_at "coords";
+         [
+           mov R1 R10;
+           addi R1 coords_at;
+           call Xbgp.Api.h_get_xtra;
+           jeqi R0 0 "defer";
+           mov R8 R0;
+           (* route lat - our lat *)
+           ldxw R1 R6 4;
+           be32 R1;
+           ldxw R2 R8 4;
+           be32 R2;
+           sub R1 R2;
+           mov R3 R1;
+           mul R3 R3;
+           (* route lon - our lon *)
+           ldxw R1 R6 8;
+           be32 R1;
+           ldxw R2 R8 8;
+           be32 R2;
+           sub R1 R2;
+           mul R1 R1;
+           add R3 R1;
+           jgt R3 R7 "reject";
+           ja "defer";
+           label "reject";
+           movi R0 1;
+           exit_;
+           label "defer";
+         ];
+         Util.tail_next;
+       ])
+
+let export =
+  assemble
+    (List.concat
+       [
+         [
+           call Xbgp.Api.h_get_peer_info;
+           jeqi R0 0 "defer";
+           ldxw R1 R0 Xbgp.Api.pi_peer_type;
+           jnei R1 Xbgp.Api.ebgp_session "defer";
+           movi R1 attr_code;
+           call Xbgp.Api.h_remove_attr;
+           label "defer";
+         ];
+         Util.tail_next;
+       ])
+
+let encode =
+  assemble
+    (List.concat
+       [
+         [
+           call Xbgp.Api.h_get_peer_info;
+           jeqi R0 0 "done";
+           ldxw R1 R0 Xbgp.Api.pi_peer_type;
+           jnei R1 Xbgp.Api.ibgp_session "done";
+           movi R1 attr_code;
+           call Xbgp.Api.h_get_attr;
+           jeqi R0 0 "done";
+           mov R6 R0;
+           ldxh R7 R6 2;
+           be16 R7;
+           (* r7 = payload length *)
+           mov R1 R7;
+           addi R1 3;
+           call Xbgp.Api.h_memalloc;
+           jeqi R0 0 "done";
+           mov R8 R0;
+           ldxb R1 R6 0;
+           andi R1 0xEF;
+           (* no extended-length bit in the 1-byte form *)
+           stxb R8 0 R1;
+           ldxb R1 R6 1;
+           stxb R8 1 R1;
+           mov R1 R7;
+           stxb R8 2 R1;
+           movi R3 0;
+           label "copy";
+           jge R3 R7 "copy_done";
+           mov R2 R6;
+           add R2 R3;
+           ldxb R1 R2 4;
+           mov R2 R8;
+           add R2 R3;
+           stxb R2 3 R1;
+           addi R3 1;
+           ja "copy";
+           label "copy_done";
+           mov R1 R8;
+           mov R2 R7;
+           addi R2 3;
+           call Xbgp.Api.h_write_buf;
+           label "done";
+         ];
+         Util.tail_next;
+       ])
+
+let program =
+  Xbgp.Xprog.v ~name:"geoloc"
+    ~allowed_helpers:
+      Xbgp.Api.
+        [
+          h_next;
+          h_get_arg;
+          h_get_peer_info;
+          h_get_attr;
+          h_add_attr;
+          h_remove_attr;
+          h_get_xtra;
+          h_write_buf;
+          h_memalloc;
+        ]
+    [
+      ("receive", receive);
+      ("import", import);
+      ("export", export);
+      ("encode", encode);
+    ]
+
+let manifest =
+  Xbgp.Manifest.v ~programs:[ "geoloc" ]
+    ~attachments:
+      [
+        {
+          program = "geoloc";
+          bytecode = "receive";
+          point = Xbgp.Api.Bgp_receive_message;
+          order = 0;
+        };
+        {
+          program = "geoloc";
+          bytecode = "import";
+          point = Xbgp.Api.Bgp_inbound_filter;
+          order = 0;
+        };
+        {
+          program = "geoloc";
+          bytecode = "export";
+          point = Xbgp.Api.Bgp_outbound_filter;
+          order = 0;
+        };
+        {
+          program = "geoloc";
+          bytecode = "encode";
+          point = Xbgp.Api.Bgp_encode_message;
+          order = 0;
+        };
+      ]

@@ -1,0 +1,9 @@
+(** §2 / Fig. 2: the GeoLoc attribute (code 42) — receive recovers it from the raw UPDATE, import stamps coordinates and filters by squared distance, export strips it at the AS boundary, encode writes it into iBGP updates.
+
+    See the .ml for the annotated bytecode. *)
+
+val program : Xbgp.Xprog.t
+(** The deployable program (verified at registration). *)
+
+val manifest : Xbgp.Manifest.t
+(** The standard attachment manifest for this program. *)

@@ -1,0 +1,77 @@
+(* §3.1 / Listing 1: an export filter that rejects BGP routes whose
+   next hop has a too-large IGP metric.
+
+   Faithful transcription of the paper's C source:
+
+     uint64_t export_igp(args) {
+       nexthop = get_nexthop(NULL);
+       peer    = get_peer_info();
+       if (peer->peer_type != EBGP_SESSION) next();  // no iBGP filtering
+       if (nexthop->igp_metric <= MAX_METRIC) next();// accepted here;
+                                                     // next filter decides
+       return FILTER_REJECT;
+     }
+
+   MAX_METRIC comes from the router configuration through
+   get_xtra("igp_max_metric") (big-endian u32); when the extra is absent
+   the filter defers. Attached to BGP_OUTBOUND_FILTER. *)
+
+open Ebpf.Asm
+open Ebpf.Insn
+
+let key = "igp_max_metric"
+let key_at = -16 (* stack slot for the cstring *)
+
+let store_cstring_items = Util.store_cstring ~at:key_at key
+
+let export_igp =
+  assemble
+    (List.concat
+       [
+         [
+           call Xbgp.Api.h_get_nexthop;
+           jeqi R0 0 "next";
+           mov R6 R0;
+           call Xbgp.Api.h_get_peer_info;
+           jeqi R0 0 "next";
+           ldxw R1 R0 Xbgp.Api.pi_peer_type;
+           jnei R1 Xbgp.Api.ebgp_session "next";
+         ];
+         store_cstring_items;
+         [
+           mov R1 R10;
+           addi R1 key_at;
+           call Xbgp.Api.h_get_xtra;
+           jeqi R0 0 "next";
+           ldxw R7 R0 Xbgp.Api.blob_header_size;
+           be32 R7;
+           (* r7 = MAX_METRIC *)
+           ldxw R2 R6 Xbgp.Api.nh_igp_metric;
+           jle R2 R7 "next";
+           movi R0 1;
+           (* FILTER_REJECT *)
+           exit_;
+           label "next";
+         ];
+         Util.tail_next;
+       ])
+
+(** The deployable program: one bytecode for the outbound filter. *)
+let program =
+  Xbgp.Xprog.v ~name:"igp_filter"
+    ~allowed_helpers:
+      Xbgp.Api.
+        [ h_next; h_get_nexthop; h_get_peer_info; h_get_xtra ]
+    [ ("export_igp", export_igp) ]
+
+let manifest =
+  Xbgp.Manifest.v ~programs:[ "igp_filter" ]
+    ~attachments:
+      [
+        {
+          program = "igp_filter";
+          bytecode = "export_igp";
+          point = Xbgp.Api.Bgp_outbound_filter;
+          order = 0;
+        };
+      ]

@@ -1,0 +1,9 @@
+(** §3.1 / Listing 1: reject routes whose BGP next hop has a too-large IGP metric. One bytecode for BGP_OUTBOUND_FILTER; reads get_xtra("igp_max_metric").
+
+    See the .ml for the annotated bytecode. *)
+
+val program : Xbgp.Xprog.t
+(** The deployable program (verified at registration). *)
+
+val manifest : Xbgp.Manifest.t
+(** The standard attachment manifest for this program. *)

@@ -1,0 +1,56 @@
+(* "Always-compare-MED" as extension code, exercising the BGP_DECISION
+   insertion point (circle 3 of Fig. 2).
+
+   RFC 4271 only compares MULTI_EXIT_DISC between routes from the same
+   neighbouring AS; many operators want the vendor knob that compares it
+   globally. With xBGP that knob is forty instructions: look at both
+   candidate summaries, and when their MEDs differ pick the lower one —
+   before the native tie-breaking runs. Equal MEDs are declared a tie,
+   which hands the decision back to the host's RFC 4271 process. *)
+
+open Ebpf.Asm
+open Ebpf.Insn
+
+let compare_med =
+  assemble
+    [
+      movi R1 Xbgp.Api.arg_candidate_a;
+      call Xbgp.Api.h_get_arg;
+      jeqi R0 0 "tie";
+      mov R6 R0;
+      movi R1 Xbgp.Api.arg_candidate_b;
+      call Xbgp.Api.h_get_arg;
+      jeqi R0 0 "tie";
+      mov R7 R0;
+      (* blob header is 4 bytes; med at cd_med *)
+      ldxw R1 R6 (4 + Xbgp.Api.cd_med);
+      ldxw R2 R7 (4 + Xbgp.Api.cd_med);
+      jlt R1 R2 "first";
+      jgt R1 R2 "second";
+      label "tie";
+      movi R0 0;
+      exit_;
+      label "first";
+      movi R0 1;
+      exit_;
+      label "second";
+      movi R0 2;
+      exit_;
+    ]
+
+let program =
+  Xbgp.Xprog.v ~name:"med_compare"
+    ~allowed_helpers:Xbgp.Api.[ h_get_arg ]
+    [ ("compare", compare_med) ]
+
+let manifest =
+  Xbgp.Manifest.v ~programs:[ "med_compare" ]
+    ~attachments:
+      [
+        {
+          program = "med_compare";
+          bytecode = "compare";
+          point = Xbgp.Api.Bgp_decision;
+          order = 0;
+        };
+      ]

@@ -1,0 +1,9 @@
+(** Always-compare-MED at the BGP_DECISION insertion point (circle 3): pick the candidate with the lower MED, ties fall back to the native RFC 4271 decision process.
+
+    See the .ml for the annotated bytecode. *)
+
+val program : Xbgp.Xprog.t
+(** The deployable program (verified at registration). *)
+
+val manifest : Xbgp.Manifest.t
+(** The standard attachment manifest for this program. *)

@@ -1,0 +1,9 @@
+(** §3.4: RPKI origin validation — init loads the ROA file into an xBGP hash map; import derives the origin AS from the AS_PATH payload, looks it up, and tags the route (communities 65535:1/2/3) without discarding it.
+
+    See the .ml for the annotated bytecode. *)
+
+val program : Xbgp.Xprog.t
+(** The deployable program (verified at registration). *)
+
+val manifest : Xbgp.Manifest.t
+(** The standard attachment manifest for this program. *)

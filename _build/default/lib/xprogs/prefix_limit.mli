@@ -1,0 +1,9 @@
+(** A stateful per-peer max-prefix limit: a map counts routes accepted per peer address; beyond get_xtra("max_prefix") routes are rejected.
+
+    See the .ml for the annotated bytecode. *)
+
+val program : Xbgp.Xprog.t
+(** The deployable program (verified at registration). *)
+
+val manifest : Xbgp.Manifest.t
+(** The standard attachment manifest for this program. *)

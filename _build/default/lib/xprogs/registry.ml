@@ -1,0 +1,27 @@
+(* The bytecode registry: resolves the program names a manifest mentions
+   to their compiled artifacts — the moral equivalent of the directory of
+   .o files the real libxbgp loads from disk. *)
+
+let all : Xbgp.Xprog.t list =
+  [
+    Igp_filter.program;
+    Route_reflector.program;
+    Origin_validation.program;
+    Valley_free.program;
+    Geoloc.program;
+    Med_compare.program;
+    Prefix_limit.program;
+    Community_strip.program;
+  ]
+
+let find name =
+  List.find_opt (fun (p : Xbgp.Xprog.t) -> p.name = name) all
+
+(** Build a VMM for [host] and load [manifest] into it.
+    @raise Invalid_argument when the manifest does not apply cleanly. *)
+let vmm_of_manifest ?heap_size ?budget ?engine ~host manifest =
+  let vmm = Xbgp.Vmm.create ?heap_size ?budget ?engine ~host () in
+  (match Xbgp.Manifest.load vmm ~registry:find manifest with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Registry.vmm_of_manifest: " ^ e));
+  vmm

@@ -1,0 +1,16 @@
+(** The bytecode registry: resolves the program names a manifest mentions
+    to their compiled artifacts — the moral equivalent of the directory
+    of .o files the real libxbgp loads from disk. *)
+
+val all : Xbgp.Xprog.t list
+val find : string -> Xbgp.Xprog.t option
+
+val vmm_of_manifest :
+  ?heap_size:int ->
+  ?budget:int ->
+  ?engine:Ebpf.Vm.engine ->
+  host:string ->
+  Xbgp.Manifest.t ->
+  Xbgp.Vmm.t
+(** Build a VMM for [host] and load the manifest into it.
+    @raise Invalid_argument when the manifest does not apply cleanly. *)

@@ -1,0 +1,188 @@
+(* §3.2: BGP route reflection (RFC 4456) reimplemented entirely as
+   extension code — support for the ORIGINATOR_ID and CLUSTER_LIST
+   attributes plus the reflection decision itself.
+
+   Two bytecodes:
+   - [import]  (BGP_INBOUND_FILTER): the RFC 4456 loop checks — reject a
+     route whose ORIGINATOR_ID is our router id or whose CLUSTER_LIST
+     already contains our cluster id; otherwise defer.
+   - [export]  (BGP_OUTBOUND_FILTER): for iBGP-learned routes going to
+     iBGP peers, apply the reflection rule (client routes to everyone,
+     non-client routes to clients only), stamp ORIGINATOR_ID if missing
+     and prepend our cluster id to CLUSTER_LIST, then ACCEPT — overriding
+     the host's native split-horizon reject. Everything else defers to
+     native policy.
+
+   The host is configured as a plain iBGP router (native_rr = false); the
+   same bytecode must behave identically on the FRR-like and BIRD-like
+   daemons, and the downstream router must see byte-identical reflection
+   attributes compared to native mode. *)
+
+open Ebpf.Asm
+open Ebpf.Insn
+
+let code_originator = Bgp.Attr.code_originator_id
+let code_cluster = Bgp.Attr.code_cluster_list
+
+let import =
+  assemble
+    (List.concat
+       [
+         [
+           call Xbgp.Api.h_get_peer_info;
+           jeqi R0 0 "next";
+           ldxw R1 R0 Xbgp.Api.pi_peer_type;
+           jnei R1 Xbgp.Api.ibgp_session "next";
+           ldxw R6 R0 Xbgp.Api.pi_local_router_id;
+           ldxw R7 R0 Xbgp.Api.pi_cluster_id;
+           (* ORIGINATOR_ID loop check *)
+           movi R1 code_originator;
+           call Xbgp.Api.h_get_attr;
+           jeqi R0 0 "no_originator";
+           ldxw R1 R0 4;
+           be32 R1;
+           jeq R1 R6 "reject";
+           label "no_originator";
+           (* CLUSTER_LIST loop check *)
+           movi R1 code_cluster;
+           call Xbgp.Api.h_get_attr;
+           jeqi R0 0 "next";
+           ldxh R2 R0 2;
+           be16 R2;
+           (* r2 = payload byte length *)
+           movi R3 0;
+           label "loop";
+           jge R3 R2 "next";
+           mov R4 R0;
+           add R4 R3;
+           ldxw R5 R4 4;
+           be32 R5;
+           jeq R5 R7 "reject";
+           addi R3 4;
+           ja "loop";
+           label "reject";
+           movi R0 1;
+           exit_;
+           label "next";
+         ];
+         Util.tail_next;
+       ])
+
+let export =
+  assemble
+    (List.concat
+       [
+         [
+           (* where does the route come from? *)
+           movi R1 Xbgp.Api.arg_source;
+           call Xbgp.Api.h_get_arg;
+           jeqi R0 0 "next";
+           mov R6 R0;
+           (* blob header is 4 bytes *)
+           ldxw R1 R6 (4 + Xbgp.Api.src_is_local);
+           jnei R1 0 "next";
+           ldxw R1 R6 (4 + Xbgp.Api.src_peer_type);
+           jnei R1 Xbgp.Api.ibgp_session "next";
+           (* target peer *)
+           call Xbgp.Api.h_get_peer_info;
+           jeqi R0 0 "next";
+           mov R7 R0;
+           ldxw R1 R7 Xbgp.Api.pi_peer_type;
+           jnei R1 Xbgp.Api.ibgp_session "next";
+           (* reflection rule: need source or target to be a client *)
+           ldxw R1 R6 (4 + Xbgp.Api.src_rr_client);
+           ldxw R2 R7 Xbgp.Api.pi_rr_client;
+           or_ R1 R2;
+           jeqi R1 0 "reject";
+           (* ensure ORIGINATOR_ID *)
+           movi R1 code_originator;
+           call Xbgp.Api.h_get_attr;
+           jnei R0 0 "have_originator";
+           ldxw R1 R6 (4 + Xbgp.Api.src_router_id);
+           be32 R1;
+           stxw R10 (-8) R1;
+           movi R1 code_originator;
+           movi R2 Bgp.Attr.flag_optional;
+           movi R3 4;
+           mov R4 R10;
+           addi R4 (-8);
+           call Xbgp.Api.h_add_attr;
+           label "have_originator";
+           (* prepend our cluster id to CLUSTER_LIST *)
+           movi R1 code_cluster;
+           call Xbgp.Api.h_get_attr;
+           mov R8 R0;
+           movi R9 0;
+           jeqi R8 0 "no_old_list";
+           ldxh R9 R8 2;
+           be16 R9;
+           label "no_old_list";
+           mov R1 R9;
+           addi R1 4;
+           call Xbgp.Api.h_memalloc;
+           jeqi R0 0 "reject";
+           mov R6 R0;
+           (* r6 now = new payload buffer *)
+           ldxw R1 R7 Xbgp.Api.pi_cluster_id;
+           be32 R1;
+           stxw R6 0 R1;
+           movi R3 0;
+           label "copy";
+           jge R3 R9 "copy_done";
+           mov R4 R8;
+           add R4 R3;
+           ldxb R2 R4 4;
+           mov R5 R6;
+           add R5 R3;
+           stxb R5 4 R2;
+           addi R3 1;
+           ja "copy";
+           label "copy_done";
+           movi R1 code_cluster;
+           movi R2 Bgp.Attr.flag_optional;
+           mov R3 R9;
+           addi R3 4;
+           mov R4 R6;
+           call Xbgp.Api.h_add_attr;
+           movi R0 0;
+           (* FILTER_ACCEPT: reflect *)
+           exit_;
+           label "reject";
+           movi R0 1;
+           exit_;
+           label "next";
+         ];
+         Util.tail_next;
+       ])
+
+let program =
+  Xbgp.Xprog.v ~name:"route_reflector"
+    ~allowed_helpers:
+      Xbgp.Api.
+        [
+          h_next;
+          h_get_arg;
+          h_get_peer_info;
+          h_get_attr;
+          h_add_attr;
+          h_memalloc;
+        ]
+    [ ("import", import); ("export", export) ]
+
+let manifest =
+  Xbgp.Manifest.v ~programs:[ "route_reflector" ]
+    ~attachments:
+      [
+        {
+          program = "route_reflector";
+          bytecode = "import";
+          point = Xbgp.Api.Bgp_inbound_filter;
+          order = 0;
+        };
+        {
+          program = "route_reflector";
+          bytecode = "export";
+          point = Xbgp.Api.Bgp_outbound_filter;
+          order = 0;
+        };
+      ]

@@ -1,0 +1,9 @@
+(** §3.2: RFC 4456 route reflection entirely as extension code — loop checks at BGP_INBOUND_FILTER, the reflection decision and ORIGINATOR_ID/CLUSTER_LIST stamping at BGP_OUTBOUND_FILTER.
+
+    See the .ml for the annotated bytecode. *)
+
+val program : Xbgp.Xprog.t
+(** The deployable program (verified at registration). *)
+
+val manifest : Xbgp.Manifest.t
+(** The standard attachment manifest for this program. *)

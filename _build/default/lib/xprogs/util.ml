@@ -1,0 +1,81 @@
+(* Shared idioms for writing xBGP extension bytecode with the [Ebpf.Asm]
+   eDSL, plus the host-side encoders for the configuration blobs the
+   bytecodes read through [get_xtra].
+
+   Conventions used by every program in this library (they mirror real
+   eBPF practice even though our interpreter is more forgiving):
+   - r6..r9 hold values that must survive helper calls;
+   - stack slots addressed off r10 hold map keys and cstring keys;
+   - attribute payloads are network byte order: a 32-bit field loaded
+     with ldxw must be passed through be32 to obtain the native value
+     (and vice versa before stxw). *)
+
+open Ebpf
+
+(** Store the NUL-terminated string [s] at [r10 + at] (negative [at]).
+    The caller must reserve [String.length s + 1] bytes of stack. *)
+let store_cstring ~at s =
+  if at + String.length s + 1 > 0 then
+    invalid_arg "store_cstring: runs past the top of the stack";
+  List.init
+    (String.length s + 1)
+    (fun i ->
+      let c = if i < String.length s then Char.code s.[i] else 0 in
+      Asm.stb Insn.R10 (at + i) c)
+
+(** [next(); r0 <- 0; exit] — the canonical tail of a bytecode that defers
+    to the rest of the chain. (next() does not return; the trailing exit
+    keeps the verifier's no-fall-off rule satisfied.) *)
+let tail_next =
+  [ Asm.call Xbgp.Api.h_next; Asm.movi Insn.R0 0; Asm.exit_ ]
+
+(* --- host-side blob encoders (layouts consumed by the bytecodes) --- *)
+
+(** ROA table blob for the origin-validation program: a sequence of
+    12-byte entries [addr u32 BE][len u8][pad3][asn u32 BE]. *)
+let encode_roa_table (roas : Rpki.Roa.t list) : bytes =
+  let b = Bytes.make (12 * List.length roas) '\000' in
+  List.iteri
+    (fun i (r : Rpki.Roa.t) ->
+      let off = 12 * i in
+      Bytes.set_int32_be b off (Int32.of_int (Bgp.Prefix.addr r.prefix));
+      Bytes.set_uint8 b (off + 4) (Bgp.Prefix.len r.prefix);
+      Bytes.set_int32_be b (off + 8) (Int32.of_int r.asn))
+    roas;
+  b
+
+(** Valley-free manifest blob: 8-byte entries [child_as u32 BE]
+    [parent_as u32 BE], one per (level i+1, level i) eBGP session. *)
+let encode_as_pairs (pairs : (int * int) list) : bytes =
+  let b = Bytes.create (8 * List.length pairs) in
+  List.iteri
+    (fun i (child, parent) ->
+      Bytes.set_int32_be b (8 * i) (Int32.of_int child);
+      Bytes.set_int32_be b ((8 * i) + 4) (Int32.of_int parent))
+    pairs;
+  b
+
+(** GeoLoc coordinates blob: [lat u32 BE][lon u32 BE]. Coordinates are
+    unsigned fixed-point: (degrees + 500) * 1000, which keeps squared
+    distances well inside 64 bits. *)
+let encode_coords ~lat ~lon : bytes =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_be b 0 (Int32.of_int lat);
+  Bytes.set_int32_be b 4 (Int32.of_int lon);
+  b
+
+let coord_of_degrees d = int_of_float (Float.round ((d +. 500.) *. 1000.))
+
+(** Internal-origin ASN list blob: 4-byte big-endian entries. *)
+let encode_asn_list (asns : int list) : bytes =
+  let b = Bytes.create (4 * List.length asns) in
+  List.iteri
+    (fun i asn -> Bytes.set_int32_be b (4 * i) (Int32.of_int asn))
+    asns;
+  b
+
+(** A bare big-endian u32 blob (thresholds etc.). *)
+let encode_u32 v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int v);
+  b

@@ -1,0 +1,38 @@
+(** Shared idioms for writing xBGP extension bytecode, plus the host-side
+    encoders for the configuration blobs the bytecodes read through
+    [get_xtra].
+
+    Conventions used by every program in this library: r6..r9 hold values
+    that survive helper calls; stack slots hold map keys and cstring
+    keys; attribute payloads are network byte order (pass 32-bit loads
+    through [be32] to obtain native values). *)
+
+val store_cstring : at:int -> string -> Ebpf.Asm.item list
+(** Emit stores writing the NUL-terminated string at [r10 + at]
+    (negative [at]). @raise Invalid_argument if it would run past the
+    stack top. *)
+
+val tail_next : Ebpf.Asm.item list
+(** [next(); r0 <- 0; exit] — the canonical tail of a bytecode that
+    defers to the rest of the chain. *)
+
+(** {1 Configuration blob encoders} *)
+
+val encode_roa_table : Rpki.Roa.t list -> bytes
+(** Origin-validation ROA table: 12-byte entries
+    [addr u32 BE][len u8][pad3][asn u32 BE]. *)
+
+val encode_as_pairs : (int * int) list -> bytes
+(** Valley-free manifest: 8-byte entries [child u32 BE][parent u32 BE]. *)
+
+val encode_asn_list : int list -> bytes
+(** Fabric-internal origin ASNs: 4-byte big-endian entries. *)
+
+val encode_coords : lat:int -> lon:int -> bytes
+(** GeoLoc coordinates: [lat u32 BE][lon u32 BE], fixed-point. *)
+
+val coord_of_degrees : float -> int
+(** Unsigned fixed point: (degrees + 500) * 1000. *)
+
+val encode_u32 : int -> bytes
+(** A bare big-endian u32 (thresholds etc.). *)

@@ -1,0 +1,235 @@
+(* §3.3: valley-free routing inside a data center, without resorting to
+   duplicate AS numbers.
+
+   The operator loads two pieces of configuration at init time:
+   - get_xtra("vf_pairs"): every (child AS, parent AS) pair, one per
+     eBGP session between adjacent levels of the Clos hierarchy -> map 0;
+   - get_xtra("vf_internal"): the ASNs originating *fabric-internal*
+     prefixes (the ToRs) -> map 1.
+
+   The [import] bytecode runs at BGP_INBOUND_FILTER. When the session the
+   route arrives on is an *upward* one ((peer_as, local_as) in map 0),
+   accepting the route would move it up, so it must never have moved
+   *down* before. A downward hop reads, left to right in the AS_PATH, as
+   an adjacent (child, parent) pair — exactly a map-0 key.
+
+   Exemption (the partition-avoidance benefit the paper claims over the
+   duplicate-ASN trick): when the route's *origin* AS is fabric-internal
+   (map 1), valleys are allowed — under multiple link failures they are
+   the only way to keep the fabric connected (Fig. 5), and the decision
+   process never prefers them while shorter valley-free paths exist. *)
+
+open Ebpf.Asm
+open Ebpf.Insn
+
+let pairs_key = "vf_pairs"
+let internal_key = "vf_internal"
+let key_at = -48
+let tlv_slot = -24 (* saved AS_PATH TLV pointer across helper calls *)
+
+(* load (child,parent) pairs into map 0 and internal ASNs into map 1 *)
+let init =
+  assemble
+    (List.concat
+       [
+         Util.store_cstring ~at:key_at pairs_key;
+         [
+           mov R1 R10;
+           addi R1 key_at;
+           call Xbgp.Api.h_get_xtra;
+           jeqi R0 0 "internal";
+           mov R6 R0;
+           ldxw R7 R6 0;
+           movi R8 0;
+           label "pair_loop";
+           jge R8 R7 "internal";
+           mov R2 R6;
+           add R2 R8;
+           ldxw R3 R2 4;
+           be32 R3;
+           stxw R10 (-8) R3;
+           ldxw R3 R2 8;
+           be32 R3;
+           stxw R10 (-4) R3;
+           movi R3 1;
+           stxw R10 (-16) R3;
+           movi R1 0;
+           mov R2 R10;
+           addi R2 (-8);
+           mov R3 R10;
+           addi R3 (-16);
+           call Xbgp.Api.h_map_update;
+           addi R8 8;
+           ja "pair_loop";
+           label "internal";
+         ];
+         Util.store_cstring ~at:key_at internal_key;
+         [
+           mov R1 R10;
+           addi R1 key_at;
+           call Xbgp.Api.h_get_xtra;
+           jeqi R0 0 "done";
+           mov R6 R0;
+           ldxw R7 R6 0;
+           movi R8 0;
+           label "asn_loop";
+           jge R8 R7 "done";
+           mov R2 R6;
+           add R2 R8;
+           ldxw R3 R2 4;
+           be32 R3;
+           stxw R10 (-8) R3;
+           movi R3 1;
+           stxw R10 (-16) R3;
+           movi R1 1;
+           mov R2 R10;
+           addi R2 (-8);
+           mov R3 R10;
+           addi R3 (-16);
+           call Xbgp.Api.h_map_update;
+           addi R8 4;
+           ja "asn_loop";
+           label "done";
+           movi R0 0;
+           exit_;
+         ];
+       ])
+
+let import =
+  assemble
+    (List.concat
+       [
+         [
+           (* is this an upward session? map-0 key = (peer_as, local_as) *)
+           call Xbgp.Api.h_get_peer_info;
+           jeqi R0 0 "defer";
+           ldxw R1 R0 Xbgp.Api.pi_peer_as;
+           stxw R10 (-8) R1;
+           ldxw R1 R0 Xbgp.Api.pi_local_as;
+           stxw R10 (-4) R1;
+           movi R1 0;
+           mov R2 R10;
+           addi R2 (-8);
+           call Xbgp.Api.h_map_lookup;
+           jeqi R0 0 "defer";
+           movi R1 Bgp.Attr.code_as_path;
+           call Xbgp.Api.h_get_attr;
+           jeqi R0 0 "defer";
+           stxdw R10 tlv_slot R0;
+           (* pass 1 (no helper calls): origin AS = last ASN *)
+           mov R6 R0;
+           ldxh R7 R6 2;
+           be16 R7;
+           movi R3 0;
+           movi R5 0;
+           label "o_seg";
+           mov R4 R3;
+           addi R4 2;
+           jgt R4 R7 "o_done";
+           mov R4 R6;
+           add R4 R3;
+           ldxb R2 R4 5;
+           (* count *)
+           jeqi R2 0 "o_skip";
+           mov R1 R2;
+           lshi R1 2;
+           add R1 R4;
+           ldxw R5 R1 2;
+           be32 R5;
+           label "o_skip";
+           mov R1 R2;
+           lshi R1 2;
+           addi R1 2;
+           add R3 R1;
+           ja "o_seg";
+           label "o_done";
+           (* internal destination? map-1 key = origin AS *)
+           stxw R10 (-8) R5;
+           movi R1 1;
+           mov R2 R10;
+           addi R2 (-8);
+           call Xbgp.Api.h_map_lookup;
+           jnei R0 0 "defer";
+           (* pass 2: scan adjacent pairs for a downward hop *)
+           ldxdw R6 R10 tlv_slot;
+           ldxh R9 R6 2;
+           be16 R9;
+           addi R6 4;
+           (* r6 = segment cursor *)
+           add R9 R6;
+           (* r9 = payload end *)
+           label "outer";
+           mov R1 R6;
+           addi R1 2;
+           jgt R1 R9 "defer";
+           ldxb R7 R6 1;
+           (* r7 = ASN count *)
+           mov R8 R6;
+           addi R8 2;
+           (* r8 = first ASN *)
+           mov R1 R7;
+           lshi R1 2;
+           addi R1 2;
+           add R6 R1;
+           jlei R7 1 "outer";
+           subi R7 1;
+           label "pair";
+           ldxw R1 R8 0;
+           be32 R1;
+           stxw R10 (-8) R1;
+           ldxw R1 R8 4;
+           be32 R1;
+           stxw R10 (-4) R1;
+           movi R1 0;
+           mov R2 R10;
+           addi R2 (-8);
+           call Xbgp.Api.h_map_lookup;
+           jnei R0 0 "reject";
+           addi R8 4;
+           subi R7 1;
+           jnei R7 0 "pair";
+           ja "outer";
+           label "reject";
+           movi R0 1;
+           exit_;
+           label "defer";
+         ];
+         Util.tail_next;
+       ])
+
+let program =
+  Xbgp.Xprog.v ~name:"valley_free"
+    ~maps:
+      [
+        { Xbgp.Xprog.key_size = 8; value_size = 4 };
+        { Xbgp.Xprog.key_size = 4; value_size = 4 };
+      ]
+    ~allowed_helpers:
+      Xbgp.Api.
+        [
+          h_next;
+          h_get_peer_info;
+          h_get_attr;
+          h_get_xtra;
+          h_map_lookup;
+          h_map_update;
+        ]
+    [ ("init", init); ("import", import) ]
+
+let manifest =
+  Xbgp.Manifest.v ~programs:[ "valley_free" ]
+    ~attachments:
+      [
+        {
+          program = "valley_free";
+          bytecode = "init";
+          point = Xbgp.Api.Bgp_init;
+          order = 0;
+        };
+        {
+          program = "valley_free";
+          bytecode = "import";
+          point = Xbgp.Api.Bgp_inbound_filter;
+          order = 0;
+        };
+      ]

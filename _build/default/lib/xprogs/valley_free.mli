@@ -1,0 +1,9 @@
+(** §3.3: valley-free Clos routing with distinct ASNs — init loads the (child, parent) session pairs and the fabric-internal origins; import rejects upward-moving routes whose AS path contains a downward hop, exempting fabric-internal destinations.
+
+    See the .ml for the annotated bytecode. *)
+
+val program : Xbgp.Xprog.t
+(** The deployable program (verified at registration). *)
+
+val manifest : Xbgp.Manifest.t
+(** The standard attachment manifest for this program. *)

@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Attr Bgp Buffer Bytes List Message Prefix QCheck2 QCheck_alcotest

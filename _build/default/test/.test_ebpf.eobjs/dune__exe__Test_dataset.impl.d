@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Bgp Dataset Hashtbl List Option Printf Rib Rpki

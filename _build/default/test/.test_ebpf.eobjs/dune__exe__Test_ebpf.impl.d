@@ -1,0 +1,1 @@
+test/test_ebpf.ml: Alcotest Array Asm Bytes Char Disasm Ebpf Fmt Gen Insn Int32 Int64 List Memory Printf QCheck2 QCheck_alcotest String Test Verifier Vm Xbgp Xprogs

@@ -1,0 +1,1 @@
+test/test_hosts.ml: Alcotest Array Bgp Bird Bytes Frrouting Hashtbl List Netsim QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_igp.ml: Alcotest Array Hashtbl Igp List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bgp Bird Bytes Dataset Ebpf Frrouting List Netsim Option Scenario Xbgp Xprogs

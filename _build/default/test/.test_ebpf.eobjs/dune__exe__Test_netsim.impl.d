@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Bgp Bytes List Netsim Session

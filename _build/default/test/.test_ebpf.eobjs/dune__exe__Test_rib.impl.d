@@ -1,0 +1,1 @@
+test/test_rib.ml: Alcotest Bgp Hashtbl Int List QCheck2 QCheck_alcotest Rib

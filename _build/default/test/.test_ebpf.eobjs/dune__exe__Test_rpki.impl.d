@@ -1,0 +1,1 @@
+test/test_rpki.ml: Alcotest Bgp List Printf QCheck2 QCheck_alcotest Rpki String

@@ -1,0 +1,1 @@
+test/test_xbgp.ml: Alcotest Bytes Ebpf Int64 List Printf Xbgp

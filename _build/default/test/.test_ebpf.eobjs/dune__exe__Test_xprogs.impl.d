@@ -1,0 +1,1 @@
+test/test_xprogs.ml: Alcotest Bgp Buffer Bytes Int32 List Option Printf QCheck2 QCheck_alcotest Rpki String Xbgp Xprogs

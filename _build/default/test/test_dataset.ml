@@ -1,0 +1,233 @@
+(* Dataset tests: deterministic PRNG, the synthetic RIS generator's
+   statistical shape, the ROA split, the Fig. 1 dataset, and the Fig. 5
+   Clos description. *)
+
+let check = Alcotest.check
+let check_bool = Alcotest.check Alcotest.bool
+
+(* --- PRNG --- *)
+
+let test_prng_determinism () =
+  let a = Dataset.Prng.create 7 and b = Dataset.Prng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Dataset.Prng.next_int64 a)
+      (Dataset.Prng.next_int64 b)
+  done
+
+let test_prng_ranges () =
+  let rng = Dataset.Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Dataset.Prng.int rng 10 in
+    check_bool "in range" true (v >= 0 && v < 10);
+    let f = Dataset.Prng.float rng in
+    check_bool "float in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_prng_rough_uniformity () =
+  let rng = Dataset.Prng.create 99 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Dataset.Prng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      check_bool
+        (Printf.sprintf "bucket %d roughly uniform (%d)" i n)
+        true
+        (n > 700 && n < 1300))
+    buckets
+
+(* --- RIS generator --- *)
+
+let cfg n = { Dataset.Ris_gen.default_config with count = n }
+
+let test_ris_deterministic () =
+  let a = Dataset.Ris_gen.generate (cfg 500) in
+  let b = Dataset.Ris_gen.generate (cfg 500) in
+  check_bool "same seed, same table" true (a = b);
+  let c =
+    Dataset.Ris_gen.generate { (cfg 500) with seed = 43 }
+  in
+  check_bool "different seed differs" true (a <> c)
+
+let test_ris_distinct_prefixes () =
+  let routes = Dataset.Ris_gen.generate (cfg 2000) in
+  check Alcotest.int "count" 2000 (List.length routes);
+  let seen = Hashtbl.create 2048 in
+  List.iter
+    (fun (r : Dataset.Ris_gen.route) ->
+      check_bool "distinct" false (Hashtbl.mem seen r.prefix);
+      Hashtbl.replace seen r.prefix ())
+    routes
+
+let test_ris_disjoint () =
+  let routes =
+    Dataset.Ris_gen.generate { (cfg 1000) with disjoint = true }
+  in
+  let trie = Rib.Ptrie.create () in
+  List.iter
+    (fun (r : Dataset.Ris_gen.route) ->
+      check_bool "no overlap" false (Rib.Ptrie.overlaps trie r.prefix);
+      ignore (Rib.Ptrie.replace trie r.prefix ()))
+    routes
+
+let test_ris_shape () =
+  let routes = Dataset.Ris_gen.generate (cfg 5000) in
+  let len24 =
+    List.length
+      (List.filter
+         (fun (r : Dataset.Ris_gen.route) -> Bgp.Prefix.len r.prefix = 24)
+         routes)
+  in
+  (* /24 should be the dominant length, around 55% *)
+  check_bool "many /24s" true (len24 > 2300 && len24 < 3300);
+  (* every route has the mandatory attributes *)
+  List.iter
+    (fun (r : Dataset.Ris_gen.route) ->
+      let has f = List.exists f r.attrs in
+      check_bool "origin" true
+        (has (fun (a : Bgp.Attr.t) ->
+             match a.value with Bgp.Attr.Origin _ -> true | _ -> false));
+      check_bool "as-path" true
+        (has (fun a ->
+             match a.value with Bgp.Attr.As_path _ -> true | _ -> false));
+      check_bool "next-hop" true
+        (has (fun a ->
+             match a.value with Bgp.Attr.Next_hop _ -> true | _ -> false)))
+    routes;
+  (* mean path length in the realistic band *)
+  let total_len =
+    List.fold_left
+      (fun acc (r : Dataset.Ris_gen.route) ->
+        acc
+        + List.fold_left
+            (fun acc (a : Bgp.Attr.t) ->
+              match a.value with
+              | Bgp.Attr.As_path segs -> acc + Bgp.Attr.as_path_length segs
+              | _ -> acc)
+            0 r.attrs)
+      0 routes
+  in
+  let mean = float_of_int total_len /. 5000. in
+  check_bool "mean path length 3.5..5.5" true (mean > 3.5 && mean < 5.5)
+
+let test_roa_split () =
+  let routes =
+    Dataset.Ris_gen.generate { (cfg 4000) with disjoint = true }
+  in
+  let roas =
+    Dataset.Ris_gen.roas_for ~seed:5 ~valid_pct:75 ~invalid_pct:13 routes
+  in
+  let n = List.length roas in
+  (* 88% of routes should have a ROA *)
+  check_bool "roa count near 88%" true (n > 3300 && n < 3750);
+  (* validation split approximates 75 / 13 / 12 *)
+  let store = Rpki.Store_hash.of_list roas in
+  let count v =
+    List.length
+      (List.filter
+         (fun (r : Dataset.Ris_gen.route) ->
+           Rpki.Store_hash.validate store r.prefix
+             (Option.value ~default:1 (Dataset.Ris_gen.origin_as r))
+           = v)
+         routes)
+  in
+  let valid = count Rpki.Roa.Valid in
+  let invalid = count Rpki.Roa.Invalid in
+  let notfound = count Rpki.Roa.Not_found in
+  check_bool "valid ~75%" true (valid > 2800 && valid < 3200);
+  check_bool "invalid ~13%" true (invalid > 350 && invalid < 700);
+  check_bool "notfound ~12%" true (notfound > 300 && notfound < 650);
+  check Alcotest.int "partition" 4000 (valid + invalid + notfound)
+
+(* --- Fig. 1 dataset --- *)
+
+let test_rfc_delays () =
+  check Alcotest.int "forty RFCs" 40 (List.length Dataset.Rfc_delays.entries);
+  let m = Dataset.Rfc_delays.median () in
+  check_bool "median = 3.5 (paper)" true (m > 3.4 && m < 3.6);
+  check_bool "max ~ a decade (paper)" true
+    (Dataset.Rfc_delays.max_delay () > 9.);
+  let cdf = Dataset.Rfc_delays.cdf () in
+  check Alcotest.int "cdf points" 40 (List.length cdf);
+  (* the cdf is monotone and ends at 1 *)
+  let rec mono = function
+    | (d1, f1) :: ((d2, f2) :: _ as rest) ->
+      d1 <= d2 && f1 <= f2 && mono rest
+    | _ -> true
+  in
+  check_bool "monotone" true (mono cdf);
+  check_bool "ends at 1.0" true (snd (List.nth cdf 39) = 1.0)
+
+(* --- Clos description --- *)
+
+let test_clos_structure () =
+  let c = Dataset.Clos.fig5 ~with_transit:true () in
+  check Alcotest.int "11 routers" 11 (List.length c.routers);
+  (* 2 transit links + 4 leaves x 2 spines + 8 pod links *)
+  check Alcotest.int "18 links" 18 (List.length c.links);
+  (* distinct ASNs in the default configuration *)
+  let asns = List.map (fun (r : Dataset.Clos.router) -> r.asn) c.routers in
+  check Alcotest.int "distinct asns" 11
+    (List.length (List.sort_uniq compare asns));
+  (* every adjacent-level link contributes a (child, parent) pair *)
+  check Alcotest.int "pairs" 18 (List.length c.vf_pairs);
+  List.iter
+    (fun (child, parent) ->
+      let level asn =
+        (List.find (fun (r : Dataset.Clos.router) -> r.asn = asn) c.routers)
+          .level
+      in
+      check_bool "child strictly below parent" true
+        (level child > level parent))
+    c.vf_pairs;
+  (* internal = everything but the transit AS *)
+  check Alcotest.int "internal asns" 10 (List.length c.internal_asns);
+  check_bool "transit not internal" false
+    (List.mem 64900 c.internal_asns)
+
+let test_clos_same_as () =
+  let c = Dataset.Clos.fig5 ~same_spine_as:true () in
+  let asn name = (Dataset.Clos.router c name).asn in
+  check Alcotest.int "spines share" (asn "S1") (asn "S2");
+  check Alcotest.int "leaf pair 1 shares" (asn "L10") (asn "L11");
+  check Alcotest.int "leaf pair 2 shares" (asn "L12") (asn "L13");
+  check_bool "pairs differ" true (asn "L10" <> asn "L12")
+
+let test_clos_loopbacks_unique () =
+  let c = Dataset.Clos.fig5 ~with_transit:true () in
+  let loopbacks =
+    List.map (fun (r : Dataset.Clos.router) -> r.loopback) c.routers
+  in
+  check Alcotest.int "unique prefixes" 11
+    (List.length (List.sort_uniq compare loopbacks))
+
+let () =
+  Alcotest.run "dataset"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "uniformity" `Quick test_prng_rough_uniformity;
+        ] );
+      ( "ris",
+        [
+          Alcotest.test_case "deterministic" `Quick test_ris_deterministic;
+          Alcotest.test_case "distinct prefixes" `Quick
+            test_ris_distinct_prefixes;
+          Alcotest.test_case "disjoint option" `Quick test_ris_disjoint;
+          Alcotest.test_case "statistical shape" `Quick test_ris_shape;
+          Alcotest.test_case "ROA split" `Quick test_roa_split;
+        ] );
+      ( "fig1",
+        [ Alcotest.test_case "RFC delay dataset" `Quick test_rfc_delays ] );
+      ( "clos",
+        [
+          Alcotest.test_case "structure" `Quick test_clos_structure;
+          Alcotest.test_case "same-AS mode" `Quick test_clos_same_as;
+          Alcotest.test_case "unique loopbacks" `Quick
+            test_clos_loopbacks_unique;
+        ] );
+    ]

@@ -1,0 +1,449 @@
+(* Tests for the two daemon implementations: their attribute
+   representations (interned records vs wire-form eattrs), their adapters
+   to the neutral TLV, and daemon-level protocol behaviour. *)
+
+let check = Alcotest.check
+let check_bool = Alcotest.check Alcotest.bool
+
+let sample_attrs =
+  [
+    Bgp.Attr.v (Bgp.Attr.Origin Bgp.Attr.Egp);
+    Bgp.Attr.v (Bgp.Attr.As_path [ Bgp.Attr.Seq [ 10; 20 ]; Bgp.Attr.Set [ 30 ] ]);
+    Bgp.Attr.v (Bgp.Attr.Next_hop 0x0A000001);
+    Bgp.Attr.v (Bgp.Attr.Med 5);
+    Bgp.Attr.v (Bgp.Attr.Local_pref 200);
+    Bgp.Attr.v (Bgp.Attr.Communities [ 0x10001; 0x10002 ]);
+    Bgp.Attr.v (Bgp.Attr.Originator_id 7);
+    Bgp.Attr.v (Bgp.Attr.Cluster_list [ 1; 2 ]);
+  ]
+
+(* --- FRR-like interned attributes --- *)
+
+let test_intern_roundtrip () =
+  let t = Frrouting.Attr_intern.of_attrs sample_attrs in
+  let back = Frrouting.Attr_intern.to_attrs t in
+  check_bool "all known attrs survive" true
+    (List.for_all2 Bgp.Attr.equal sample_attrs back)
+
+let test_intern_sharing () =
+  Frrouting.Attr_intern.reset_intern_table ();
+  let a = Frrouting.Attr_intern.of_attrs sample_attrs in
+  let b = Frrouting.Attr_intern.of_attrs sample_attrs in
+  check_bool "same attrs share one record" true (a == b);
+  check Alcotest.int "one table entry" 1
+    (Frrouting.Attr_intern.intern_table_size ())
+
+let test_intern_path_len_cached () =
+  let t = Frrouting.Attr_intern.of_attrs sample_attrs in
+  check Alcotest.int "seq(2) + set(1)" 3 t.as_path_len
+
+let test_intern_tlv_adapter () =
+  let t = Frrouting.Attr_intern.of_attrs sample_attrs in
+  (* every attribute fetched through the adapter parses back identically *)
+  List.iter
+    (fun (a : Bgp.Attr.t) ->
+      match Frrouting.Attr_intern.get_tlv t (Bgp.Attr.code a) with
+      | Some tlv ->
+        check_bool "tlv parses to same attr" true
+          (Bgp.Attr.equal a (Bgp.Attr.of_tlv tlv))
+      | None -> Alcotest.fail "attribute missing through adapter")
+    sample_attrs;
+  check_bool "absent attr is None" true
+    (Frrouting.Attr_intern.get_tlv t Bgp.Attr.code_atomic_aggregate = None);
+  (* set_tlv installs an unknown attribute in [extra] *)
+  let geoloc =
+    Bgp.Attr.with_flags 0xC0
+      (Bgp.Attr.Unknown { code = 42; payload = Bytes.of_string "abcdefgh" })
+  in
+  let t' = Frrouting.Attr_intern.set_tlv t (Bgp.Attr.to_tlv geoloc) in
+  check_bool "extra attr readable" true
+    (Frrouting.Attr_intern.has_extra t' 42);
+  (match Frrouting.Attr_intern.get_tlv t' 42 with
+  | Some tlv ->
+    check_bool "extra attr roundtrip" true
+      (Bgp.Attr.equal geoloc (Bgp.Attr.of_tlv tlv))
+  | None -> Alcotest.fail "extra missing");
+  (* ... but the native encoder does not emit it *)
+  check_bool "native encoder skips extras" true
+    (List.for_all
+       (fun (a : Bgp.Attr.t) -> Bgp.Attr.code a <> 42)
+       (Frrouting.Attr_intern.to_attrs t'));
+  let t'' = Frrouting.Attr_intern.remove t' 42 in
+  check_bool "remove extra" false (Frrouting.Attr_intern.has_extra t'' 42)
+
+(* --- BIRD-like eattrs --- *)
+
+let test_eattr_roundtrip () =
+  let t = Bird.Eattr.of_attrs sample_attrs in
+  check_bool "all known attrs survive" true
+    (List.for_all2 Bgp.Attr.equal sample_attrs (Bird.Eattr.to_attrs t))
+
+let test_eattr_accessors () =
+  let t = Bird.Eattr.of_attrs sample_attrs in
+  check Alcotest.int "origin" 1 (Bird.Eattr.origin t);
+  check Alcotest.int "next hop" 0x0A000001 (Bird.Eattr.next_hop t);
+  check Alcotest.int "med" 5 (Bird.Eattr.med t);
+  check Alcotest.int "local pref" 200 (Bird.Eattr.local_pref t);
+  check Alcotest.int "originator" 7 (Bird.Eattr.originator_id t);
+  check Alcotest.int "cluster len" 2 (Bird.Eattr.cluster_list_len t);
+  check Alcotest.int "path len (set = 1)" 3 t.path_len;
+  check Alcotest.(list int) "asns" [ 10; 20; 30 ] (Bird.Eattr.path_asns t);
+  check Alcotest.int "neighbor as" 10 (Bird.Eattr.neighbor_as t);
+  check Alcotest.(option int) "origin as" (Some 30) (Bird.Eattr.origin_as t);
+  check_bool "contains" true (Bird.Eattr.contains_as t 20);
+  check_bool "not contains" false (Bird.Eattr.contains_as t 99)
+
+let test_eattr_wire_mutations () =
+  let t = Bird.Eattr.of_attrs sample_attrs in
+  let t = Bird.Eattr.prepend_as t 999 in
+  check Alcotest.(list int) "prepended" [ 999; 10; 20; 30 ]
+    (Bird.Eattr.path_asns t);
+  check Alcotest.int "path len updated" 4 t.path_len;
+  let t = Bird.Eattr.prepend_cluster t 77 in
+  check Alcotest.int "cluster grew" 3 (Bird.Eattr.cluster_list_len t);
+  let t = Bird.Eattr.append_community t 0xFFFF0001 in
+  check_bool "community appended" true
+    (List.exists
+       (fun (a : Bgp.Attr.t) ->
+         match a.value with
+         | Bgp.Attr.Communities cs -> List.mem 0xFFFF0001 cs
+         | _ -> false)
+       (Bird.Eattr.to_attrs t));
+  (* prepend extends the leading AS_SEQUENCE on the wire, not a new seg *)
+  let t2 = Bird.Eattr.of_attrs [ Bgp.Attr.v (Bgp.Attr.As_path [ Bgp.Attr.Seq [ 1 ] ]) ] in
+  let t2 = Bird.Eattr.prepend_as t2 2 in
+  (match Bird.Eattr.to_attrs t2 with
+  | [ { value = Bgp.Attr.As_path [ Bgp.Attr.Seq [ 2; 1 ] ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected single extended sequence");
+  (* prepend onto an empty path *)
+  let t3 = Bird.Eattr.prepend_as Bird.Eattr.empty 5 in
+  check Alcotest.(list int) "prepend to empty" [ 5 ] (Bird.Eattr.path_asns t3)
+
+let test_eattr_tlv_adapter () =
+  let t = Bird.Eattr.of_attrs sample_attrs in
+  List.iter
+    (fun (a : Bgp.Attr.t) ->
+      match Bird.Eattr.get_tlv t (Bgp.Attr.code a) with
+      | Some tlv ->
+        check_bool "tlv parses back" true
+          (Bgp.Attr.equal a (Bgp.Attr.of_tlv tlv))
+      | None -> Alcotest.fail "missing through adapter")
+    sample_attrs
+
+(* the two representations agree through their adapters *)
+let gen_attrs =
+  QCheck2.Gen.(
+    let asns = list_size (int_range 1 6) (int_range 1 70000) in
+    map
+      (fun (path, nh, med, comms) ->
+        [
+          Bgp.Attr.v (Bgp.Attr.Origin Bgp.Attr.Igp);
+          Bgp.Attr.v (Bgp.Attr.As_path [ Bgp.Attr.Seq path ]);
+          Bgp.Attr.v (Bgp.Attr.Next_hop nh);
+          Bgp.Attr.v (Bgp.Attr.Med med);
+          Bgp.Attr.v (Bgp.Attr.Communities comms);
+        ])
+      (tup4 asns (int_range 0 0xFFFFFFFF) (int_range 0 1000)
+         (list_size (int_range 1 4) (int_range 0 0xFFFFFFFF))))
+
+let prop_representations_agree =
+  QCheck2.Test.make ~count:300
+    ~name:"FRR and BIRD adapters expose identical TLVs" gen_attrs
+    (fun attrs ->
+      let frr = Frrouting.Attr_intern.of_attrs attrs in
+      let bird = Bird.Eattr.of_attrs attrs in
+      List.for_all
+        (fun code ->
+          let a = Frrouting.Attr_intern.get_tlv frr code in
+          let b = Bird.Eattr.get_tlv bird code in
+          match (a, b) with
+          | None, None -> true
+          | Some x, Some y -> Bytes.equal x y
+          | _ -> false)
+        [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 42 ])
+
+(* --- daemon-level behaviour --- *)
+
+let addr = Bgp.Prefix.addr_of_quad
+
+let two_routers ?(as_a = 65001) ?(as_b = 65000) () =
+  Frrouting.Attr_intern.reset_intern_table ();
+  let sched = Netsim.Sched.create () in
+  let a_addr = addr (10, 9, 0, 1) and b_addr = addr (10, 9, 0, 2) in
+  let pa, pb = Netsim.Pipe.create sched in
+  let mk name own own_as peer_as peer_addr port =
+    Frrouting.Bgpd.create ~sched
+      (Frrouting.Bgpd.config ~name ~router_id:own ~local_as:own_as
+         ~local_addr:own ~hold_time:9 ())
+      [
+        {
+          Frrouting.Bgpd.pname = "peer";
+          remote_as = peer_as;
+          remote_addr = peer_addr;
+          rr_client = false;
+          port;
+        };
+      ]
+  in
+  let da = mk "a" a_addr as_a as_b b_addr pa in
+  let db = mk "b" b_addr as_b as_a a_addr pb in
+  Frrouting.Bgpd.start da;
+  Frrouting.Bgpd.start db;
+  ignore (Netsim.Sched.run ~until:(2 * 1_000_000) sched);
+  (sched, da, db, a_addr)
+
+let basic_attrs nh =
+  [
+    Bgp.Attr.v (Bgp.Attr.Origin Bgp.Attr.Igp);
+    Bgp.Attr.v (Bgp.Attr.As_path []);
+    Bgp.Attr.v (Bgp.Attr.Next_hop nh);
+  ]
+
+let test_daemon_withdraw () =
+  let sched, da, db, a_addr = two_routers () in
+  let p = Bgp.Prefix.of_string "203.0.113.0/24" in
+  Frrouting.Bgpd.originate da p (basic_attrs a_addr);
+  ignore (Netsim.Sched.run ~until:(5 * 1_000_000) sched);
+  check_bool "learned" true (Frrouting.Bgpd.best_route db p <> None);
+  Frrouting.Bgpd.withdraw_local da p;
+  ignore (Netsim.Sched.run ~until:(8 * 1_000_000) sched);
+  check_bool "withdrawn" true (Frrouting.Bgpd.best_route db p = None);
+  check Alcotest.int "withdrawal counted" 1
+    (Frrouting.Bgpd.stats db).withdrawals_rx
+
+let test_daemon_ebgp_loop_rejected () =
+  let sched, da, db, a_addr = two_routers () in
+  let p = Bgp.Prefix.of_string "203.0.113.0/24" in
+  (* path already contains B's AS: B must drop it *)
+  Frrouting.Bgpd.originate da p
+    [
+      Bgp.Attr.v (Bgp.Attr.Origin Bgp.Attr.Igp);
+      Bgp.Attr.v (Bgp.Attr.As_path [ Bgp.Attr.Seq [ 65000 ] ]);
+      Bgp.Attr.v (Bgp.Attr.Next_hop a_addr);
+    ];
+  ignore (Netsim.Sched.run ~until:(5 * 1_000_000) sched);
+  check_bool "loop rejected" true (Frrouting.Bgpd.best_route db p = None)
+
+let test_daemon_update_packing () =
+  (* routes sharing one attribute set travel in few packed UPDATEs *)
+  let sched, da, db, a_addr = two_routers () in
+  let attrs = basic_attrs a_addr in
+  for i = 0 to 99 do
+    Frrouting.Bgpd.originate da
+      (Bgp.Prefix.v (addr (100, i, 0, 0)) 16)
+      attrs
+  done;
+  ignore (Netsim.Sched.run ~until:(10 * 1_000_000) sched);
+  check Alcotest.int "all learned" 100 (Frrouting.Bgpd.loc_count db);
+  check_bool "packed into few updates" true
+    ((Frrouting.Bgpd.stats da).updates_tx <= 3)
+
+let test_daemon_session_loss_cleans_rib () =
+  let sched, da, db, a_addr = two_routers () in
+  let p = Bgp.Prefix.of_string "203.0.113.0/24" in
+  Frrouting.Bgpd.originate da p (basic_attrs a_addr);
+  ignore (Netsim.Sched.run ~until:(5 * 1_000_000) sched);
+  check_bool "learned" true (Frrouting.Bgpd.best_route db p <> None);
+  (* kill the link; the hold timer flushes the peer's routes *)
+  let peer = Frrouting.Bgpd.peer da 0 in
+  Netsim.Pipe.set_up peer.conf.port false;
+  ignore (Netsim.Sched.run ~until:(40 * 1_000_000) sched);
+  check_bool "session down" false (Frrouting.Bgpd.peer_established db 0);
+  check_bool "routes flushed" true (Frrouting.Bgpd.best_route db p = None)
+
+let test_daemon_decision_prefers_shorter_path () =
+  (* B hears the same prefix from two eBGP neighbours with different
+     path lengths and must pick the shorter *)
+  Frrouting.Attr_intern.reset_intern_table ();
+  let sched = Netsim.Sched.create () in
+  let a1 = addr (10, 9, 1, 1)
+  and a2 = addr (10, 9, 1, 2)
+  and b = addr (10, 9, 1, 3) in
+  let p1a, p1b = Netsim.Pipe.create sched in
+  let p2a, p2b = Netsim.Pipe.create sched in
+  let feeder name own own_as port =
+    Frrouting.Bgpd.create ~sched
+      (Frrouting.Bgpd.config ~name ~router_id:own ~local_as:own_as
+         ~local_addr:own ())
+      [
+        {
+          Frrouting.Bgpd.pname = "b";
+          remote_as = 65000;
+          remote_addr = b;
+          rr_client = false;
+          port;
+        };
+      ]
+  in
+  let d1 = feeder "f1" a1 65001 p1a in
+  let d2 = feeder "f2" a2 65002 p2a in
+  let db =
+    Frrouting.Bgpd.create ~sched
+      (Frrouting.Bgpd.config ~name:"b" ~router_id:b ~local_as:65000
+         ~local_addr:b ())
+      [
+        {
+          Frrouting.Bgpd.pname = "f1";
+          remote_as = 65001;
+          remote_addr = a1;
+          rr_client = false;
+          port = p1b;
+        };
+        {
+          Frrouting.Bgpd.pname = "f2";
+          remote_as = 65002;
+          remote_addr = a2;
+          rr_client = false;
+          port = p2b;
+        };
+      ]
+  in
+  List.iter Frrouting.Bgpd.start [ d1; d2; db ];
+  ignore (Netsim.Sched.run ~until:(2 * 1_000_000) sched);
+  let p = Bgp.Prefix.of_string "203.0.113.0/24" in
+  Frrouting.Bgpd.originate d1 p
+    [
+      Bgp.Attr.v (Bgp.Attr.Origin Bgp.Attr.Igp);
+      Bgp.Attr.v (Bgp.Attr.As_path [ Bgp.Attr.Seq [ 300; 400 ] ]);
+      Bgp.Attr.v (Bgp.Attr.Next_hop a1);
+    ];
+  Frrouting.Bgpd.originate d2 p
+    [
+      Bgp.Attr.v (Bgp.Attr.Origin Bgp.Attr.Igp);
+      Bgp.Attr.v (Bgp.Attr.As_path [ Bgp.Attr.Seq [ 300 ] ]);
+      Bgp.Attr.v (Bgp.Attr.Next_hop a2);
+    ];
+  ignore (Netsim.Sched.run ~until:(10 * 1_000_000) sched);
+  match Frrouting.Bgpd.best_route db p with
+  | Some r ->
+    check Alcotest.int "shorter path wins" 2 r.attrs.as_path_len;
+    check Alcotest.int "via f2" 65002
+      (Frrouting.Attr_intern.neighbor_as r.attrs)
+  | None -> Alcotest.fail "no route"
+
+
+(* churn property: after a random sequence of announcements and
+   withdrawals, the receiving daemon converges to exactly the set of
+   routes still originated by the sender *)
+let prop_churn_convergence =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (pair (int_range 0 9) bool (* prefix idx, announce/withdraw *)))
+  in
+  QCheck2.Test.make ~count:25 ~name:"daemon converges under churn" gen
+    (fun ops ->
+      let sched, da, db, a_addr = two_routers () in
+      let prefixes =
+        Array.init 10 (fun i -> Bgp.Prefix.v (addr (100, i, 0, 0)) 16)
+      in
+      let live = Hashtbl.create 16 in
+      List.iter
+        (fun (i, announce) ->
+          if announce then begin
+            Frrouting.Bgpd.originate da prefixes.(i) (basic_attrs a_addr);
+            Hashtbl.replace live i ()
+          end
+          else begin
+            Frrouting.Bgpd.withdraw_local da prefixes.(i);
+            Hashtbl.remove live i
+          end;
+          (* interleave a little simulated time *)
+          ignore
+            (Netsim.Sched.run
+               ~until:(Netsim.Sched.now sched + 200_000)
+               sched))
+        ops;
+      ignore
+        (Netsim.Sched.run ~until:(Netsim.Sched.now sched + 5_000_000) sched);
+      Frrouting.Bgpd.loc_count db = Hashtbl.length live
+      && Array.for_all
+           (fun i ->
+             Hashtbl.mem live i
+             = (Frrouting.Bgpd.best_route db prefixes.(i) <> None))
+           (Array.init 10 (fun i -> i)))
+
+(* the BIRD daemon passes the same protocol checks *)
+let test_bird_daemon_basics () =
+  let sched = Netsim.Sched.create () in
+  let a_addr = addr (10, 9, 2, 1) and b_addr = addr (10, 9, 2, 2) in
+  let pa, pb = Netsim.Pipe.create sched in
+  let da =
+    Bird.Bgpd.create ~sched
+      (Bird.Bgpd.config ~name:"a" ~router_id:a_addr ~local_as:65001
+         ~local_addr:a_addr ~hold_time:9 ())
+      [
+        {
+          Bird.Bgpd.pname = "b";
+          remote_as = 65000;
+          remote_addr = b_addr;
+          rr_client = false;
+          port = pa;
+        };
+      ]
+  in
+  let db =
+    Bird.Bgpd.create ~sched
+      (Bird.Bgpd.config ~name:"b" ~router_id:b_addr ~local_as:65000
+         ~local_addr:b_addr ~hold_time:9 ())
+      [
+        {
+          Bird.Bgpd.pname = "a";
+          remote_as = 65001;
+          remote_addr = a_addr;
+          rr_client = false;
+          port = pb;
+        };
+      ]
+  in
+  Bird.Bgpd.start da;
+  Bird.Bgpd.start db;
+  ignore (Netsim.Sched.run ~until:(2 * 1_000_000) sched);
+  let p = Bgp.Prefix.of_string "203.0.113.0/24" in
+  Bird.Bgpd.originate da p (basic_attrs a_addr);
+  ignore (Netsim.Sched.run ~until:(5 * 1_000_000) sched);
+  (match Bird.Bgpd.best_route db p with
+  | Some r ->
+    check Alcotest.(list int) "path prepended" [ 65001 ]
+      (Bird.Eattr.path_asns r.attrs)
+  | None -> Alcotest.fail "no route");
+  Bird.Bgpd.withdraw_local da p;
+  ignore (Netsim.Sched.run ~until:(8 * 1_000_000) sched);
+  check_bool "withdrawn" true (Bird.Bgpd.best_route db p = None)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hosts"
+    [
+      ( "frr-attrs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_intern_roundtrip;
+          Alcotest.test_case "hash-consing" `Quick test_intern_sharing;
+          Alcotest.test_case "cached path length" `Quick
+            test_intern_path_len_cached;
+          Alcotest.test_case "TLV adapter" `Quick test_intern_tlv_adapter;
+        ] );
+      ( "bird-attrs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_eattr_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_eattr_accessors;
+          Alcotest.test_case "wire mutations" `Quick test_eattr_wire_mutations;
+          Alcotest.test_case "TLV adapter" `Quick test_eattr_tlv_adapter;
+          qc prop_representations_agree;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "withdraw propagation" `Quick
+            test_daemon_withdraw;
+          Alcotest.test_case "eBGP loop rejection" `Quick
+            test_daemon_ebgp_loop_rejected;
+          Alcotest.test_case "update packing" `Quick test_daemon_update_packing;
+          Alcotest.test_case "session loss cleans RIBs" `Quick
+            test_daemon_session_loss_cleans_rib;
+          Alcotest.test_case "decision: shorter path" `Quick
+            test_daemon_decision_prefers_shorter_path;
+          Alcotest.test_case "BIRD daemon basics" `Quick
+            test_bird_daemon_basics;
+          qc prop_churn_convergence;
+        ] );
+    ]

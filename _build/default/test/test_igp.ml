@@ -1,0 +1,159 @@
+(* IGP substrate tests: topology mutation and Dijkstra SPF against a
+   Floyd–Warshall reference on random graphs. *)
+
+let check = Alcotest.check
+let check_bool = Alcotest.check Alcotest.bool
+
+let test_topology_basics () =
+  let t = Igp.Topology.create () in
+  Igp.Topology.add_link t 1 2 10;
+  Igp.Topology.add_link t 2 3 5;
+  check_bool "link present" true (Igp.Topology.has_link t 1 2);
+  check_bool "symmetric" true (Igp.Topology.has_link t 2 1);
+  check Alcotest.int "link count" 2 (Igp.Topology.link_count t);
+  (* updating a metric replaces, not duplicates *)
+  Igp.Topology.add_link t 1 2 20;
+  check Alcotest.int "still two links" 2 (Igp.Topology.link_count t);
+  check Alcotest.(option int) "updated metric" (Some 25)
+    (Igp.Spf.cost t ~src:1 ~dst:3);
+  Igp.Topology.remove_link t 1 2;
+  check_bool "removed" false (Igp.Topology.has_link t 1 2);
+  check Alcotest.(option int) "unreachable" None
+    (Igp.Spf.cost t ~src:1 ~dst:3);
+  Alcotest.check_raises "self loop rejected"
+    (Invalid_argument "Topology.add_link: self loop") (fun () ->
+      Igp.Topology.add_link t 1 1 5);
+  Alcotest.check_raises "non-positive metric rejected"
+    (Invalid_argument "Topology.add_link: metric must be > 0") (fun () ->
+      Igp.Topology.add_link t 1 2 0)
+
+let test_spf_paper_topology () =
+  (* the §3.1 example: transatlantic links at metric 1000 *)
+  let t = Igp.Topology.create () in
+  Igp.Topology.add_link t 1 2 10;
+  (* london-amsterdam *)
+  Igp.Topology.add_link t 1 3 12;
+  (* london-frankfurt *)
+  Igp.Topology.add_link t 2 3 5;
+  (* amsterdam-frankfurt *)
+  Igp.Topology.add_link t 1 4 1000;
+  Igp.Topology.add_link t 2 4 1000;
+  check Alcotest.(option int) "frankfurt->london direct" (Some 12)
+    (Igp.Spf.cost t ~src:3 ~dst:1);
+  Igp.Topology.remove_link t 1 2;
+  Igp.Topology.remove_link t 1 3;
+  check
+    Alcotest.(option int)
+    "frankfurt->london via atlantic" (Some 2005)
+    (Igp.Spf.cost t ~src:3 ~dst:1)
+
+let test_first_hop () =
+  let t = Igp.Topology.create () in
+  Igp.Topology.add_link t 1 2 1;
+  Igp.Topology.add_link t 2 3 1;
+  Igp.Topology.add_link t 1 3 10;
+  let r = Igp.Spf.run t ~src:1 in
+  check Alcotest.(option int) "first hop to 3 is 2" (Some 2)
+    (Hashtbl.find_opt r.first_hop 3)
+
+(* random graph generator: n nodes, random weighted edges *)
+let gen_graph =
+  QCheck2.Gen.(
+    let n = int_range 2 10 in
+    n >>= fun n ->
+    let edge = triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 1 20) in
+    pair (return n) (list_size (int_range 0 25) edge))
+
+let floyd_warshall n edges =
+  let inf = max_int / 4 in
+  let d = Array.make_matrix n n inf in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0
+  done;
+  List.iter
+    (fun (a, b, w) ->
+      if a <> b then begin
+        if w < d.(a).(b) then begin
+          d.(a).(b) <- w;
+          d.(b).(a) <- w
+        end
+      end)
+    edges;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if d.(i).(k) + d.(k).(j) < d.(i).(j) then
+          d.(i).(j) <- d.(i).(k) + d.(k).(j)
+      done
+    done
+  done;
+  d
+
+let prop_spf_vs_floyd_warshall =
+  QCheck2.Test.make ~count:300 ~name:"Dijkstra = Floyd-Warshall" gen_graph
+    (fun (n, edges) ->
+      let t = Igp.Topology.create () in
+      for i = 0 to n - 1 do
+        Igp.Topology.add_node t i
+      done;
+      (* keep only the *first* weight per pair, as Floyd reference does *)
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun (a, b, w) ->
+          if a <> b && not (Hashtbl.mem seen (min a b, max a b)) then begin
+            Hashtbl.replace seen (min a b, max a b) ();
+            Igp.Topology.add_link t a b w
+          end)
+        edges;
+      let edges' =
+        Hashtbl.fold
+          (fun (a, b) () acc ->
+            match List.assoc_opt b (Igp.Topology.neighbors t a) with
+            | Some w -> (a, b, w) :: acc
+            | None -> acc)
+          seen []
+      in
+      let fw = floyd_warshall n edges' in
+      let inf = max_int / 4 in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        let r = Igp.Spf.run t ~src in
+        for dst = 0 to n - 1 do
+          let expect = if fw.(src).(dst) >= inf then None else Some fw.(src).(dst) in
+          if Hashtbl.find_opt r.dist dst <> expect then ok := false
+        done
+      done;
+      !ok)
+
+let prop_first_hop_is_neighbor =
+  QCheck2.Test.make ~count:200 ~name:"first hop is a neighbor of the source"
+    gen_graph (fun (n, edges) ->
+      let t = Igp.Topology.create () in
+      List.iter
+        (fun (a, b, w) -> if a <> b then Igp.Topology.add_link t a b w)
+        edges;
+      List.for_all
+        (fun src ->
+          let r = Igp.Spf.run t ~src in
+          Hashtbl.fold
+            (fun dst hop acc ->
+              acc
+              && (dst = src
+                 || List.mem_assoc hop (Igp.Topology.neighbors t src)))
+            r.first_hop true)
+        (List.init n (fun i -> i)))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "igp"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "basics" `Quick test_topology_basics;
+          Alcotest.test_case "paper topology (3.1)" `Quick
+            test_spf_paper_topology;
+          Alcotest.test_case "first hop" `Quick test_first_hop;
+        ] );
+      ( "spf",
+        [ qc prop_spf_vs_floyd_warshall; qc prop_first_hop_is_neighbor ] );
+    ]

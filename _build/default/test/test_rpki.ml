@@ -1,0 +1,138 @@
+(* RPKI tests: RFC 6483 validation semantics, and the equivalence of the
+   trie-based (FRR-style) and hash-based (BIRD-style) stores against the
+   list reference — the data structures behind §3.4 of the paper. *)
+
+let check = Alcotest.check
+let check_bool = Alcotest.check Alcotest.bool
+
+let p = Bgp.Prefix.of_string
+
+let validation =
+  Alcotest.testable Rpki.Roa.pp_validation ( = )
+
+let test_validation_semantics () =
+  let roas =
+    [
+      Rpki.Roa.v (p "10.0.0.0/16") ~max_len:24 ~asn:65001;
+      Rpki.Roa.v (p "10.0.0.0/16") ~max_len:16 ~asn:65002;
+    ]
+  in
+  let v = Rpki.Roa.validate_list roas in
+  check validation "exact origin match" Rpki.Roa.Valid
+    (v (p "10.0.0.0/16") 65001);
+  check validation "second ROA matches too" Rpki.Roa.Valid
+    (v (p "10.0.0.0/16") 65002);
+  check validation "more specific within max_len" Rpki.Roa.Valid
+    (v (p "10.0.1.0/24") 65001);
+  check validation "too specific for 65002's max_len" Rpki.Roa.Invalid
+    (v (p "10.0.1.0/24") 65002);
+  check validation "wrong origin" Rpki.Roa.Invalid
+    (v (p "10.0.0.0/16") 65003);
+  check validation "beyond max_len entirely" Rpki.Roa.Invalid
+    (v (p "10.0.0.0/25") 65001);
+  check validation "uncovered prefix" Rpki.Roa.Not_found
+    (v (p "11.0.0.0/16") 65001)
+
+let test_roa_constructor () =
+  check_bool "max_len below prefix length rejected" true
+    (match Rpki.Roa.v (p "10.0.0.0/16") ~max_len:8 ~asn:1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_parse_lines () =
+  let text = "# comment\n10.0.0.0/16 24 65001\n\n192.168.0.0/24 24 65002\n" in
+  let roas = Rpki.Roa.parse_lines text in
+  check Alcotest.int "two ROAs" 2 (List.length roas);
+  let roundtrip =
+    Rpki.Roa.parse_lines
+      (String.concat "\n" (List.map Rpki.Roa.to_line roas))
+  in
+  check_bool "to_line/parse roundtrip" true (roas = roundtrip);
+  check_bool "malformed rejected" true
+    (match Rpki.Roa.parse_lines "10.0.0.0/16 x 65001" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- store equivalence (the paper's trie vs hash) --- *)
+
+let gen_prefix =
+  QCheck2.Gen.(
+    map2
+      (fun addr len -> Bgp.Prefix.v (addr lsl 20) len)
+      (int_range 0 255) (int_range 4 28))
+
+let gen_roa =
+  QCheck2.Gen.(
+    gen_prefix >>= fun prefix ->
+    let plen = Bgp.Prefix.len prefix in
+    map2
+      (fun extra asn -> Rpki.Roa.v prefix ~max_len:(min 32 (plen + extra)) ~asn)
+      (int_range 0 4) (int_range 1 20))
+
+let gen_case =
+  QCheck2.Gen.(
+    triple
+      (list_size (int_range 0 40) gen_roa)
+      gen_prefix (int_range 1 20))
+
+let prop_trie_matches_reference =
+  QCheck2.Test.make ~count:1000 ~name:"trie store = list reference" gen_case
+    (fun (roas, prefix, origin) ->
+      Rpki.Store_trie.validate (Rpki.Store_trie.of_list roas) prefix origin
+      = Rpki.Roa.validate_list roas prefix origin)
+
+let prop_hash_matches_reference =
+  QCheck2.Test.make ~count:1000 ~name:"hash store = list reference" gen_case
+    (fun (roas, prefix, origin) ->
+      Rpki.Store_hash.validate (Rpki.Store_hash.of_list roas) prefix origin
+      = Rpki.Roa.validate_list roas prefix origin)
+
+let test_store_counts () =
+  let roas =
+    [
+      Rpki.Roa.v (p "10.0.0.0/16") ~max_len:24 ~asn:1;
+      Rpki.Roa.v (p "10.0.0.0/16") ~max_len:24 ~asn:2;
+      Rpki.Roa.v (p "12.0.0.0/8") ~max_len:8 ~asn:3;
+    ]
+  in
+  check Alcotest.int "trie count" 3
+    (Rpki.Store_trie.count (Rpki.Store_trie.of_list roas));
+  check Alcotest.int "hash count" 3
+    (Rpki.Store_hash.count (Rpki.Store_hash.of_list roas))
+
+(* hash store internals: growth and duplicate keys *)
+let test_hash_growth () =
+  let roas =
+    List.init 1000 (fun i ->
+        Rpki.Roa.v
+          (Bgp.Prefix.v (i lsl 12) 24)
+          ~max_len:24 ~asn:(i mod 7))
+  in
+  let store = Rpki.Store_hash.of_list roas in
+  check Alcotest.int "all inserted" 1000 (Rpki.Store_hash.count store);
+  List.iteri
+    (fun i (roa : Rpki.Roa.t) ->
+      check validation
+        (Printf.sprintf "entry %d still valid after growth" i)
+        Rpki.Roa.Valid
+        (Rpki.Store_hash.validate store roa.prefix roa.asn))
+    roas
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rpki"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "RFC 6483 cases" `Quick test_validation_semantics;
+          Alcotest.test_case "constructor" `Quick test_roa_constructor;
+          Alcotest.test_case "text format" `Quick test_parse_lines;
+        ] );
+      ( "stores",
+        [
+          Alcotest.test_case "counts" `Quick test_store_counts;
+          Alcotest.test_case "hash growth" `Quick test_hash_growth;
+          qc prop_trie_matches_reference;
+          qc prop_hash_matches_reference;
+        ] );
+    ]

@@ -1,0 +1,1 @@
+tools/scale/hash_probe.ml: Dataset Frrouting Hashtbl List Option Printf

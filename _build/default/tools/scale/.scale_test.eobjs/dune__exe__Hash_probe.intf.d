@@ -1,0 +1,1 @@
+tools/scale/hash_probe.mli:

@@ -1,0 +1,1 @@
+tools/scale/scale_test.mli:

@@ -1,0 +1,29 @@
+(* Diagnostic: distribution of the stdlib polymorphic hash over interned
+   attribute records. Motivated the full-structure Attr_intern.hash — the
+   polymorphic hash's bounded traversal collapses 8000 records onto a
+   few dozen buckets.
+
+     dune exec tools/scale/hash_probe.exe
+*)
+
+let () =
+  let routes =
+    Dataset.Ris_gen.generate
+      { Dataset.Ris_gen.default_config with count = 8000; disjoint = true; seed = 43 }
+  in
+  let attrs =
+    List.map
+      (fun (r : Dataset.Ris_gen.route) ->
+        let a = Frrouting.Attr_intern.of_attrs r.attrs in
+        Frrouting.Attr_intern.prepend_as a 65001)
+      routes
+  in
+  let h = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let k = Hashtbl.hash a in
+      Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)))
+    attrs;
+  Printf.printf "records=%d distinct_poly_hashes=%d max_bucket=%d\n"
+    (List.length attrs) (Hashtbl.length h)
+    (Hashtbl.fold (fun _ v m -> max v m) h 0)

@@ -1,0 +1,28 @@
+(* Scaling smoke test: the FRR origin-validation pipeline at 2k/4k/8k
+   routes must scale roughly linearly. Guards against the quadratic
+   regressions we hit during development (O(n) convergence predicates,
+   degenerate hash grouping in the flush path).
+
+     dune exec tools/scale/scale_test.exe
+*)
+
+let () =
+  List.iter
+    (fun n ->
+      let routes =
+        Dataset.Ris_gen.generate
+          { Dataset.Ris_gen.default_config with count = n; disjoint = true; seed = 43 }
+      in
+      let roas = Dataset.Ris_gen.roas_for ~seed:7 ~valid_pct:75 ~invalid_pct:13 routes in
+      let tb =
+        Scenario.Testbed.create
+          (Scenario.Testbed.mode ~host:`Frr ~ibgp:false ~native_ov_roas:roas ())
+      in
+      Scenario.Testbed.establish tb;
+      let t0 = Unix.gettimeofday () in
+      Scenario.Testbed.feed tb routes;
+      ignore (Scenario.Testbed.run_until_downstream_has tb n);
+      Printf.printf "FRR-OV n=%-6d %.3fs  intern_table=%d\n%!" n
+        (Unix.gettimeofday () -. t0)
+        (Frrouting.Attr_intern.intern_table_size ()))
+    [ 2000; 4000; 8000 ]
