@@ -310,3 +310,16 @@ let pp_value ppf = function
 let pp ppf t = pp_value ppf t.value
 
 let equal a b = a.flags = b.flags && a.value = b.value
+
+(* Total order on the neutral wire form: code first, then flags, then
+   payload bytes — so sorting an attribute list yields one canonical
+   shape regardless of which host emitted it. *)
+let compare a b =
+  let c = Int.compare (code a) (code b) in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.flags b.flags in
+    if c <> 0 then c
+    else Bytes.compare (encode_payload a.value) (encode_payload b.value)
+
+let sort_canonical attrs = List.sort compare attrs

@@ -63,6 +63,15 @@ val code : t -> int
 val code_of_value : value -> int
 val default_flags : value -> int
 val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order on the neutral wire form: attribute code, then flags,
+    then payload bytes. *)
+
+val sort_canonical : t list -> t list
+(** Sort by {!compare} — the canonical attribute-list shape used when
+    comparing routes produced by different hosts. *)
+
 val pp : Format.formatter -> t -> unit
 
 (** {1 AS-path helpers} *)

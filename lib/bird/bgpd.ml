@@ -536,6 +536,25 @@ let learn_route t peer prefix (route : route) =
     withdraw_prefix t peer prefix
   end
 
+(* RFC 7606 treat-as-withdraw: NLRI announced without the mandatory
+   ORIGIN / AS_PATH / NEXT_HOP attributes is withdrawn, not learned —
+   keeping the eattr list free of half-formed routes that a record-based
+   host would pad with defaults (and so diverge on). An extension at
+   BGP_RECEIVE_MESSAGE may still supply the missing attribute first. *)
+let mandatory_present (attrs : Bgp.Attr.t list) extra_tlvs =
+  let codes =
+    List.map Bgp.Attr.code attrs
+    @ List.filter_map
+        (fun tlv ->
+          match Bgp.Attr.of_tlv tlv with
+          | a -> Some (Bgp.Attr.code a)
+          | exception Bgp.Attr.Parse_error _ -> None)
+        extra_tlvs
+  in
+  List.mem Bgp.Attr.code_origin codes
+  && List.mem Bgp.Attr.code_as_path codes
+  && List.mem Bgp.Attr.code_next_hop codes
+
 let on_update t peer (u : Bgp.Message.update) ~raw =
   t.stats.updates_rx <- t.stats.updates_rx + 1;
   let extra_tlvs = ref [] in
@@ -559,7 +578,9 @@ let on_update t peer (u : Bgp.Message.update) ~raw =
           ~args:[ (Xbgp.Api.arg_update_payload, body) ]
           ~default:(fun () -> Xbgp.Api.ret_ok)));
   List.iter (fun p -> withdraw_prefix t peer p) u.withdrawn;
-  if u.nlri <> [] then begin
+  if u.nlri <> [] && not (mandatory_present u.attrs (List.rev !extra_tlvs))
+  then List.iter (fun p -> withdraw_prefix t peer p) u.nlri
+  else if u.nlri <> [] then begin
     let attrs0 = Eattr.of_attrs u.attrs in
     let attrs0 =
       List.fold_left
@@ -752,5 +773,13 @@ let name t = t.config.name
 
 let best_attrs t prefix =
   Option.map (fun r -> Eattr.to_attrs r.attrs) (loc_best t prefix)
+
+(** Whole-Loc-RIB snapshot in the neutral codec form, sorted by prefix —
+    the xBGP-visible state the differential fuzzer compares across
+    hosts. *)
+let loc_snapshot t =
+  let acc = ref [] in
+  iter_loc t (fun p r -> acc := (p, Eattr.to_attrs r.attrs) :: !acc);
+  List.sort (fun (a, _) (b, _) -> Bgp.Prefix.compare a b) !acc
 
 let best_route t prefix = loc_best t prefix

@@ -107,6 +107,12 @@ val loc_count : t -> int
 val loc_best : t -> Bgp.Prefix.t -> route option
 val best_route : t -> Bgp.Prefix.t -> route option
 val best_attrs : t -> Bgp.Prefix.t -> Bgp.Attr.t list option
+
+val loc_snapshot : t -> (Bgp.Prefix.t * Bgp.Attr.t list) list
+(** Whole-Loc-RIB snapshot in the neutral codec form, sorted by prefix —
+    the xBGP-visible state compared across hosts by the differential
+    fuzzer. *)
+
 val iter_loc : t -> (Bgp.Prefix.t -> route -> unit) -> unit
 val stats : t -> stats
 val peer : t -> int -> peer

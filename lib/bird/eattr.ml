@@ -123,7 +123,11 @@ let known_codes =
     ]
 
 (** Admit parsed attributes into the set; unknown codes are dropped by the
-    *native* parser, like the FRR-side (see module header). *)
+    *native* parser, like the FRR-side (see module header). Flags of
+    known attributes are canonicalized to their RFC defaults — stray
+    flag bits on the wire must not survive into xBGP-visible state (the
+    record-based host re-derives flags, so keeping them here would make
+    the two hosts diverge on exactly the malformed input). *)
 let of_attrs (attrs : Bgp.Attr.t list) =
   let eattrs =
     List.filter_map
@@ -133,7 +137,7 @@ let of_attrs (attrs : Bgp.Attr.t list) =
           Some
             {
               code;
-              flags = a.flags;
+              flags = Bgp.Attr.default_flags a.value;
               payload = Bytes.to_string (Bgp.Attr.encode_payload a.value);
             }
         else None)

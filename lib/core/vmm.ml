@@ -70,6 +70,7 @@ type t = {
   budget : int;
   engine : Ebpf.Vm.engine;
   stats : stats;
+  mutable last_fault : string option;
 }
 
 let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
@@ -85,9 +86,11 @@ let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
     engine;
     stats =
       { runs = 0; native_fallbacks = 0; faults = 0; next_calls = 0; insns = 0 };
+    last_fault = None;
   }
 
 let stats t = t.stats
+let last_fault t = t.last_fault
 
 (** Register an xBGP program: verify every bytecode against the structural
     checks and the program's helper whitelist, then instantiate its maps
@@ -119,7 +122,7 @@ let register t (prog : Xprog.t) : (unit, string) result =
              (fun spec -> { spec; table = Hashtbl.create 64 })
              prog.maps)
       in
-      let ext = { prog; maps; scratch = Bytes.create prog.scratch_size } in
+      let ext = { prog; maps; scratch = Bytes.make prog.scratch_size '\x00' } in
       Hashtbl.replace t.extensions prog.name ext;
       Ok ()
   end
@@ -140,13 +143,13 @@ let u32_of v = Int64.to_int (Int64.logand v 0xFFFFFFFFL)
    current operation's context through the runtime's mutable [ops]/[args]
    fields. The ephemeral heap is reclaimed wholesale after each run by
    resetting [heap_pos]; its *contents* are not scrubbed, which is safe
-   because the region belongs to one attachment of one program (its own
-   earlier writes are all it can ever see). *)
+   because the region starts zeroed and belongs to one attachment of one
+   program (its own earlier writes are all it can ever see). *)
 let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
   let mem = Ebpf.Memory.create () in
   let heap =
     Ebpf.Memory.add_region mem ~name:"heap" ~base:Api.heap_base ~writable:true
-      (Bytes.create t.heap_size)
+      (Bytes.make t.heap_size '\x00')
   in
   if Bytes.length ext.scratch > 0 then
     ignore
@@ -369,6 +372,7 @@ let run t point ~(ops : Host_intf.ops) ~args ~(default : unit -> int64) :
             Printf.sprintf "%s: extension %s/%s at %s faulted: %s" t.host
               att.ext.prog.name att.bc_name (Api.point_name point) msg
           in
+          t.last_fault <- Some err;
           Log.warn (fun m -> m "%s" err);
           ops.log err;
           t.stats.native_fallbacks <- t.stats.native_fallbacks + 1;
@@ -385,9 +389,12 @@ let run_init t ~ops =
       | Value _ | Deferred -> ()
       | Faulted msg ->
         t.stats.faults <- t.stats.faults + 1;
-        ops.log
-          (Printf.sprintf "%s: init of %s/%s faulted: %s" t.host
-             att.ext.prog.name att.bc_name msg))
+        let err =
+          Printf.sprintf "%s: init of %s/%s faulted: %s" t.host
+            att.ext.prog.name att.bc_name msg
+        in
+        t.last_fault <- Some err;
+        ops.log err)
     !(Hashtbl.find t.points Api.Bgp_init)
 
 (* --- introspection used by tests and the CLI --- *)

@@ -45,6 +45,10 @@ val create :
 
 val stats : t -> stats
 
+val last_fault : t -> string option
+(** Rendered description of the most recent bytecode fault, if any — for
+    fault diagnosis in divergence reports. *)
+
 val register : t -> Xprog.t -> (unit, string) result
 (** Verify every bytecode (structural checks plus the program's helper
     whitelist) and instantiate the program's maps and scratch. *)

@@ -4,6 +4,8 @@
 
    - every jump lands on an instruction boundary inside the program;
    - control flow cannot fall off the end of the program;
+   - every instruction is reachable from the entry slot (the kernel
+     verifier's dead-code rejection);
    - the frame pointer r10 is never written;
    - helper calls are restricted to the whitelist from the manifest
      (the paper's manifest "lists the different xBGP API functions that
@@ -87,6 +89,43 @@ let check ?allowed_helpers (prog : Insn.t list) : check_result =
         slot + Insn.slots i)
       0 prog
   in
+  (* reachability: every instruction must be reachable from slot 0. Only
+     meaningful once the jump targets themselves are sound, so skip the
+     pass when structural errors were already found. *)
+  if !errors = [] && nslots > 0 then begin
+    let insns = Array.of_list prog in
+    (* slot of the i-th instruction, and instruction index at a slot *)
+    let index_at = Array.make nslots (-1) in
+    let slot_of = Array.make (Array.length insns) 0 in
+    let _ =
+      Array.to_list insns
+      |> List.fold_left
+           (fun (idx, slot) i ->
+             index_at.(slot) <- idx;
+             slot_of.(idx) <- slot;
+             (idx + 1, slot + Insn.slots i))
+           (0, 0)
+    in
+    let reachable = Array.make (Array.length insns) false in
+    let rec visit idx =
+      if idx >= 0 && idx < Array.length insns && not reachable.(idx) then begin
+        reachable.(idx) <- true;
+        let slot = slot_of.(idx) in
+        match insns.(idx) with
+        | Exit -> ()
+        | Ja off -> visit index_at.(slot + 1 + off)
+        | Jcond (_, _, _, _, off) ->
+          visit index_at.(slot + 1 + off);
+          visit (idx + 1)
+        | _ -> visit (idx + 1)
+      end
+    in
+    visit 0;
+    Array.iteri
+      (fun idx r ->
+        if not r then err slot_of.(idx) "unreachable instruction")
+      reachable
+  end;
   match !errors with [] -> Ok () | es -> Error (List.rev es)
 
 let check_exn ?allowed_helpers prog =

@@ -4,6 +4,8 @@
 
     - every jump lands on an instruction boundary inside the program;
     - control flow cannot fall off the end;
+    - every instruction is reachable from the entry (dead code is
+      rejected, as in the kernel verifier);
     - the frame pointer r10 is never written;
     - helper calls are restricted to the manifest's whitelist;
     - immediate division/modulo by zero is rejected;

@@ -312,8 +312,10 @@ let create ?(budget = default_budget) ?(engine = Interpreted) ?mem ~helpers
     program =
   let mem = match mem with Some m -> m | None -> Memory.create () in
   let stack =
+    (* zeroed, not [Bytes.create]: a program reading stack slots it never
+       wrote must see deterministic zeros, not host allocation garbage *)
     Memory.add_region mem ~name:"stack" ~base:stack_base ~writable:true
-      (Bytes.create stack_size)
+      (Bytes.make stack_size '\x00')
   in
   let table = Hashtbl.create 17 in
   List.iter (fun (id, f) -> Hashtbl.replace table id f) helpers;

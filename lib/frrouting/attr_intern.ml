@@ -230,7 +230,7 @@ let set_tlv t tlv =
         (code, a.flags, Bytes.to_string payload)
         :: List.filter (fun (c, _, _) -> c <> code) t.extra
       in
-      { t with extra = List.sort compare extra }
+      { t with extra = List.sort Stdlib.compare extra }
   in
   intern t
 

@@ -526,6 +526,27 @@ let learn_route t peer prefix (route : route) =
     withdraw_prefix t peer prefix
   end
 
+(* RFC 7606 treat-as-withdraw: an UPDATE that carries NLRI but lacks any
+   of the mandatory ORIGIN / AS_PATH / NEXT_HOP attributes must not be
+   learned — the interned record would silently fabricate defaults
+   (next-hop 0.0.0.0) where a list-based host keeps the absence, so the
+   two implementations would diverge on exactly the malformed input. An
+   extension at BGP_RECEIVE_MESSAGE may still supply the missing
+   attribute before the check. *)
+let mandatory_present (attrs : Bgp.Attr.t list) extra_tlvs =
+  let codes =
+    List.map Bgp.Attr.code attrs
+    @ List.filter_map
+        (fun tlv ->
+          match Bgp.Attr.of_tlv tlv with
+          | a -> Some (Bgp.Attr.code a)
+          | exception Bgp.Attr.Parse_error _ -> None)
+        extra_tlvs
+  in
+  List.mem Bgp.Attr.code_origin codes
+  && List.mem Bgp.Attr.code_as_path codes
+  && List.mem Bgp.Attr.code_next_hop codes
+
 let on_update t peer (u : Bgp.Message.update) ~raw =
   t.stats.updates_rx <- t.stats.updates_rx + 1;
   (* BGP_RECEIVE_MESSAGE point: extensions may recover attributes the
@@ -551,7 +572,9 @@ let on_update t peer (u : Bgp.Message.update) ~raw =
           ~args:[ (Xbgp.Api.arg_update_payload, body) ]
           ~default:(fun () -> Xbgp.Api.ret_ok)));
   List.iter (fun p -> withdraw_prefix t peer p) u.withdrawn;
-  if u.nlri <> [] then begin
+  if u.nlri <> [] && not (mandatory_present u.attrs (List.rev !extra_tlvs))
+  then List.iter (fun p -> withdraw_prefix t peer p) u.nlri
+  else if u.nlri <> [] then begin
     let attrs0 = Attr_intern.of_attrs u.attrs in
     (* apply extension-recovered attributes *)
     let attrs0 =
@@ -755,5 +778,13 @@ let name t = t.config.name
     by tests to compare daemons. *)
 let best_attrs t prefix =
   Option.map (fun r -> Attr_intern.to_attrs r.attrs) (loc_best t prefix)
+
+(** Whole-Loc-RIB snapshot in the neutral codec form, sorted by prefix —
+    the xBGP-visible state the differential fuzzer compares across
+    hosts. *)
+let loc_snapshot t =
+  let acc = ref [] in
+  iter_loc t (fun p r -> acc := (p, Attr_intern.to_attrs r.attrs) :: !acc);
+  List.sort (fun (a, _) (b, _) -> Bgp.Prefix.compare a b) !acc
 
 let best_route t prefix = loc_best t prefix

@@ -1,0 +1,142 @@
+(* The campaign loop: generate -> oracle -> (on findings) shrink ->
+   write reproducer. Deterministic end to end: the same (seed, cases)
+   pair replays the same campaign, and every reproducer regenerates its
+   minimized case from the numbers it records. *)
+
+type failure = {
+  case : Gen.case;  (** minimized *)
+  findings : Oracle.finding list;  (** findings of the minimized case *)
+  repro : Replay.t;
+  repro_path : string option;  (** written when the campaign has an out dir *)
+}
+
+type summary = {
+  cases : int;
+  scenarios : (string * int) list;  (** histogram, generation order *)
+  results : failure list;  (** failing cases only *)
+}
+
+let divergences s =
+  List.length
+    (List.concat_map
+       (fun r ->
+         List.filter (fun (f : Oracle.finding) -> f.kind = Oracle.Divergence)
+           r.findings)
+       s.results)
+
+let crashes s =
+  List.length
+    (List.concat_map
+       (fun r ->
+         List.filter (fun (f : Oracle.finding) -> f.kind = Oracle.Crash)
+           r.findings)
+       s.results)
+
+(* --- shrinking one failing case --- *)
+
+(* Minimize whichever input list the scenario actually consumes; the
+   predicate re-runs the oracle on the restriction, so shrinking also
+   revalidates determinism along the way. *)
+let shrink_case ~perturb (c : Gen.case) =
+  let fails c' = Oracle.run ~perturb c' <> [] in
+  let min_list get restrict_by =
+    let kept =
+      Shrink.minimize
+        ~still_fails:(fun idxs -> fails (restrict_by idxs))
+        (Shrink.indices (get c))
+    in
+    (restrict_by kept, kept)
+  in
+  match c.scenario with
+  | Gen.Plain_ebgp | Gen.Rr_ibgp | Gen.Ov_ebgp | Gen.Med_ebgp | Gen.Strip_ebgp
+    ->
+    let c', kept =
+      min_list
+        (fun (c : Gen.case) -> c.routes)
+        (fun idxs -> Gen.restrict ~routes:idxs c)
+    in
+    (c', Some kept, None, None)
+  | Gen.Hostile_peer ->
+    let c', kept =
+      min_list
+        (fun (c : Gen.case) -> c.frames)
+        (fun idxs -> Gen.restrict ~frames:idxs c)
+    in
+    (c', None, Some kept, None)
+  | Gen.Vm_soup | Gen.Vm_guided ->
+    let c', kept =
+      min_list
+        (fun (c : Gen.case) -> c.progs)
+        (fun idxs -> Gen.restrict ~progs:idxs c)
+    in
+    (c', None, None, Some kept)
+
+let result_of ~perturb ~out (c : Gen.case) =
+  let minimized, routes, frames, progs = shrink_case ~perturb c in
+  let findings = Oracle.run ~perturb minimized in
+  (* shrinking preserves failure, but re-run for the authoritative list *)
+  let findings = if findings = [] then Oracle.run ~perturb c else findings in
+  let note =
+    match findings with [] -> "" | f :: _ -> Fmt.str "%a" Oracle.pp_finding f
+  in
+  let repro =
+    {
+      Replay.seed = c.seed;
+      case_index = c.index;
+      scenario = Gen.scenario_name c.scenario;
+      perturb;
+      routes;
+      frames;
+      progs;
+      note;
+    }
+  in
+  let repro_path = Option.map (fun dir -> Replay.save ~dir repro) out in
+  { case = minimized; findings; repro; repro_path }
+
+(* --- the campaign --- *)
+
+let campaign ?out ?(perturb = false) ?(log = fun _ -> ()) ~seed ~cases () =
+  let histogram = Hashtbl.create 8 in
+  let order = ref [] in
+  let bump name =
+    if not (Hashtbl.mem histogram name) then order := name :: !order;
+    Hashtbl.replace histogram name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt histogram name))
+  in
+  let results = ref [] in
+  for index = 0 to cases - 1 do
+    let c = Gen.case ~seed ~index in
+    bump (Gen.scenario_name c.scenario);
+    (match Oracle.run ~perturb c with
+    | [] -> ()
+    | first :: _ ->
+      log (Fmt.str "FAIL %a: %a" Gen.pp_case c Oracle.pp_finding first);
+      let r = result_of ~perturb ~out c in
+      (match r.repro_path with
+      | Some p -> log (Fmt.str "  reproducer: %s" p)
+      | None -> ());
+      results := r :: !results);
+    if (index + 1) mod 100 = 0 then
+      log (Fmt.str "%d/%d cases, %d failing" (index + 1) cases
+             (List.length !results))
+  done;
+  {
+    cases;
+    scenarios =
+      List.rev_map (fun n -> (n, Hashtbl.find histogram n)) !order;
+    results = List.rev !results;
+  }
+
+(* --- replay --- *)
+
+let replay (r : Replay.t) =
+  match Replay.case_of r with
+  | Error e -> Error e
+  | Ok c -> Ok (c, Oracle.run ~perturb:r.perturb c)
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%d cases (%a): %d divergences, %d crashes, %d failing cases"
+    s.cases
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (n, c) -> Fmt.pf ppf "%s %d" n c))
+    s.scenarios (divergences s) (crashes s) (List.length s.results)

@@ -1,0 +1,42 @@
+(** The fuzzing campaign: generate cases, run the {!Oracle}, shrink any
+    failure with {!Shrink} and pin it as a {!Replay} reproducer. *)
+
+type failure = {
+  case : Gen.case;  (** the minimized failing case *)
+  findings : Oracle.finding list;
+  repro : Replay.t;
+  repro_path : string option;
+}
+
+type summary = {
+  cases : int;
+  scenarios : (string * int) list;  (** per-scenario case counts *)
+  results : failure list;  (** failing cases only; empty = clean run *)
+}
+
+val divergences : summary -> int
+val crashes : summary -> int
+val pp_summary : Format.formatter -> summary -> unit
+
+val campaign :
+  ?out:string ->
+  ?perturb:bool ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  summary
+(** Run [cases] consecutive case indices under [seed]. [out] is the
+    directory reproducers are written to (omit to skip writing);
+    [perturb] forces an artificial BIRD-side divergence to exercise the
+    pipeline; [log] receives human-readable progress lines. *)
+
+val shrink_case :
+  perturb:bool ->
+  Gen.case ->
+  Gen.case * int list option * int list option * int list option
+(** Minimize a failing case; returns the restricted case plus the kept
+    route / frame / program indices (for the reproducer). *)
+
+val replay : Replay.t -> (Gen.case * Oracle.finding list, string) Stdlib.result
+(** Regenerate a reproducer's case and re-run the oracle on it. *)

@@ -1,0 +1,386 @@
+(* Seeded case generation for the differential fuzzer.
+
+   Every case is a pure function of (master seed, case index): the
+   campaign loop, the shrinker and the replay machinery all regenerate
+   the same case from those two integers and then restrict it to a
+   subset of its routes / frames / programs. Nothing here draws from
+   global randomness.
+
+   Well-formedness discipline: routes destined for the FRR-vs-BIRD
+   differential carry only attributes both hosts represent natively.
+   Unknown attributes are deliberately excluded — the FRR-like parser
+   drops them while the BIRD-like host keeps them (that asymmetry is
+   the GeoLoc use case, not a bug), so they would drown the oracle in
+   by-design divergences. Hostile-peer frames have no such restriction;
+   the oracle normalizes them away instead. *)
+
+module Prng = Dataset.Prng
+
+type scenario =
+  | Plain_ebgp  (** no extension bytecode, eBGP testbed *)
+  | Rr_ibgp  (** route_reflector bytecode on an iBGP testbed *)
+  | Ov_ebgp  (** origin_validation bytecode + generated ROA table *)
+  | Med_ebgp  (** med_compare bytecode at the decision point *)
+  | Strip_ebgp  (** community_strip bytecode at the export point *)
+  | Hostile_peer  (** mutated wire frames against an established session *)
+  | Vm_soup  (** arbitrary instruction soup through verifier + VM *)
+  | Vm_guided  (** verifier-accepted programs, engine differential *)
+
+let all_scenarios =
+  [
+    Plain_ebgp;
+    Rr_ibgp;
+    Ov_ebgp;
+    Med_ebgp;
+    Strip_ebgp;
+    Hostile_peer;
+    Vm_soup;
+    Vm_guided;
+  ]
+
+let scenario_name = function
+  | Plain_ebgp -> "plain_ebgp"
+  | Rr_ibgp -> "rr_ibgp"
+  | Ov_ebgp -> "ov_ebgp"
+  | Med_ebgp -> "med_ebgp"
+  | Strip_ebgp -> "strip_ebgp"
+  | Hostile_peer -> "hostile_peer"
+  | Vm_soup -> "vm_soup"
+  | Vm_guided -> "vm_guided"
+
+let scenario_of_name s =
+  List.find_opt (fun sc -> scenario_name sc = s) all_scenarios
+
+type case = {
+  seed : int;
+  index : int;
+  scenario : scenario;
+  routes : Dataset.Ris_gen.route list;
+  roas : Rpki.Roa.t list;
+  frames : bytes list;
+  progs : Ebpf.Insn.t list list;
+}
+
+(* --- per-case PRNG --- *)
+
+(* Splitmix streams from nearby seeds are independent; a large odd
+   multiplier keeps (seed, index) pairs from colliding. *)
+let case_prng ~seed ~index = Prng.create (seed + (index * 0x9E3779B1))
+
+(* --- routes --- *)
+
+let local_as = 65000 (* the testbed DUT's AS; see Scenario.Testbed *)
+
+let gen_asn rng =
+  (* mostly 16-bit, occasionally 32-bit (RFC 6793); never the testbed's
+     own ASNs, which would trip loop detection asymmetrically *)
+  let a =
+    if Prng.int rng 8 = 0 then 70_000 + Prng.int rng 1_000_000
+    else 1 + Prng.int rng 64_000
+  in
+  if a >= local_as - 10 && a <= local_as + 10 then a + 100 else a
+
+let gen_as_path rng =
+  let nseg = 1 + Prng.int rng 2 in
+  List.init nseg (fun _ ->
+      let n = 1 + Prng.int rng 4 in
+      let asns = List.init n (fun _ -> gen_asn rng) in
+      if Prng.int rng 8 = 0 then Bgp.Attr.Set asns else Bgp.Attr.Seq asns)
+
+let gen_community rng =
+  (* bias towards the DUT's own tag space so community_strip has work,
+     but stay clear of 65535:* (the origin-validation result space) *)
+  let high =
+    match Prng.int rng 3 with
+    | 0 -> local_as
+    | _ -> 1 + Prng.int rng 65_000
+  in
+  (high lsl 16) lor Prng.int rng 65_536
+
+let gen_addr rng =
+  Int64.to_int (Prng.next_int64 rng) land 0xFFFFFFFF
+
+let gen_attrs rng ~ibgp =
+  let open Bgp.Attr in
+  let origin = Prng.choose rng [| Igp; Egp; Incomplete |] in
+  let base =
+    [ v (Origin origin); v (As_path (gen_as_path rng));
+      v (Next_hop (gen_addr rng)) ]
+  in
+  let opt p value = if Prng.int rng p = 0 then [ v value ] else [] in
+  base
+  @ opt 3 (Med (Prng.int rng 1000))
+  @ (if ibgp then opt 3 (Local_pref (Prng.int rng 300)) else [])
+  @ (if Prng.int rng 4 = 0 then
+       [ v (Communities (List.init (1 + Prng.int rng 3) (fun _ -> gen_community rng))) ]
+     else [])
+  @ opt 8 Atomic_aggregate
+  @ opt 8 (Aggregator (gen_asn rng, gen_addr rng))
+
+let gen_prefix rng =
+  let len = 8 + Prng.int rng 21 in
+  Bgp.Prefix.v (gen_addr rng) len
+
+(* Distinct prefixes; with [disjoint] no prefix covers another (the
+   origin-validation stores use exact-match semantics in tests). *)
+let gen_routes rng ~ibgp ~disjoint =
+  let count = 1 + Prng.int rng 40 in
+  let taken = ref [] in
+  let ok p =
+    if disjoint then
+      not
+        (List.exists
+           (fun q -> Bgp.Prefix.subset p q || Bgp.Prefix.subset q p)
+           !taken)
+    else not (List.exists (Bgp.Prefix.equal p) !taken)
+  in
+  let rec fresh tries =
+    let p = gen_prefix rng in
+    if ok p then p
+    else if tries > 50 then p (* give up; duplicates only shrink the table *)
+    else fresh (tries + 1)
+  in
+  List.init count (fun _ ->
+      let p = fresh 0 in
+      taken := p :: !taken;
+      { Dataset.Ris_gen.prefix = p; attrs = gen_attrs rng ~ibgp })
+  |> List.filter
+       (fun (r : Dataset.Ris_gen.route) ->
+         (* drop the rare give-up duplicates so origination is unambiguous *)
+         List.length (List.filter (Bgp.Prefix.equal r.prefix) !taken) = 1)
+
+(* --- hostile wire frames --- *)
+
+let gen_update_frame rng =
+  let nroutes = 1 + Prng.int rng 3 in
+  let routes = gen_routes rng ~ibgp:false ~disjoint:false in
+  let routes =
+    List.filteri (fun i _ -> i < nroutes) routes
+  in
+  let nlri = List.map (fun (r : Dataset.Ris_gen.route) -> r.prefix) routes in
+  let attrs =
+    match routes with
+    | r :: _ -> r.attrs
+    | [] -> []
+  in
+  let withdrawn = if Prng.int rng 5 = 0 then [ gen_prefix rng ] else [] in
+  Bgp.Message.encode (Bgp.Message.Update { withdrawn; attrs; nlri })
+
+(* A frame with a valid header but an arbitrary body. *)
+let gen_garbage_frame rng =
+  let body_len = Prng.int rng 64 in
+  let len = Bgp.Message.header_size + body_len in
+  let b = Bytes.create len in
+  Bytes.fill b 0 16 '\xff';
+  Bytes.set_uint16_be b 16 len;
+  Bytes.set_uint8 b 18 (1 + Prng.int rng 5) (* types 1..4 valid, 5 not *);
+  for i = Bgp.Message.header_size to len - 1 do
+    Bytes.set_uint8 b i (Prng.int rng 256)
+  done;
+  b
+
+let mutate_frame rng frame =
+  let len = Bytes.length frame in
+  match Prng.int rng 4 with
+  | 0 -> frame (* pass through unmodified *)
+  | 1 ->
+    (* flip one byte past the marker: corrupts length, type or body *)
+    let b = Bytes.copy frame in
+    let pos = 16 + Prng.int rng (max 1 (len - 16)) in
+    Bytes.set_uint8 b pos (Bytes.get_uint8 b pos lxor (1 lsl Prng.int rng 8));
+    b
+  | 2 ->
+    (* truncate the body and patch the length so the frame deframes *)
+    if len <= Bgp.Message.header_size then frame
+    else begin
+      let keep =
+        Bgp.Message.header_size
+        + Prng.int rng (len - Bgp.Message.header_size)
+      in
+      let b = Bytes.sub frame 0 keep in
+      Bytes.set_uint16_be b 16 keep;
+      b
+    end
+  | _ ->
+    (* corrupt a byte inside the UPDATE body only (header stays valid) *)
+    if len <= Bgp.Message.header_size then frame
+    else begin
+      let b = Bytes.copy frame in
+      let pos =
+        Bgp.Message.header_size
+        + Prng.int rng (len - Bgp.Message.header_size)
+      in
+      Bytes.set_uint8 b pos (Prng.int rng 256);
+      b
+    end
+
+let gen_frames rng =
+  let n = 1 + Prng.int rng 8 in
+  List.init n (fun _ ->
+      if Prng.int rng 6 = 0 then gen_garbage_frame rng
+      else mutate_frame rng (gen_update_frame rng))
+
+(* --- eBPF programs --- *)
+
+let all_regs =
+  Ebpf.Insn.[| R0; R1; R2; R3; R4; R5; R6; R7; R8; R9; R10 |]
+
+let scratch_regs = Ebpf.Insn.[| R0; R1; R2; R3; R4; R5 |]
+let sizes = Ebpf.Insn.[| W8; W16; W32; W64 |]
+
+let alu_ops =
+  Ebpf.Insn.
+    [| Add; Sub; Mul; Div; Or; And; Lsh; Rsh; Neg; Mod; Xor; Mov; Arsh |]
+
+let conds =
+  Ebpf.Insn.[| Eq; Gt; Ge; Set; Ne; Sgt; Sge; Lt; Le; Slt; Sle |]
+
+let gen_soup_insn rng =
+  let open Ebpf.Insn in
+  let reg () = Prng.choose rng all_regs in
+  let width () = if Prng.bool rng then W64bit else W32bit in
+  let src () =
+    if Prng.bool rng then Imm (Int32.of_int (Prng.int rng 1024 - 512))
+    else Reg (reg ())
+  in
+  match Prng.int rng 10 with
+  | 0 | 1 -> Alu (width (), Prng.choose rng alu_ops, reg (), src ())
+  | 2 -> Lddw (reg (), Prng.next_int64 rng)
+  | 3 -> Ldx (Prng.choose rng sizes, reg (), reg (), Prng.int rng 1100 - 550)
+  | 4 ->
+    St
+      ( Prng.choose rng sizes,
+        reg (),
+        Prng.int rng 1100 - 550,
+        Int32.of_int (Prng.int rng 256) )
+  | 5 -> Stx (Prng.choose rng sizes, reg (), Prng.int rng 1100 - 550, reg ())
+  | 6 -> Ja (Prng.int rng 16 - 5)
+  | 7 -> Jcond (width (), Prng.choose rng conds, reg (), src (), Prng.int rng 16 - 5)
+  | 8 -> Call (Prng.int rng 25)
+  | _ -> if Prng.int rng 3 = 0 then Exit else Endian ((if Prng.bool rng then Le else Be), reg (), Prng.choose rng [| 16; 32; 64 |])
+
+let gen_soup_prog rng =
+  let n = 1 + Prng.int rng 30 in
+  List.init n (fun _ -> gen_soup_insn rng) @ [ Ebpf.Insn.Exit ]
+
+(* Verifier-clean programs: straight-line ALU and stack traffic with
+   forward conditional jumps only (both branches stay reachable, so the
+   dead-code check holds); no Lddw, so slot numbering equals instruction
+   numbering and jump offsets are easy to keep in bounds. *)
+let gen_guided_prog rng =
+  let open Ebpf.Insn in
+  let n = 4 + Prng.int rng 20 in
+  let reg () = Prng.choose rng scratch_regs in
+  let body =
+    List.init n (fun i ->
+        let remaining = n - i - 1 in
+        match Prng.int rng 6 with
+        | 0 | 1 ->
+          let w = if Prng.bool rng then W64bit else W32bit in
+          let op =
+            Prng.choose rng
+              [| Add; Sub; Mul; Or; And; Xor; Mov; Arsh; Neg; Div; Mod |]
+          in
+          let src =
+            if Prng.bool rng then
+              let imm =
+                match op with
+                | Div | Mod -> 1 + Prng.int rng 1000 (* nonzero immediates *)
+                | _ -> Prng.int rng 2048 - 1024
+              in
+              Imm (Int32.of_int imm)
+            else Reg (reg ())
+          in
+          Alu (w, op, reg (), src)
+        | 2 ->
+          let w = if Prng.bool rng then W64bit else W32bit in
+          let shift =
+            Imm (Int32.of_int (Prng.int rng (match w with W32bit -> 32 | W64bit -> 64)))
+          in
+          Alu (w, Prng.choose rng [| Lsh; Rsh |], reg (), shift)
+        | 3 ->
+          let sz = Prng.choose rng sizes in
+          let off = -8 * (1 + Prng.int rng 63) in
+          Stx (sz, R10, off, reg ())
+        | 4 ->
+          let sz = Prng.choose rng sizes in
+          let off = -8 * (1 + Prng.int rng 63) in
+          Ldx (sz, reg (), R10, off)
+        | _ ->
+          if remaining > 0 then
+            Jcond
+              ( (if Prng.bool rng then W64bit else W32bit),
+                Prng.choose rng conds,
+                reg (),
+                (if Prng.bool rng then Imm (Int32.of_int (Prng.int rng 256))
+                 else Reg (reg ())),
+                Prng.int rng remaining )
+          else Alu (W64bit, Mov, reg (), Imm 0l)
+    )
+  in
+  (Alu (W64bit, Mov, R0, Imm 0l) :: body) @ [ Exit ]
+
+let gen_progs rng ~guided =
+  let n = 1 + Prng.int rng 3 in
+  List.init n (fun _ ->
+      if guided then gen_guided_prog rng else gen_soup_prog rng)
+
+(* --- putting a case together --- *)
+
+let pick_scenario rng =
+  (* weights: differential modes dominate, VM modes ride along *)
+  let table =
+    [|
+      Plain_ebgp; Plain_ebgp; Plain_ebgp;
+      Rr_ibgp; Rr_ibgp;
+      Ov_ebgp; Ov_ebgp;
+      Med_ebgp;
+      Strip_ebgp; Strip_ebgp;
+      Hostile_peer; Hostile_peer;
+      Vm_soup; Vm_soup;
+      Vm_guided;
+    |]
+  in
+  Prng.choose rng table
+
+let case ~seed ~index =
+  let rng = case_prng ~seed ~index in
+  let scenario = pick_scenario rng in
+  let empty =
+    { seed; index; scenario; routes = []; roas = []; frames = []; progs = [] }
+  in
+  match scenario with
+  | Plain_ebgp | Med_ebgp | Strip_ebgp ->
+    { empty with routes = gen_routes rng ~ibgp:false ~disjoint:false }
+  | Rr_ibgp -> { empty with routes = gen_routes rng ~ibgp:true ~disjoint:false }
+  | Ov_ebgp ->
+    let routes = gen_routes rng ~ibgp:false ~disjoint:true in
+    let roas =
+      Dataset.Ris_gen.roas_for
+        ~seed:(Prng.int rng 1_000_000)
+        ~valid_pct:60 ~invalid_pct:20 routes
+    in
+    { empty with routes; roas }
+  | Hostile_peer -> { empty with frames = gen_frames rng }
+  | Vm_soup -> { empty with progs = gen_progs rng ~guided:false }
+  | Vm_guided -> { empty with progs = gen_progs rng ~guided:true }
+
+(* --- restriction (shrinking / replay) --- *)
+
+let keep indices l =
+  match indices with
+  | None -> l
+  | Some idxs -> List.filteri (fun i _ -> List.mem i idxs) l
+
+let restrict ?routes ?frames ?progs c =
+  {
+    c with
+    routes = keep routes c.routes;
+    frames = keep frames c.frames;
+    progs = keep progs c.progs;
+  }
+
+let pp_case ppf c =
+  Fmt.pf ppf "case %d/%d %s (%d routes, %d roas, %d frames, %d progs)" c.seed
+    c.index (scenario_name c.scenario) (List.length c.routes)
+    (List.length c.roas) (List.length c.frames) (List.length c.progs)

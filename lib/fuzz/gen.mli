@@ -1,0 +1,43 @@
+(** Seeded case generation for the differential fuzzer.
+
+    A case is a pure function of [(seed, index)]: the campaign, the
+    shrinker and the replay machinery all regenerate identical inputs
+    from those two integers, then {!restrict} them to a subset. Routes
+    destined for the host differential carry only attributes both hosts
+    represent natively (Unknown attributes are a by-design host
+    asymmetry, not a bug — see the GeoLoc use case). *)
+
+type scenario =
+  | Plain_ebgp  (** no extension bytecode, eBGP testbed *)
+  | Rr_ibgp  (** route_reflector bytecode on an iBGP testbed *)
+  | Ov_ebgp  (** origin_validation bytecode + generated ROA table *)
+  | Med_ebgp  (** med_compare bytecode at the decision point *)
+  | Strip_ebgp  (** community_strip bytecode at the export point *)
+  | Hostile_peer  (** mutated wire frames against an established session *)
+  | Vm_soup  (** arbitrary instruction soup through verifier + VM *)
+  | Vm_guided  (** verifier-accepted programs, engine differential *)
+
+val all_scenarios : scenario list
+val scenario_name : scenario -> string
+val scenario_of_name : string -> scenario option
+
+type case = {
+  seed : int;
+  index : int;
+  scenario : scenario;
+  routes : Dataset.Ris_gen.route list;
+  roas : Rpki.Roa.t list;
+  frames : bytes list;
+  progs : Ebpf.Insn.t list list;
+}
+
+val case : seed:int -> index:int -> case
+(** Deterministically generate the case for one campaign slot. *)
+
+val restrict :
+  ?routes:int list -> ?frames:int list -> ?progs:int list -> case -> case
+(** Keep only the listed 0-based indices of each input list (an absent
+    argument keeps the list whole) — the shrinker's and replayer's view
+    of a reproducer. *)
+
+val pp_case : Format.formatter -> case -> unit

@@ -1,0 +1,392 @@
+(* The differential oracle.
+
+   One case, three kinds of checks depending on its scenario:
+
+   - host differential: the same route table and the same extension
+     manifest through both the FRR-like and the BIRD-like testbed; the
+     xBGP-visible state (DUT Loc-RIB and downstream Loc-RIB, rendered in
+     the neutral codec form and canonically sorted) must be identical.
+   - hostile peer: the same mutated wire frames against an established
+     session on each host; the surviving Loc-RIB (normalized to the
+     attributes both hosts represent) and the session fate must agree.
+   - VM safety: every generated program either fails the verifier with a
+     clean error list, or executes to an identical outcome on both
+     execution engines — a value or a contained fault, never an escaped
+     exception — and survives a full VMM round trip.
+
+   A [Crash] finding means an exception escaped a layer that promises
+   not to raise; a [Divergence] finding means the two hosts (or the two
+   engines) disagreed about xBGP-visible state. *)
+
+type kind = Divergence | Crash
+
+type finding = { kind : kind; detail : string }
+
+let kind_name = function Divergence -> "divergence" | Crash -> "crash"
+
+let pp_finding ppf f = Fmt.pf ppf "[%s] %s" (kind_name f.kind) f.detail
+
+let divergence fmt = Fmt.kstr (fun s -> { kind = Divergence; detail = s }) fmt
+let crash fmt = Fmt.kstr (fun s -> { kind = Crash; detail = s }) fmt
+
+(* --- snapshot normalization --- *)
+
+(* Drop attributes outside the shared native vocabulary (the FRR-like
+   parser discards Unknown attributes by design) and sort the rest into
+   the canonical wire order, so list-construction order cannot fake a
+   divergence. *)
+let normalize snap =
+  List.map
+    (fun (p, attrs) ->
+      let attrs =
+        List.filter
+          (fun (a : Bgp.Attr.t) ->
+            match a.value with Bgp.Attr.Unknown _ -> false | _ -> true)
+          attrs
+      in
+      (p, Bgp.Attr.sort_canonical attrs))
+    snap
+
+let pp_route ppf (p, attrs) =
+  Fmt.pf ppf "%a [%a]" Bgp.Prefix.pp p
+    (Fmt.list ~sep:(Fmt.any "; ") Bgp.Attr.pp)
+    attrs
+
+(* First difference between two normalized snapshots, if any. *)
+let diff_snapshots ~what a b =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> None
+    | ra :: _, [] -> Some (Fmt.str "%s: %a only on frr" what pp_route ra)
+    | [], rb :: _ -> Some (Fmt.str "%s: %a only on bird" what pp_route rb)
+    | ((pa, aa) as ra) :: ta, ((pb, ab) as rb) :: tb ->
+      let c = Bgp.Prefix.compare pa pb in
+      if c < 0 then Some (Fmt.str "%s: %a only on frr" what pp_route ra)
+      else if c > 0 then Some (Fmt.str "%s: %a only on bird" what pp_route rb)
+      else if
+        List.length aa <> List.length ab
+        || not (List.for_all2 Bgp.Attr.equal aa ab)
+      then
+        Some
+          (Fmt.str "%s: %a differs: frr=%a bird=%a" what Bgp.Prefix.pp pa
+             pp_route ra pp_route rb)
+      else go ta tb
+  in
+  go a b
+
+(* --- host differential over the three-router testbed --- *)
+
+type host_state = {
+  dut : (Bgp.Prefix.t * Bgp.Attr.t list) list;
+  down : (Bgp.Prefix.t * Bgp.Attr.t list) list;
+  vmm_fault : string option;
+}
+
+let manifest_exn name =
+  match Xprogs.Registry.find_manifest name with
+  | Some m -> m
+  | None -> invalid_arg ("Oracle: unknown manifest " ^ name)
+
+let mode_for host (c : Gen.case) =
+  let module T = Scenario.Testbed in
+  match c.scenario with
+  | Gen.Plain_ebgp -> T.mode ~host ~ibgp:false ()
+  | Gen.Rr_ibgp ->
+    T.mode ~host ~ibgp:true ~manifest:(manifest_exn "route_reflector") ()
+  | Gen.Ov_ebgp ->
+    T.mode ~host ~ibgp:false
+      ~manifest:(manifest_exn "origin_validation")
+      ~xtras:[ ("roa_table", Xprogs.Util.encode_roa_table c.roas) ]
+      ()
+  | Gen.Med_ebgp ->
+    T.mode ~host ~ibgp:false ~manifest:(manifest_exn "med_compare") ()
+  | Gen.Strip_ebgp ->
+    T.mode ~host ~ibgp:false ~manifest:(manifest_exn "community_strip") ()
+  | Gen.Hostile_peer | Gen.Vm_soup | Gen.Vm_guided ->
+    invalid_arg "Oracle.mode_for: not a testbed scenario"
+
+let settle_us = 30_000_000 (* 30 simulated seconds after the feed *)
+
+let run_testbed host (c : Gen.case) : host_state =
+  let module T = Scenario.Testbed in
+  let tb = T.create (mode_for host c) in
+  T.establish tb;
+  T.feed tb c.routes;
+  ignore (Netsim.Sched.run tb.sched ~until:(Netsim.Sched.now tb.sched + settle_us));
+  {
+    dut = normalize (Scenario.Daemon.loc_snapshot tb.dut);
+    down = normalize (Frrouting.Bgpd.loc_snapshot tb.downstream);
+    vmm_fault = Option.bind tb.dut_vmm Xbgp.Vmm.last_fault;
+  }
+
+(* [perturb] artificially corrupts the BIRD-side view — the knob the
+   acceptance test and --force-divergence use to prove the oracle,
+   shrinker and replay pipeline actually fire. *)
+let perturb_state st =
+  match st.dut with [] -> st | _ :: rest -> { st with dut = rest }
+
+let run_differential ~perturb (c : Gen.case) =
+  let guarded host f =
+    match f () with
+    | st -> Ok st
+    | exception e ->
+      Error
+        (crash "%s testbed raised %s on %a" host (Printexc.to_string e)
+           Gen.pp_case c)
+  in
+  match
+    ( guarded "frr" (fun () -> run_testbed `Frr c),
+      guarded "bird" (fun () -> run_testbed `Bird c) )
+  with
+  | Error f, _ | _, Error f -> [ f ]
+  | Ok frr, Ok bird ->
+    let bird = if perturb then perturb_state bird else bird in
+    let faults =
+      List.filter_map
+        (fun (host, st) ->
+          Option.map (fun e -> crash "%s vmm fault: %s" host e) st.vmm_fault)
+        [ ("frr", frr); ("bird", bird) ]
+    in
+    let diffs =
+      List.filter_map
+        (fun x -> x)
+        [
+          diff_snapshots ~what:"dut loc-rib" frr.dut bird.dut;
+          diff_snapshots ~what:"downstream loc-rib" frr.down bird.down;
+        ]
+      |> List.map (fun d -> divergence "%s" d)
+    in
+    faults @ diffs
+
+(* --- hostile peer --- *)
+
+(* A scripted "attacker" drives one side of a pipe by hand: it completes
+   the OPEN/KEEPALIVE handshake like a well-behaved peer, then injects
+   the case's raw frames verbatim. The DUT's session layer is shared
+   code, so framing-level behavior is identical by construction; what
+   this mode exercises is each daemon's import path on decodable-but-
+   odd UPDATEs, and the no-exceptions guarantee. *)
+
+type hostile_state = {
+  rib : (Bgp.Prefix.t * Bgp.Attr.t list) list;
+  session_up : bool;
+}
+
+let attacker_as = 65009
+let attacker_addr = Bgp.Prefix.addr_of_quad (10, 9, 0, 2)
+let dut_addr = Bgp.Prefix.addr_of_quad (10, 9, 0, 1)
+
+let run_hostile_host host (c : Gen.case) : hostile_state =
+  Frrouting.Attr_intern.reset_intern_table ();
+  let sched = Netsim.Sched.create () in
+  let p_atk, p_dut = Netsim.Pipe.create sched in
+  let dut =
+    match host with
+    | `Frr ->
+      Scenario.Daemon.Frr
+        (Frrouting.Bgpd.create ~sched
+           (Frrouting.Bgpd.config ~name:"dut" ~router_id:dut_addr
+              ~local_as:65000 ~local_addr:dut_addr ())
+           [
+             {
+               Frrouting.Bgpd.pname = "attacker";
+               remote_as = attacker_as;
+               remote_addr = attacker_addr;
+               rr_client = false;
+               port = p_dut;
+             };
+           ])
+    | `Bird ->
+      Scenario.Daemon.Bird
+        (Bird.Bgpd.create ~sched
+           (Bird.Bgpd.config ~name:"dut" ~router_id:dut_addr ~local_as:65000
+              ~local_addr:dut_addr ())
+           [
+             {
+               Bird.Bgpd.pname = "attacker";
+               remote_as = attacker_as;
+               remote_addr = attacker_addr;
+               rr_client = false;
+               port = p_dut;
+             };
+           ])
+  in
+  (* the attacker half: answer the DUT's OPEN, then stay silent except
+     for the injected frames *)
+  let pending = ref Bytes.empty in
+  let answered = ref false in
+  Netsim.Pipe.set_receiver p_atk (fun chunk ->
+      pending :=
+        (if Bytes.length !pending = 0 then chunk
+         else Bytes.cat !pending chunk);
+      match Bgp.Message.deframe !pending with
+      | frames, rest ->
+        pending := rest;
+        List.iter
+          (fun raw ->
+            match Bgp.Message.decode raw with
+            | Bgp.Message.Open _ when not !answered ->
+              answered := true;
+              Netsim.Pipe.send p_atk
+                (Bgp.Message.encode
+                   (Bgp.Message.Open
+                      {
+                        version = 4;
+                        my_as = attacker_as;
+                        hold_time = 90;
+                        bgp_id = attacker_addr;
+                      }));
+              Netsim.Pipe.send p_atk (Bgp.Message.encode Bgp.Message.Keepalive)
+            | _ -> ()
+            | exception Bgp.Message.Parse_error _ -> ())
+          frames
+      | exception Bgp.Message.Parse_error _ -> pending := Bytes.empty);
+  Scenario.Daemon.start dut;
+  let up () = Scenario.Daemon.peer_established dut 0 in
+  if not (Netsim.Sched.run_until sched up) then
+    failwith "Oracle.run_hostile: session did not establish";
+  (* inject the frames 1 ms apart, then let the dust settle *)
+  List.iteri
+    (fun i frame ->
+      Netsim.Sched.after sched (1_000 * (i + 1)) (fun () ->
+          Netsim.Pipe.send p_atk frame))
+    c.frames;
+  ignore (Netsim.Sched.run sched ~until:(Netsim.Sched.now sched + 10_000_000));
+  {
+    rib = normalize (Scenario.Daemon.loc_snapshot dut);
+    session_up = Scenario.Daemon.peer_established dut 0;
+  }
+
+let run_hostile ~perturb (c : Gen.case) =
+  let guarded host f =
+    match f () with
+    | st -> Ok st
+    | exception e ->
+      Error
+        (crash "%s hostile rig raised %s on %a" host (Printexc.to_string e)
+           Gen.pp_case c)
+  in
+  match
+    ( guarded "frr" (fun () -> run_hostile_host `Frr c),
+      guarded "bird" (fun () -> run_hostile_host `Bird c) )
+  with
+  | Error f, _ | _, Error f -> [ f ]
+  | Ok frr, Ok bird ->
+    let bird =
+      if perturb then { bird with rib = (match bird.rib with [] -> [] | _ :: t -> t) }
+      else bird
+    in
+    let session =
+      if frr.session_up <> bird.session_up then
+        [
+          divergence "session fate differs: frr %s, bird %s"
+            (if frr.session_up then "up" else "closed")
+            (if bird.session_up then "up" else "closed");
+        ]
+      else []
+    in
+    let rib =
+      match diff_snapshots ~what:"hostile loc-rib" frr.rib bird.rib with
+      | Some d -> [ divergence "%s" d ]
+      | None -> []
+    in
+    session @ rib
+
+(* --- VM / verifier safety --- *)
+
+type vm_outcome = Value of int64 | Fault of string | Escaped of string
+
+let run_engine engine prog =
+  match
+    let vm = Ebpf.Vm.create ~budget:20_000 ~engine ~helpers:[] prog in
+    Ebpf.Vm.run vm
+  with
+  | v -> Value v
+  | exception Ebpf.Vm.Error e -> Fault e
+  | exception Ebpf.Memory.Fault e -> Fault e
+  | exception e -> Escaped (Printexc.to_string e)
+
+let engine_name = function
+  | Ebpf.Vm.Interpreted -> "interpreted"
+  | Ebpf.Vm.Compiled -> "compiled"
+
+(* Full VMM round trip: register the program (re-verifying it), attach
+   it to the inbound filter and run it the way a daemon would. The VMM
+   contract is that nothing escapes [run] — faults turn into the native
+   default. *)
+let vmm_round_trip prog =
+  match
+    let xp = Xbgp.Xprog.v ~name:"fuzzcase" [ ("main", prog) ] in
+    let vmm = Xbgp.Vmm.create ~budget:20_000 ~host:"fuzz" () in
+    (match Xbgp.Vmm.register vmm xp with
+    | Ok () -> (
+      match
+        Xbgp.Vmm.attach vmm ~program:"fuzzcase" ~bytecode:"main"
+          ~point:Xbgp.Api.Bgp_inbound_filter ~order:0
+      with
+      | Ok () ->
+        let prefix_arg = Bytes.make 5 '\x00' in
+        ignore
+          (Xbgp.Vmm.run vmm Xbgp.Api.Bgp_inbound_filter
+             ~ops:Xbgp.Host_intf.null_ops
+             ~args:[ (Xbgp.Api.arg_prefix, prefix_arg) ]
+             ~default:(fun () -> 0L))
+      | Error _ -> ())
+    | Error _ -> ());
+    ()
+  with
+  | () -> None
+  | exception e -> Some (Printexc.to_string e)
+
+let check_prog ~perturb pi prog =
+  match Ebpf.Verifier.check prog with
+  | exception e ->
+    [ crash "verifier raised %s on prog %d" (Printexc.to_string e) pi ]
+  | Error _ -> [] (* clean rejection is the success case *)
+  | Ok () ->
+    let a = run_engine Ebpf.Vm.Interpreted prog in
+    let b = run_engine Ebpf.Vm.Compiled prog in
+    let b = if perturb then (match b with Value v -> Value (Int64.add v 1L) | o -> o) else b in
+    let escaped =
+      List.filter_map
+        (fun (engine, o) ->
+          match o with
+          | Escaped e ->
+            Some (crash "%s engine let %s escape on prog %d" engine e pi)
+          | _ -> None)
+        [ (engine_name Ebpf.Vm.Interpreted, a); (engine_name Ebpf.Vm.Compiled, b) ]
+    in
+    let diverged =
+      match (a, b) with
+      | Value va, Value vb when not (Int64.equal va vb) ->
+        [
+          divergence "engine divergence on prog %d: interpreted=%Ld compiled=%Ld"
+            pi va vb;
+        ]
+      | Value v, Fault f | Fault f, Value v ->
+        [
+          divergence
+            "engine divergence on prog %d: one returned %Ld, the other faulted (%s)"
+            pi v f;
+        ]
+      | _ -> []
+    in
+    let vmm =
+      match vmm_round_trip prog with
+      | None -> []
+      | Some e -> [ crash "vmm let %s escape on prog %d" e pi ]
+    in
+    escaped @ diverged @ vmm
+
+let run_vm ~perturb (c : Gen.case) =
+  List.concat (List.mapi (fun i p -> check_prog ~perturb i p) c.progs)
+
+(* --- entry point --- *)
+
+let run ?(perturb = false) (c : Gen.case) : finding list =
+  match c.scenario with
+  | Gen.Plain_ebgp | Gen.Rr_ibgp | Gen.Ov_ebgp | Gen.Med_ebgp | Gen.Strip_ebgp
+    ->
+    run_differential ~perturb c
+  | Gen.Hostile_peer -> run_hostile ~perturb c
+  | Gen.Vm_soup | Gen.Vm_guided -> run_vm ~perturb c

@@ -1,0 +1,26 @@
+(** The differential oracle: runs one generated case and reports every
+    way the two hosts (or the two eBPF engines) disagreed about
+    xBGP-visible state, plus every exception that escaped a layer that
+    promises not to raise.
+
+    An empty finding list is the verdict "equivalent and crash-free". *)
+
+type kind =
+  | Divergence  (** the hosts / engines disagreed on visible state *)
+  | Crash  (** an exception escaped the VM, VMM, verifier or a daemon *)
+
+type finding = { kind : kind; detail : string }
+
+val kind_name : kind -> string
+val pp_finding : Format.formatter -> finding -> unit
+
+val run : ?perturb:bool -> Gen.case -> finding list
+(** Execute the case's scenario. [perturb] artificially corrupts the
+    BIRD-side snapshot (or the compiled engine's result) — the knob used
+    to prove the oracle/shrink/replay pipeline fires end to end. *)
+
+val normalize :
+  (Bgp.Prefix.t * Bgp.Attr.t list) list ->
+  (Bgp.Prefix.t * Bgp.Attr.t list) list
+(** Drop Unknown attributes and sort each attribute list canonically —
+    the neutral form compared across hosts (exposed for tests). *)

@@ -1,0 +1,143 @@
+(* The reproducer file format.
+
+   A divergence is only useful if it can be handed around, so every
+   finding is written as a small line-oriented text file that pins the
+   master seed, the case index and the surviving input indices after
+   shrinking. Replaying regenerates the case from (seed, index) — the
+   generator is pure — restricts it, and re-runs the oracle.
+
+     # xbgp_fuzz reproducer v1
+     seed 42
+     case 17
+     scenario ov_ebgp
+     perturb false
+     routes 0 3 9
+     note dut loc-rib: 10.1.2.0/24 differs ...
+
+   An absent `routes`/`frames`/`progs` line keeps that input whole. *)
+
+type t = {
+  seed : int;
+  case_index : int;
+  scenario : string;
+  perturb : bool;
+  routes : int list option;
+  frames : int list option;
+  progs : int list option;
+  note : string;
+}
+
+let magic = "# xbgp_fuzz reproducer v1"
+
+let to_string r =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "%s" magic;
+  line "seed %d" r.seed;
+  line "case %d" r.case_index;
+  line "scenario %s" r.scenario;
+  line "perturb %b" r.perturb;
+  let idx_line name = function
+    | None -> ()
+    | Some idxs ->
+      line "%s %s" name (String.concat " " (List.map string_of_int idxs))
+  in
+  idx_line "routes" r.routes;
+  idx_line "frames" r.frames;
+  idx_line "progs" r.progs;
+  if r.note <> "" then
+    line "note %s" (String.map (fun c -> if c = '\n' then ' ' else c) r.note);
+  Buffer.contents b
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | m :: rest when m = magic -> (
+    let seed = ref None
+    and case_index = ref None
+    and scenario = ref None
+    and perturb = ref false
+    and routes = ref None
+    and frames = ref None
+    and progs = ref None
+    and note = ref "" in
+    let parse_idxs v =
+      String.split_on_char ' ' v
+      |> List.filter (fun x -> x <> "")
+      |> List.map int_of_string
+    in
+    try
+      List.iter
+        (fun l ->
+          match String.index_opt l ' ' with
+          | None -> failwith ("malformed line: " ^ l)
+          | Some i -> (
+            let key = String.sub l 0 i in
+            let v = String.sub l (i + 1) (String.length l - i - 1) in
+            match key with
+            | "seed" -> seed := Some (int_of_string v)
+            | "case" -> case_index := Some (int_of_string v)
+            | "scenario" -> scenario := Some v
+            | "perturb" -> perturb := bool_of_string v
+            | "routes" -> routes := Some (parse_idxs v)
+            | "frames" -> frames := Some (parse_idxs v)
+            | "progs" -> progs := Some (parse_idxs v)
+            | "note" -> note := v
+            | _ -> failwith ("unknown key: " ^ key)))
+        rest;
+      match (!seed, !case_index, !scenario) with
+      | Some seed, Some case_index, Some scenario ->
+        if Gen.scenario_of_name scenario = None then
+          Error ("unknown scenario: " ^ scenario)
+        else
+          Ok
+            {
+              seed;
+              case_index;
+              scenario;
+              perturb = !perturb;
+              routes = !routes;
+              frames = !frames;
+              progs = !progs;
+              note = !note;
+            }
+      | _ -> Error "missing seed, case or scenario line"
+    with
+    | Failure e -> Error e
+    | Invalid_argument e -> Error e)
+  | _ -> Error "not an xbgp_fuzz reproducer (bad magic line)"
+
+(* --- case regeneration --- *)
+
+let case_of r =
+  let c = Gen.case ~seed:r.seed ~index:r.case_index in
+  let got = Gen.scenario_name c.scenario in
+  if got <> r.scenario then
+    Error
+      (Printf.sprintf
+         "reproducer names scenario %s but (seed %d, case %d) generates %s — \
+          generator version mismatch?"
+         r.scenario r.seed r.case_index got)
+  else Ok (Gen.restrict ?routes:r.routes ?frames:r.frames ?progs:r.progs c)
+
+(* --- files --- *)
+
+let save ~dir r =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "repro-s%d-c%d.txt" r.seed r.case_index)
+  in
+  let oc = open_out path in
+  output_string oc (to_string r);
+  close_out oc;
+  path
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error e -> Error e

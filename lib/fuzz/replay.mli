@@ -1,0 +1,28 @@
+(** Seed-pinned reproducer files: every finding is saved as a small text
+    file from which the exact minimized case can be regenerated and
+    re-run deterministically. *)
+
+type t = {
+  seed : int;
+  case_index : int;
+  scenario : string;  (** recorded for sanity-checking the generator *)
+  perturb : bool;
+  routes : int list option;  (** kept indices; [None] keeps all *)
+  frames : int list option;
+  progs : int list option;
+  note : string;  (** first finding, for humans *)
+}
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val case_of : t -> (Gen.case, string) result
+(** Regenerate the (restricted) case this reproducer pins; fails if the
+    generator no longer produces the recorded scenario for that seed and
+    index. *)
+
+val save : dir:string -> t -> string
+(** Write [repro-s<seed>-c<index>.txt] under [dir] (created if needed);
+    returns the path. *)
+
+val load : string -> (t, string) result

@@ -1,0 +1,33 @@
+(* Greedy delta-debugging over index lists.
+
+   The shrinker never mutates case data directly: it minimizes the list
+   of *kept indices* into the deterministically regenerated input lists,
+   so a shrunk case is exactly "the same case, restricted" — which is
+   also what the replay file stores. *)
+
+let remove_slice l start len =
+  List.filteri (fun i _ -> i < start || i >= start + len) l
+
+(* ddmin-style: try dropping chunk-sized slices, restarting greedily on
+   success and halving the chunk when no slice can go; [still_fails]
+   must be a pure predicate (it re-runs the oracle on the restriction). *)
+let minimize ~still_fails idxs =
+  let rec go idxs chunk =
+    if chunk < 1 || idxs = [] then idxs
+    else begin
+      let n = List.length idxs in
+      let rec slices start =
+        if start >= n then None
+        else
+          let cand = remove_slice idxs start chunk in
+          if List.length cand < n && still_fails cand then Some cand
+          else slices (start + chunk)
+      in
+      match slices 0 with
+      | Some cand -> go cand (min chunk (max 1 (List.length cand / 2)))
+      | None -> go idxs (chunk / 2)
+    end
+  in
+  go idxs (max 1 (List.length idxs / 2))
+
+let indices l = List.init (List.length l) (fun i -> i)

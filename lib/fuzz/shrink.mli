@@ -1,0 +1,9 @@
+(** Greedy delta-debugging minimizer over kept-index lists. *)
+
+val minimize : still_fails:(int list -> bool) -> int list -> int list
+(** Smallest index subset (under greedy ddmin) for which [still_fails]
+    holds; [still_fails] must already hold for the input list and must
+    be deterministic. *)
+
+val indices : 'a list -> int list
+(** [0; 1; ...; length-1]. *)

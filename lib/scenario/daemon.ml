@@ -28,6 +28,11 @@ let loc_count = function
   | Frr d -> Frrouting.Bgpd.loc_count d
   | Bird d -> Bird.Bgpd.loc_count d
 
+let peer_established t idx =
+  match t with
+  | Frr d -> Frrouting.Bgpd.peer_established d idx
+  | Bird d -> Bird.Bgpd.peer_established d idx
+
 (** Attributes of the best route for [prefix], in the shared codec type —
     this is how the equivalence tests compare hosts. *)
 let best_attrs t prefix =
@@ -36,6 +41,11 @@ let best_attrs t prefix =
   | Bird d -> Bird.Bgpd.best_attrs d prefix
 
 let has_route t prefix = best_attrs t prefix <> None
+
+(** Whole-Loc-RIB snapshot in the neutral codec form, sorted by prefix. *)
+let loc_snapshot = function
+  | Frr d -> Frrouting.Bgpd.loc_snapshot d
+  | Bird d -> Bird.Bgpd.loc_snapshot d
 
 (** AS path (flattened) of the best route towards [prefix]. *)
 let best_path t prefix =

@@ -10,12 +10,16 @@ val start : t -> unit
 val originate : t -> Bgp.Prefix.t -> Bgp.Attr.t list -> unit
 val withdraw_local : t -> Bgp.Prefix.t -> unit
 val loc_count : t -> int
+val peer_established : t -> int -> bool
 
 val best_attrs : t -> Bgp.Prefix.t -> Bgp.Attr.t list option
 (** Attributes of the best route in the shared codec type — how the
     equivalence tests compare hosts. *)
 
 val has_route : t -> Bgp.Prefix.t -> bool
+
+val loc_snapshot : t -> (Bgp.Prefix.t * Bgp.Attr.t list) list
+(** Whole-Loc-RIB snapshot in the neutral codec form, sorted by prefix. *)
 
 val best_path : t -> Bgp.Prefix.t -> int list option
 (** Flattened AS path of the best route. *)

@@ -17,6 +17,22 @@ let all : Xbgp.Xprog.t list =
 let find name =
   List.find_opt (fun (p : Xbgp.Xprog.t) -> p.name = name) all
 
+(* Stock attachment manifests, by program name — the menu the fuzzer and
+   the CLI draw from. *)
+let manifests =
+  [
+    ("igp_filter", Igp_filter.manifest);
+    ("route_reflector", Route_reflector.manifest);
+    ("origin_validation", Origin_validation.manifest);
+    ("valley_free", Valley_free.manifest);
+    ("geoloc", Geoloc.manifest);
+    ("med_compare", Med_compare.manifest);
+    ("prefix_limit", Prefix_limit.manifest);
+    ("community_strip", Community_strip.manifest);
+  ]
+
+let find_manifest name = List.assoc_opt name manifests
+
 (** Build a VMM for [host] and load [manifest] into it.
     @raise Invalid_argument when the manifest does not apply cleanly. *)
 let vmm_of_manifest ?heap_size ?budget ?engine ~host manifest =

@@ -5,6 +5,12 @@
 val all : Xbgp.Xprog.t list
 val find : string -> Xbgp.Xprog.t option
 
+val manifests : (string * Xbgp.Manifest.t) list
+(** Stock attachment manifests by program name — the menu the fuzzer and
+    the CLI draw from. *)
+
+val find_manifest : string -> Xbgp.Manifest.t option
+
 val vmm_of_manifest :
   ?heap_size:int ->
   ?budget:int ->

@@ -1,0 +1,39 @@
+(* Deterministic QCheck harness shared by every test executable.
+
+   QCheck_alcotest's default self-initializes its random state, so a
+   property that fails on one run may pass on the next — useless for CI
+   triage. Every property test therefore runs from a fixed seed,
+   overridable with the QCHECK_SEED environment variable, and the seed
+   is printed when a property fails so the exact run can be repeated:
+
+     QCHECK_SEED=12345 dune exec test/test_bgp.exe *)
+
+let default_seed = 414243 (* arbitrary but fixed *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "QCHECK_SEED=%S is not an integer; using default %d\n%!"
+        s default_seed;
+      default_seed)
+  | None -> default_seed
+
+(** Drop-in replacement for [QCheck_alcotest.to_alcotest]: same alcotest
+    case triple, but seeded from {!seed} and announcing the seed when
+    the property fails. *)
+let to_alcotest cell =
+  let rand = Random.State.make [| seed |] in
+  let name, speed, run = QCheck_alcotest.to_alcotest ~rand cell in
+  let run switch =
+    try run switch
+    with e ->
+      Printf.eprintf
+        "\n[qcheck] property %S failed under seed %d — rerun with \
+         QCHECK_SEED=%d\n%!"
+        name seed seed;
+      raise e
+  in
+  (name, speed, run)

@@ -305,6 +305,44 @@ let prop_mutated_update =
       | exception Message.Parse_error _ -> true
       | exception _ -> false)
 
+(* every strict prefix of a valid frame must error — truncation can
+   neither decode successfully nor raise anything but Parse_error *)
+let prop_truncated_update =
+  QCheck2.Test.make ~count:200 ~name:"truncated UPDATE always errors"
+    gen_update (fun u ->
+      let b = Message.encode (Message.Update u) in
+      let ok = ref true in
+      for len = 0 to Bytes.length b - 1 do
+        match Message.decode (Bytes.sub b 0 len) with
+        | _ -> ok := false
+        | exception Message.Parse_error _ -> ()
+        | exception _ -> ok := false
+      done;
+      !ok)
+
+let prop_truncated_attr =
+  QCheck2.Test.make ~count:500 ~name:"truncated attribute always errors"
+    gen_attr (fun a ->
+      let buf = Buffer.create 32 in
+      Attr.encode_into_buffer buf a;
+      let b = Buffer.to_bytes buf in
+      let ok = ref true in
+      for len = 0 to Bytes.length b - 1 do
+        match Attr.decode_from (Bytes.sub b 0 len) 0 len with
+        | _ -> ok := false
+        | exception Attr.Parse_error _ -> ()
+        | exception _ -> ok := false
+      done;
+      (* and truncating the neutral TLV errors too *)
+      let tlv = Attr.to_tlv a in
+      for len = 0 to Bytes.length tlv - 1 do
+        match Attr.of_tlv (Bytes.sub tlv 0 len) with
+        | _ -> ok := false
+        | exception Attr.Parse_error _ -> ()
+        | exception _ -> ok := false
+      done;
+      !ok)
+
 let test_encode_update_raw_matches () =
   (* the raw builder must agree with the typed encoder *)
   let u =
@@ -329,7 +367,7 @@ let test_encode_update_raw_matches () =
   check_bool "byte-identical" true (Bytes.equal typed raw)
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "bgp"
     [
       ( "prefix",
@@ -367,5 +405,7 @@ let () =
           qc prop_deframe_never_crashes;
           qc prop_attr_decode_never_crashes;
           qc prop_mutated_update;
+          qc prop_truncated_update;
+          qc prop_truncated_attr;
         ] );
     ]

@@ -335,6 +335,8 @@ let test_memory_faults () =
     (faults Asm.[ ldxw r0 Insn.R10 (-600); exit_ ]);
   check_bool "load above stack top" true
     (faults Asm.[ ldxw r0 Insn.R10 0; exit_ ]);
+  check_bool "load straddling stack top" true
+    (faults Asm.[ ldxw r0 Insn.R10 (-2); exit_ ]);
   check_bool "store out of range" true
     (faults Asm.[ movi r1 0; stxw r1 0 r1; exit_ ]);
   check_bool "unknown helper" true (faults Asm.[ call 999; exit_ ])
@@ -504,6 +506,48 @@ let test_verifier () =
   check_bool "valid program accepted" false
     (rejected [ Insn.Alu (W64bit, Mov, R0, Imm 0l); Insn.Exit ])
 
+let test_verifier_unreachable () =
+  check_bool "code after exit" true
+    (rejected
+       [
+         Insn.Alu (W64bit, Mov, R0, Imm 0l);
+         Insn.Exit;
+         Insn.Alu (W64bit, Mov, R0, Imm 1l);
+         Insn.Exit;
+       ]);
+  check_bool "code skipped by ja" true
+    (rejected [ Insn.Ja 1; Insn.Alu (W64bit, Mov, R0, Imm 0l); Insn.Exit ]);
+  check_bool "exit after unconditional self-loop" true
+    (rejected [ Insn.Ja (-1); Insn.Exit ]);
+  (* both branches of a conditional count as reachable *)
+  check_bool "jcond fall-through reachable" false
+    (rejected
+       [
+         Insn.Alu (W64bit, Mov, R0, Imm 0l);
+         Insn.Jcond (W64bit, Eq, R0, Imm 0l, 1);
+         Insn.Alu (W64bit, Mov, R0, Imm 1l);
+         Insn.Exit;
+       ]);
+  (* a backward conditional loop whose fall-through exits is legal:
+     termination is the budget's job, not the verifier's *)
+  check_bool "conditional self-loop accepted" false
+    (rejected
+       [
+         Insn.Alu (W64bit, Mov, R1, Imm 0l);
+         Insn.Jcond (W64bit, Eq, R1, Imm 0l, -1);
+         Insn.Exit;
+       ])
+
+let test_verifier_size_limit () =
+  let prog n =
+    List.init n (fun _ -> Insn.Alu (Insn.W64bit, Insn.Mov, R0, Insn.Imm 0l))
+    @ [ Insn.Exit ]
+  in
+  (* [Verifier.max_insns] counts slots, and Exit takes one *)
+  check_bool "at the limit accepted" false (rejected (prog (Verifier.max_insns - 1)));
+  check_bool "one over the limit rejected" true
+    (rejected (prog Verifier.max_insns))
+
 let test_verifier_accepts_all_registered () =
   List.iter
     (fun (p : Xbgp.Xprog.t) ->
@@ -533,7 +577,7 @@ let test_disasm_text () =
   check_bool "mentions exit" true (contains text "exit")
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "ebpf"
     [
       ( "insn",
@@ -583,6 +627,9 @@ let () =
       ( "verifier",
         [
           Alcotest.test_case "structural checks" `Quick test_verifier;
+          Alcotest.test_case "unreachable code" `Quick
+            test_verifier_unreachable;
+          Alcotest.test_case "size limit" `Quick test_verifier_size_limit;
           Alcotest.test_case "all registered programs verify" `Quick
             test_verifier_accepts_all_registered;
         ] );

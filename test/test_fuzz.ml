@@ -1,0 +1,196 @@
+(* Tests for the differential fuzzer itself: generator determinism, a
+   clean bounded campaign, and the full forced-divergence pipeline —
+   oracle fires, shrinker minimizes, reproducer file round-trips and
+   replays to the same findings. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- generator --- *)
+
+let test_gen_deterministic () =
+  for index = 0 to 30 do
+    let a = Fuzz.Gen.case ~seed:7 ~index in
+    let b = Fuzz.Gen.case ~seed:7 ~index in
+    check_bool "same scenario" true (a.scenario = b.scenario);
+    check_bool "same routes" true (a.routes = b.routes);
+    check_bool "same frames" true (a.frames = b.frames);
+    check_bool "same progs" true (a.progs = b.progs)
+  done;
+  (* distinct seeds should not generate identical campaigns *)
+  let differs =
+    List.exists
+      (fun index ->
+        Fuzz.Gen.case ~seed:1 ~index <> Fuzz.Gen.case ~seed:2 ~index)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  check_bool "seeds matter" true differs
+
+let test_gen_wellformed_attrs () =
+  (* differential-scenario routes must stay inside the shared native
+     attribute vocabulary: no Unknown, and the mandatory three present *)
+  for index = 0 to 80 do
+    let c = Fuzz.Gen.case ~seed:11 ~index in
+    List.iter
+      (fun (r : Dataset.Ris_gen.route) ->
+        let has code =
+          List.exists (fun a -> Bgp.Attr.code a = code) r.attrs
+        in
+        check_bool "origin" true (has Bgp.Attr.code_origin);
+        check_bool "as_path" true (has Bgp.Attr.code_as_path);
+        check_bool "next_hop" true (has Bgp.Attr.code_next_hop);
+        check_bool "no unknown" false
+          (List.exists
+             (fun (a : Bgp.Attr.t) ->
+               match a.value with Bgp.Attr.Unknown _ -> true | _ -> false)
+             r.attrs))
+      c.routes
+  done
+
+let test_restrict () =
+  let c = Fuzz.Gen.case ~seed:3 ~index:0 in
+  let all = Fuzz.Gen.restrict c in
+  check_bool "no restriction is identity" true (all = c);
+  match c.routes with
+  | [] -> ()
+  | _ ->
+    let one = Fuzz.Gen.restrict ~routes:[ 0 ] c in
+    check_int "restricted to one route" 1 (List.length one.routes)
+
+(* --- oracle: bounded clean campaign --- *)
+
+let test_campaign_clean () =
+  let s = Fuzz.Engine.campaign ~seed:7 ~cases:80 () in
+  check_int "cases" 80 s.cases;
+  check_int "no divergences" 0 (Fuzz.Engine.divergences s);
+  check_int "no crashes" 0 (Fuzz.Engine.crashes s);
+  check_int "no failing cases" 0 (List.length s.results);
+  (* the scenario mix must actually exercise both differential and VM
+     modes in a campaign this size *)
+  check_bool "several scenarios covered" true (List.length s.scenarios >= 5)
+
+(* --- forced divergence: oracle -> shrink -> reproducer -> replay --- *)
+
+(* The first seed-7 case whose scenario feeds routes through the paired
+   testbeds (the perturbation knob corrupts the BIRD-side Loc-RIB, so it
+   only fires on differential scenarios with a non-empty table). *)
+let first_differential_case () =
+  let rec go index =
+    if index > 500 then Alcotest.fail "no differential case in 500 indices"
+    else
+      let c = Fuzz.Gen.case ~seed:7 ~index in
+      match c.scenario with
+      | Fuzz.Gen.Plain_ebgp when c.routes <> [] -> c
+      | _ -> go (index + 1)
+  in
+  go 0
+
+let test_forced_divergence_fires () =
+  let c = first_differential_case () in
+  check_int "clean without perturbation" 0
+    (List.length (Fuzz.Oracle.run c));
+  let findings = Fuzz.Oracle.run ~perturb:true c in
+  check_bool "perturbation produces findings" true (findings <> []);
+  check_bool "findings are divergences" true
+    (List.for_all
+       (fun (f : Fuzz.Oracle.finding) -> f.kind = Fuzz.Oracle.Divergence)
+       findings)
+
+let test_shrink_minimizes () =
+  let c = first_differential_case () in
+  let minimized, routes, _, _ = Fuzz.Engine.shrink_case ~perturb:true c in
+  (* dropping the first Loc-RIB entry diverges with any single route *)
+  check_int "minimized to one route" 1 (List.length minimized.routes);
+  (match routes with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "expected exactly one kept route index");
+  check_bool "minimized case still fails" true
+    (Fuzz.Oracle.run ~perturb:true minimized <> [])
+
+let test_reproducer_round_trip () =
+  let dir = Filename.temp_file "fuzzrepro" "" in
+  Sys.remove dir;
+  let s = Fuzz.Engine.campaign ~out:dir ~perturb:true ~seed:7 ~cases:8 () in
+  check_bool "forced campaign fails somewhere" true (s.results <> []);
+  List.iter
+    (fun (f : Fuzz.Engine.failure) ->
+      let path =
+        match f.repro_path with
+        | Some p -> p
+        | None -> Alcotest.fail "no reproducer written"
+      in
+      (* the file parses back to the same reproducer *)
+      (match Fuzz.Replay.load path with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+        check_string "same scenario" f.repro.scenario r.scenario;
+        check_int "same seed" f.repro.seed r.seed;
+        check_int "same case" f.repro.case_index r.case_index;
+        check_bool "same kept routes" true (f.repro.routes = r.routes);
+        (* replaying is deterministic: same findings, twice *)
+        let run () =
+          match Fuzz.Engine.replay r with
+          | Error e -> Alcotest.fail e
+          | Ok (_, findings) ->
+            List.map (fun (x : Fuzz.Oracle.finding) -> x.detail) findings
+        in
+        let first = run () and second = run () in
+        check_bool "replay finds the failure" true (first <> []);
+        check_bool "replay is deterministic" true (first = second)))
+    s.results;
+  (* clean up the reproducer directory *)
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_replay_rejects_garbage () =
+  (match Fuzz.Replay.of_string "not a reproducer" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  match Fuzz.Replay.of_string "# xbgp_fuzz reproducer v1\nseed x\n" with
+  | Ok _ -> Alcotest.fail "accepted bad seed"
+  | Error _ -> ()
+
+(* --- shrink primitive --- *)
+
+let test_shrink_primitive () =
+  (* minimal failing subset is {3}: ddmin must find it *)
+  let kept =
+    Fuzz.Shrink.minimize
+      ~still_fails:(fun idxs -> List.mem 3 idxs)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  check_bool "found the 1-element core" true (kept = [ 3 ]);
+  (* a pair that must survive together *)
+  let kept =
+    Fuzz.Shrink.minimize
+      ~still_fails:(fun idxs -> List.mem 1 idxs && List.mem 6 idxs)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  check_bool "found the 2-element core" true (List.sort compare kept = [ 1; 6 ])
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "wellformed attrs" `Quick
+            test_gen_wellformed_attrs;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+        ] );
+      ( "campaign",
+        [ Alcotest.test_case "80 cases clean" `Slow test_campaign_clean ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "forced divergence fires" `Quick
+            test_forced_divergence_fires;
+          Alcotest.test_case "shrink minimizes" `Quick test_shrink_minimizes;
+          Alcotest.test_case "reproducer round trip" `Slow
+            test_reproducer_round_trip;
+          Alcotest.test_case "replay rejects garbage" `Quick
+            test_replay_rejects_garbage;
+        ] );
+      ( "shrink",
+        [ Alcotest.test_case "ddmin cores" `Quick test_shrink_primitive ] );
+    ]

@@ -412,7 +412,7 @@ let test_bird_daemon_basics () =
   check_bool "withdrawn" true (Bird.Bgpd.best_route db p = None)
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "hosts"
     [
       ( "frr-attrs",

@@ -144,7 +144,7 @@ let prop_first_hop_is_neighbor =
         (List.init n (fun i -> i)))
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "igp"
     [
       ( "topology",

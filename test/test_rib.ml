@@ -274,7 +274,7 @@ let test_adj_rib () =
   check Alcotest.int "dropped" 0 (Rib.Adj_rib.total adj)
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "rib"
     [
       ( "ptrie",

@@ -119,7 +119,7 @@ let test_hash_growth () =
     roas
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "rpki"
     [
       ( "semantics",

@@ -219,7 +219,9 @@ let test_budget_fault_falls_back () =
   let vmm = Xbgp.Vmm.create ~host:"test" ~budget:1000 () in
   let spin =
     Xbgp.Xprog.v ~name:"spin"
-      [ ("main", assemble [ label "x"; ja "x"; exit_ ]) ]
+      (* conditional that always loops at runtime: the verifier's
+         reachability pass must see a path to [exit_] *)
+      [ ("main", assemble [ movi r1 0; label "x"; jeqi r1 0 "x"; exit_ ]) ]
   in
   ok (Xbgp.Vmm.register vmm spin);
   ok

@@ -835,8 +835,8 @@ let () =
         [ Alcotest.test_case "decision verdicts" `Quick test_med_compare ] );
       ( "bytecode-vs-model",
         [
-          QCheck_alcotest.to_alcotest prop_valley_free_model;
-          QCheck_alcotest.to_alcotest prop_ov_model;
+          Qc.to_alcotest prop_valley_free_model;
+          Qc.to_alcotest prop_ov_model;
         ] );
       ( "geoloc",
         [
