@@ -5,6 +5,13 @@
      dune exec bench/main.exe fig4       -- extension vs native performance
      dune exec bench/main.exe fig5       -- valley-free fabric audit
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
+     dune exec bench/main.exe ablation   -- three-engine pipeline comparison
+     dune exec bench/main.exe -- --json  -- micro + ablation, and write the
+                                            measurements to BENCH_pr2.json
+
+   `--json` composes with a subcommand (`micro --json` writes just the
+   micro numbers); alone it runs the micro and ablation benches — the
+   sources of every number in BENCH_pr2.json.
 
    Environment knobs for fig4: XBGP_BENCH_ROUTES (table size, default
    8000), XBGP_BENCH_RUNS (runs per configuration, default 15 — the
@@ -15,6 +22,23 @@ let routes_n =
 
 let runs_n =
   try int_of_string (Sys.getenv "XBGP_BENCH_RUNS") with Not_found -> 15
+
+(* measurements accumulated for --json, in insertion order *)
+let json_entries : (string * float) list ref = ref []
+let record key value = json_entries := (key, value) :: !json_entries
+
+let write_json path =
+  let entries = List.rev !json_entries in
+  let oc = open_out path in
+  output_string oc "{\n";
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  %S: %.4f%s\n" k v (if i = last then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d measurements)\n%!" path (List.length entries)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 1: Delay between first IETF draft and RFC publication          *)
@@ -193,63 +217,61 @@ let fig5 () =
 let micro () =
   let open Bechamel in
   let open Toolkit in
-  let vm_loop =
-    let program =
-      Ebpf.Asm.(
-        assemble
-          [
-            movi Ebpf.Insn.R0 0;
-            movi Ebpf.Insn.R1 1000;
-            label "loop";
-            addi Ebpf.Insn.R0 3;
-            subi Ebpf.Insn.R1 1;
-            jnei Ebpf.Insn.R1 0 "loop";
-            exit_;
-          ])
-    in
-    Test.make ~name:"ebpf-interp-3k-insns"
-      (Staged.stage (fun () ->
-           let vm = Ebpf.Vm.create ~helpers:[] program in
-           ignore (Ebpf.Vm.run vm)))
-  in
-  let vm_loop_compiled =
-    let program =
-      Ebpf.Asm.(
-        assemble
-          [
-            movi Ebpf.Insn.R0 0;
-            movi Ebpf.Insn.R1 1000;
-            label "loop";
-            addi Ebpf.Insn.R0 3;
-            subi Ebpf.Insn.R1 1;
-            jnei Ebpf.Insn.R1 0 "loop";
-            exit_;
-          ])
-    in
-    let vm = Ebpf.Vm.create ~engine:Ebpf.Vm.Compiled ~helpers:[] program in
-    Test.make ~name:"ebpf-compiled-3k-insns"
+  (* one pre-created VM per engine, budget refilled per iteration — the
+     VMM's steady state (it keeps one VM per insertion point), and the
+     only baseline under which the three engines are comparable *)
+  let engine_bench name engine ~helpers program =
+    let vm = Ebpf.Vm.create ~engine ~helpers program in
+    Test.make ~name
       (Staged.stage (fun () ->
            Ebpf.Vm.set_budget vm 1_000_000;
            ignore (Ebpf.Vm.run vm)))
   in
+  let loop_program =
+    Ebpf.Asm.(
+      assemble
+        [
+          movi Ebpf.Insn.R0 0;
+          movi Ebpf.Insn.R1 1000;
+          label "loop";
+          addi Ebpf.Insn.R0 3;
+          subi Ebpf.Insn.R1 1;
+          jnei Ebpf.Insn.R1 0 "loop";
+          exit_;
+        ])
+  in
+  let call_program =
+    Ebpf.Asm.(
+      assemble
+        [
+          movi Ebpf.Insn.R6 200;
+          label "loop";
+          call 1;
+          subi Ebpf.Insn.R6 1;
+          jnei Ebpf.Insn.R6 0 "loop";
+          movi Ebpf.Insn.R0 0;
+          exit_;
+        ])
+  in
+  let seven = [ (1, fun _ _ -> 7L) ] in
+  let vm_loop = engine_bench "ebpf-interp-3k-insns" Ebpf.Vm.Interpreted ~helpers:[] loop_program in
+  let vm_loop_compiled =
+    engine_bench "ebpf-compiled-3k-insns" Ebpf.Vm.Compiled ~helpers:[] loop_program
+  in
+  let vm_loop_block =
+    engine_bench "ebpf-block-3k-insns" Ebpf.Vm.Block ~helpers:[] loop_program
+  in
   let helper_call =
-    let program =
-      Ebpf.Asm.(
-        assemble
-          [
-            movi Ebpf.Insn.R6 200;
-            label "loop";
-            call 1;
-            subi Ebpf.Insn.R6 1;
-            jnei Ebpf.Insn.R6 0 "loop";
-            movi Ebpf.Insn.R0 0;
-            exit_;
-          ])
-    in
-    Test.make ~name:"ebpf-200-helper-calls"
-      (Staged.stage (fun () ->
-           let vm = Ebpf.Vm.create ~helpers:[ (1, fun _ _ -> 7L) ] program in
-           ignore (Ebpf.Vm.run vm)))
+    engine_bench "ebpf-200-helper-calls" Ebpf.Vm.Interpreted ~helpers:seven
+      call_program
+  in
+  let helper_call_compiled =
+    engine_bench "ebpf-200-helper-calls-compiled" Ebpf.Vm.Compiled
+      ~helpers:seven call_program
+  in
+  let helper_call_block =
+    engine_bench "ebpf-200-helper-calls-block" Ebpf.Vm.Block ~helpers:seven
+      call_program
   in
   (* ROA lookup: FRR-style trie vs BIRD-style hash (the §3.4 story) *)
   let routes =
@@ -306,14 +328,15 @@ let micro () =
   in
   let tests =
     [
-      vm_loop; vm_loop_compiled; helper_call; trie_bench; hash_bench;
+      vm_loop; vm_loop_compiled; vm_loop_block; helper_call;
+      helper_call_compiled; helper_call_block; trie_bench; hash_bench;
       frr_tlv; bird_tlv;
     ]
   in
   Printf.printf "=== Micro-benchmarks (Bechamel) ===\n%!";
   let benchmark test =
     let instances = Instance.[ monotonic_clock ] in
-    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    let cfg = Benchmark.cfg ~limit:4000 ~quota:(Time.second 1.5) () in
     let raw = Benchmark.all cfg instances test in
     let results =
       Analyze.all
@@ -324,7 +347,15 @@ let micro () =
     Hashtbl.iter
       (fun name result ->
         match Analyze.OLS.estimates result with
-        | Some [ est ] -> Printf.printf "%-36s %12.1f ns/iter\n%!" name est
+        | Some [ est ] ->
+          Printf.printf "%-36s %12.1f ns/iter\n%!" name est;
+          (* bechamel prefixes the group name, e.g. "micro/ebpf-..." *)
+          let key =
+            match String.index_opt name '/' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name
+          in
+          record ("micro." ^ key ^ ".ns_per_iter") est
         | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
       results
   in
@@ -392,49 +423,102 @@ let churn () =
 (* ------------------------------------------------------------------ *)
 
 (* §4 of the paper calls for comparing virtual machines by performance;
-   this ablation reruns the route-reflection experiment with the two
-   engines and reports their overhead against native code. *)
+   this ablation reruns the E3 (route reflection) and E4 (origin
+   validation) pipelines with every eBPF engine and reports each one's
+   overhead against the host's native code. *)
 let ablation () =
-  Printf.printf "=== Ablation: eBPF execution engine (route reflection) ===\n";
+  Printf.printf
+    "=== Ablation: eBPF execution engines (E3/E4 pipelines) ===\n";
   let n = max 1000 (routes_n / 2) in
   let runs = max 3 (runs_n / 3) in
   let routes =
     Dataset.Ris_gen.generate { Dataset.Ris_gen.default_config with count = n }
   in
-  let timed mode =
+  let ov_routes =
+    Dataset.Ris_gen.generate
+      {
+        Dataset.Ris_gen.default_config with
+        count = n;
+        disjoint = true;
+        seed = 43;
+      }
+  in
+  let roas =
+    Dataset.Ris_gen.roas_for ~seed:7 ~valid_pct:75 ~invalid_pct:13 ov_routes
+  in
+  let timed rts mode =
     let tb = Scenario.Testbed.create mode in
     Scenario.Testbed.establish tb;
     let t0 = Unix.gettimeofday () in
-    Scenario.Testbed.feed tb routes;
+    Scenario.Testbed.feed tb rts;
     if not (Scenario.Testbed.run_until_downstream_has tb n) then
       failwith "ablation: did not converge";
     Unix.gettimeofday () -. t0
   in
-  let native_mode = Scenario.Testbed.mode ~ibgp:true ~native_rr:true () in
-  let ext_mode engine =
-    Scenario.Testbed.mode ~ibgp:true
-      ~manifest:Xprogs.Route_reflector.manifest ~engine ()
+  let pipelines =
+    [
+      ( "route-reflection",
+        routes,
+        Scenario.Testbed.mode ~ibgp:true ~native_rr:true (),
+        fun engine ->
+          Scenario.Testbed.mode ~ibgp:true
+            ~manifest:Xprogs.Route_reflector.manifest ~engine () );
+      ( "origin-validation",
+        ov_routes,
+        Scenario.Testbed.mode ~ibgp:false ~native_ov_roas:roas (),
+        fun engine ->
+          Scenario.Testbed.mode ~ibgp:false
+            ~manifest:Xprogs.Origin_validation.manifest
+            ~xtras:[ ("roa_table", Xprogs.Util.encode_roa_table roas) ]
+            ~engine () );
+    ]
   in
-  (* interleave the three configurations to spread machine noise *)
-  ignore (timed native_mode);
-  let native = ref [] and interp = ref [] and compiled = ref [] in
-  for _ = 1 to runs do
-    native := timed native_mode :: !native;
-    interp := timed (ext_mode Ebpf.Vm.Interpreted) :: !interp;
-    compiled := timed (ext_mode Ebpf.Vm.Compiled) :: !compiled
-  done;
-  let nat_med = median !native in
-  Printf.printf "%-22s median=%.3fs\n%!" "native" nat_med;
   List.iter
-    (fun (label, times) ->
-      Printf.printf "%-22s median=%.3fs  overhead vs native: %+.1f%%\n%!"
-        label (median !times)
-        ((median !times -. nat_med) /. nat_med *. 100.))
-    [ ("extension/interpreted", interp); ("extension/compiled", compiled) ];
+    (fun (label, rts, native_mode, ext_mode) ->
+      Printf.printf "--- %s ---\n%!" label;
+      (* the four configurations run back-to-back inside each iteration,
+         so machine drift is common-mode; the overhead statistic is the
+         median of per-iteration ratios against that iteration's native
+         run, which cancels the drift a ratio of medians would keep *)
+      ignore (timed rts native_mode);
+      let native = ref [] in
+      let engines = List.map (fun e -> (e, ref [])) Ebpf.Vm.all_engines in
+      for _ = 1 to runs do
+        let nat = timed rts native_mode in
+        native := nat :: !native;
+        List.iter
+          (fun (e, acc) ->
+            let t = timed rts (ext_mode e) in
+            acc := (t, ((t -. nat) /. nat) *. 100.) :: !acc)
+          engines
+      done;
+      let nat_med = median !native in
+      Printf.printf "%-22s median=%.4fs\n%!" "native" nat_med;
+      record (Printf.sprintf "ablation.%s.native.median_s" label) nat_med;
+      List.iter
+        (fun (e, results) ->
+          let med = median (List.map fst !results) in
+          let over = median (List.map snd !results) in
+          Printf.printf "%-22s median=%.4fs  overhead vs native: %+.1f%%\n%!"
+            ("extension/" ^ Ebpf.Vm.engine_name e)
+            med over;
+          let name = Ebpf.Vm.engine_name e in
+          record (Printf.sprintf "ablation.%s.%s.median_s" label name) med;
+          record
+            (Printf.sprintf "ablation.%s.%s.overhead_pct" label name)
+            over)
+        engines)
+    pipelines;
   Printf.printf "\n"
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let which =
+    match List.filter (fun a -> a <> "--json") args with
+    | [] -> if json then "json" else "all"
+    | w :: _ -> w
+  in
   (match which with
   | "fig1" -> fig1 ()
   | "fig4" -> fig4 ()
@@ -442,6 +526,10 @@ let () =
   | "micro" -> micro ()
   | "ablation" -> ablation ()
   | "churn" -> churn ()
+  | "json" ->
+    (* bare --json: run exactly the benches whose numbers land in the file *)
+    micro ();
+    ablation ()
   | "all" ->
     fig1 ();
     fig4 ();
@@ -451,6 +539,9 @@ let () =
     micro ()
   | other ->
     Printf.eprintf
-      "unknown bench %S (fig1|fig4|fig5|ablation|churn|micro|all)\n" other;
+      "unknown bench %S (fig1|fig4|fig5|ablation|churn|micro|all; add \
+       --json to write BENCH_pr2.json)\n"
+      other;
     exit 1);
+  if json then write_json "BENCH_pr2.json";
   Printf.printf "done.\n"

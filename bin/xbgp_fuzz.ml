@@ -3,7 +3,10 @@
    Campaign mode (default) generates seed-pinned cases and runs the
    differential oracle on each: identical inputs and identical extension
    bytecode through both the FRR-like and BIRD-like hosts, plus VM /
-   verifier crash-safety scenarios. Every failing case is shrunk to a
+   verifier crash-safety scenarios in which every verifier-accepted
+   program must behave identically — result, final registers, helper
+   trace, VMM round trip — on all three eBPF engines (interpreter,
+   closure-threaded, block-compiled). Every failing case is shrunk to a
    minimized, seed-pinned reproducer file.
 
    Replay mode (--replay FILE) regenerates a reproducer's case and
@@ -79,8 +82,9 @@ let no_out =
 
 let force_divergence =
   let doc =
-    "Artificially corrupt the BIRD-side state so the oracle, shrinker and \
-     replay pipeline demonstrably fire (self-test mode)."
+    "Artificially corrupt the BIRD-side state (or, on VM scenarios, the \
+     block-compiled engine's result) so the oracle, shrinker and replay \
+     pipeline demonstrably fire (self-test mode)."
   in
   Arg.(value & flag & info [ "force-divergence" ] ~doc)
 
@@ -113,10 +117,13 @@ let cmd =
         "Feeds identical generated route tables, wire frames and extension \
          bytecode through both the FRR-like and the BIRD-like daemon and \
          asserts that the xBGP-visible state (Loc-RIBs rendered in the \
-         neutral attribute form) is identical; also checks that the eBPF \
-         verifier and VM never let an exception escape on arbitrary \
-         programs. Every failing case is shrunk and written as a \
-         seed-pinned reproducer file (see $(b,--replay)).";
+         neutral attribute form) is identical; runs every \
+         verifier-accepted generated program on all three eBPF engines \
+         (interpreter, closure-threaded, block-compiled) and asserts \
+         identical results, register files and helper traces; and checks \
+         that the verifier and VM never let an exception escape on \
+         arbitrary programs. Every failing case is shrunk and written as \
+         a seed-pinned reproducer file (see $(b,--replay)).";
     ]
   in
   Cmd.v

@@ -19,17 +19,31 @@ type attachment = {
   order : int;
 }
 
-type t = { programs : string list; attachments : attachment list }
+type t = {
+  programs : string list;
+  attachments : attachment list;
+  engines : (string * Ebpf.Vm.engine) list;
+      (** per-program execution-engine overrides ([engine] directives) *)
+}
 
-let empty = { programs = []; attachments = [] }
+let empty = { programs = []; attachments = []; engines = [] }
 
-let v ~programs ~attachments = { programs; attachments }
+let v ~programs ~attachments = { programs; attachments; engines = [] }
+
+(* the record is public: callers add overrides with [with_engines] or a
+   record update *)
+let with_engines engines t = { t with engines }
 
 (* --- text form --- *)
 
 let to_string t =
   let b = Buffer.create 256 in
   List.iter (fun p -> Buffer.add_string b ("program " ^ p ^ "\n")) t.programs;
+  List.iter
+    (fun (p, e) ->
+      Buffer.add_string b
+        (Printf.sprintf "engine %s %s\n" p (Ebpf.Vm.engine_name e)))
+    t.engines;
   List.iter
     (fun a ->
       Buffer.add_string b
@@ -44,7 +58,7 @@ let parse (s : string) : (t, string) result =
   in
   let lines = String.split_on_char '\n' s in
   let rec go lineno acc = function
-    | [] -> Ok { programs = List.rev acc.programs |> List.rev; attachments = List.rev acc.attachments }
+    | [] -> Ok acc
     | line :: rest -> (
       let line =
         match String.index_opt line '#' with
@@ -59,6 +73,11 @@ let parse (s : string) : (t, string) result =
       | [] -> go (lineno + 1) acc rest
       | [ "program"; name ] ->
         go (lineno + 1) { acc with programs = name :: acc.programs } rest
+      | [ "engine"; program; engine_s ] -> (
+        match Ebpf.Vm.engine_of_name engine_s with
+        | Some e ->
+          go (lineno + 1) { acc with engines = (program, e) :: acc.engines } rest
+        | None -> err lineno "unknown engine %S" engine_s)
       | [ "attach"; program; bytecode; point_s; order_s ] -> (
         match (Api.point_of_name point_s, int_of_string_opt order_s) with
         | Some point, Some order ->
@@ -68,13 +87,20 @@ let parse (s : string) : (t, string) result =
         | _, None -> err lineno "bad order %S" order_s)
       | w :: _ -> err lineno "unknown directive %S" w)
   in
-  match go 1 { programs = []; attachments = [] } lines with
-  | Ok t -> Ok { t with programs = List.rev t.programs }
+  match go 1 empty lines with
+  | Ok t ->
+    Ok
+      {
+        programs = List.rev t.programs;
+        attachments = List.rev t.attachments;
+        engines = List.rev t.engines;
+      }
   | e -> e
 
 (** Apply a manifest to a VMM: register every listed program (resolved
-    through [registry]) and attach its bytecodes. Stops at the first
-    error, leaving earlier registrations in place. *)
+    through [registry]), applying any [engine] override, and attach its
+    bytecodes. Stops at the first error, leaving earlier registrations in
+    place. *)
 let load vmm ~registry t : (unit, string) result =
   let ( let* ) = Result.bind in
   let rec register_all = function
@@ -82,7 +108,12 @@ let load vmm ~registry t : (unit, string) result =
     | name :: rest -> (
       match registry name with
       | None -> Error (Printf.sprintf "unknown program %S" name)
-      | Some prog ->
+      | Some (prog : Xprog.t) ->
+        let prog =
+          match List.assoc_opt name t.engines with
+          | Some e -> { prog with Xprog.engine = Some e }
+          | None -> prog
+        in
         let* () = Vmm.register vmm prog in
         register_all rest)
   in

@@ -10,9 +10,14 @@
     {v
 # GeoLoc on the edge routers
 program geoloc
+engine  geoloc block
 attach geoloc receive BGP_RECEIVE_MESSAGE 0
 attach geoloc import  BGP_INBOUND_FILTER  10
-    v} *)
+    v}
+
+    The optional [engine] directive pins a program to one of the eBPF
+    execution engines ([interpreted], [compiled] or [block]); programs
+    without one use the VMM's default. *)
 
 type attachment = {
   program : string;
@@ -21,10 +26,20 @@ type attachment = {
   order : int;
 }
 
-type t = { programs : string list; attachments : attachment list }
+type t = {
+  programs : string list;
+  attachments : attachment list;
+  engines : (string * Ebpf.Vm.engine) list;
+      (** per-program execution-engine overrides ([engine] directives) *)
+}
 
 val empty : t
+
 val v : programs:string list -> attachments:attachment list -> t
+(** A manifest with no engine overrides; see {!with_engines}. *)
+
+val with_engines : (string * Ebpf.Vm.engine) list -> t -> t
+(** Replace the per-program engine overrides. *)
 
 val to_string : t -> string
 val parse : string -> (t, string) result

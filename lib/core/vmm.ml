@@ -155,10 +155,12 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
     ignore
       (Ebpf.Memory.add_region mem ~name:"scratch" ~base:Api.scratch_base
          ~writable:true ext.scratch);
+  (* the program's manifest-declared engine wins over the VMM default *)
+  let engine = Option.value ext.prog.engine ~default:t.engine in
   let rec rt =
     lazy
       {
-        vm = Ebpf.Vm.create ~budget:t.budget ~engine:t.engine ~mem ~helpers code;
+        vm = Ebpf.Vm.create ~budget:t.budget ~engine ~mem ~helpers code;
         heap;
         heap_pos = 0;
         ops = Host_intf.null_ops;

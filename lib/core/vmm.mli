@@ -41,7 +41,8 @@ val create :
 (** [host] names the embedding implementation (for log messages);
     [heap_size] is the per-attachment ephemeral heap (default 64 KiB);
     [budget] the per-run instruction limit; [engine] selects the eBPF
-    execution engine for every attached bytecode. *)
+    execution engine for every attached bytecode whose program does not
+    carry its own [Xprog.engine] override. *)
 
 val stats : t -> stats
 

@@ -16,9 +16,13 @@ type t = {
   allowed_helpers : int list option;
       (** helper whitelist ([None] = unrestricted); enforced by the
           verifier at registration time *)
+  engine : Ebpf.Vm.engine option;
+      (** per-program execution-engine override; [None] uses the VMM's
+          default. Set from the manifest's [engine] directive. *)
 }
 
-let v ?(maps = []) ?(scratch_size = 0) ?allowed_helpers ~name bytecodes =
+let v ?(maps = []) ?(scratch_size = 0) ?allowed_helpers ?engine ~name bytecodes
+    =
   if bytecodes = [] then invalid_arg "Xprog.v: no bytecodes";
   List.iter
     (fun { key_size; value_size } ->
@@ -26,7 +30,7 @@ let v ?(maps = []) ?(scratch_size = 0) ?allowed_helpers ~name bytecodes =
         invalid_arg "Xprog.v: map sizes must be positive")
     maps;
   if scratch_size < 0 then invalid_arg "Xprog.v: negative scratch size";
-  { name; bytecodes; maps; scratch_size; allowed_helpers }
+  { name; bytecodes; maps; scratch_size; allowed_helpers; engine }
 
 let bytecode t name = List.assoc_opt name t.bytecodes
 

@@ -1,0 +1,204 @@
+(* Basic-block analysis for the block-compiled engine.
+
+   This module is pure: it partitions a decoded slot array into basic
+   blocks and fuses common instruction pairs, but performs no execution
+   and holds no VM state. The VM ([Vm.compile_blocks]) turns the result
+   into closures.
+
+   Leaders are slot 0, every in-range jump target that lands on an
+   instruction boundary, and the slot after every control-transfer
+   instruction (JA, conditional jumps, EXIT). Jump targets that are out
+   of range or land inside an LDDW pair are *not* leaders — the engine
+   resolves them to trap closures so arbitrary (unverified) programs keep
+   interpreter-identical fault behaviour.
+
+   Fusions (each removes per-instruction dispatch in the hot loop):
+   - [Load_alu]: an LDX immediately followed by an ALU op (neither
+     writing r10) retires as one unit;
+   - [Movi_call]: a burst of constant moves into r1..r5 (MOV-imm or
+     LDDW) feeding a CALL collapses into precomputed argument stores
+     plus the call;
+   - [Alu_branch]: a trailing ALU op fused into the conditional-jump
+     terminator.
+   Fusion never crosses a leader, so a jump into the middle of a fused
+   pair is impossible by construction. *)
+
+type slot = Op of Insn.t | Pad
+
+type uop =
+  | Plain of Insn.t  (** one instruction; retires 1 *)
+  | Load_alu of Insn.t * Insn.t  (** fused LDX; ALU pair; retires 2 *)
+  | Movi_call of (int * int64) list * int
+      (** constant moves [(reg index, value)] into r1..r5, then CALL id;
+          retires [length + 1] *)
+
+type terminator =
+  | Exit_  (** EXIT; retires 1 *)
+  | Jump of int  (** JA to target slot; retires 1 *)
+  | Branch of Insn.width * Insn.cond * Insn.reg * Insn.src * int * int
+      (** conditional jump: taken slot, fallthrough slot; retires 1 *)
+  | Alu_branch of
+      Insn.t * (Insn.width * Insn.cond * Insn.reg * Insn.src * int * int)
+      (** trailing ALU fused into the branch; retires 2 *)
+  | Fall of int
+      (** control reaches the next leader (or falls off the end when the
+          target is [= length]); retires 0 *)
+
+type t = {
+  start : int;  (** leader slot *)
+  uops : uop list;  (** body, in program order *)
+  term : terminator;
+  retired : int;
+      (** instructions charged against the budget when the block runs to
+          completion (body + terminator) *)
+}
+
+let uop_retires = function
+  | Plain _ -> 1
+  | Load_alu _ -> 2
+  | Movi_call (moves, _) -> List.length moves + 1
+
+let term_retires = function
+  | Exit_ | Jump _ | Branch _ -> 1
+  | Alu_branch _ -> 2
+  | Fall _ -> 0
+
+(* A constant move into an argument register, as fused by [Movi_call].
+   The 32-bit MOV zero-extends, exactly as [Vm.alu32 Mov]. *)
+let const_arg_move = function
+  | Insn.Alu (w, Mov, r, Imm i) ->
+    let d = Insn.reg_index r in
+    if d >= 1 && d <= 5 then
+      let v = Int64.of_int32 i in
+      let v =
+        match w with Insn.W64bit -> v | Insn.W32bit -> Int64.logand v 0xFFFFFFFFL
+      in
+      Some (d, v)
+    else None
+  | Insn.Lddw (r, v) ->
+    let d = Insn.reg_index r in
+    if d >= 1 && d <= 5 then Some (d, v) else None
+  | _ -> None
+
+let writes_r10 = function
+  | Insn.Alu (_, _, r, _)
+  | Insn.Endian (_, r, _)
+  | Insn.Lddw (r, _)
+  | Insn.Ldx (_, r, _, _) ->
+    Insn.reg_index r = 10
+  | _ -> false
+
+let analyze slots =
+  let n = Array.length slots in
+  let is_leader = Array.make (max n 1) false in
+  let mark t =
+    if t >= 0 && t < n then
+      match slots.(t) with Op _ -> is_leader.(t) <- true | Pad -> ()
+  in
+  if n > 0 then is_leader.(0) <- true;
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Pad -> ()
+      | Op insn -> (
+        match insn with
+        | Ja off ->
+          mark (i + 1 + off);
+          mark (i + 1)
+        | Jcond (_, _, _, _, off) ->
+          mark (i + 1 + off);
+          mark (i + 1)
+        | Exit -> mark (i + 1)
+        | _ -> ()))
+    slots;
+  let block_of_slot = Array.make (max n 1) (-1) in
+  let blocks = ref [] in
+  let nblocks = ref 0 in
+  (* Build one block starting at leader [l]. *)
+  let build l =
+    let body = ref [] in
+    let push u = body := u :: !body in
+    let finish term =
+      let uops = List.rev !body in
+      (* fuse a trailing ALU into a conditional-jump terminator *)
+      let uops, term =
+        match (term, uops) with
+        | Branch (w, c, d, s, tk, fl), _ -> (
+          match List.rev uops with
+          | Plain (Insn.Alu _ as a) :: prefix when not (writes_r10 a) ->
+            (List.rev prefix, Alu_branch (a, (w, c, d, s, tk, fl)))
+          | _ -> (uops, term))
+        | _ -> (uops, term)
+      in
+      let retired =
+        List.fold_left (fun acc u -> acc + uop_retires u) 0 uops
+        + term_retires term
+      in
+      { start = l; uops; term; retired }
+    in
+    (* Try to fuse a burst of constant argument moves ending in CALL,
+       none of which (past the first) may be a leader. *)
+    let try_movi_call i =
+      let rec burst j acc =
+        if j >= n then None
+        else if j > i && is_leader.(j) then None
+        else
+          match slots.(j) with
+          | Pad -> None
+          | Op (Insn.Call id) ->
+            if acc = [] then None else Some (Movi_call (List.rev acc, id), j + 1)
+          | Op insn -> (
+            match const_arg_move insn with
+            | Some mv -> burst (j + Insn.slots insn) (mv :: acc)
+            | None -> None)
+      in
+      burst i []
+    in
+    let rec walk i =
+      if i >= n then finish (Fall i)
+      else if i > l && is_leader.(i) then finish (Fall i)
+      else
+        match slots.(i) with
+        | Pad ->
+          (* unreachable from a leader walk (pads only follow LDDW), but
+             keep arbitrary arrays safe: end the block here *)
+          finish (Fall i)
+        | Op insn -> (
+          match insn with
+          | Exit -> finish Exit_
+          | Ja off -> finish (Jump (i + 1 + off))
+          | Jcond (w, c, d, s, off) -> finish (Branch (w, c, d, s, i + 1 + off, i + 1))
+          | Ldx (_, d, _, _)
+            when Insn.reg_index d <> 10
+                 && i + 1 < n
+                 && not is_leader.(i + 1) -> (
+            match slots.(i + 1) with
+            | Op (Insn.Alu (_, _, d2, _) as a) when Insn.reg_index d2 <> 10 ->
+              push (Load_alu (insn, a));
+              walk (i + 2)
+            | _ ->
+              push (Plain insn);
+              walk (i + 1))
+          | Alu (_, Mov, _, Imm _) | Lddw _ when const_arg_move insn <> None
+            -> (
+            match try_movi_call i with
+            | Some (u, next) ->
+              push u;
+              walk next
+            | None ->
+              push (Plain insn);
+              walk (i + Insn.slots insn))
+          | _ ->
+            push (Plain insn);
+            walk (i + Insn.slots insn))
+    in
+    walk l
+  in
+  for l = 0 to n - 1 do
+    if is_leader.(l) then begin
+      block_of_slot.(l) <- !nblocks;
+      incr nblocks;
+      blocks := build l :: !blocks
+    end
+  done;
+  (Array.of_list (List.rev !blocks), block_of_slot)

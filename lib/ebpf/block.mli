@@ -1,0 +1,46 @@
+(** Basic-block analysis for the block-compiled engine.
+
+    Pure program analysis: partitions a decoded slot array into basic
+    blocks, resolves jump targets to slot indices, and fuses common
+    instruction pairs (load+ALU, mov-imm bursts feeding a CALL, a
+    trailing ALU folded into a conditional branch). The VM turns the
+    result into one closure per block; each block carries the exact
+    number of instructions it retires so the engine can charge the
+    budget once per block instead of once per instruction. *)
+
+type slot = Op of Insn.t | Pad
+
+type uop =
+  | Plain of Insn.t  (** one instruction; retires 1 *)
+  | Load_alu of Insn.t * Insn.t
+      (** fused LDX; ALU pair (neither writes r10); retires 2 *)
+  | Movi_call of (int * int64) list * int
+      (** constant moves [(register index, value)] into r1..r5 followed
+          by CALL id; retires [length + 1] *)
+
+type terminator =
+  | Exit_  (** EXIT; retires 1 *)
+  | Jump of int  (** JA to target slot; retires 1 *)
+  | Branch of Insn.width * Insn.cond * Insn.reg * Insn.src * int * int
+      (** conditional jump: taken slot, fallthrough slot; retires 1 *)
+  | Alu_branch of
+      Insn.t * (Insn.width * Insn.cond * Insn.reg * Insn.src * int * int)
+      (** trailing ALU fused into the branch; retires 2 *)
+  | Fall of int
+      (** control reaches slot [target] without a jump; retires 0. The
+          target is the next leader, or [>= length] when execution falls
+          off the end of the program. *)
+
+type t = {
+  start : int;  (** leader slot *)
+  uops : uop list;  (** body, in program order *)
+  term : terminator;
+  retired : int;  (** instructions charged when the block completes *)
+}
+
+val analyze : slot array -> t array * int array
+(** [analyze slots] is [(blocks, block_of_slot)]: the blocks in program
+    order and a map from slot index to block id ([-1] for slots that are
+    not leaders). Every in-range jump target landing on an instruction
+    is a leader; targets that are out of range or inside an LDDW pair
+    are left to the engine to resolve as traps. *)

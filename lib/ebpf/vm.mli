@@ -15,10 +15,25 @@
 
 exception Error of string
 
-(** The execution engine: a classic interpreter, or closure threading
-    built at VM creation (the repository's stand-in for ubpf's JIT;
-    identical semantics, measured by the ablation bench). *)
-type engine = Interpreted | Compiled
+(** The execution engine: a classic interpreter; closure threading built
+    at VM creation (the repository's stand-in for ubpf's JIT); or the
+    basic-block pre-compiler, which decodes the program once into fused
+    basic blocks, charges the instruction budget per block instead of
+    per instruction, accesses statically-bounded r10 stack slots
+    directly, and resolves helper calls at compile time. All three share
+    the same semantics; the ablation bench measures the gaps. *)
+type engine = Interpreted | Compiled | Block
+
+val engine_name : engine -> string
+(** ["interpreted"], ["compiled"] or ["block"] — the names used by
+    manifests, benches and the fuzz oracle. *)
+
+val engine_of_name : string -> engine option
+(** Inverse of {!engine_name}. *)
+
+val all_engines : engine list
+(** Every engine, in [Interpreted; Compiled; Block] order — the set the
+    differential oracle and the conformance suite quantify over. *)
 
 type t
 

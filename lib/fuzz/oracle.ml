@@ -10,12 +10,14 @@
      session on each host; the surviving Loc-RIB (normalized to the
      attributes both hosts represent) and the session fate must agree.
    - VM safety: every generated program either fails the verifier with a
-     clean error list, or executes to an identical outcome on both
-     execution engines — a value or a contained fault, never an escaped
-     exception — and survives a full VMM round trip.
+     clean error list, or executes to an identical outcome on every
+     execution engine (interpreter, closure-threaded, block-compiled) —
+     a value or a contained fault, never an escaped exception — with an
+     identical final register file and an identical host-visible helper
+     trace, and survives a full VMM round trip per engine.
 
    A [Crash] finding means an exception escaped a layer that promises
-   not to raise; a [Divergence] finding means the two hosts (or the two
+   not to raise; a [Divergence] finding means the two hosts (or the
    engines) disagreed about xBGP-visible state. *)
 
 type kind = Divergence | Crash
@@ -294,31 +296,68 @@ let run_hostile ~perturb (c : Gen.case) =
 
 (* --- VM / verifier safety --- *)
 
-type vm_outcome = Value of int64 | Fault of string | Escaped of string
+type vm_result = Value of int64 | Fault of string | Escaped of string
 
-let run_engine engine prog =
-  match
-    let vm = Ebpf.Vm.create ~budget:20_000 ~engine ~helpers:[] prog in
-    Ebpf.Vm.run vm
-  with
-  | v -> Value v
-  | exception Ebpf.Vm.Error e -> Fault e
-  | exception Ebpf.Memory.Fault e -> Fault e
-  | exception e -> Escaped (Printexc.to_string e)
+type vm_outcome = {
+  result : vm_result;
+  regs : int64 array;  (** r0..r10 after the run (or at the fault) *)
+  calls : (int * int64 array) list;
+      (** host-visible helper trace, oldest first: (id, argument
+          registers r1..r5 at the call) *)
+}
 
-let engine_name = function
-  | Ebpf.Vm.Interpreted -> "interpreted"
-  | Ebpf.Vm.Compiled -> "compiled"
+(* Recording helpers for every id the soup generator emits (0..24): each
+   call appends its id and a *copy* of the argument registers to the
+   trace — the block engine reuses one argument buffer per call site, so
+   aliasing it would record lies — and returns a deterministic mix of id
+   and arguments, so helper results feed back into the program. *)
+let recording_helper_ids = List.init 25 Fun.id
 
-(* Full VMM round trip: register the program (re-verifying it), attach
-   it to the inbound filter and run it the way a daemon would. The VMM
-   contract is that nothing escapes [run] — faults turn into the native
-   default. *)
-let vmm_round_trip prog =
+let recording_helpers trace =
+  List.map
+    (fun id ->
+      ( id,
+        fun _vm (a : int64 array) ->
+          let args = Array.copy a in
+          trace := (id, args) :: !trace;
+          let open Int64 in
+          Array.fold_left
+            (fun acc v -> add (mul acc 31L) v)
+            (mul (of_int (id + 1)) 0x9E3779B97F4A7C15L)
+            args ))
+    recording_helper_ids
+
+let run_engine engine prog : vm_outcome =
+  let trace = ref [] in
+  let vm =
+    Ebpf.Vm.create ~budget:20_000 ~engine ~helpers:(recording_helpers trace)
+      prog
+  in
+  let result =
+    match Ebpf.Vm.run vm with
+    | v -> Value v
+    | exception Ebpf.Vm.Error e -> Fault e
+    | exception Ebpf.Memory.Fault e -> Fault e
+    | exception e -> Escaped (Printexc.to_string e)
+  in
+  let regs =
+    Array.init 11 (fun i -> Ebpf.Vm.reg vm (Ebpf.Insn.reg_of_index i))
+  in
+  { result; regs; calls = List.rev !trace }
+
+let engine_name = Ebpf.Vm.engine_name
+
+(* Full VMM round trip on one engine: register the program
+   (re-verifying it), attach it to the inbound filter and run it the way
+   a daemon would. The VMM contract is that nothing escapes [run] —
+   faults turn into the native default. Returns the chain result plus
+   the fault/fallback counters, which every engine must agree on. *)
+let vmm_round_trip engine prog :
+    (int64 * int * int, string) result =
   match
     let xp = Xbgp.Xprog.v ~name:"fuzzcase" [ ("main", prog) ] in
-    let vmm = Xbgp.Vmm.create ~budget:20_000 ~host:"fuzz" () in
-    (match Xbgp.Vmm.register vmm xp with
+    let vmm = Xbgp.Vmm.create ~budget:20_000 ~engine ~host:"fuzz" () in
+    match Xbgp.Vmm.register vmm xp with
     | Ok () -> (
       match
         Xbgp.Vmm.attach vmm ~program:"fuzzcase" ~bytecode:"main"
@@ -326,17 +365,83 @@ let vmm_round_trip prog =
       with
       | Ok () ->
         let prefix_arg = Bytes.make 5 '\x00' in
-        ignore
-          (Xbgp.Vmm.run vmm Xbgp.Api.Bgp_inbound_filter
-             ~ops:Xbgp.Host_intf.null_ops
-             ~args:[ (Xbgp.Api.arg_prefix, prefix_arg) ]
-             ~default:(fun () -> 0L))
-      | Error _ -> ())
-    | Error _ -> ());
-    ()
+        let v =
+          Xbgp.Vmm.run vmm Xbgp.Api.Bgp_inbound_filter
+            ~ops:Xbgp.Host_intf.null_ops
+            ~args:[ (Xbgp.Api.arg_prefix, prefix_arg) ]
+            ~default:(fun () -> 0L)
+        in
+        let st = Xbgp.Vmm.stats vmm in
+        (v, st.faults, st.native_fallbacks)
+      | Error _ -> (0L, 0, 0))
+    | Error _ -> (0L, 0, 0)
   with
-  | () -> None
-  | exception e -> Some (Printexc.to_string e)
+  | r -> Ok r
+  | exception e -> Error (Printexc.to_string e)
+
+let pp_regs ppf regs =
+  Fmt.pf ppf "%a"
+    Fmt.(array ~sep:(any " ") (fmt "%Lx"))
+    regs
+
+let first_trace_diff a b =
+  let entry ppf (id, args) = Fmt.pf ppf "h%d(%a)" id pp_regs args in
+  let rec go i a b =
+    match (a, b) with
+    | [], [] -> None
+    | x :: _, [] -> Some (i, Fmt.str "%a vs end-of-trace" entry x)
+    | [], y :: _ -> Some (i, Fmt.str "end-of-trace vs %a" entry y)
+    | ((ia, aa) as x) :: ta, ((ib, ab) as y) :: tb ->
+      if ia = ib && aa = ab then go (i + 1) ta tb
+      else Some (i, Fmt.str "%a vs %a" entry x entry y)
+  in
+  go 0 a b
+
+(* Compare one engine's outcome against the interpreter baseline.
+   Outcomes must agree in kind (value vs fault); on success the value,
+   the full register file and the helper trace must be identical; on a
+   fault the traces must still be identical (the fault messages are not
+   compared — the engines word them identically today, but the
+   equivalence contract is the fault itself, not its rendering). *)
+let compare_outcomes ~pi ~base:(bn, (b : vm_outcome)) (en, (e : vm_outcome)) =
+  let trace_diff () =
+    match first_trace_diff b.calls e.calls with
+    | None -> []
+    | Some (i, d) ->
+      [
+        divergence "engine divergence on prog %d: helper trace differs at call %d: %s=%s"
+          pi i (Fmt.str "%s vs %s" bn en) d;
+      ]
+  in
+  match (b.result, e.result) with
+  | Escaped _, _ | _, Escaped _ -> [] (* reported separately as crashes *)
+  | Value vb, Value ve ->
+    let value =
+      if Int64.equal vb ve then []
+      else
+        [
+          divergence "engine divergence on prog %d: %s=%Ld %s=%Ld" pi bn vb en
+            ve;
+        ]
+    in
+    let regs =
+      if b.regs = e.regs then []
+      else
+        [
+          divergence
+            "engine divergence on prog %d: registers differ: %s=[%a] %s=[%a]"
+            pi bn pp_regs b.regs en pp_regs e.regs;
+        ]
+    in
+    value @ regs @ trace_diff ()
+  | Value v, Fault f | Fault f, Value v ->
+    [
+      divergence
+        "engine divergence on prog %d (%s vs %s): one returned %Ld, the \
+         other faulted (%s)"
+        pi bn en v f;
+    ]
+  | Fault _, Fault _ -> trace_diff ()
 
 let check_prog ~perturb pi prog =
   match Ebpf.Verifier.check prog with
@@ -344,39 +449,78 @@ let check_prog ~perturb pi prog =
     [ crash "verifier raised %s on prog %d" (Printexc.to_string e) pi ]
   | Error _ -> [] (* clean rejection is the success case *)
   | Ok () ->
-    let a = run_engine Ebpf.Vm.Interpreted prog in
-    let b = run_engine Ebpf.Vm.Compiled prog in
-    let b = if perturb then (match b with Value v -> Value (Int64.add v 1L) | o -> o) else b in
+    let outs =
+      List.map (fun e -> (e, run_engine e prog)) Ebpf.Vm.all_engines
+    in
+    (* the perturb knob corrupts the newest engine's view, proving the
+       N-way oracle and the shrink/replay pipeline fire end to end *)
+    let outs =
+      if not perturb then outs
+      else
+        List.map
+          (fun (e, o) ->
+            match (e, o.result) with
+            | Ebpf.Vm.Block, Value v ->
+              (e, { o with result = Value (Int64.add v 1L) })
+            | _ -> (e, o))
+          outs
+    in
     let escaped =
       List.filter_map
-        (fun (engine, o) ->
-          match o with
-          | Escaped e ->
-            Some (crash "%s engine let %s escape on prog %d" engine e pi)
+        (fun (e, o) ->
+          match o.result with
+          | Escaped msg ->
+            Some
+              (crash "%s engine let %s escape on prog %d" (engine_name e) msg
+                 pi)
           | _ -> None)
-        [ (engine_name Ebpf.Vm.Interpreted, a); (engine_name Ebpf.Vm.Compiled, b) ]
+        outs
+    in
+    let base, rest =
+      match outs with
+      | (be, bo) :: rest -> ((engine_name be, bo), rest)
+      | [] -> assert false
     in
     let diverged =
-      match (a, b) with
-      | Value va, Value vb when not (Int64.equal va vb) ->
-        [
-          divergence "engine divergence on prog %d: interpreted=%Ld compiled=%Ld"
-            pi va vb;
-        ]
-      | Value v, Fault f | Fault f, Value v ->
-        [
-          divergence
-            "engine divergence on prog %d: one returned %Ld, the other faulted (%s)"
-            pi v f;
-        ]
+      List.concat_map
+        (fun (e, o) -> compare_outcomes ~pi ~base (engine_name e, o))
+        rest
+    in
+    (* every engine must also survive — and agree across — a full VMM
+       round trip (real helpers, heap and scratch wired in) *)
+    let vmm_runs =
+      List.map (fun e -> (e, vmm_round_trip e prog)) Ebpf.Vm.all_engines
+    in
+    let vmm_escaped =
+      List.filter_map
+        (fun (e, r) ->
+          match r with
+          | Error msg ->
+            Some
+              (crash "vmm (%s engine) let %s escape on prog %d"
+                 (engine_name e) msg pi)
+          | Ok _ -> None)
+        vmm_runs
+    in
+    let vmm_diverged =
+      match vmm_runs with
+      | (be, Ok bres) :: rest ->
+        List.filter_map
+          (fun (e, r) ->
+            match r with
+            | Ok res when res <> bres ->
+              let render (v, f, nf) =
+                Fmt.str "r0=%Ld faults=%d fallbacks=%d" v f nf
+              in
+              Some
+                (divergence
+                   "vmm divergence on prog %d: %s=(%s) %s=(%s)" pi
+                   (engine_name be) (render bres) (engine_name e) (render res))
+            | _ -> None)
+          rest
       | _ -> []
     in
-    let vmm =
-      match vmm_round_trip prog with
-      | None -> []
-      | Some e -> [ crash "vmm let %s escape on prog %d" e pi ]
-    in
-    escaped @ diverged @ vmm
+    escaped @ diverged @ vmm_escaped @ vmm_diverged
 
 let run_vm ~perturb (c : Gen.case) =
   List.concat (List.mapi (fun i p -> check_prog ~perturb i p) c.progs)

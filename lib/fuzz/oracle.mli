@@ -1,7 +1,14 @@
 (** The differential oracle: runs one generated case and reports every
-    way the two hosts (or the two eBPF engines) disagreed about
-    xBGP-visible state, plus every exception that escaped a layer that
-    promises not to raise.
+    way the two hosts (or the eBPF execution engines — interpreter,
+    closure-threaded, block-compiled) disagreed about xBGP-visible
+    state, plus every exception that escaped a layer that promises not
+    to raise.
+
+    For VM scenarios the engine comparison is N-way against the
+    interpreter baseline: return value, final register file and the
+    helper-call trace on success; fault-vs-value and the trace on
+    faults; plus a full VMM round trip per engine whose result and
+    fault/fallback counters must agree.
 
     An empty finding list is the verdict "equivalent and crash-free". *)
 
@@ -16,8 +23,9 @@ val pp_finding : Format.formatter -> finding -> unit
 
 val run : ?perturb:bool -> Gen.case -> finding list
 (** Execute the case's scenario. [perturb] artificially corrupts the
-    BIRD-side snapshot (or the compiled engine's result) — the knob used
-    to prove the oracle/shrink/replay pipeline fires end to end. *)
+    BIRD-side snapshot (or, for VM scenarios, the block-compiled
+    engine's result) — the knob used to prove the oracle/shrink/replay
+    pipeline fires end to end. *)
 
 val normalize :
   (Bgp.Prefix.t * Bgp.Attr.t list) list ->

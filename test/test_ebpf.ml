@@ -426,7 +426,7 @@ let test_vm_reuse_zeroes_regs () =
   Vm.set_reg vm r1 42L;
   check_i64 "run sees 0 (regs zeroed on entry)" 0L (Vm.run vm)
 
-(* --- compiled engine --- *)
+(* --- compiled engines --- *)
 
 let outcome engine prog =
   let vm = Vm.create ~budget:10_000 ~engine ~helpers:[ (7, fun _ a -> Int64.add a.(0) 1L) ] prog in
@@ -434,10 +434,32 @@ let outcome engine prog =
 
 let prop_engines_agree =
   QCheck2.Test.make ~count:500
-    ~name:"compiled engine = interpreter (result or fault)"
+    ~name:"every engine = interpreter (result or fault)"
     QCheck2.Gen.(list_size (int_range 1 40) gen_insn)
     (fun prog ->
-      outcome Vm.Interpreted prog = outcome Vm.Compiled prog)
+      let base = outcome Vm.Interpreted prog in
+      List.for_all (fun e -> outcome e prog = base) Vm.all_engines)
+
+(* The verifier is the single gate: a rejected program is refused at VMM
+   registration on every engine (nothing ever executes it), and an
+   accepted program runs to the same outcome on every engine. *)
+let prop_verifier_single_gate =
+  QCheck2.Test.make ~count:300 ~name:"verifier gates all engines identically"
+    QCheck2.Gen.(list_size (int_range 1 40) gen_insn)
+    (fun prog ->
+      match Verifier.check prog with
+      | Error _ ->
+        List.for_all
+          (fun e ->
+            let vmm = Xbgp.Vmm.create ~engine:e ~host:"test" () in
+            let xp = Xbgp.Xprog.v ~name:"gate" [ ("main", prog) ] in
+            match Xbgp.Vmm.register vmm xp with
+            | Error _ -> (Xbgp.Vmm.stats vmm).runs = 0
+            | Ok () -> false)
+          Vm.all_engines
+      | Ok () ->
+        let base = outcome Vm.Interpreted prog in
+        List.for_all (fun e -> outcome e prog = base) Vm.all_engines)
 
 let test_compiled_smoke () =
   let prog =
@@ -470,14 +492,155 @@ let test_compiled_budget_and_faults () =
     (match Vm.run vm with exception Vm.Error _ -> true | _ -> false)
 
 let test_compiled_full_programs () =
-  (* every registered xBGP bytecode compiles *)
+  (* every registered xBGP bytecode compiles on both compiled engines *)
   List.iter
     (fun (p : Xbgp.Xprog.t) ->
       List.iter
         (fun (_, code) ->
-          ignore (Vm.create ~engine:Vm.Compiled ~helpers:[] code))
+          ignore (Vm.create ~engine:Vm.Compiled ~helpers:[] code);
+          ignore (Vm.create ~engine:Vm.Block ~helpers:[] code))
         p.bytecodes)
     Xprogs.Registry.all
+
+(* --- block-compiled engine --- *)
+
+let test_block_smoke () =
+  let prog =
+    Asm.(
+      assemble
+        [
+          movi r0 0;
+          movi r1 100;
+          label "top";
+          addi r0 7;
+          subi r1 1;
+          jnei r1 0 "top";
+          exit_;
+        ])
+  in
+  let vm = Vm.create ~engine:Vm.Block ~helpers:[] prog in
+  check_i64 "block loop" 700L (Vm.run vm);
+  check_bool "engine reported" true (Vm.engine vm = Vm.Block);
+  check_i64 "second run" 700L (Vm.run vm)
+
+let test_block_retired_matches_interpreter () =
+  (* per-block budget charging must not change the retired-instruction
+     count on successful runs *)
+  let prog =
+    Asm.(
+      assemble
+        [
+          movi r0 0;
+          movi r1 10;
+          label "top";
+          addi r0 3;
+          subi r1 1;
+          jnei r1 0 "top";
+          exit_;
+        ])
+  in
+  let run engine =
+    let vm = Vm.create ~engine ~helpers:[] prog in
+    let v = Vm.run vm in
+    (v, Vm.executed vm)
+  in
+  let vi, ei = run Vm.Interpreted in
+  let vb, eb = run Vm.Block in
+  check_i64 "same result" vi vb;
+  check Alcotest.int "same retired count" ei eb
+
+let test_block_budget_fallback () =
+  (* a budget that dies mid-block: the block engine must fall back to
+     per-instruction interpretation and exhaust at the interpreter's
+     exact point *)
+  let prog =
+    Asm.(assemble [ movi r0 1; movi r1 2; movi r2 3; movi Insn.R3 4; exit_ ])
+  in
+  let run engine =
+    let vm = Vm.create ~engine ~budget:2 ~helpers:[] prog in
+    let r = match Vm.run vm with v -> Ok v | exception Vm.Error e -> Error e in
+    (r, Vm.executed vm)
+  in
+  let ri, ei = run Vm.Interpreted in
+  let rb, eb = run Vm.Block in
+  check_bool "both exhaust" true (ri = rb && Result.is_error ri);
+  check Alcotest.int "fallback retires like the interpreter" ei eb;
+  (* and an infinite loop still hits the budget *)
+  let spin = Asm.(assemble [ label "x"; ja "x"; exit_ ]) in
+  let vm = Vm.create ~engine:Vm.Block ~budget:1000 ~helpers:[] spin in
+  check_bool "budget stops block loop" true
+    (match Vm.run vm with exception Vm.Error _ -> true | _ -> false)
+
+let test_block_fusions () =
+  (* exercise each fusion pattern and the static stack fast path against
+     the interpreter *)
+  let progs =
+    [
+      (* ldx+alu fusion and the r10 stack fast path *)
+      Asm.
+        [
+          movi r1 0x1234;
+          stxh Insn.R10 (-2) r1;
+          ldxh r0 Insn.R10 (-2);
+          addi r0 1;
+          exit_;
+        ];
+      (* mov-imm burst feeding a helper call *)
+      Asm.[ movi r1 41; movi r2 1; call 7; exit_ ];
+      (* trailing alu fused into the branch *)
+      Asm.
+        [
+          movi r0 0;
+          movi r1 5;
+          label "top";
+          addi r0 2;
+          subi r1 1;
+          jnei r1 0 "top";
+          exit_;
+        ];
+      (* st-imm through r10, read back *)
+      Asm.[ sth Insn.R10 (-4) 0xBEE; ldxh r0 Insn.R10 (-4); exit_ ];
+    ]
+  in
+  List.iteri
+    (fun i items ->
+      let prog = Asm.assemble items in
+      check_bool
+        (Printf.sprintf "fusion prog %d agrees" i)
+        true
+        (outcome Vm.Interpreted prog = outcome Vm.Block prog
+        && Result.is_ok (outcome Vm.Block prog)))
+    progs
+
+let test_block_faults () =
+  let oob = Asm.(assemble [ ldxw r0 Insn.R10 0; exit_ ]) in
+  let vm = Vm.create ~engine:Vm.Block ~helpers:[] oob in
+  check_bool "block memory fault" true
+    (match Vm.run vm with exception Vm.Error _ -> true | _ -> false);
+  (* statically out-of-stack r10 offset goes through the generic path
+     and faults like the interpreter *)
+  let below = Asm.(assemble [ ldxw r0 Insn.R10 (-600); exit_ ]) in
+  check_bool "below stack" true
+    (outcome Vm.Interpreted below = outcome Vm.Block below);
+  let unknown = Asm.(assemble [ call 999; exit_ ]) in
+  check_bool "unknown helper" true
+    (outcome Vm.Interpreted unknown = outcome Vm.Block unknown)
+
+let test_block_entry_offset () =
+  (* a non-leader entry point falls back to the interpreter *)
+  let prog =
+    Asm.(assemble [ movi r0 1; movi r1 9; mov r0 r1; exit_ ])
+  in
+  let run engine entry =
+    let vm = Vm.create ~engine ~helpers:[] prog in
+    Vm.run ~entry vm
+  in
+  List.iter
+    (fun entry ->
+      check_i64
+        (Printf.sprintf "entry %d" entry)
+        (run Vm.Interpreted entry) (run Vm.Block entry))
+    [ 0; 1; 2 ]
 
 (* --- verifier --- *)
 
@@ -623,6 +786,17 @@ let () =
           Alcotest.test_case "all registered bytecodes compile" `Quick
             test_compiled_full_programs;
           qc prop_engines_agree;
+          qc prop_verifier_single_gate;
+        ] );
+      ( "block",
+        [
+          Alcotest.test_case "smoke" `Quick test_block_smoke;
+          Alcotest.test_case "retired count" `Quick
+            test_block_retired_matches_interpreter;
+          Alcotest.test_case "budget fallback" `Quick test_block_budget_fallback;
+          Alcotest.test_case "fusions" `Quick test_block_fusions;
+          Alcotest.test_case "faults" `Quick test_block_faults;
+          Alcotest.test_case "entry offset" `Quick test_block_entry_offset;
         ] );
       ( "verifier",
         [
