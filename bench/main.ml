@@ -6,12 +6,14 @@
      dune exec bench/main.exe fig5       -- valley-free fabric audit
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
      dune exec bench/main.exe ablation   -- three-engine pipeline comparison
-     dune exec bench/main.exe -- --json  -- micro + ablation, and write the
-                                            measurements to BENCH_pr2.json
+     dune exec bench/main.exe telemetry  -- telemetry on/off overhead
+     dune exec bench/main.exe -- --json  -- micro + ablation + telemetry,
+                                            and write the measurements to
+                                            BENCH_pr3.json
 
    `--json` composes with a subcommand (`micro --json` writes just the
-   micro numbers); alone it runs the micro and ablation benches — the
-   sources of every number in BENCH_pr2.json.
+   micro numbers); alone it runs the micro, ablation and telemetry
+   benches — the sources of every number in BENCH_pr3.json.
 
    Environment knobs for fig4: XBGP_BENCH_ROUTES (table size, default
    8000), XBGP_BENCH_RUNS (runs per configuration, default 15 — the
@@ -419,6 +421,113 @@ let churn () =
     ((em -. nm) /. nm *. 100.)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry overhead: the paired enabled/disabled experiment (E11)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Every Vmm.run now carries the telemetry hooks, so the number that
+   matters is the cost of one dispatch with telemetry disabled — the
+   state every test and benchmark runs in. Three identical VMMs run the
+   same extension in tight interleaved loops: two with disabled
+   registries (the A/A pair — any delta between them is measurement
+   noise, since the configurations are byte-identical) and one with a
+   fully enabled registry (histograms, spans, helper latency). Blocks
+   are interleaved across rounds and the per-round minimum is kept:
+   timing noise on a shared machine is one-sided, so the minimum is the
+   stable estimator. The disabled path must be indistinguishable from
+   noise: the A/A delta lands in telemetry.disabled_overhead_pct and is
+   expected within ±2%; the enabled cost is reported next to it. *)
+let telemetry_bench () =
+  Printf.printf
+    "=== Telemetry: disabled-path noise floor (A/A) and enabled cost ===\n";
+  (* a representative extension body: a compute loop in the shape of an
+     attribute scan, plus a handful of helper calls *)
+  let prog =
+    Ebpf.Asm.(
+      assemble
+        [
+          movi Ebpf.Insn.R7 60;
+          label "compute";
+          addi Ebpf.Insn.R0 3;
+          subi Ebpf.Insn.R7 1;
+          jnei Ebpf.Insn.R7 0 "compute";
+          movi Ebpf.Insn.R6 4;
+          label "calls";
+          call 1;
+          subi Ebpf.Insn.R6 1;
+          jnei Ebpf.Insn.R6 0 "calls";
+          movi Ebpf.Insn.R0 0;
+          exit_;
+        ])
+  in
+  let make_vmm tele =
+    let xp = Xbgp.Xprog.v ~name:"tele_bench" [ ("main", prog) ] in
+    let vmm = Xbgp.Vmm.create ~host:"bench" ~telemetry:tele () in
+    (match Xbgp.Vmm.register vmm xp with
+    | Ok () -> ()
+    | Error e -> failwith ("telemetry bench: register: " ^ e));
+    (match
+       Xbgp.Vmm.attach vmm ~program:"tele_bench" ~bytecode:"main"
+         ~point:Xbgp.Api.Bgp_inbound_filter ~order:0
+     with
+    | Ok () -> ()
+    | Error e -> failwith ("telemetry bench: attach: " ^ e));
+    vmm
+  in
+  let enabled_registry () =
+    let t = Telemetry.create ~enabled:true () in
+    let t0 = Unix.gettimeofday () in
+    Telemetry.set_clock_ns t (fun () ->
+        int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+    t
+  in
+  let vmm_d = make_vmm (Telemetry.create ~enabled:false ()) in
+  let vmm_e = make_vmm (enabled_registry ()) in
+  let prefix_arg = Bytes.make 5 '\x00' in
+  let iters = 50_000 in
+  let time_block vmm =
+    (* pay off the previous block's garbage (the enabled block allocates
+       spans and tag lists) before the clock starts, or its collection
+       lands in whichever block runs next *)
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore
+        (Xbgp.Vmm.run vmm Xbgp.Api.Bgp_inbound_filter
+           ~ops:Xbgp.Host_intf.null_ops
+           ~args:[ (Xbgp.Api.arg_prefix, prefix_arg) ]
+           ~default:(fun () -> 0L))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9
+  in
+  ignore (time_block vmm_d);
+  ignore (time_block vmm_e);
+  (* warmup *)
+  (* the A/A pair is the SAME disabled VMM timed in two blocks per
+     round — two instances would differ by allocation layout, which is
+     not telemetry's doing; timing the one object twice isolates pure
+     measurement noise *)
+  let rounds = max 7 (runs_n / 2) in
+  let best_a = ref infinity and best_b = ref infinity and best_e = ref infinity in
+  for _ = 1 to rounds do
+    Telemetry.reset_spans (Xbgp.Vmm.telemetry vmm_e);
+    best_a := min !best_a (time_block vmm_d);
+    best_b := min !best_b (time_block vmm_d);
+    best_e := min !best_e (time_block vmm_e)
+  done;
+  let dis = min !best_a !best_b in
+  let aa = (!best_b -. !best_a) /. !best_a *. 100. in
+  let over = (!best_e -. dis) /. dis *. 100. in
+  Printf.printf "%-22s best=%.1f ns/run\n%!" "telemetry disabled" dis;
+  Printf.printf "%-22s best=%.1f ns/run\n%!" "telemetry enabled" !best_e;
+  Printf.printf
+    "disabled A/A delta (noise floor): %+.2f%%   enabled overhead: %+.2f%%\n\n%!"
+    aa over;
+  record "telemetry.disabled.ns_per_run" dis;
+  record "telemetry.enabled.ns_per_run" !best_e;
+  record "telemetry.disabled_overhead_pct" aa;
+  record "telemetry.enabled_overhead_pct" over
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: interpreted vs closure-compiled eBPF engine               *)
 (* ------------------------------------------------------------------ *)
 
@@ -526,22 +635,25 @@ let () =
   | "micro" -> micro ()
   | "ablation" -> ablation ()
   | "churn" -> churn ()
+  | "telemetry" -> telemetry_bench ()
   | "json" ->
     (* bare --json: run exactly the benches whose numbers land in the file *)
     micro ();
-    ablation ()
+    ablation ();
+    telemetry_bench ()
   | "all" ->
     fig1 ();
     fig4 ();
     fig5 ();
     ablation ();
     churn ();
+    telemetry_bench ();
     micro ()
   | other ->
     Printf.eprintf
-      "unknown bench %S (fig1|fig4|fig5|ablation|churn|micro|all; add \
-       --json to write BENCH_pr2.json)\n"
+      "unknown bench %S (fig1|fig4|fig5|ablation|churn|telemetry|micro|all; \
+       add --json to write BENCH_pr3.json)\n"
       other;
     exit 1);
-  if json then write_json "BENCH_pr2.json";
+  if json then write_json "BENCH_pr3.json";
   Printf.printf "done.\n"

@@ -142,6 +142,53 @@ let routes_arg =
     value & opt int 1000
     & info [ "routes" ] ~docv:"N" ~doc:"Size of the injected routing table")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics to $(docv) in Prometheus text \
+           exposition format (enables telemetry)")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's spans to $(docv) as Chrome trace-event JSON, \
+           loadable in chrome://tracing or Perfetto (enables telemetry)")
+
+(* Telemetry for a CLI run: enabled only when an export was requested,
+   with real (wall-clock) nanoseconds for the duration histograms. The
+   trace timebase stays the simulated clock — Testbed.create installs
+   it. *)
+let cli_telemetry ~metrics_out ~trace_out =
+  if metrics_out = None && trace_out = None then None
+  else begin
+    let t = Telemetry.create ~enabled:true () in
+    let t0 = Unix.gettimeofday () in
+    Telemetry.set_clock_ns t (fun () ->
+        int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+    Some t
+  end
+
+let export_telemetry tele ~metrics_out ~trace_out =
+  match tele with
+  | None -> ()
+  | Some t ->
+    let write path s =
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      Fmt.pr "wrote %s@." path
+    in
+    Option.iter (fun p -> write p (Telemetry.to_prometheus t)) metrics_out;
+    Option.iter (fun p -> write p (Telemetry.to_chrome_trace t)) trace_out;
+    let table = Telemetry.profile_table t in
+    if table <> "" then Fmt.pr "@.%s@." table
+
 let run_cmd =
   let scenario =
     Arg.(
@@ -150,14 +197,16 @@ let run_cmd =
       & info [] ~docv:"SCENARIO"
           ~doc:"rr = route reflection, ov = origin validation, dc = Fig. 5")
   in
-  let run scenario host routes =
+  let run scenario host routes metrics_out trace_out =
     setup_logs ();
+    let tele = cli_telemetry ~metrics_out ~trace_out in
+    let code =
     match scenario with
     | `Rr ->
       let tb =
         Scenario.Testbed.create
           (Scenario.Testbed.mode ~host ~ibgp:true
-             ~manifest:Xprogs.Route_reflector.manifest ())
+             ~manifest:Xprogs.Route_reflector.manifest ?telemetry:tele ())
       in
       Scenario.Testbed.establish tb;
       Scenario.Testbed.feed tb
@@ -182,7 +231,7 @@ let run_cmd =
           (Scenario.Testbed.mode ~host ~ibgp:false
              ~manifest:Xprogs.Origin_validation.manifest
              ~xtras:[ ("roa_table", Xprogs.Util.encode_roa_table roas) ]
-             ())
+             ?telemetry:tele ())
       in
       Scenario.Testbed.establish tb;
       Scenario.Testbed.feed tb rts;
@@ -222,10 +271,15 @@ let run_cmd =
       Scenario.Fabric.settle f 60;
       Fmt.pr "  after double failure, L10 -> L13: %s@." (pp "L10" "L13");
       0
+    in
+    export_telemetry tele ~metrics_out ~trace_out;
+    code
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a use-case scenario on the simulated testbed")
-    Term.(const run $ scenario $ host_arg $ routes_arg)
+    Term.(
+      const run $ scenario $ host_arg $ routes_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 let () =
   let info =

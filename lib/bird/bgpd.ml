@@ -78,7 +78,7 @@ type peer = {
   mutable synced : bool;
 }
 
-type stats = {
+type stats = Telemetry.daemon_stats = {
   mutable updates_rx : int;
   mutable routes_in : int;
   mutable withdrawals_rx : int;
@@ -87,10 +87,49 @@ type stats = {
   mutable updates_tx : int;
 }
 
+(* Counter handles interned once at daemon creation; [stats] snapshots
+   them, so the registry is the single source of truth. *)
+type probes = {
+  c_updates_rx : Telemetry.Counter.t;
+  c_routes_in : Telemetry.Counter.t;
+  c_withdrawals_rx : Telemetry.Counter.t;
+  c_import_rejected : Telemetry.Counter.t;
+  c_export_rejected : Telemetry.Counter.t;
+  c_updates_tx : Telemetry.Counter.t;
+  c_decisions : Telemetry.Counter.t;
+  c_roa_valid : Telemetry.Counter.t;
+  c_roa_invalid : Telemetry.Counter.t;
+  c_roa_notfound : Telemetry.Counter.t;
+}
+
+let make_probes tele ~daemon ~impl ~store =
+  let labels = [ ("daemon", daemon); ("impl", impl) ] in
+  let c help name = Telemetry.counter tele ~help ~name ~labels () in
+  let roa result =
+    Telemetry.counter tele ~help:"native origin-validation lookups"
+      ~name:"bgp_roa_lookups_total"
+      ~labels:(labels @ [ ("store", store); ("result", result) ])
+      ()
+  in
+  {
+    c_updates_rx = c "UPDATE messages received" "bgp_updates_rx_total";
+    c_routes_in = c "routes accepted into Adj-RIB-In" "bgp_routes_in_total";
+    c_withdrawals_rx = c "prefixes withdrawn by peers" "bgp_withdrawals_rx_total";
+    c_import_rejected = c "routes rejected by import policy" "bgp_import_rejected_total";
+    c_export_rejected = c "routes rejected by export policy" "bgp_export_rejected_total";
+    c_updates_tx = c "UPDATE messages sent" "bgp_updates_tx_total";
+    c_decisions = c "decision-process route comparisons" "bgp_decisions_total";
+    c_roa_valid = roa "valid";
+    c_roa_invalid = roa "invalid";
+    c_roa_notfound = roa "not_found";
+  }
+
 type t = {
   config : config;
   sched : Netsim.Sched.t;
   vmm : Xbgp.Vmm.t option;
+  tele : Telemetry.t;
+  probes : probes;
   mutable peers : peer array;
   adj_in : route Rib.Adj_rib.t;
   adj_out : Eattr.set Rib.Adj_rib.t;
@@ -99,7 +138,6 @@ type t = {
   pending_wd : (int, Bgp.Prefix.t list ref) Hashtbl.t;
   mutable flush_scheduled : bool;
   xtras : (string, bytes) Hashtbl.t;
-  stats : stats;
   mutable log_fn : string -> unit;
 }
 
@@ -217,6 +255,7 @@ let candidate_arg t (r : route) =
     }
 
 let decision_compare t vmm a b =
+  Telemetry.Counter.inc t.probes.c_decisions;
   if Xbgp.Vmm.has_attachment vmm Xbgp.Api.Bgp_decision then begin
     let verdict =
       Xbgp.Vmm.run vmm Xbgp.Api.Bgp_decision ~ops:(base_ops t)
@@ -256,9 +295,15 @@ let native_import t (route_ref : route ref) prefix peer =
       let origin = Option.value ~default:0 (Eattr.origin_as r.attrs) in
       let tag =
         match Rpki.Store_hash.validate store prefix origin with
-        | Rpki.Roa.Valid -> ov_community_valid
-        | Rpki.Roa.Invalid -> ov_community_invalid
-        | Rpki.Roa.Not_found -> ov_community_notfound
+        | Rpki.Roa.Valid ->
+          Telemetry.Counter.inc t.probes.c_roa_valid;
+          ov_community_valid
+        | Rpki.Roa.Invalid ->
+          Telemetry.Counter.inc t.probes.c_roa_invalid;
+          ov_community_invalid
+        | Rpki.Roa.Not_found ->
+          Telemetry.Counter.inc t.probes.c_roa_notfound;
+          ov_community_notfound
       in
       route_ref := { r with attrs = Eattr.append_community r.attrs tag }
     | None -> ());
@@ -377,7 +422,7 @@ and send_withdrawals t peer prefixes =
       end
       else chunk (p :: acc) (size + s) rest
   and emit prefixes =
-    t.stats.updates_tx <- t.stats.updates_tx + 1;
+    Telemetry.Counter.inc t.probes.c_updates_tx;
     Session.Fsm.send_raw peer.session
       (Bgp.Message.encode_update_raw ~withdrawn:prefixes
          ~attr_bytes:Bytes.empty ~nlri:[])
@@ -432,7 +477,7 @@ and send_advertisements t peer advs =
           end
           else chunk (p :: acc) (size + s) rest
       and emit nlri =
-        t.stats.updates_tx <- t.stats.updates_tx + 1;
+        Telemetry.Counter.inc t.probes.c_updates_tx;
         Session.Fsm.send_raw peer.session
           (Bgp.Message.encode_update_raw ~withdrawn:[] ~attr_bytes ~nlri)
       in
@@ -456,7 +501,7 @@ and export t (target : peer) prefix (r : route) : Eattr.set option =
     if verdict = Xbgp.Api.filter_accept then
       Some (canonicalize t !route_ref target)
     else begin
-      t.stats.export_rejected <- t.stats.export_rejected + 1;
+      Telemetry.Counter.inc t.probes.c_export_rejected;
       None
     end
   end
@@ -506,7 +551,7 @@ and advertise_to t peer prefix r =
 let withdraw_prefix t peer prefix =
   match Rib.Adj_rib.clear t.adj_in ~peer:peer.idx prefix with
   | Some _ ->
-    t.stats.withdrawals_rx <- t.stats.withdrawals_rx + 1;
+    Telemetry.Counter.inc t.probes.c_withdrawals_rx;
     let change = Rib.Loc_rib.update t.loc ~peer:peer.idx prefix None in
     propagate t prefix change
   | None -> ()
@@ -524,7 +569,7 @@ let learn_route t peer prefix (route : route) =
       ~default:(fun () -> native_import t route_ref prefix peer)
   in
   if verdict = Xbgp.Api.filter_accept then begin
-    t.stats.routes_in <- t.stats.routes_in + 1;
+    Telemetry.Counter.inc t.probes.c_routes_in;
     ignore (Rib.Adj_rib.set t.adj_in ~peer:peer.idx prefix !route_ref);
     let change =
       Rib.Loc_rib.update t.loc ~peer:peer.idx prefix (Some !route_ref)
@@ -532,7 +577,7 @@ let learn_route t peer prefix (route : route) =
     propagate t prefix change
   end
   else begin
-    t.stats.import_rejected <- t.stats.import_rejected + 1;
+    Telemetry.Counter.inc t.probes.c_import_rejected;
     withdraw_prefix t peer prefix
   end
 
@@ -556,7 +601,7 @@ let mandatory_present (attrs : Bgp.Attr.t list) extra_tlvs =
   && List.mem Bgp.Attr.code_next_hop codes
 
 let on_update t peer (u : Bgp.Message.update) ~raw =
-  t.stats.updates_rx <- t.stats.updates_rx + 1;
+  Telemetry.Counter.inc t.probes.c_updates_rx;
   let extra_tlvs = ref [] in
   (if u.nlri <> [] then
      let body =
@@ -632,12 +677,25 @@ let on_close t peer =
     prefixes;
   Rib.Adj_rib.drop_peer t.adj_out peer.idx
 
-let create ?vmm ~sched (config : config) (peer_confs : peer_conf list) : t =
+let create ?telemetry ?vmm ~sched (config : config)
+    (peer_confs : peer_conf list) : t =
+  (* share the VMM's registry unless the caller supplies one, so the
+     whole deployment lands in a single export *)
+  let tele =
+    match telemetry with
+    | Some t -> t
+    | None -> (
+      match vmm with
+      | Some v -> Xbgp.Vmm.telemetry v
+      | None -> Telemetry.create ~enabled:false ())
+  in
   let t =
     {
       config;
       sched;
       vmm;
+      tele;
+      probes = make_probes tele ~daemon:config.name ~impl:"bird" ~store:"hash";
       peers = [||];
       adj_in = Rib.Adj_rib.create ();
       adj_out = Rib.Adj_rib.create ();
@@ -646,15 +704,6 @@ let create ?vmm ~sched (config : config) (peer_confs : peer_conf list) : t =
       pending_wd = Hashtbl.create 8;
       flush_scheduled = false;
       xtras = Hashtbl.create 8;
-      stats =
-        {
-          updates_rx = 0;
-          routes_in = 0;
-          withdrawals_rx = 0;
-          import_rejected = 0;
-          export_rejected = 0;
-          updates_tx = 0;
-        };
       log_fn = ignore;
     }
   in
@@ -681,7 +730,8 @@ let create ?vmm ~sched (config : config) (peer_confs : peer_conf list) : t =
                  conf;
                  peer_type;
                  session =
-                   Session.Fsm.create sched conf.port session_config
+                   Session.Fsm.create ~telemetry:tele sched conf.port
+                     session_config
                      {
                        on_update =
                          (fun u ~raw -> on_update t (Lazy.force peer) u ~raw);
@@ -696,7 +746,13 @@ let create ?vmm ~sched (config : config) (peer_confs : peer_conf list) : t =
          peer_confs);
   (match vmm with
   | Some vmm -> Rib.Loc_rib.set_compare t.loc (Some (decision_compare t vmm))
-  | None -> ());
+  | None ->
+    (* still count decision comparisons when no VMM is attached *)
+    Rib.Loc_rib.set_compare t.loc
+      (Some
+         (fun a b ->
+           Telemetry.Counter.inc t.probes.c_decisions;
+           Rib.Decision.compare decision_view a b)));
   t
 
 let start t =
@@ -765,7 +821,18 @@ let refresh_exports t =
 let loc_count t = Rib.Loc_rib.count t.loc
 let loc_best t prefix = Rib.Loc_rib.best t.loc prefix
 let iter_loc t f = Rib.Loc_rib.iter_best t.loc f
-let stats t = t.stats
+(* a point-in-time snapshot assembled from the registry counters *)
+let stats t : stats =
+  {
+    updates_rx = Telemetry.Counter.value t.probes.c_updates_rx;
+    routes_in = Telemetry.Counter.value t.probes.c_routes_in;
+    withdrawals_rx = Telemetry.Counter.value t.probes.c_withdrawals_rx;
+    import_rejected = Telemetry.Counter.value t.probes.c_import_rejected;
+    export_rejected = Telemetry.Counter.value t.probes.c_export_rejected;
+    updates_tx = Telemetry.Counter.value t.probes.c_updates_tx;
+  }
+
+let telemetry t = t.tele
 let peer t idx = t.peers.(idx)
 let peer_established t idx = Session.Fsm.is_established t.peers.(idx).session
 let set_log t f = t.log_fn <- f

@@ -47,11 +47,25 @@ type runtime = {
   mutable args : (int * bytes) list;
 }
 
+(* Per-attachment telemetry handles, resolved once at attach time: the
+   labels (host, point, program, bytecode, engine) are fixed for the
+   attachment's whole lifetime, so the hot path pays only the store per
+   event, never a registry lookup. *)
+type probe = {
+  span_tags : (string * string) list;
+  p_runs : Telemetry.Counter.t;
+  p_next : Telemetry.Counter.t;
+  p_insns : Telemetry.Histogram.t;
+  p_ns : Telemetry.Histogram.t;
+  p_heap : Telemetry.Gauge.t;
+}
+
 type attachment = {
   ext : ext;
   bc_name : string;
   order : int;
   runtime : runtime;
+  probe : probe;
 }
 
 type stats = {
@@ -62,6 +76,41 @@ type stats = {
   mutable insns : int;  (** total eBPF instructions retired *)
 }
 
+type fault = {
+  fault_host : string;
+  fault_point : Api.point;
+  fault_program : string;
+  fault_bytecode : string;
+  fault_engine : Ebpf.Vm.engine;
+  fault_pc : int option;
+  fault_insn : string option;
+  fault_msg : string;
+  fault_init : bool;
+}
+
+(* The legacy one-line rendering — [last_fault] consumers (fuzz
+   reproducer logs, tests) rely on this exact shape. *)
+let render_fault f =
+  if f.fault_init then
+    Printf.sprintf "%s: init of %s/%s faulted: %s" f.fault_host
+      f.fault_program f.fault_bytecode f.fault_msg
+  else
+    Printf.sprintf "%s: extension %s/%s at %s faulted: %s" f.fault_host
+      f.fault_program f.fault_bytecode
+      (Api.point_name f.fault_point)
+      f.fault_msg
+
+let fault_detail f =
+  let where =
+    match (f.fault_pc, f.fault_insn) with
+    | Some pc, Some insn -> Printf.sprintf " [%s, slot %d: %s]"
+        (Ebpf.Vm.engine_name f.fault_engine) pc insn
+    | Some pc, None ->
+      Printf.sprintf " [%s, slot %d]" (Ebpf.Vm.engine_name f.fault_engine) pc
+    | None, _ -> Printf.sprintf " [%s]" (Ebpf.Vm.engine_name f.fault_engine)
+  in
+  render_fault f ^ where
+
 type t = {
   host : string;
   extensions : (string, ext) Hashtbl.t;
@@ -70,13 +119,30 @@ type t = {
   budget : int;
   engine : Ebpf.Vm.engine;
   stats : stats;
-  mutable last_fault : string option;
+  tele : Telemetry.t;
+  fallback_counters : (Api.point, Telemetry.Counter.t) Hashtbl.t;
+  mutable last_fault_record : fault option;
 }
 
 let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
-    ?(engine = Ebpf.Vm.Interpreted) ~host () =
+    ?(engine = Ebpf.Vm.Interpreted) ?telemetry ~host () =
   let points = Hashtbl.create 8 in
   List.iter (fun p -> Hashtbl.replace points p (ref [])) Api.all_points;
+  let tele =
+    match telemetry with
+    | Some t -> t
+    | None -> Telemetry.create ~enabled:false ()
+  in
+  let fallback_counters = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace fallback_counters p
+        (Telemetry.counter tele
+           ~help:"chains that ended in the host's native code"
+           ~name:"xbgp_native_fallbacks_total"
+           ~labels:[ ("host", host); ("point", Api.point_name p) ]
+           ()))
+    Api.all_points;
   {
     host;
     extensions = Hashtbl.create 8;
@@ -86,11 +152,15 @@ let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
     engine;
     stats =
       { runs = 0; native_fallbacks = 0; faults = 0; next_calls = 0; insns = 0 };
-    last_fault = None;
+    tele;
+    fallback_counters;
+    last_fault_record = None;
   }
 
 let stats t = t.stats
-let last_fault t = t.last_fault
+let telemetry t = t.tele
+let last_fault_record t = t.last_fault_record
+let last_fault t = Option.map render_fault t.last_fault_record
 
 (** Register an xBGP program: verify every bytecode against the structural
     checks and the program's helper whitelist, then instantiate its maps
@@ -139,6 +209,30 @@ let blob_of_bytes payload =
 
 let u32_of v = Int64.to_int (Int64.logand v 0xFFFFFFFFL)
 
+(* Wrap one helper with its call counter (always on) and, when the
+   registry is enabled, a latency histogram. Handles are interned per
+   (helper, host), so every attachment of the same VMM shares them. *)
+let instrument_helper t (id, f) =
+  let labels = [ ("helper", Api.helper_name id); ("host", t.host) ] in
+  let calls =
+    Telemetry.counter t.tele ~help:"helper invocations"
+      ~name:"xbgp_helper_calls_total" ~labels ()
+  in
+  let lat =
+    Telemetry.histogram t.tele ~help:"helper latency in nanoseconds"
+      ~name:"xbgp_helper_ns" ~labels ()
+  in
+  ( id,
+    fun vm a ->
+      Telemetry.Counter.inc calls;
+      if Telemetry.enabled t.tele then begin
+        let t0 = Telemetry.now_ns t.tele in
+        let r = f vm a in
+        Telemetry.Histogram.observe lat (Telemetry.now_ns t.tele - t0);
+        r
+      end
+      else f vm a )
+
 (* The per-attachment VM, heap and helper bindings. Helpers read the
    current operation's context through the runtime's mutable [ops]/[args]
    fields. The ephemeral heap is reclaimed wholesale after each run by
@@ -160,7 +254,10 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
   let rec rt =
     lazy
       {
-        vm = Ebpf.Vm.create ~budget:t.budget ~engine ~mem ~helpers code;
+        vm =
+          Ebpf.Vm.create ~budget:t.budget ~engine ~mem
+            ~helpers:(List.map (instrument_helper t) helpers)
+            code;
         heap;
         heap_pos = 0;
         ops = Host_intf.null_ops;
@@ -295,6 +392,11 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
   in
   Lazy.force rt
 
+let outcome_name = function
+  | Value _ -> "value"
+  | Deferred -> "next"
+  | Faulted _ -> "fault"
+
 let exec_one t att ~(ops : Host_intf.ops) ~args : exec_outcome =
   let rt = att.runtime in
   rt.ops <- ops;
@@ -302,17 +404,103 @@ let exec_one t att ~(ops : Host_intf.ops) ~args : exec_outcome =
   rt.heap_pos <- 0;
   Ebpf.Vm.set_budget rt.vm t.budget;
   t.stats.runs <- t.stats.runs + 1;
+  Telemetry.Counter.inc att.probe.p_runs;
+  let enabled = Telemetry.enabled t.tele in
+  let span = Telemetry.span_begin t.tele ~tags:att.probe.span_tags "xbgp.run" in
+  let before = Ebpf.Vm.executed rt.vm in
+  let t0_ns = if enabled then Telemetry.now_ns t.tele else 0 in
   let outcome =
     try Value (Ebpf.Vm.run rt.vm) with
     | Next ->
       t.stats.next_calls <- t.stats.next_calls + 1;
+      Telemetry.Counter.inc att.probe.p_next;
       Deferred
     | Ebpf.Vm.Error msg | Ebpf.Memory.Fault msg -> Faulted msg
   in
-  t.stats.insns <- t.stats.insns + Ebpf.Vm.executed rt.vm;
+  (* [Ebpf.Vm.executed] is cumulative over the reused VM's lifetime; the
+     per-run figure is the delta *)
+  let insns = Ebpf.Vm.executed rt.vm - before in
+  t.stats.insns <- t.stats.insns + insns;
+  if enabled then begin
+    Telemetry.Histogram.observe att.probe.p_insns insns;
+    Telemetry.Histogram.observe att.probe.p_ns
+      (Telemetry.now_ns t.tele - t0_ns);
+    Telemetry.Gauge.set att.probe.p_heap rt.heap_pos;
+    Telemetry.span_end t.tele span
+      ~tags:
+        [
+          ("outcome", outcome_name outcome);
+          ("insns", string_of_int insns);
+          ("budget_left", string_of_int (Ebpf.Vm.budget rt.vm));
+          ("heap", string_of_int rt.heap_pos);
+        ]
+  end;
   rt.ops <- Host_intf.null_ops;
   rt.args <- [];
   outcome
+
+(* Capture the structured fault record and bump the labeled fault
+   counter. The disassembly is best effort: exact for the interpreter,
+   the faulting block's leader for [Block], absent for [Compiled]. *)
+let record_fault t att point ~init msg =
+  let vm = att.runtime.vm in
+  let pc = Ebpf.Vm.fault_pc vm in
+  let insn =
+    Option.bind pc (fun pc ->
+        Option.map Ebpf.Disasm.insn_to_string (Ebpf.Vm.insn_at vm pc))
+  in
+  let f =
+    {
+      fault_host = t.host;
+      fault_point = point;
+      fault_program = att.ext.prog.name;
+      fault_bytecode = att.bc_name;
+      fault_engine = Ebpf.Vm.engine vm;
+      fault_pc = pc;
+      fault_insn = insn;
+      fault_msg = msg;
+      fault_init = init;
+    }
+  in
+  t.last_fault_record <- Some f;
+  Telemetry.Counter.inc
+    (Telemetry.counter t.tele ~help:"bytecode faults"
+       ~name:"xbgp_faults_total"
+       ~labels:
+         (att.probe.span_tags @ [ ("insn", Option.value ~default:"-" insn) ])
+       ());
+  f
+
+let make_probe t (ext : ext) ~bytecode ~point =
+  let engine = Option.value ext.prog.engine ~default:t.engine in
+  let labels =
+    [
+      ("host", t.host);
+      ("point", Api.point_name point);
+      ("program", ext.prog.name);
+      ("bytecode", bytecode);
+      ("engine", Ebpf.Vm.engine_name engine);
+    ]
+  in
+  {
+    span_tags = labels;
+    p_runs =
+      Telemetry.counter t.tele ~help:"bytecode executions started"
+        ~name:"xbgp_runs_total" ~labels ();
+    p_next =
+      Telemetry.counter t.tele ~help:"next() deferrals"
+        ~name:"xbgp_next_total" ~labels ();
+    p_insns =
+      Telemetry.histogram t.tele ~help:"instructions retired per run"
+        ~name:"xbgp_run_insns" ~labels ();
+    p_ns =
+      Telemetry.histogram t.tele ~help:"wall time per run in nanoseconds"
+        ~name:"xbgp_run_ns" ~labels ();
+    p_heap =
+      Telemetry.gauge t.tele
+        ~help:"ephemeral-heap bytes used by the last run (max = high water)"
+        ~name:"xbgp_heap_bytes" ~labels ();
+  }
 
 (** Attach one bytecode of a registered program to an insertion point;
     [order] positions it in the point's execution queue (§2.1: "the
@@ -327,7 +515,13 @@ let attach t ~program ~bytecode ~point ~order : (unit, string) result =
     | Some code ->
       let q = Hashtbl.find t.points point in
       let att =
-        { ext; bc_name = bytecode; order; runtime = make_runtime t ext code }
+        {
+          ext;
+          bc_name = bytecode;
+          order;
+          runtime = make_runtime t ext code;
+          probe = make_probe t ext ~bytecode ~point;
+        }
       in
       q :=
         List.sort
@@ -360,25 +554,23 @@ let run t point ~(ops : Host_intf.ops) ~args ~(default : unit -> int64) :
   match !(Hashtbl.find t.points point) with
   | [] -> default ()
   | atts ->
+    let fallback () =
+      t.stats.native_fallbacks <- t.stats.native_fallbacks + 1;
+      Telemetry.Counter.inc (Hashtbl.find t.fallback_counters point);
+      default ()
+    in
     let rec chain = function
-      | [] ->
-        t.stats.native_fallbacks <- t.stats.native_fallbacks + 1;
-        default ()
+      | [] -> fallback ()
       | att :: rest -> (
         match exec_one t att ~ops ~args with
         | Value v -> v
         | Deferred -> chain rest
         | Faulted msg ->
           t.stats.faults <- t.stats.faults + 1;
-          let err =
-            Printf.sprintf "%s: extension %s/%s at %s faulted: %s" t.host
-              att.ext.prog.name att.bc_name (Api.point_name point) msg
-          in
-          t.last_fault <- Some err;
+          let err = render_fault (record_fault t att point ~init:false msg) in
           Log.warn (fun m -> m "%s" err);
           ops.log err;
-          t.stats.native_fallbacks <- t.stats.native_fallbacks + 1;
-          default ())
+          fallback ())
     in
     chain atts
 
@@ -392,10 +584,8 @@ let run_init t ~ops =
       | Faulted msg ->
         t.stats.faults <- t.stats.faults + 1;
         let err =
-          Printf.sprintf "%s: init of %s/%s faulted: %s" t.host
-            att.ext.prog.name att.bc_name msg
+          render_fault (record_fault t att Api.Bgp_init ~init:true msg)
         in
-        t.last_fault <- Some err;
         ops.log err)
     !(Hashtbl.find t.points Api.Bgp_init)
 

@@ -31,10 +31,28 @@ type stats = {
   mutable insns : int;  (** total eBPF instructions retired *)
 }
 
+(** The structured record of a bytecode fault: where it happened
+    (insertion point, program, bytecode, engine), best-effort location in
+    the program ([fault_pc] and disassembly — exact for the interpreter,
+    the faulting block's leader for [Block], absent for [Compiled]), and
+    the raw error message. *)
+type fault = {
+  fault_host : string;
+  fault_point : Api.point;
+  fault_program : string;
+  fault_bytecode : string;
+  fault_engine : Ebpf.Vm.engine;
+  fault_pc : int option;
+  fault_insn : string option;  (** disassembly of the faulting insn *)
+  fault_msg : string;
+  fault_init : bool;  (** faulted during {!run_init} *)
+}
+
 val create :
   ?heap_size:int ->
   ?budget:int ->
   ?engine:Ebpf.Vm.engine ->
+  ?telemetry:Telemetry.t ->
   host:string ->
   unit ->
   t
@@ -42,13 +60,29 @@ val create :
     [heap_size] is the per-attachment ephemeral heap (default 64 KiB);
     [budget] the per-run instruction limit; [engine] selects the eBPF
     execution engine for every attached bytecode whose program does not
-    carry its own [Xprog.engine] override. *)
+    carry its own [Xprog.engine] override; [telemetry] is the shared
+    registry every run records into (default: a fresh disabled registry,
+    so counters still count but nothing else is retained). *)
 
 val stats : t -> stats
 
+val telemetry : t -> Telemetry.t
+(** The registry this VMM records into. *)
+
 val last_fault : t -> string option
 (** Rendered description of the most recent bytecode fault, if any — for
-    fault diagnosis in divergence reports. *)
+    fault diagnosis in divergence reports. Equal to
+    [Option.map render_fault (last_fault_record t)]. *)
+
+val last_fault_record : t -> fault option
+
+val render_fault : fault -> string
+(** The legacy one-line rendering
+    (["host: extension prog/bc at point faulted: msg"]). *)
+
+val fault_detail : fault -> string
+(** {!render_fault} plus engine, slot and disassembly when known — what
+    fuzz divergence reports print. *)
 
 val register : t -> Xprog.t -> (unit, string) result
 (** Verify every bytecode (structural checks plus the program's helper

@@ -14,5 +14,7 @@ let pp_program ppf (prog : Insn.t list) =
 
 let program_to_string prog = Fmt.str "%a" pp_program prog
 
+let insn_to_string insn = Fmt.str "%a" Insn.pp insn
+
 (** Disassemble wire-form bytecode. @raise Insn.Decode_error *)
 let of_bytes buf = program_to_string (Insn.decode buf)

@@ -4,5 +4,9 @@
 val pp_program : Format.formatter -> Insn.t list -> unit
 val program_to_string : Insn.t list -> string
 
+val insn_to_string : Insn.t -> string
+(** One instruction, no slot index — fault reports use it to show the
+    faulting instruction. *)
+
 val of_bytes : bytes -> string
 (** Disassemble wire-form bytecode. @raise Insn.Decode_error *)

@@ -71,6 +71,12 @@ type t = {
   mutable budget : int;
   mutable executed : int;  (** instructions retired over the VM lifetime *)
   mutable helper_calls : int;
+  mutable last_pc : int;
+      (** slot of the most recent instruction entered, for fault
+          attribution; -1 when untracked (the [Compiled] engine) or before
+          any run. [Interpreted] tracks exactly; [Block] records the block
+          leader on entry (exact again once it falls back to the
+          interpreter on budget exhaustion). *)
   mutable compiled : (unit -> int64) array;
       (** per-slot entry points; empty unless the engine is [Compiled] *)
   mutable blocks : (unit -> int64) array;
@@ -102,6 +108,12 @@ let set_reg t r v = t.regs.(Insn.reg_index r) <- v
 let executed t = t.executed
 let helper_calls t = t.helper_calls
 let set_budget t b = t.budget <- b
+let budget t = t.budget
+let fault_pc t = if t.last_pc < 0 then None else Some t.last_pc
+
+let insn_at t pc =
+  if pc < 0 || pc >= Array.length t.program then None
+  else match t.program.(pc) with I i -> Some i | Pad -> None
 
 let u32 v = Int64.logand v 0xFFFFFFFFL
 let sx32 v = Int64.of_int32 (Int64.to_int32 v)
@@ -351,6 +363,7 @@ let interp_from t entry =
   let n = Array.length t.program in
   let rec step pc =
     if pc < 0 || pc >= n then error "pc %d out of program (0..%d)" pc (n - 1);
+    t.last_pc <- pc;
     if t.budget <= 0 then error "instruction budget exhausted";
     t.budget <- t.budget - 1;
     t.executed <- t.executed + 1;
@@ -633,6 +646,7 @@ let compile_blocks t : (unit -> int64) array * int array =
       let retired = b.retired and start = b.start in
       bfns.(bid) <-
         (fun () ->
+          t.last_pc <- start;
           if t.budget < retired then interp_from t start
           else begin
             t.budget <- t.budget - retired;
@@ -668,6 +682,7 @@ let create ?(budget = default_budget) ?(engine = Interpreted) ?mem ~helpers
       budget;
       executed = 0;
       helper_calls = 0;
+      last_pc = -1;
       compiled = [||];
       blocks = [||];
       block_index = [||];
@@ -691,6 +706,7 @@ let engine t = t.engine
     helpers — and r10 is (re)pointed at the top of the stack. *)
 let run ?(entry = 0) t =
   let n = Array.length t.program in
+  t.last_pc <- -1;
   Array.fill t.regs 0 10 0L;
   t.regs.(10) <-
     Int64.add (Memory.region_addr t.stack) (Int64.of_int stack_size);

@@ -71,6 +71,23 @@ val set_reg : t -> Insn.reg -> int64 -> unit
 val set_budget : t -> int -> unit
 (** Refill the instruction budget (the VMM does this before each run). *)
 
+val budget : t -> int
+(** Remaining instruction budget — after a successful run, the headroom
+    left over. *)
+
+val fault_pc : t -> int option
+(** Best-effort slot of the instruction being executed when the last run
+    faulted: exact for [Interpreted] (and for [Block] once it has fallen
+    back to the interpreter on budget exhaustion), the faulting block's
+    leader for [Block], [None] for [Compiled] (untracked — pc stores
+    would defeat closure threading) and before any run. Only meaningful
+    right after {!run} raised. *)
+
+val insn_at : t -> int -> Insn.t option
+(** The decoded instruction at a slot ([None] out of range or on an LDDW
+    pad slot) — lets fault reporters disassemble the faulting
+    instruction. *)
+
 val executed : t -> int
 (** Instructions retired over the VM's lifetime. *)
 

@@ -72,7 +72,7 @@ type peer = {
   mutable synced : bool;
 }
 
-type stats = {
+type stats = Telemetry.daemon_stats = {
   mutable updates_rx : int;
   mutable routes_in : int;
   mutable withdrawals_rx : int;
@@ -80,13 +80,19 @@ type stats = {
   mutable export_rejected : int;
   mutable updates_tx : int;
 }
+(** The shared daemon-stats shape ({!Telemetry.daemon_stats}); {!stats}
+    returns a point-in-time snapshot assembled from the registry
+    counters ([bgp_*_total] with labels [daemon]/[impl="frr"]). *)
 
 type t
 
-val create : ?vmm:Xbgp.Vmm.t -> sched:Netsim.Sched.t -> config ->
-  peer_conf list -> t
+val create :
+  ?telemetry:Telemetry.t -> ?vmm:Xbgp.Vmm.t -> sched:Netsim.Sched.t ->
+  config -> peer_conf list -> t
 (** Passing [vmm] makes the daemon xBGP-compliant: every insertion point
-    consults it, including the decision process. *)
+    consults it, including the decision process. [telemetry] is the
+    registry all counters land in (default: the VMM's registry when a
+    VMM is given, else a fresh disabled one). *)
 
 val start : t -> unit
 (** Run extension init bytecodes, then open all sessions. *)
@@ -119,6 +125,7 @@ val loc_snapshot : t -> (Bgp.Prefix.t * Bgp.Attr.t list) list
 
 val iter_loc : t -> (Bgp.Prefix.t -> route -> unit) -> unit
 val stats : t -> stats
+val telemetry : t -> Telemetry.t
 val peer : t -> int -> peer
 val peer_established : t -> int -> bool
 val set_log : t -> (string -> unit) -> unit

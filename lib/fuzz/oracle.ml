@@ -118,7 +118,11 @@ let run_testbed host (c : Gen.case) : host_state =
   {
     dut = normalize (Scenario.Daemon.loc_snapshot tb.dut);
     down = normalize (Frrouting.Bgpd.loc_snapshot tb.downstream);
-    vmm_fault = Option.bind tb.dut_vmm Xbgp.Vmm.last_fault;
+    (* the structured record carries engine/slot/disassembly — worth the
+       extra words in a divergence report *)
+    vmm_fault =
+      Option.bind tb.dut_vmm (fun vmm ->
+          Option.map Xbgp.Vmm.fault_detail (Xbgp.Vmm.last_fault_record vmm));
   }
 
 (* [perturb] artificially corrupts the BIRD-side view — the knob the

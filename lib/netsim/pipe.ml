@@ -15,9 +15,17 @@ type port = {
   mutable up : bool;
   mutable tx_bytes : int;
   mutable rx_backlog : bytes list;  (* chunks arriving before a receiver *)
+  c_tx : Telemetry.Counter.t;
+  g_inflight : Telemetry.Gauge.t;
+      (* chunks sent but not yet delivered in this direction; its
+         high-water mark is the link's peak queue depth *)
 }
 
-let make_port sched latency =
+(* unmonitored pipes share one disabled registry (nobody reads it) *)
+let null_tele = lazy (Telemetry.create ~enabled:false ())
+
+let make_port sched latency tele ~pipe ~end_ =
+  let labels = [ ("pipe", pipe); ("end", end_) ] in
   {
     sched;
     latency;
@@ -26,11 +34,24 @@ let make_port sched latency =
     up = true;
     tx_bytes = 0;
     rx_backlog = [];
+    c_tx =
+      Telemetry.counter tele ~help:"bytes sent into the pipe"
+        ~name:"net_tx_bytes_total" ~labels ();
+    g_inflight =
+      Telemetry.gauge tele
+        ~help:"chunks sent but not yet delivered (max = peak queue depth)"
+        ~name:"net_in_flight_chunks" ~labels ();
   }
 
-(** Create a pipe; returns its two ports. [latency] in µs (default 100). *)
-let create ?(latency = 100) sched =
-  let a = make_port sched latency and b = make_port sched latency in
+(** Create a pipe; returns its two ports. [latency] in µs (default 100).
+    [telemetry]/[name] label the pipe's tx-bytes counters and in-flight
+    gauges ([net_*], labels [pipe]/[end]). *)
+let create ?telemetry ?(name = "pipe") ?(latency = 100) sched =
+  let tele =
+    match telemetry with Some t -> t | None -> Lazy.force null_tele
+  in
+  let a = make_port sched latency tele ~pipe:name ~end_:"a"
+  and b = make_port sched latency tele ~pipe:name ~end_:"b" in
   a.peer <- Some b;
   b.peer <- Some a;
   (a, b)
@@ -56,7 +77,11 @@ let send port chunk =
   | Some peer ->
     if port.up && peer.up then begin
       port.tx_bytes <- port.tx_bytes + Bytes.length chunk;
-      Sched.after port.sched port.latency (fun () -> deliver peer chunk)
+      Telemetry.Counter.add port.c_tx (Bytes.length chunk);
+      Telemetry.Gauge.add port.g_inflight 1;
+      Sched.after port.sched port.latency (fun () ->
+          Telemetry.Gauge.add port.g_inflight (-1);
+          deliver peer chunk)
     end
 
 (** Take the link down/up (failure injection for §3.1 / §3.3). *)

@@ -9,8 +9,14 @@
 
 type port
 
-val create : ?latency:int -> Sched.t -> port * port
-(** Create a pipe; [latency] in microseconds (default 100). *)
+val create :
+  ?telemetry:Telemetry.t -> ?name:string -> ?latency:int -> Sched.t ->
+  port * port
+(** Create a pipe; [latency] in microseconds (default 100). [telemetry]
+    and [name] label the pipe's tx-bytes counters and in-flight (queue
+    depth) gauges ([net_tx_bytes_total] / [net_in_flight_chunks], labels
+    [pipe]/[end]); without them the pipe records into a shared disabled
+    registry. *)
 
 val set_receiver : port -> (bytes -> unit) -> unit
 (** Install the receive callback; chunks that arrived early are flushed

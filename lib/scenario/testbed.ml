@@ -17,12 +17,24 @@ type mode = {
   xtras : (string * bytes) list;  (** DUT configuration extras *)
   hold_time : int;
   engine : Ebpf.Vm.engine;  (** eBPF engine for the DUT's extensions *)
+  telemetry : Telemetry.t option;
+      (** shared registry for the whole deployment; None = disabled *)
 }
 
 let mode ?(host = `Frr) ?(ibgp = true) ?manifest ?(native_rr = false)
     ?native_ov_roas ?(xtras = []) ?(hold_time = 90)
-    ?(engine = Ebpf.Vm.Interpreted) () =
-  { host; ibgp; manifest; native_rr; native_ov_roas; xtras; hold_time; engine }
+    ?(engine = Ebpf.Vm.Interpreted) ?telemetry () =
+  {
+    host;
+    ibgp;
+    manifest;
+    native_rr;
+    native_ov_roas;
+    xtras;
+    hold_time;
+    engine;
+    telemetry;
+  }
 
 type t = {
   sched : Netsim.Sched.t;
@@ -30,6 +42,7 @@ type t = {
   dut : Daemon.t;
   downstream : Frrouting.Bgpd.t;
   dut_vmm : Xbgp.Vmm.t option;
+  telemetry : Telemetry.t;
 }
 
 let addr = Bgp.Prefix.addr_of_quad
@@ -44,22 +57,30 @@ let create (m : mode) : t =
   (* fresh-process semantics: a new testbed means new daemons *)
   Frrouting.Attr_intern.reset_intern_table ();
   let sched = Netsim.Sched.create () in
+  let telemetry =
+    match m.telemetry with
+    | Some t -> t
+    | None -> Telemetry.create ~enabled:false ()
+  in
+  (* the scheduler clock is the trace timebase: deterministic under
+     simulation, so traces of the same scenario are identical *)
+  Telemetry.set_clock_us telemetry (fun () -> Netsim.Sched.now sched);
   let dut_as = 65000 in
   let up_as = if m.ibgp then 65000 else 65001 in
   let down_as = if m.ibgp then 65000 else 65002 in
   let up_addr = addr (10, 0, 0, 1)
   and dut_addr = addr (10, 0, 0, 2)
   and down_addr = addr (10, 0, 0, 3) in
-  let l1_up, l1_dut = Netsim.Pipe.create sched in
-  let l2_dut, l2_down = Netsim.Pipe.create sched in
+  let l1_up, l1_dut = Netsim.Pipe.create ~telemetry ~name:"L1" sched in
+  let l2_dut, l2_down = Netsim.Pipe.create ~telemetry ~name:"L2" sched in
   let upstream =
-    Frrouting.Bgpd.create ~sched
+    Frrouting.Bgpd.create ~telemetry ~sched
       (Frrouting.Bgpd.config ~name:"upstream" ~router_id:up_addr
          ~local_as:up_as ~local_addr:up_addr ~hold_time:m.hold_time ())
       [ frr_peer "dut" dut_as dut_addr l1_up ]
   in
   let downstream =
-    Frrouting.Bgpd.create ~sched
+    Frrouting.Bgpd.create ~telemetry ~sched
       (Frrouting.Bgpd.config ~name:"downstream" ~router_id:down_addr
          ~local_as:down_as ~local_addr:down_addr ~hold_time:m.hold_time ())
       [ frr_peer "dut" dut_as dut_addr l2_down ]
@@ -67,7 +88,8 @@ let create (m : mode) : t =
   let dut_vmm =
     Option.map
       (fun manifest ->
-        Xprogs.Registry.vmm_of_manifest ~engine:m.engine ~host:"dut" manifest)
+        Xprogs.Registry.vmm_of_manifest ~engine:m.engine ~telemetry
+          ~host:"dut" manifest)
       m.manifest
   in
   let dut =
@@ -75,7 +97,7 @@ let create (m : mode) : t =
     | `Frr ->
       let native_ov = Option.map Rpki.Store_trie.of_list m.native_ov_roas in
       Daemon.Frr
-        (Frrouting.Bgpd.create ?vmm:dut_vmm ~sched
+        (Frrouting.Bgpd.create ~telemetry ?vmm:dut_vmm ~sched
            (Frrouting.Bgpd.config ~name:"dut" ~router_id:dut_addr
               ~local_as:dut_as ~local_addr:dut_addr ~hold_time:m.hold_time
               ~native_rr:m.native_rr ?native_ov ~xtras:m.xtras ())
@@ -86,7 +108,7 @@ let create (m : mode) : t =
     | `Bird ->
       let native_ov = Option.map Rpki.Store_hash.of_list m.native_ov_roas in
       Daemon.Bird
-        (Bird.Bgpd.create ?vmm:dut_vmm ~sched
+        (Bird.Bgpd.create ~telemetry ?vmm:dut_vmm ~sched
            (Bird.Bgpd.config ~name:"dut" ~router_id:dut_addr
               ~local_as:dut_as ~local_addr:dut_addr ~hold_time:m.hold_time
               ~native_rr:m.native_rr ?native_ov ~xtras:m.xtras ())
@@ -95,7 +117,7 @@ let create (m : mode) : t =
              bird_peer ~rr_client:true "downstream" down_as down_addr l2_dut;
            ])
   in
-  { sched; upstream; dut; downstream; dut_vmm }
+  { sched; upstream; dut; downstream; dut_vmm; telemetry }
 
 (** Bring all three sessions up. @raise Failure if they do not establish. *)
 let establish t =

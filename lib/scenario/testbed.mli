@@ -16,6 +16,8 @@ type mode = {
   xtras : (string * bytes) list;  (** DUT configuration extras *)
   hold_time : int;
   engine : Ebpf.Vm.engine;  (** eBPF engine for the DUT's extensions *)
+  telemetry : Telemetry.t option;
+      (** shared registry for the whole deployment; None = disabled *)
 }
 
 val mode :
@@ -27,6 +29,7 @@ val mode :
   ?xtras:(string * bytes) list ->
   ?hold_time:int ->
   ?engine:Ebpf.Vm.engine ->
+  ?telemetry:Telemetry.t ->
   unit ->
   mode
 
@@ -36,6 +39,9 @@ type t = {
   dut : Daemon.t;
   downstream : Frrouting.Bgpd.t;
   dut_vmm : Xbgp.Vmm.t option;
+  telemetry : Telemetry.t;
+      (** the deployment's registry (the one from [mode], or a fresh
+          disabled one); its trace clock is the scheduler clock *)
 }
 
 val create : mode -> t

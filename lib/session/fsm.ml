@@ -41,6 +41,7 @@ type t = {
   port : Netsim.Pipe.port;
   config : config;
   callbacks : callbacks;
+  tele : Telemetry.t;
   mutable state : state;
   mutable peer_id : int;  (** learned from the peer's OPEN *)
   mutable pending : bytes;  (** unconsumed stream bytes *)
@@ -52,13 +53,37 @@ type t = {
 
 let sec s = s * 1_000_000
 
-let rec create sched port config callbacks =
+(* Every state change funnels through here so the registry sees each
+   (from, to) edge. Transitions are rare, so the counter lookup per edge
+   is fine. *)
+let transition t to_state =
+  if t.state <> to_state then begin
+    Telemetry.Counter.inc
+      (Telemetry.counter t.tele ~help:"BGP session state transitions"
+         ~name:"bgp_session_transitions_total"
+         ~labels:
+           [
+             ("from", state_name t.state);
+             ("to", state_name to_state);
+             ("local_as", string_of_int t.config.local_as);
+           ]
+         ());
+    t.state <- to_state
+  end
+
+let rec create ?telemetry sched port config callbacks =
+  let tele =
+    match telemetry with
+    | Some t -> t
+    | None -> Telemetry.create ~enabled:false ()
+  in
   let t =
     {
       sched;
       port;
       config;
       callbacks;
+      tele;
       state = Idle;
       peer_id = 0;
       pending = Bytes.empty;
@@ -78,7 +103,7 @@ and send_msg t msg =
 and close t reason =
   if t.state <> Idle then begin
     Log.debug (fun m -> m "AS%d: session closed: %s" t.config.local_as reason);
-    t.state <- Idle;
+    transition t Idle;
     t.keepalive_gen <- t.keepalive_gen + 1;
     t.pending <- Bytes.empty;
     t.callbacks.on_close reason
@@ -105,7 +130,7 @@ and schedule_keepalive t =
       end)
 
 and establish t =
-  t.state <- Established;
+  transition t Established;
   arm_hold_timer t;
   schedule_keepalive t;
   t.callbacks.on_established ()
@@ -133,7 +158,7 @@ and handle_msg t msg ~raw =
     end
     else begin
       t.peer_id <- o.bgp_id;
-      t.state <- Open_confirm;
+      transition t Open_confirm;
       send_msg t Bgp.Message.Keepalive;
       arm_hold_timer t
     end
@@ -177,7 +202,7 @@ and receive t chunk =
 (** Actively open the session (send OPEN). *)
 let start t =
   if t.state = Idle then begin
-    t.state <- Open_sent;
+    transition t Open_sent;
     send_msg t
       (Bgp.Message.Open
          {

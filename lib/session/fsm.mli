@@ -28,7 +28,12 @@ type callbacks = {
 
 type t
 
-val create : Netsim.Sched.t -> Netsim.Pipe.port -> config -> callbacks -> t
+val create :
+  ?telemetry:Telemetry.t ->
+  Netsim.Sched.t -> Netsim.Pipe.port -> config -> callbacks -> t
+(** [telemetry] receives one [bgp_session_transitions_total] increment
+    per state edge, labeled [from]/[to]/[local_as] (default: a fresh
+    disabled registry — the counters still count, nobody reads them). *)
 
 val start : t -> unit
 (** Actively open the session (send OPEN). *)

@@ -35,8 +35,8 @@ let find_manifest name = List.assoc_opt name manifests
 
 (** Build a VMM for [host] and load [manifest] into it.
     @raise Invalid_argument when the manifest does not apply cleanly. *)
-let vmm_of_manifest ?heap_size ?budget ?engine ~host manifest =
-  let vmm = Xbgp.Vmm.create ?heap_size ?budget ?engine ~host () in
+let vmm_of_manifest ?heap_size ?budget ?engine ?telemetry ~host manifest =
+  let vmm = Xbgp.Vmm.create ?heap_size ?budget ?engine ?telemetry ~host () in
   (match Xbgp.Manifest.load vmm ~registry:find manifest with
   | Ok () -> ()
   | Error e -> invalid_arg ("Registry.vmm_of_manifest: " ^ e));

@@ -15,6 +15,7 @@ val vmm_of_manifest :
   ?heap_size:int ->
   ?budget:int ->
   ?engine:Ebpf.Vm.engine ->
+  ?telemetry:Telemetry.t ->
   host:string ->
   Xbgp.Manifest.t ->
   Xbgp.Vmm.t

@@ -821,6 +821,89 @@ let test_rib_add_helper host () =
   checkb "and advertised to the peer" true
     (Frrouting.Bgpd.best_route sink p <> None)
 
+(* --- telemetry threading: one registry sees the whole deployment --- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_telemetry_end_to_end () =
+  let tele = Telemetry.create ~enabled:true ~ring_capacity:65536 () in
+  let tb =
+    Scenario.Testbed.create
+      (Scenario.Testbed.mode ~host:`Bird ~ibgp:true
+         ~manifest:Xprogs.Route_reflector.manifest ~telemetry:tele ())
+  in
+  Scenario.Testbed.establish tb;
+  let routes = small_table 100 in
+  Scenario.Testbed.feed tb routes;
+  checkb "converged" true (Scenario.Testbed.run_until_downstream_has tb 100);
+  let vmm = Option.get tb.dut_vmm in
+  let stats = Xbgp.Vmm.stats vmm in
+  checkb "extensions actually ran" true (stats.runs > 0);
+  (* every Vmm.run opened exactly one span *)
+  check Alcotest.int "no spans dropped" 0 (Telemetry.dropped_spans tele);
+  let run_spans =
+    List.filter
+      (fun (s : Telemetry.Span.t) -> s.name = "xbgp.run")
+      (Telemetry.spans tele)
+  in
+  check Alcotest.int "one span per Vmm.run" stats.runs
+    (List.length run_spans);
+  List.iter
+    (fun (s : Telemetry.Span.t) ->
+      List.iter
+        (fun k ->
+          checkb (Printf.sprintf "span carries %S" k) true
+            (Telemetry.Span.tag s k <> None))
+        [ "host"; "point"; "program"; "engine"; "insns"; "outcome" ])
+    run_spans;
+  (* every layer reported into the one registry *)
+  let names = Telemetry.metric_names tele in
+  List.iter
+    (fun n ->
+      checkb (Printf.sprintf "family %S registered" n) true (List.mem n names))
+    [
+      "bgp_updates_rx_total"; "bgp_updates_tx_total"; "bgp_decisions_total";
+      "bgp_session_transitions_total"; "net_tx_bytes_total";
+      "net_in_flight_chunks"; "xbgp_runs_total"; "xbgp_run_insns";
+      "xbgp_helper_calls_total";
+    ];
+  (* the daemon stats snapshot is the same counters *)
+  check Alcotest.int "snapshot matches registry counter"
+    (Telemetry.counter_value tele ~name:"bgp_updates_rx_total"
+       ~labels:[ ("daemon", "dut"); ("impl", "bird") ])
+    (Scenario.Daemon.updates_rx tb.dut);
+  (* and both exporters render it *)
+  let prom = Telemetry.to_prometheus tele in
+  List.iter
+    (fun needle ->
+      checkb (Printf.sprintf "prometheus has %S" needle) true
+        (contains ~needle prom))
+    [ "xbgp_runs_total"; "bgp_updates_rx_total{daemon=\"dut\",impl=\"bird\"}" ];
+  let trace = Telemetry.to_chrome_trace tele in
+  checkb "trace has events" true (contains ~needle:"\"xbgp.run\"" trace);
+  let table = Telemetry.profile_table tele in
+  checkb "profile table has the program" true
+    (contains ~needle:"route_reflector" table)
+
+(* with no registry passed, nothing is recorded and nothing leaks
+   between testbeds *)
+let test_telemetry_default_off () =
+  let tb =
+    Scenario.Testbed.create
+      (Scenario.Testbed.mode ~ibgp:true
+         ~manifest:Xprogs.Route_reflector.manifest ())
+  in
+  Scenario.Testbed.establish tb;
+  Scenario.Testbed.feed tb (small_table 20);
+  checkb "converged" true (Scenario.Testbed.run_until_downstream_has tb 20);
+  checkb "testbed registry is disabled" false
+    (Telemetry.enabled tb.telemetry);
+  check Alcotest.int "no spans recorded" 0
+    (List.length (Telemetry.spans tb.telemetry))
+
 (* determinism: the whole simulated system is a pure function of the
    seed — two identical runs end in identical downstream state *)
 let test_determinism () =
@@ -902,6 +985,10 @@ let tests =
     Alcotest.test_case "add_route_to_rib helper (BIRD)" `Quick
       (test_rib_add_helper `Bird);
     Alcotest.test_case "whole-system determinism" `Quick test_determinism;
+    Alcotest.test_case "telemetry: spans and counters end-to-end" `Quick
+      test_telemetry_end_to_end;
+    Alcotest.test_case "telemetry: off by default" `Quick
+      test_telemetry_default_off;
   ]
 
 let () = Alcotest.run "integration" [ ("integration", tests) ]

@@ -1,0 +1,473 @@
+(* The telemetry substrate: histogram bucket math, the span tracer and
+   its ring, and both exporters. *)
+
+let check = Alcotest.check
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+module T = Telemetry
+module H = Telemetry.Histogram
+
+(* --- counters, gauges, interning --- *)
+
+let test_counter_basics () =
+  let t = T.create () in
+  let c = T.counter t ~name:"c_total" ~labels:[ ("k", "v") ] () in
+  T.Counter.inc c;
+  T.Counter.add c 4;
+  check_int "value" 5 (T.Counter.value c);
+  check_int "counter_value finds it" 5
+    (T.counter_value t ~name:"c_total" ~labels:[ ("k", "v") ]);
+  check_int "absent reads 0" 0
+    (T.counter_value t ~name:"c_total" ~labels:[ ("k", "other") ])
+
+let test_interning () =
+  let t = T.create () in
+  (* same (name, labels) — label order must not matter — is one metric *)
+  let a = T.counter t ~name:"x_total" ~labels:[ ("a", "1"); ("b", "2") ] () in
+  let b = T.counter t ~name:"x_total" ~labels:[ ("b", "2"); ("a", "1") ] () in
+  T.Counter.inc a;
+  T.Counter.inc b;
+  check_int "one instance behind both handles" 2 (T.Counter.value a);
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument
+       "Telemetry: metric \"x_total\" re-registered with another kind")
+    (fun () -> ignore (T.gauge t ~name:"x_total" ~labels:[] ()))
+
+let test_gauge_hwm () =
+  let t = T.create () in
+  let g = T.gauge t ~name:"g" ~labels:[] () in
+  T.Gauge.set g 7;
+  T.Gauge.add g 5;
+  T.Gauge.add g (-9);
+  check_int "value" 3 (T.Gauge.value g);
+  check_int "high-water mark" 12 (T.Gauge.max_value g)
+
+let test_counters_always_on () =
+  (* counters must count even when the registry is disabled: the daemon
+     stats snapshots are derived from them *)
+  let t = T.create ~enabled:false () in
+  let c = T.counter t ~name:"always_total" ~labels:[] () in
+  T.Counter.inc c;
+  check_int "disabled registry still counts" 1 (T.Counter.value c)
+
+(* --- histogram bucket math --- *)
+
+let test_bucket_boundaries () =
+  (* bucket 0 holds <= 0; v >= 1 lands in 1 + floor(log2 v) *)
+  List.iter
+    (fun (v, b) ->
+      check_int (Printf.sprintf "bucket_index %d" v) b (H.bucket_index v))
+    [
+      (-5, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4);
+      (1023, 10); (1024, 11); (max_int, 62);
+    ];
+  check_int "upper of bucket 0" 0 (H.bucket_upper 0);
+  check_int "upper of bucket 1" 1 (H.bucket_upper 1);
+  check_int "upper of bucket 3" 7 (H.bucket_upper 3);
+  check_int "upper of bucket 62 saturates" max_int (H.bucket_upper 62);
+  check_int "upper of bucket 63 saturates" max_int (H.bucket_upper 63);
+  (* every value sits within its own bucket's bounds *)
+  List.iter
+    (fun v ->
+      let b = H.bucket_index v in
+      check_bool
+        (Printf.sprintf "%d <= upper(%d)" v b)
+        true
+        (max v 0 <= H.bucket_upper b))
+    [ 0; 1; 2; 3; 5; 100; 4095; 4096; 123_456_789 ]
+
+let test_histogram_observe_percentile () =
+  let t = T.create () in
+  let h = T.histogram t ~name:"h" ~labels:[] () in
+  (* 90 small values and 10 large ones: p50 in the small range, p99 in
+     the large range *)
+  for _ = 1 to 90 do
+    H.observe h 3
+  done;
+  for _ = 1 to 10 do
+    H.observe h 1000
+  done;
+  check_int "count" 100 (H.count h);
+  check_int "sum" ((90 * 3) + (10 * 1000)) (H.sum h);
+  check_int "bucket of 3 holds 90" 90 (H.bucket_count h (H.bucket_index 3));
+  check_int "p50 is the 3-bucket's upper bound" 3 (H.p50 h);
+  check_int "p99 is the 1000-bucket's upper bound" 1023 (H.p99 h);
+  check_int "p100 too" 1023 (H.percentile h 100.);
+  check_int "empty histogram reports 0" 0
+    (H.p50 (T.histogram t ~name:"h2" ~labels:[] ()))
+
+let test_histogram_merge () =
+  let t = T.create () in
+  let a = T.histogram t ~name:"a" ~labels:[] () in
+  let b = T.histogram t ~name:"b" ~labels:[] () in
+  List.iter (H.observe a) [ 1; 2; 3 ];
+  List.iter (H.observe b) [ 100; 200 ];
+  H.merge_into ~dst:a b;
+  check_int "merged count" 5 (H.count a);
+  check_int "merged sum" 306 (H.sum a);
+  check_int "merged bucket of 100" 1 (H.bucket_count a (H.bucket_index 100));
+  check_int "src untouched" 2 (H.count b)
+
+(* percentiles must bound the true quantile: q <= reported < 2 * max q 1 *)
+let prop_percentile_bounds =
+  QCheck.Test.make ~count:500 ~name:"histogram percentile bounds quantile"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 200) (int_bound 1_000_000))
+        (float_bound_inclusive 100.))
+    (fun (values, p) ->
+      let t = T.create () in
+      let h = T.histogram t ~name:"q" ~labels:[] () in
+      List.iter (H.observe h) values;
+      let sorted = List.sort compare values in
+      let n = List.length sorted in
+      let rank =
+        max 1 (int_of_float (ceil (p /. 100. *. float_of_int n)))
+      in
+      let q = List.nth sorted (min (n - 1) (rank - 1)) in
+      let reported = T.Histogram.percentile h p in
+      q <= reported && reported < 2 * max q 1)
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  let t = T.create () in
+  let clock = ref 0 in
+  T.set_clock_us t (fun () -> !clock);
+  let outer = T.span_begin t ~tags:[ ("k", "v") ] "outer" in
+  clock := 10;
+  let inner = T.span_begin t "inner" in
+  clock := 25;
+  T.span_end t inner;
+  clock := 40;
+  T.span_end t ~tags:[ ("late", "tag") ] outer;
+  match T.spans t with
+  | [ i; o ] ->
+    check Alcotest.string "inner name" "inner" i.T.Span.name;
+    check_int "inner parent is outer" o.T.Span.id i.T.Span.parent;
+    check_int "outer has no parent" 0 o.T.Span.parent;
+    check_int "inner start" 10 i.T.Span.ts_us;
+    check_int "inner duration" 15 i.T.Span.dur_us;
+    check_int "outer duration" 40 o.T.Span.dur_us;
+    check Alcotest.(option string) "begin tag kept" (Some "v")
+      (T.Span.tag o "k");
+    check Alcotest.(option string) "end tag appended" (Some "tag")
+      (T.Span.tag o "late")
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_ring_wraparound () =
+  let t = T.create ~ring_capacity:4 () in
+  for i = 1 to 7 do
+    let s = T.span_begin t (Printf.sprintf "s%d" i) in
+    T.span_end t s
+  done;
+  let names = List.map (fun (s : T.Span.t) -> s.name) (T.spans t) in
+  check
+    Alcotest.(list string)
+    "ring keeps the newest, oldest first" [ "s4"; "s5"; "s6"; "s7" ] names;
+  check_int "dropped count" 3 (T.dropped_spans t);
+  T.reset_spans t;
+  check_int "reset empties the ring" 0 (List.length (T.spans t));
+  check_int "reset clears dropped" 0 (T.dropped_spans t)
+
+let test_span_disabled () =
+  let t = T.create ~enabled:false () in
+  let s = T.span_begin t "ghost" in
+  check_int "dummy span id" 0 s.T.Span.id;
+  T.span_end t s;
+  check_int "nothing recorded" 0 (List.length (T.spans t))
+
+(* --- exporters --- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_prometheus_export () =
+  let t = T.create () in
+  let c =
+    T.counter t ~help:"requests served" ~name:"req_total"
+      ~labels:[ ("method", "get"); ("code", "200") ]
+      ()
+  in
+  T.Counter.add c 42;
+  let g = T.gauge t ~name:"depth" ~labels:[] () in
+  T.Gauge.set g 3;
+  let h = T.histogram t ~name:"lat" ~labels:[ ("op", "run") ] () in
+  List.iter (T.Histogram.observe h) [ 1; 2; 3; 500 ];
+  let out = T.to_prometheus t in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "export contains %S" needle) true
+        (contains ~needle out))
+    [
+      "# HELP req_total requests served";
+      "# TYPE req_total counter";
+      "req_total{code=\"200\",method=\"get\"} 42";
+      "# TYPE depth gauge";
+      "depth 3";
+      "# TYPE lat histogram";
+      "lat_bucket{op=\"run\",le=\"1\"} 1";
+      "lat_bucket{op=\"run\",le=\"3\"} 3";
+      "lat_bucket{op=\"run\",le=\"+Inf\"} 4";
+      "lat_sum{op=\"run\"} 506";
+      "lat_count{op=\"run\"} 4";
+    ]
+
+(* A tiny JSON syntax checker — no JSON library in the tree, and the
+   trace exporter must emit something a real parser will accept, so walk
+   the grammar by hand. *)
+let json_valid (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c ->
+      advance ();
+      true
+    | _ -> false
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> false
+  and literal lit =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then (
+      pos := !pos + l;
+      true)
+    else false
+  and number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let rec digits () =
+      match peek () with
+      | Some '0' .. '9' ->
+        advance ();
+        digits ()
+      | _ -> ()
+    in
+    digits ();
+    if peek () = Some '.' then (
+      advance ();
+      digits ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    !pos > start
+  and string_lit () =
+    if not (expect '"') then false
+    else
+      let rec go () =
+        match peek () with
+        | None -> false
+        | Some '"' ->
+          advance ();
+          true
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+            advance ();
+            go ()
+          | Some 'u' ->
+            advance ();
+            let hex = ref 0 in
+            let ok = ref true in
+            while !hex < 4 && !ok do
+              (match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+              | _ -> ok := false);
+              incr hex
+            done;
+            !ok && go ()
+          | _ -> false)
+        | Some c when Char.code c < 0x20 -> false
+        | Some _ ->
+          advance ();
+          go ()
+      in
+      go ()
+  and arr () =
+    if not (expect '[') then false
+    else (
+      skip_ws ();
+      if peek () = Some ']' then (
+        advance ();
+        true)
+      else
+        let rec elems () =
+          if not (value ()) then false
+          else (
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elems ()
+            | Some ']' ->
+              advance ();
+              true
+            | _ -> false)
+        in
+        elems ())
+  and obj () =
+    if not (expect '{') then false
+    else (
+      skip_ws ();
+      if peek () = Some '}' then (
+        advance ();
+        true)
+      else
+        let rec members () =
+          skip_ws ();
+          if not (string_lit ()) then false
+          else (
+            skip_ws ();
+            if not (expect ':') then false
+            else if not (value ()) then false
+            else (
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                advance ();
+                members ()
+              | Some '}' ->
+                advance ();
+                true
+              | _ -> false))
+        in
+        members ())
+  in
+  let ok = value () in
+  skip_ws ();
+  ok && !pos = n
+
+let test_json_checker_itself () =
+  List.iter
+    (fun (s, expected) ->
+      check_bool (Printf.sprintf "json_valid %S" s) expected (json_valid s))
+    [
+      ("{}", true);
+      ("[1, 2, {\"a\": \"b\\\"c\"}]", true);
+      ("{\"x\": -1.5e3, \"y\": null}", true);
+      ("{", false);
+      ("{\"a\" 1}", false);
+      ("[1,]", false);
+      ("\"unterminated", false);
+      ("{} trailing", false);
+    ]
+
+let test_chrome_trace_export () =
+  let t = T.create () in
+  let clock = ref 100 in
+  T.set_clock_us t (fun () -> !clock);
+  let s = T.span_begin t ~tags:[ ("engine", "block") ] "xbgp.run" in
+  clock := 250;
+  T.span_end t s;
+  (* a hostile tag value: quotes, backslash, newline, control char *)
+  let nasty = T.span_begin t ~tags:[ ("msg", "a\"b\\c\nd\x01") ] "weird" in
+  T.span_end t nasty;
+  let out = T.to_chrome_trace t in
+  check_bool "trace is valid JSON" true (json_valid out);
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "trace contains %S" needle) true
+        (contains ~needle out))
+    [
+      "\"traceEvents\"";
+      "\"name\":\"xbgp.run\"";
+      "\"ph\":\"X\"";
+      "\"ts\":100";
+      "\"dur\":150";
+      "\"engine\":\"block\"";
+    ]
+
+let test_prometheus_of_empty () =
+  check Alcotest.string "empty registry exports empty" ""
+    (T.to_prometheus (T.create ()));
+  check_bool "empty trace still valid JSON" true
+    (json_valid (T.to_chrome_trace (T.create ())))
+
+(* --- the per-xprog profile table --- *)
+
+let test_profile_table () =
+  let t = T.create () in
+  check Alcotest.string "no runs, no table" "" (T.profile_table t);
+  let labels =
+    [
+      ("host", "dut"); ("point", "BGP_INBOUND_FILTER");
+      ("program", "igp_filter"); ("bytecode", "main");
+      ("engine", "interpreted");
+    ]
+  in
+  let insns = T.histogram t ~name:"xbgp_run_insns" ~labels () in
+  let ns = T.histogram t ~name:"xbgp_run_ns" ~labels () in
+  for _ = 1 to 10 do
+    T.Histogram.observe insns 40;
+    T.Histogram.observe ns 900
+  done;
+  let table = T.profile_table t in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "table mentions %S" needle) true
+        (contains ~needle table))
+    [ "BGP_INBOUND_FILTER"; "igp_filter"; "interpreted"; "10" ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "interning" `Quick test_interning;
+          Alcotest.test_case "gauge high-water mark" `Quick test_gauge_hwm;
+          Alcotest.test_case "counters ignore enabled" `Quick
+            test_counters_always_on;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "observe and percentiles" `Quick
+            test_histogram_observe_percentile;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Qc.to_alcotest prop_percentile_bounds;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and tags" `Quick test_span_nesting;
+          Alcotest.test_case "ring wraparound" `Quick
+            test_span_ring_wraparound;
+          Alcotest.test_case "disabled tracer" `Quick test_span_disabled;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus text" `Quick test_prometheus_export;
+          Alcotest.test_case "json checker sanity" `Quick
+            test_json_checker_itself;
+          Alcotest.test_case "chrome trace json" `Quick
+            test_chrome_trace_export;
+          Alcotest.test_case "empty registry" `Quick test_prometheus_of_empty;
+          Alcotest.test_case "profile table" `Quick test_profile_table;
+        ] );
+    ]
