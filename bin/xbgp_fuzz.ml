@@ -92,6 +92,15 @@ let replay =
   let doc = "Replay a reproducer file instead of running a campaign." in
   Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
 
+let caches =
+  let doc =
+    "Force the attribute-conversion caches on or off in both hosts for \
+     the whole campaign (default: on, the deployment configuration). \
+     Running both settings over the same seed checks that the caches \
+     never change the xBGP-visible state."
+  in
+  Arg.(value & opt bool true & info [ "caches" ] ~docv:"BOOL" ~doc)
+
 let quiet =
   let doc = "Only print the final summary." in
   Arg.(value & flag & info [ "quiet" ] ~doc)
@@ -100,8 +109,10 @@ let verbose =
   let doc = "Verbose daemon logging." in
   Arg.(value & flag & info [ "verbose" ] ~doc)
 
-let main cases seed out no_out force_divergence replay quiet verbose =
+let main cases seed out no_out force_divergence caches replay quiet verbose =
   setup_logs ~quiet verbose;
+  Frrouting.Attr_intern.set_conversion_cache caches;
+  Bird.Eattr.set_conversion_cache caches;
   match replay with
   | Some path -> run_replay path
   | None ->
@@ -129,7 +140,7 @@ let cmd =
   Cmd.v
     (Cmd.info "xbgp-fuzz" ~doc ~man)
     Term.(
-      const main $ cases $ seed $ out $ no_out $ force_divergence $ replay
-      $ quiet $ verbose)
+      const main $ cases $ seed $ out $ no_out $ force_divergence $ caches
+      $ replay $ quiet $ verbose)
 
 let () = exit (Cmd.eval' cmd)

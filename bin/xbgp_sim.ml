@@ -160,17 +160,28 @@ let trace_out_arg =
           "Write the run's spans to $(docv) as Chrome trace-event JSON, \
            loadable in chrome://tracing or Perfetto (enables telemetry)")
 
+let trace_sample_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "Record only one span in $(docv) (deterministic 1-in-N \
+           sampling). Counters stay exact; span-derived latency \
+           histograms see proportionally fewer observations. 1 records \
+           every span.")
+
 (* Telemetry for a CLI run: enabled only when an export was requested,
    with real (wall-clock) nanoseconds for the duration histograms. The
    trace timebase stays the simulated clock — Testbed.create installs
    it. *)
-let cli_telemetry ~metrics_out ~trace_out =
+let cli_telemetry ~metrics_out ~trace_out ~trace_sample =
   if metrics_out = None && trace_out = None then None
   else begin
     let t = Telemetry.create ~enabled:true () in
     let t0 = Unix.gettimeofday () in
     Telemetry.set_clock_ns t (fun () ->
         int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+    Telemetry.set_span_sampling t trace_sample;
     Some t
   end
 
@@ -197,9 +208,9 @@ let run_cmd =
       & info [] ~docv:"SCENARIO"
           ~doc:"rr = route reflection, ov = origin validation, dc = Fig. 5")
   in
-  let run scenario host routes metrics_out trace_out =
+  let run scenario host routes metrics_out trace_out trace_sample =
     setup_logs ();
-    let tele = cli_telemetry ~metrics_out ~trace_out in
+    let tele = cli_telemetry ~metrics_out ~trace_out ~trace_sample in
     let code =
     match scenario with
     | `Rr ->
@@ -279,7 +290,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a use-case scenario on the simulated testbed")
     Term.(
       const run $ scenario $ host_arg $ routes_arg $ metrics_out_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ trace_sample_arg)
 
 let () =
   let info =

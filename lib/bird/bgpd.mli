@@ -28,6 +28,7 @@ val config :
   ?native_ov:Rpki.Store_hash.t ->
   ?igp_metric:(int -> int) ->
   ?xtras:(string * bytes) list ->
+  ?batch_updates:bool ->
   name:string ->
   router_id:int ->
   local_as:int ->
@@ -35,7 +36,10 @@ val config :
   unit ->
   config
 (** [cluster_id] defaults to the router id; [igp_metric] maps a next-hop
-    address to its IGP cost; [xtras] feed the [get_xtra] helper. *)
+    address to its IGP cost; [xtras] feed the [get_xtra] helper.
+    [batch_updates] (default [true]) processes a multi-prefix UPDATE's
+    NLRI as one batch sharing one converted attribute view; [false]
+    restores the legacy per-prefix path (the dispatch-bench baseline). *)
 
 (** Validation-result communities attached by native origin validation
     and, identically, by the extension (65535:1/2/3). *)

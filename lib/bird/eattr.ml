@@ -19,8 +19,20 @@
 
 type t = { code : int; flags : int; payload : string }
 
-(** An attribute set: eattrs sorted by code, unique per code. *)
-type set = { eattrs : t list; path_len : int  (** cached AS-path length *) }
+(** An attribute set: eattrs sorted by code, unique per code.
+
+    The two memo fields cache this set's neutral conversions (the
+    BIRD-side symmetric of the FRR conversion cache). They are sound by
+    construction: [eattrs] is immutable and every mutation API builds a
+    {e new} record whose memos start empty, so a memo can only ever
+    describe the eattrs it sits next to. [equal] ignores them. *)
+type set = {
+  eattrs : t list;
+  path_len : int;  (** cached AS-path length *)
+  mutable memo_attrs : Bgp.Attr.t list option;
+      (** cached [to_attrs] (the neutral snapshot) *)
+  mutable memo_encoded : bytes option;  (** cached [encode_known] *)
+}
 
 let rec insert_sorted (e : t) = function
   | [] -> [ e ]
@@ -84,9 +96,15 @@ let recompute_path_len eattrs =
 
 let of_eattrs eattrs =
   let eattrs = List.sort (fun (a : t) b -> compare a.code b.code) eattrs in
-  { eattrs; path_len = recompute_path_len eattrs }
+  {
+    eattrs;
+    path_len = recompute_path_len eattrs;
+    memo_attrs = None;
+    memo_encoded = None;
+  }
 
-let empty = { eattrs = []; path_len = 0 }
+let empty =
+  { eattrs = []; path_len = 0; memo_attrs = None; memo_encoded = None }
 
 let set_eattr set (e : t) =
   let eattrs = insert_sorted e set.eattrs in
@@ -96,6 +114,8 @@ let set_eattr set (e : t) =
       (if e.code = Bgp.Attr.code_as_path then
          path_length_of_payload e.payload
        else set.path_len);
+    memo_attrs = None;
+    memo_encoded = None;
   }
 
 let remove_code code set =
@@ -103,7 +123,26 @@ let remove_code code set =
   {
     eattrs;
     path_len = (if code = Bgp.Attr.code_as_path then 0 else set.path_len);
+    memo_attrs = None;
+    memo_encoded = None;
   }
+
+(* --- the conversion cache toggle (mirrors Attr_intern's) --- *)
+
+let cache_enabled = ref true
+let cache_hits = ref 0
+let cache_misses = ref 0
+let set_conversion_cache b = cache_enabled := b
+let conversion_cache_enabled () = !cache_enabled
+let conversion_cache_stats () = (!cache_hits, !cache_misses)
+
+let reset_conversion_cache_stats () =
+  cache_hits := 0;
+  cache_misses := 0
+
+let invalidate_conversion set =
+  set.memo_attrs <- None;
+  set.memo_encoded <- None
 
 (* --- from/to the shared wire codec --- *)
 
@@ -147,7 +186,7 @@ let of_attrs (attrs : Bgp.Attr.t list) =
 
 (** Decode to the shared codec type (known codes only) for the native
     encoder. @raise Bgp.Attr.Parse_error on corrupt payloads. *)
-let to_attrs set : Bgp.Attr.t list =
+let to_attrs_fresh set : Bgp.Attr.t list =
   List.filter_map
     (fun (e : t) ->
       if List.mem e.code known_codes then
@@ -156,6 +195,19 @@ let to_attrs set : Bgp.Attr.t list =
              (Bytes.of_string e.payload))
       else None)
     set.eattrs
+
+let to_attrs set =
+  if not !cache_enabled then to_attrs_fresh set
+  else
+    match set.memo_attrs with
+    | Some l ->
+      incr cache_hits;
+      l
+    | None ->
+      incr cache_misses;
+      let l = to_attrs_fresh set in
+      set.memo_attrs <- Some l;
+      l
 
 (* --- the xBGP adapter: near-zero-cost TLV conversion --- *)
 
@@ -279,10 +331,24 @@ let append_community set c =
     }
 
 (** Serialized wire form of the whole set (message grouping key and the
-    native encoder input). Known codes only — see module header. *)
+    native encoder input). Known codes only — see module header. The
+    cached bytes are shared across calls; callers must not mutate. *)
 let encode_known set =
-  let buf = Buffer.create 64 in
-  List.iter (Bgp.Attr.encode_into_buffer buf) (to_attrs set);
-  Buffer.to_bytes buf
+  let fresh () =
+    let buf = Buffer.create 64 in
+    List.iter (Bgp.Attr.encode_into_buffer buf) (to_attrs set);
+    Buffer.to_bytes buf
+  in
+  if not !cache_enabled then fresh ()
+  else
+    match set.memo_encoded with
+    | Some b ->
+      incr cache_hits;
+      b
+    | None ->
+      incr cache_misses;
+      let b = fresh () in
+      set.memo_encoded <- Some b;
+      b
 
 let equal (a : set) (b : set) = a.eattrs = b.eattrs

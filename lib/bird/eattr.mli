@@ -11,8 +11,17 @@
 
 type t = { code : int; flags : int; payload : string }
 
-(** An attribute set: eattrs sorted by code, unique per code. *)
-type set = { eattrs : t list; path_len : int (** cached AS-path length *) }
+(** An attribute set: eattrs sorted by code, unique per code. The memo
+    fields cache this set's neutral conversions ({!to_attrs},
+    {!encode_known}); they are sound by construction — every mutation
+    API returns a {e new} record with empty memos — and {!equal} ignores
+    them. *)
+type set = {
+  eattrs : t list;
+  path_len : int;  (** cached AS-path length *)
+  mutable memo_attrs : Bgp.Attr.t list option;
+  mutable memo_encoded : bytes option;
+}
 
 val empty : set
 val of_eattrs : t list -> set
@@ -40,7 +49,25 @@ val to_attrs : set -> Bgp.Attr.t list
 
 val encode_known : set -> bytes
 (** Serialized wire form of the known attributes — the message-grouping
-    key and native encoder input. *)
+    key and native encoder input. With the cache enabled the bytes are
+    shared across calls on the same set; treat them as read-only. *)
+
+(** {1 The conversion cache} (the BIRD-side symmetric of
+    [Attr_intern]'s) *)
+
+val set_conversion_cache : bool -> unit
+(** Enable/disable memo use (enabled by default). Existing memos are
+    kept but ignored while disabled — they can never be stale. *)
+
+val conversion_cache_enabled : unit -> bool
+
+val conversion_cache_stats : unit -> int * int
+(** [(hits, misses)] since {!reset_conversion_cache_stats}. *)
+
+val reset_conversion_cache_stats : unit -> unit
+
+val invalidate_conversion : set -> unit
+(** Drop one set's memos (for hosts mutating out of band). *)
 
 (** {1 The xBGP adapter} — near-zero-cost TLV conversion *)
 

@@ -32,6 +32,18 @@ let all_points =
     Bgp_encode_message;
   ]
 
+let num_points = 6
+
+(** Dense index of a point, for array-indexed dispatch tables
+    ([0 .. num_points - 1], in [all_points] order). *)
+let point_index = function
+  | Bgp_init -> 0
+  | Bgp_receive_message -> 1
+  | Bgp_inbound_filter -> 2
+  | Bgp_decision -> 3
+  | Bgp_outbound_filter -> 4
+  | Bgp_encode_message -> 5
+
 let point_name = function
   | Bgp_init -> "BGP_INIT"
   | Bgp_receive_message -> "BGP_RECEIVE_MESSAGE"

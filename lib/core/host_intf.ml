@@ -56,6 +56,74 @@ let null_ops =
     log = ignore;
   }
 
+(** The per-run argument set ([Api.arg_*] id -> payload), passed to
+    [Vmm.run] alongside [ops]. A flat pair of parallel arrays instead of
+    an assoc list so the hot dispatch path can reuse one buffer per
+    daemon across every update instead of consing tuples per call; the
+    VM copies payloads into its own heap on [get_arg], so a host may
+    overwrite a payload's bytes between runs. *)
+module Args = struct
+  type t = {
+    mutable n : int;
+    mutable ids : int array;
+    mutable payloads : bytes array;
+  }
+
+  let initial_capacity = 4
+
+  let create () =
+    {
+      n = 0;
+      ids = Array.make initial_capacity 0;
+      payloads = Array.make initial_capacity Bytes.empty;
+    }
+
+  let clear a =
+    (* drop payload references so a parked buffer doesn't pin buffers *)
+    for i = 0 to a.n - 1 do
+      a.payloads.(i) <- Bytes.empty
+    done;
+    a.n <- 0
+
+  let grow a =
+    let cap = 2 * Array.length a.ids in
+    let ids = Array.make cap 0 and payloads = Array.make cap Bytes.empty in
+    Array.blit a.ids 0 ids 0 a.n;
+    Array.blit a.payloads 0 payloads 0 a.n;
+    a.ids <- ids;
+    a.payloads <- payloads
+
+  (** Install or replace the payload for [id]. *)
+  let set a id payload =
+    let rec find i = if i >= a.n then -1 else if a.ids.(i) = id then i else find (i + 1) in
+    let i = find 0 in
+    if i >= 0 then a.payloads.(i) <- payload
+    else begin
+      if a.n = Array.length a.ids then grow a;
+      a.ids.(a.n) <- id;
+      a.payloads.(a.n) <- payload;
+      a.n <- a.n + 1
+    end
+
+  let find a id =
+    let rec go i =
+      if i >= a.n then None
+      else if a.ids.(i) = id then Some a.payloads.(i)
+      else go (i + 1)
+    in
+    go 0
+
+  let of_list l =
+    let a = create () in
+    List.iter (fun (id, payload) -> set a id payload) l;
+    a
+
+  let to_list a = List.init a.n (fun i -> (a.ids.(i), a.payloads.(i)))
+
+  (** Shared empty set for argument-less runs; never mutate it. *)
+  let empty = create ()
+end
+
 let peer_info_to_bytes (p : peer_info) =
   let b = Bytes.create Api.peer_info_size in
   let set off v = Bytes.set_int32_le b off (Int32.of_int (v land 0xFFFFFFFF)) in

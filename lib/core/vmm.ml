@@ -44,7 +44,7 @@ type runtime = {
   heap : Ebpf.Memory.region;
   mutable heap_pos : int;
   mutable ops : Host_intf.ops;
-  mutable args : (int * bytes) list;
+  mutable args : Host_intf.Args.t;
 }
 
 (* Per-attachment telemetry handles, resolved once at attach time: the
@@ -66,6 +66,9 @@ type attachment = {
   order : int;
   runtime : runtime;
   probe : probe;
+  summary : Xprog.dispatch_summary;
+      (** computed once at attach time; persistent scratch makes the
+          run count observable, so such bytecodes are pinned effectful *)
 }
 
 type stats = {
@@ -114,46 +117,47 @@ let fault_detail f =
 type t = {
   host : string;
   extensions : (string, ext) Hashtbl.t;
-  points : (Api.point, attachment list ref) Hashtbl.t;
+  chains : attachment array array;
+      (** indexed by [Api.point_index]; total over all points, so an
+          unattached (or never-touched) point is an empty array and
+          dispatch can never raise [Not_found] *)
   heap_size : int;
   budget : int;
   engine : Ebpf.Vm.engine;
   stats : stats;
   tele : Telemetry.t;
-  fallback_counters : (Api.point, Telemetry.Counter.t) Hashtbl.t;
+  fallbacks : Telemetry.Counter.t array;  (** indexed by [Api.point_index] *)
   mutable last_fault_record : fault option;
 }
 
 let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
     ?(engine = Ebpf.Vm.Interpreted) ?telemetry ~host () =
-  let points = Hashtbl.create 8 in
-  List.iter (fun p -> Hashtbl.replace points p (ref [])) Api.all_points;
   let tele =
     match telemetry with
     | Some t -> t
     | None -> Telemetry.create ~enabled:false ()
   in
-  let fallback_counters = Hashtbl.create 8 in
-  List.iter
-    (fun p ->
-      Hashtbl.replace fallback_counters p
-        (Telemetry.counter tele
-           ~help:"chains that ended in the host's native code"
-           ~name:"xbgp_native_fallbacks_total"
-           ~labels:[ ("host", host); ("point", Api.point_name p) ]
-           ()))
-    Api.all_points;
+  let fallbacks =
+    Array.map
+      (fun p ->
+        Telemetry.counter tele
+          ~help:"chains that ended in the host's native code"
+          ~name:"xbgp_native_fallbacks_total"
+          ~labels:[ ("host", host); ("point", Api.point_name p) ]
+          ())
+      (Array.of_list Api.all_points)
+  in
   {
     host;
     extensions = Hashtbl.create 8;
-    points;
+    chains = Array.make Api.num_points [||];
     heap_size;
     budget;
     engine;
     stats =
       { runs = 0; native_fallbacks = 0; faults = 0; next_calls = 0; insns = 0 };
     tele;
-    fallback_counters;
+    fallbacks;
     last_fault_record = None;
   }
 
@@ -209,8 +213,9 @@ let blob_of_bytes payload =
 
 let u32_of v = Int64.to_int (Int64.logand v 0xFFFFFFFFL)
 
-(* Wrap one helper with its call counter (always on) and, when the
-   registry is enabled, a latency histogram. Handles are interned per
+(* Wrap one helper with its call counter (always on, always exact) and,
+   on the sampled ticks of an enabled registry, a latency histogram (the
+   two clock reads are the expensive part). Handles are interned per
    (helper, host), so every attachment of the same VMM shares them. *)
 let instrument_helper t (id, f) =
   let labels = [ ("helper", Api.helper_name id); ("host", t.host) ] in
@@ -225,7 +230,7 @@ let instrument_helper t (id, f) =
   ( id,
     fun vm a ->
       Telemetry.Counter.inc calls;
-      if Telemetry.enabled t.tele then begin
+      if Telemetry.sample t.tele then begin
         let t0 = Telemetry.now_ns t.tele in
         let r = f vm a in
         Telemetry.Histogram.observe lat (Telemetry.now_ns t.tele - t0);
@@ -261,7 +266,7 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
         heap;
         heap_pos = 0;
         ops = Host_intf.null_ops;
-        args = [];
+        args = Host_intf.Args.empty;
       }
   and alloc_raw size =
     let r = Lazy.force rt in
@@ -288,12 +293,12 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
       (Api.h_next, fun _ _ -> raise Next);
       ( Api.h_get_arg,
         fun _ a ->
-          match List.assoc_opt (u32_of a.(0)) (args ()) with
+          match Host_intf.Args.find (args ()) (u32_of a.(0)) with
           | Some payload -> alloc_bytes (blob_of_bytes payload)
           | None -> 0L );
       ( Api.h_arg_len,
         fun _ a ->
-          match List.assoc_opt (u32_of a.(0)) (args ()) with
+          match Host_intf.Args.find (args ()) (u32_of a.(0)) with
           | Some payload -> Int64.of_int (Bytes.length payload)
           | None -> -1L );
       ( Api.h_get_peer_info,
@@ -397,7 +402,8 @@ let outcome_name = function
   | Deferred -> "next"
   | Faulted _ -> "fault"
 
-let exec_one t att ~(ops : Host_intf.ops) ~args : exec_outcome =
+let exec_one t att ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t) :
+    exec_outcome =
   let rt = att.runtime in
   rt.ops <- ops;
   rt.args <- args;
@@ -406,9 +412,13 @@ let exec_one t att ~(ops : Host_intf.ops) ~args : exec_outcome =
   t.stats.runs <- t.stats.runs + 1;
   Telemetry.Counter.inc att.probe.p_runs;
   let enabled = Telemetry.enabled t.tele in
+  (* [span_begin] applies the registry's 1-in-N sampling; a dummy span
+     (id 0) means this run pays for neither clock reads nor the end-tag
+     allocation. Counters and the instruction histogram stay exact. *)
   let span = Telemetry.span_begin t.tele ~tags:att.probe.span_tags "xbgp.run" in
+  let sampled = span.Telemetry.Span.id <> 0 in
   let before = Ebpf.Vm.executed rt.vm in
-  let t0_ns = if enabled then Telemetry.now_ns t.tele else 0 in
+  let t0_ns = if sampled then Telemetry.now_ns t.tele else 0 in
   let outcome =
     try Value (Ebpf.Vm.run rt.vm) with
     | Next ->
@@ -423,9 +433,11 @@ let exec_one t att ~(ops : Host_intf.ops) ~args : exec_outcome =
   t.stats.insns <- t.stats.insns + insns;
   if enabled then begin
     Telemetry.Histogram.observe att.probe.p_insns insns;
+    Telemetry.Gauge.set att.probe.p_heap rt.heap_pos
+  end;
+  if sampled then begin
     Telemetry.Histogram.observe att.probe.p_ns
       (Telemetry.now_ns t.tele - t0_ns);
-    Telemetry.Gauge.set att.probe.p_heap rt.heap_pos;
     Telemetry.span_end t.tele span
       ~tags:
         [
@@ -436,7 +448,7 @@ let exec_one t att ~(ops : Host_intf.ops) ~args : exec_outcome =
         ]
   end;
   rt.ops <- Host_intf.null_ops;
-  rt.args <- [];
+  rt.args <- Host_intf.Args.empty;
   outcome
 
 (* Capture the structured fault record and bump the labeled fault
@@ -513,7 +525,12 @@ let attach t ~program ~bytecode ~point ~order : (unit, string) result =
     | None ->
       Error (Printf.sprintf "program %S has no bytecode %S" program bytecode)
     | Some code ->
-      let q = Hashtbl.find t.points point in
+      let idx = Api.point_index point in
+      let summary =
+        let s = Xprog.dispatch_summary code in
+        if ext.prog.scratch_size > 0 then { s with Xprog.effectful = true }
+        else s
+      in
       let att =
         {
           ext;
@@ -521,24 +538,48 @@ let attach t ~program ~bytecode ~point ~order : (unit, string) result =
           order;
           runtime = make_runtime t ext code;
           probe = make_probe t ext ~bytecode ~point;
+          summary;
         }
       in
-      q :=
-        List.sort
-          (fun a b -> Int.compare a.order b.order)
-          (att :: !q);
+      (* the chain is rebuilt per attach — cold path — so [run] reads a
+         ready-sorted flat array with no per-dispatch sorting or consing *)
+      t.chains.(idx) <-
+        Array.of_list
+          (List.sort
+             (fun a b -> Int.compare a.order b.order)
+             (att :: Array.to_list t.chains.(idx)));
       Ok ())
 
 let detach t ~program ~point =
-  let q = Hashtbl.find t.points point in
-  q := List.filter (fun a -> a.ext.prog.name <> program) !q
+  let idx = Api.point_index point in
+  t.chains.(idx) <-
+    Array.of_list
+      (List.filter
+         (fun a -> a.ext.prog.name <> program)
+         (Array.to_list t.chains.(idx)))
 
 let attachments t point =
   List.map
     (fun a -> (a.ext.prog.name, a.bc_name, a.order))
-    !(Hashtbl.find t.points point)
+    (Array.to_list t.chains.(Api.point_index point))
 
-let has_attachment t point = !(Hashtbl.find t.points point) <> []
+let has_attachment t point =
+  Array.length t.chains.(Api.point_index point) > 0
+
+(* True when every bytecode attached at [point] provably computes the
+   same result for every element of a batch whose members differ only in
+   [variant_args]: no effectful helpers or persistent scratch, and every
+   argument read statically resolved to an id outside [variant_args].
+   An empty chain is vacuously invariant. *)
+let batch_invariant t point ~variant_args =
+  Array.for_all
+    (fun att ->
+      (not att.summary.Xprog.effectful)
+      &&
+      match att.summary.Xprog.arg_reads with
+      | None -> false
+      | Some reads -> not (List.exists (fun a -> List.mem a variant_args) reads))
+    t.chains.(Api.point_index point)
 
 let registered t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.extensions []
@@ -549,37 +590,45 @@ let registered t =
     (ids from [Api]); [default] is the host's native implementation of the
     operation, used when nothing is attached, when the last bytecode calls
     [next()], or when a bytecode faults. *)
-let run t point ~(ops : Host_intf.ops) ~args ~(default : unit -> int64) :
-    int64 =
-  match !(Hashtbl.find t.points point) with
-  | [] -> default ()
-  | atts ->
-    let fallback () =
+let run t point ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t)
+    ~(default : unit -> int64) : int64 =
+  let idx = Api.point_index point in
+  let chain = t.chains.(idx) in
+  let n = Array.length chain in
+  if n = 0 then default ()
+    (* the common case — no extension attached — costs one array load
+       and a length test, with nothing allocated *)
+  else begin
+    let i = ref 0 and decided = ref false and result = ref 0L in
+    while (not !decided) && !i < n do
+      let att = chain.(!i) in
+      match exec_one t att ~ops ~args with
+      | Value v ->
+        result := v;
+        decided := true
+      | Deferred -> incr i
+      | Faulted msg ->
+        t.stats.faults <- t.stats.faults + 1;
+        let err = render_fault (record_fault t att point ~init:false msg) in
+        Log.warn (fun m -> m "%s" err);
+        ops.log err;
+        (* a fault abandons the rest of the chain and falls back *)
+        i := n
+    done;
+    if !decided then !result
+    else begin
       t.stats.native_fallbacks <- t.stats.native_fallbacks + 1;
-      Telemetry.Counter.inc (Hashtbl.find t.fallback_counters point);
+      Telemetry.Counter.inc t.fallbacks.(idx);
       default ()
-    in
-    let rec chain = function
-      | [] -> fallback ()
-      | att :: rest -> (
-        match exec_one t att ~ops ~args with
-        | Value v -> v
-        | Deferred -> chain rest
-        | Faulted msg ->
-          t.stats.faults <- t.stats.faults + 1;
-          let err = render_fault (record_fault t att point ~init:false msg) in
-          Log.warn (fun m -> m "%s" err);
-          ops.log err;
-          fallback ())
-    in
-    chain atts
+    end
+  end
 
 (** Run every bytecode attached to [Bgp_init] once (manifest load time).
     Faults are logged; initialization continues with the next bytecode. *)
 let run_init t ~ops =
-  List.iter
+  Array.iter
     (fun att ->
-      match exec_one t att ~ops ~args:[] with
+      match exec_one t att ~ops ~args:Host_intf.Args.empty with
       | Value _ | Deferred -> ()
       | Faulted msg ->
         t.stats.faults <- t.stats.faults + 1;
@@ -587,7 +636,7 @@ let run_init t ~ops =
           render_fault (record_fault t att Api.Bgp_init ~init:true msg)
         in
         ops.log err)
-    !(Hashtbl.find t.points Api.Bgp_init)
+    t.chains.(Api.point_index Api.Bgp_init)
 
 (* --- introspection used by tests and the CLI --- *)
 

@@ -106,18 +106,32 @@ val attachments : t -> Api.point -> (string * string * int) list
 val has_attachment : t -> Api.point -> bool
 val registered : t -> string list
 
+val batch_invariant : t -> Api.point -> variant_args:int list -> bool
+(** True when every bytecode attached at [point] provably computes the
+    same result for every element of a batch whose members differ only
+    in the [variant_args] argument ids: it never fetches those
+    arguments, all its argument reads are statically resolved
+    ({!Xprog.dispatch_summary}), and it has no per-call observable
+    effects (map writes, RIB injection, logging, persistent scratch).
+    An empty chain is vacuously invariant. The hosts use this to run an
+    UPDATE's import chain once and share the verdict — and any
+    route-attribute edits — across the whole NLRI list. *)
+
 val run :
   t ->
   Api.point ->
   ops:Host_intf.ops ->
-  args:(int * bytes) list ->
+  args:Host_intf.Args.t ->
   default:(unit -> int64) ->
   int64
 (** Execute the chain attached to a point. [args] are the
     insertion-point arguments exposed through [get_arg] (ids from
-    {!Api}); [default] is the host's native implementation, used when
-    nothing is attached, when the last bytecode calls [next()], or when a
-    bytecode faults. *)
+    {!Api}) — hosts on the hot path reuse one {!Host_intf.Args.t} buffer
+    across calls, one-shot callers build one with
+    [Host_intf.Args.of_list]; [default] is the host's native
+    implementation, used when nothing is attached, when the last
+    bytecode calls [next()], or when a bytecode faults. A point with no
+    attachments costs one array load before [default] runs. *)
 
 val run_init : t -> ops:Host_intf.ops -> unit
 (** Run every bytecode attached to [Bgp_init] once (manifest load time);

@@ -36,3 +36,26 @@ val bytecode : t -> string -> Ebpf.Insn.t list option
 
 val total_slots : t -> int
 (** Total instruction slots across all bytecodes. *)
+
+(** {1 Batch-dispatch analysis} *)
+
+type dispatch_summary = {
+  arg_reads : int list option;
+      (** argument ids the bytecode may fetch through
+          [h_get_arg]/[h_arg_len]; [None] = statically unresolvable
+          (treat as "could read any argument") *)
+  effectful : bool;
+      (** the bytecode has per-call observable effects beyond its return
+          value and its route-attribute edits: map writes, RIB
+          injection, message-buffer writes, logging *)
+}
+
+val dispatch_summary : Ebpf.Insn.t list -> dispatch_summary
+(** Conservative linear scan of one bytecode. Hosts use it (through
+    {!Vmm.batch_invariant}) to share one import verdict across every
+    prefix of an UPDATE: sound because any unresolvable argument read
+    degrades to [None] and any non-whitelisted helper call sets
+    [effectful]. Note the summary ignores the program's persistent
+    scratch — callers must treat any bytecode of a program with
+    [scratch_size > 0] as effectful (scratch read/write cannot be told
+    apart statically). *)

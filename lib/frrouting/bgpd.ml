@@ -36,11 +36,15 @@ type config = {
       (** native origin validation (trie-based, FRR-style) *)
   igp_metric : int -> int;  (** IGP metric towards a next-hop address *)
   xtras : (string * bytes) list;  (** config extras for [get_xtra] *)
+  batch_updates : bool;
+      (** process a multi-prefix UPDATE's NLRI as one batch sharing one
+          converted attribute view (off = the legacy per-prefix path,
+          kept for the dispatch-bench baseline) *)
 }
 
 let config ?(cluster_id = 0) ?(hold_time = 90) ?(native_rr = false)
-    ?native_ov ?(igp_metric = fun _ -> 0) ?(xtras = []) ~name ~router_id
-    ~local_as ~local_addr () =
+    ?native_ov ?(igp_metric = fun _ -> 0) ?(xtras = [])
+    ?(batch_updates = true) ~name ~router_id ~local_as ~local_addr () =
   {
     name;
     router_id;
@@ -52,6 +56,7 @@ let config ?(cluster_id = 0) ?(hold_time = 90) ?(native_rr = false)
     native_ov;
     igp_metric;
     xtras;
+    batch_updates;
   }
 
 (* Communities used to tag origin-validation results, both by native code
@@ -145,6 +150,11 @@ type t = {
   mutable flush_scheduled : bool;
   xtras : (string, bytes) Hashtbl.t;
   mutable log_fn : string -> unit;
+  mutable base_ops : Xbgp.Host_intf.ops;
+      (** the per-update-invariant ops closures, built once at [create]
+          instead of per message (dispatch fast path) *)
+  args_pool : Xbgp.Host_intf.Args.t array;
+  mutable args_busy : int;  (** bitmask over [args_pool] slots *)
 }
 
 let decision_view : route Rib.Decision.view =
@@ -185,7 +195,7 @@ let rib_add_hook :
     (t -> addr:int -> len:int -> nexthop:int -> bool) ref =
   ref (fun _ ~addr:_ ~len:_ ~nexthop:_ -> false)
 
-let base_ops t =
+let make_base_ops t =
   {
     Xbgp.Host_intf.null_ops with
     get_xtra = (fun key -> Hashtbl.find_opt t.xtras key);
@@ -193,15 +203,47 @@ let base_ops t =
     log = (fun m -> t.log_fn (t.config.name ^ ": " ^ m));
   }
 
+(* Reusable argument buffers for [Vmm.run]: a dispatch borrows a parked
+   buffer and returns it when the run ends. Dispatches nest — a rib_add
+   helper can originate, propagate and re-enter [Vmm.run] while the
+   outer run still reads its arguments — so a small pool with a busy
+   bitmask hands each nesting level its own buffer, allocating fresh
+   only past the pool's depth. *)
+let borrow_args t =
+  let n = Array.length t.args_pool in
+  let rec go i =
+    if i >= n then Xbgp.Host_intf.Args.create ()
+    else if t.args_busy land (1 lsl i) = 0 then begin
+      t.args_busy <- t.args_busy lor (1 lsl i);
+      t.args_pool.(i)
+    end
+    else go (i + 1)
+  in
+  go 0
+
+let release_args t a =
+  Xbgp.Host_intf.Args.clear a;
+  let n = Array.length t.args_pool in
+  let rec go i =
+    if i < n then
+      if t.args_pool.(i) == a then
+        t.args_busy <- t.args_busy land lnot (1 lsl i)
+      else go (i + 1)
+  in
+  go 0
+
 let vmm_run t point ~ops ~args ~default =
   match t.vmm with
   | None -> default ()
   | Some vmm -> Xbgp.Vmm.run vmm point ~ops ~args ~default
 
+let set_prefix_arg b p =
+  Bytes.set_int32_be b 0 (Int32.of_int (Bgp.Prefix.addr p));
+  Bytes.set_uint8 b 4 (Bgp.Prefix.len p)
+
 let prefix_arg p =
   let b = Bytes.create 5 in
-  Bytes.set_int32_be b 0 (Int32.of_int (Bgp.Prefix.addr p));
-  Bytes.set_uint8 b 4 (Bgp.Prefix.len p);
+  set_prefix_arg b p;
   b
 
 let source_arg (r : route) =
@@ -214,10 +256,11 @@ let source_arg (r : route) =
       src_is_local = r.src = -1;
     }
 
-(* ops over a mutable route under construction/modification *)
+(* ops over a mutable route under construction/modification; the copy
+   shares [t.base_ops]'s invariant closures *)
 let route_ops t ~peer ~(route_ref : route ref) =
   {
-    (base_ops t) with
+    t.base_ops with
     Xbgp.Host_intf.peer_info =
       (fun () -> Option.map (fun p -> peer_info t p) peer);
     nexthop =
@@ -259,15 +302,14 @@ let candidate_arg t (r : route) =
 let decision_compare t vmm a b =
   Telemetry.Counter.inc t.probes.c_decisions;
   if Xbgp.Vmm.has_attachment vmm Xbgp.Api.Bgp_decision then begin
+    let args = borrow_args t in
+    Xbgp.Host_intf.Args.set args Xbgp.Api.arg_candidate_a (candidate_arg t a);
+    Xbgp.Host_intf.Args.set args Xbgp.Api.arg_candidate_b (candidate_arg t b);
     let verdict =
-      Xbgp.Vmm.run vmm Xbgp.Api.Bgp_decision ~ops:(base_ops t)
-        ~args:
-          [
-            (Xbgp.Api.arg_candidate_a, candidate_arg t a);
-            (Xbgp.Api.arg_candidate_b, candidate_arg t b);
-          ]
+      Xbgp.Vmm.run vmm Xbgp.Api.Bgp_decision ~ops:t.base_ops ~args
         ~default:(fun () -> Xbgp.Api.decision_tie)
     in
+    release_args t args;
     if verdict = Xbgp.Api.decision_first then -1
     else if verdict = Xbgp.Api.decision_second then 1
     else Rib.Decision.compare decision_view a b
@@ -447,7 +489,7 @@ and send_advertisements t peer advs =
          (e.g. the GeoLoc TLV the native encoder cannot emit) *)
       let ops =
         {
-          (base_ops t) with
+          t.base_ops with
           Xbgp.Host_intf.peer_info = (fun () -> Some (peer_info t peer));
           get_attr = (fun code -> Attr_intern.get_tlv attrs code);
           write_buf =
@@ -456,10 +498,13 @@ and send_advertisements t peer advs =
               true);
         }
       in
+      let args = borrow_args t in
+      Xbgp.Host_intf.Args.set args Xbgp.Api.arg_update_payload
+        (Buffer.to_bytes buf);
       ignore
-        (vmm_run t Xbgp.Api.Bgp_encode_message ~ops
-           ~args:[ (Xbgp.Api.arg_update_payload, Buffer.to_bytes buf) ]
+        (vmm_run t Xbgp.Api.Bgp_encode_message ~ops ~args
            ~default:(fun () -> Xbgp.Api.ret_ok));
+      release_args t args;
       let attr_bytes = Buffer.to_bytes buf in
       let budget = 4000 - Bytes.length attr_bytes in
       let rec chunk acc size = function
@@ -484,15 +529,14 @@ and export t (target : peer) prefix (r : route) : Attr_intern.t option =
   else begin
     let route_ref = ref r in
     let ops = route_ops t ~peer:(Some target) ~route_ref in
+    let args = borrow_args t in
+    Xbgp.Host_intf.Args.set args Xbgp.Api.arg_prefix (prefix_arg prefix);
+    Xbgp.Host_intf.Args.set args Xbgp.Api.arg_source (source_arg r);
     let verdict =
-      vmm_run t Xbgp.Api.Bgp_outbound_filter ~ops
-        ~args:
-          [
-            (Xbgp.Api.arg_prefix, prefix_arg prefix);
-            (Xbgp.Api.arg_source, source_arg r);
-          ]
+      vmm_run t Xbgp.Api.Bgp_outbound_filter ~ops ~args
         ~default:(fun () -> native_export t route_ref target)
     in
+    release_args t args;
     if verdict = Xbgp.Api.filter_accept then
       Some (canonicalize t !route_ref target)
     else begin
@@ -548,30 +592,109 @@ let withdraw_prefix t peer prefix =
     propagate t prefix change
   | None -> ()
 
+let accept_route t peer prefix (r : route) =
+  Telemetry.Counter.inc t.probes.c_routes_in;
+  ignore (Rib.Adj_rib.set t.adj_in ~peer:peer.idx prefix r);
+  let change = Rib.Loc_rib.update t.loc ~peer:peer.idx prefix (Some r) in
+  propagate t prefix change
+
+let reject_route t peer prefix =
+  Telemetry.Counter.inc t.probes.c_import_rejected;
+  withdraw_prefix t peer prefix
+
+(* The legacy per-prefix path (kept verbatim for the dispatch-bench
+   baseline; [config.batch_updates = false]). *)
 let learn_route t peer prefix (route : route) =
   let route_ref = ref route in
   let ops = route_ops t ~peer:(Some peer) ~route_ref in
   let verdict =
     vmm_run t Xbgp.Api.Bgp_inbound_filter ~ops
       ~args:
-        [
-          (Xbgp.Api.arg_prefix, prefix_arg prefix);
-          (Xbgp.Api.arg_source, source_arg route);
-        ]
+        (Xbgp.Host_intf.Args.of_list
+           [
+             (Xbgp.Api.arg_prefix, prefix_arg prefix);
+             (Xbgp.Api.arg_source, source_arg route);
+           ])
       ~default:(fun () -> native_import t route_ref prefix peer)
   in
-  if verdict = Xbgp.Api.filter_accept then begin
-    Telemetry.Counter.inc t.probes.c_routes_in;
-    ignore (Rib.Adj_rib.set t.adj_in ~peer:peer.idx prefix !route_ref);
-    let change =
-      Rib.Loc_rib.update t.loc ~peer:peer.idx prefix (Some !route_ref)
+  if verdict = Xbgp.Api.filter_accept then accept_route t peer prefix !route_ref
+  else reject_route t peer prefix
+
+(* Batched NLRI processing: every prefix of one UPDATE shares the same
+   attribute record, so share the converted view and the dispatch
+   plumbing across the batch. *)
+let learn_routes t peer prefixes (route : route) =
+  match prefixes with
+  | [] -> ()
+  | first :: _ ->
+    let has_inbound_ext =
+      match t.vmm with
+      | Some vmm -> Xbgp.Vmm.has_attachment vmm Xbgp.Api.Bgp_inbound_filter
+      | None -> false
     in
-    propagate t prefix change
-  end
-  else begin
-    Telemetry.Counter.inc t.probes.c_import_rejected;
-    withdraw_prefix t peer prefix
-  end
+    let batchable_ext =
+      (not has_inbound_ext)
+      ||
+      match t.vmm with
+      | Some vmm ->
+        Xbgp.Vmm.batch_invariant vmm Xbgp.Api.Bgp_inbound_filter
+          ~variant_args:[ Xbgp.Api.arg_prefix ]
+      | None -> true
+    in
+    if batchable_ext && t.config.native_ov = None then begin
+      (* Fast path: no prefix-dependent policy anywhere on the import
+         chain. The RFC 4456 loop checks in [native_import] read only
+         the shared attributes, and any attached bytecode provably
+         never fetches the prefix argument and has no per-call state
+         ([Vmm.batch_invariant]) — so one verdict (and one set of
+         route-attribute edits) covers the whole NLRI list. *)
+      let route_ref = ref route in
+      let verdict =
+        if has_inbound_ext then begin
+          let ops = route_ops t ~peer:(Some peer) ~route_ref in
+          let args = borrow_args t in
+          Xbgp.Host_intf.Args.set args Xbgp.Api.arg_prefix (prefix_arg first);
+          Xbgp.Host_intf.Args.set args Xbgp.Api.arg_source (source_arg route);
+          let v =
+            vmm_run t Xbgp.Api.Bgp_inbound_filter ~ops ~args
+              ~default:(fun () -> native_import t route_ref first peer)
+          in
+          release_args t args;
+          v
+        end
+        else native_import t route_ref first peer
+      in
+      if verdict = Xbgp.Api.filter_accept then
+        List.iter (fun prefix -> accept_route t peer prefix !route_ref) prefixes
+      else List.iter (fun prefix -> reject_route t peer prefix) prefixes
+    end
+    else begin
+      (* Per-prefix verdicts are required (inbound bytecode or origin
+         validation), but the ops record, the source argument and the
+         argument buffer are still hoisted out of the loop. The 5-byte
+         prefix buffer is mutated in place between runs — safe because
+         [get_arg] copies the payload into the VM heap. *)
+      let route_ref = ref route in
+      let ops = route_ops t ~peer:(Some peer) ~route_ref in
+      let src = source_arg route in
+      let pbuf = Bytes.create 5 in
+      let args = borrow_args t in
+      Xbgp.Host_intf.Args.set args Xbgp.Api.arg_prefix pbuf;
+      Xbgp.Host_intf.Args.set args Xbgp.Api.arg_source src;
+      List.iter
+        (fun prefix ->
+          route_ref := route;
+          set_prefix_arg pbuf prefix;
+          let verdict =
+            vmm_run t Xbgp.Api.Bgp_inbound_filter ~ops ~args
+              ~default:(fun () -> native_import t route_ref prefix peer)
+          in
+          if verdict = Xbgp.Api.filter_accept then
+            accept_route t peer prefix !route_ref
+          else reject_route t peer prefix)
+        prefixes;
+      release_args t args
+    end
 
 (* RFC 7606 treat-as-withdraw: an UPDATE that carries NLRI but lacks any
    of the mandatory ORIGIN / AS_PATH / NEXT_HOP attributes must not be
@@ -606,7 +729,7 @@ let on_update t peer (u : Bgp.Message.update) ~raw =
      in
      let ops =
        {
-         (base_ops t) with
+         t.base_ops with
          Xbgp.Host_intf.peer_info = (fun () -> Some (peer_info t peer));
          set_attr =
            (fun tlv ->
@@ -614,10 +737,12 @@ let on_update t peer (u : Bgp.Message.update) ~raw =
              true);
        }
      in
+     let args = borrow_args t in
+     Xbgp.Host_intf.Args.set args Xbgp.Api.arg_update_payload body;
      ignore
-       (vmm_run t Xbgp.Api.Bgp_receive_message ~ops
-          ~args:[ (Xbgp.Api.arg_update_payload, body) ]
-          ~default:(fun () -> Xbgp.Api.ret_ok)));
+       (vmm_run t Xbgp.Api.Bgp_receive_message ~ops ~args
+          ~default:(fun () -> Xbgp.Api.ret_ok));
+     release_args t args);
   List.iter (fun p -> withdraw_prefix t peer p) u.withdrawn;
   if u.nlri <> [] && not (mandatory_present u.attrs (List.rev !extra_tlvs))
   then List.iter (fun p -> withdraw_prefix t peer p) u.nlri
@@ -649,7 +774,8 @@ let on_update t peer (u : Bgp.Message.update) ~raw =
           igp_cost = t.config.igp_metric attrs0.next_hop;
         }
       in
-      List.iter (fun p -> learn_route t peer p route) u.nlri
+      if t.config.batch_updates then learn_routes t peer u.nlri route
+      else List.iter (fun p -> learn_route t peer p route) u.nlri
     end
   end
 
@@ -704,8 +830,12 @@ let create ?telemetry ?vmm ~sched (config : config)
       flush_scheduled = false;
       xtras = Hashtbl.create 8;
       log_fn = ignore;
+      base_ops = Xbgp.Host_intf.null_ops;
+      args_pool = Array.init 4 (fun _ -> Xbgp.Host_intf.Args.create ());
+      args_busy = 0;
     }
   in
+  t.base_ops <- make_base_ops t;
   List.iter (fun (k, v) -> Hashtbl.replace t.xtras k v) config.xtras;
   t.peers <-
     Array.of_list
@@ -757,7 +887,7 @@ let create ?telemetry ?vmm ~sched (config : config)
 (** Start all sessions and run extension initialization bytecodes. *)
 let start t =
   (match t.vmm with
-  | Some vmm -> Xbgp.Vmm.run_init vmm ~ops:(base_ops t)
+  | Some vmm -> Xbgp.Vmm.run_init vmm ~ops:t.base_ops
   | None -> ());
   Array.iter (fun p -> Session.Fsm.start p.session) t.peers
 

@@ -372,7 +372,9 @@ let vmm_round_trip engine prog :
         let v =
           Xbgp.Vmm.run vmm Xbgp.Api.Bgp_inbound_filter
             ~ops:Xbgp.Host_intf.null_ops
-            ~args:[ (Xbgp.Api.arg_prefix, prefix_arg) ]
+            ~args:
+              (Xbgp.Host_intf.Args.of_list
+                 [ (Xbgp.Api.arg_prefix, prefix_arg) ])
             ~default:(fun () -> 0L)
         in
         let st = Xbgp.Vmm.stats vmm in

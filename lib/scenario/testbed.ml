@@ -19,11 +19,14 @@ type mode = {
   engine : Ebpf.Vm.engine;  (** eBPF engine for the DUT's extensions *)
   telemetry : Telemetry.t option;
       (** shared registry for the whole deployment; None = disabled *)
+  batch_updates : bool;
+      (** batched NLRI processing in every daemon (false = the legacy
+          per-prefix path, the dispatch-bench baseline) *)
 }
 
 let mode ?(host = `Frr) ?(ibgp = true) ?manifest ?(native_rr = false)
     ?native_ov_roas ?(xtras = []) ?(hold_time = 90)
-    ?(engine = Ebpf.Vm.Interpreted) ?telemetry () =
+    ?(engine = Ebpf.Vm.Interpreted) ?telemetry ?(batch_updates = true) () =
   {
     host;
     ibgp;
@@ -34,6 +37,7 @@ let mode ?(host = `Frr) ?(ibgp = true) ?manifest ?(native_rr = false)
     hold_time;
     engine;
     telemetry;
+    batch_updates;
   }
 
 type t = {
@@ -76,13 +80,15 @@ let create (m : mode) : t =
   let upstream =
     Frrouting.Bgpd.create ~telemetry ~sched
       (Frrouting.Bgpd.config ~name:"upstream" ~router_id:up_addr
-         ~local_as:up_as ~local_addr:up_addr ~hold_time:m.hold_time ())
+         ~local_as:up_as ~local_addr:up_addr ~hold_time:m.hold_time
+         ~batch_updates:m.batch_updates ())
       [ frr_peer "dut" dut_as dut_addr l1_up ]
   in
   let downstream =
     Frrouting.Bgpd.create ~telemetry ~sched
       (Frrouting.Bgpd.config ~name:"downstream" ~router_id:down_addr
-         ~local_as:down_as ~local_addr:down_addr ~hold_time:m.hold_time ())
+         ~local_as:down_as ~local_addr:down_addr ~hold_time:m.hold_time
+         ~batch_updates:m.batch_updates ())
       [ frr_peer "dut" dut_as dut_addr l2_down ]
   in
   let dut_vmm =
@@ -100,7 +106,8 @@ let create (m : mode) : t =
         (Frrouting.Bgpd.create ~telemetry ?vmm:dut_vmm ~sched
            (Frrouting.Bgpd.config ~name:"dut" ~router_id:dut_addr
               ~local_as:dut_as ~local_addr:dut_addr ~hold_time:m.hold_time
-              ~native_rr:m.native_rr ?native_ov ~xtras:m.xtras ())
+              ~native_rr:m.native_rr ?native_ov ~xtras:m.xtras
+              ~batch_updates:m.batch_updates ())
            [
              frr_peer "upstream" up_as up_addr l1_dut;
              frr_peer ~rr_client:true "downstream" down_as down_addr l2_dut;
@@ -111,7 +118,8 @@ let create (m : mode) : t =
         (Bird.Bgpd.create ~telemetry ?vmm:dut_vmm ~sched
            (Bird.Bgpd.config ~name:"dut" ~router_id:dut_addr
               ~local_as:dut_as ~local_addr:dut_addr ~hold_time:m.hold_time
-              ~native_rr:m.native_rr ?native_ov ~xtras:m.xtras ())
+              ~native_rr:m.native_rr ?native_ov ~xtras:m.xtras
+              ~batch_updates:m.batch_updates ())
            [
              bird_peer "upstream" up_as up_addr l1_dut;
              bird_peer ~rr_client:true "downstream" down_as down_addr l2_dut;

@@ -18,6 +18,9 @@ type mode = {
   engine : Ebpf.Vm.engine;  (** eBPF engine for the DUT's extensions *)
   telemetry : Telemetry.t option;
       (** shared registry for the whole deployment; None = disabled *)
+  batch_updates : bool;
+      (** batched NLRI processing in every daemon (false = the legacy
+          per-prefix path, the dispatch-bench baseline) *)
 }
 
 val mode :
@@ -30,6 +33,7 @@ val mode :
   ?hold_time:int ->
   ?engine:Ebpf.Vm.engine ->
   ?telemetry:Telemetry.t ->
+  ?batch_updates:bool ->
   unit ->
   mode
 

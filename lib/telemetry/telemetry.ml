@@ -152,6 +152,8 @@ let dummy_span : Span.t =
 
 type t = {
   mutable enabled : bool;
+  mutable sample_n : int;  (* record 1 span in [sample_n]; 1 = every span *)
+  mutable sample_tick : int;
   families : (string, family) Hashtbl.t;
   mutable clock_us : unit -> int;
   mutable clock_ns : unit -> int;
@@ -171,6 +173,8 @@ let create ?(enabled = true) ?(ring_capacity = 4096) () =
   let capacity = max 1 ring_capacity in
   {
     enabled;
+    sample_n = 1;
+    sample_tick = 0;
     families = Hashtbl.create 32;
     clock_us = (fun () -> 0);
     clock_ns = default_ns;
@@ -185,6 +189,30 @@ let create ?(enabled = true) ?(ring_capacity = 4096) () =
 
 let enabled t = t.enabled
 let set_enabled t e = t.enabled <- e
+
+let set_span_sampling t n =
+  t.sample_n <- max 1 n;
+  t.sample_tick <- 0
+
+let span_sampling t = t.sample_n
+
+(* One shared deterministic tick stream: every would-be expensive event
+   (a span, a helper-latency measurement) consumes a tick and records
+   only when its tick is the [sample_n]-th. Counters never consult this —
+   they are always exact. *)
+let sample t =
+  t.enabled
+  && (t.sample_n <= 1
+     ||
+     let tick = t.sample_tick + 1 in
+     if tick >= t.sample_n then begin
+       t.sample_tick <- 0;
+       true
+     end
+     else begin
+       t.sample_tick <- tick;
+       false
+     end)
 let set_clock_us t f = t.clock_us <- f
 let set_clock_ns t f = t.clock_ns <- f
 let now_us t = t.clock_us ()
@@ -269,7 +297,7 @@ let metric_names t =
 (* --- spans --- *)
 
 let span_begin t ?(tags = []) name : Span.t =
-  if not t.enabled then dummy_span
+  if not (sample t) then dummy_span
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;

@@ -32,6 +32,22 @@ val create : ?enabled:bool -> ?ring_capacity:int -> unit -> t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
+val set_span_sampling : t -> int -> unit
+(** [set_span_sampling t n] records only one span in [n] (deterministic
+    modulo counting, not random). Counters and gauges remain exact;
+    histograms fed from sampled code paths (e.g. the VMM's span-derived
+    latency histograms) see proportionally fewer observations. [n <= 1]
+    restores the record-everything default. *)
+
+val span_sampling : t -> int
+(** The current 1-in-N span sampling factor (1 = every span). *)
+
+val sample : t -> bool
+(** Consume one sampling tick: [true] when the registry is enabled and
+    this event is the 1-in-N one that should pay for expensive
+    instrumentation (clock reads, allocation). Hot paths use this to
+    gate latency measurements the same way {!span_begin} gates spans. *)
+
 val set_clock_us : t -> (unit -> int) -> unit
 (** Install the trace timebase, in microseconds. The simulator installs
     [fun () -> Netsim.Sched.now sched]; the default clock returns 0. *)
@@ -136,7 +152,8 @@ val metric_names : t -> string list
     Finished spans land in a bounded ring — when it wraps, the oldest
     spans are dropped and counted in {!dropped_spans}. When the registry
     is disabled, {!span_begin} returns a shared dummy and records
-    nothing. *)
+    nothing; under {!set_span_sampling} it does the same for the
+    unsampled ticks. *)
 
 module Span : sig
   type t = {

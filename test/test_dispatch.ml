@@ -1,0 +1,431 @@
+(* The dispatch fast path: conversion-cache equivalence (cached and
+   fresh conversions must be indistinguishable, for both hosts and under
+   mutation), batch-invariance analysis (which import chains may legally
+   share one dispatch across an UPDATE's NLRI), batched NLRI processing
+   (a K-prefix UPDATE must leave exactly the state of K single-prefix
+   UPDATEs), and span sampling (counters exact, spans 1-in-N). *)
+
+let qc = Qc.to_alcotest
+let check = Alcotest.check
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+(* --- generators ------------------------------------------------- *)
+
+let gen_asn = QCheck2.Gen.int_range 1 0xFFFF
+let gen_u32 = QCheck2.Gen.int_range 1 0xFFFFFFF
+
+(* a well-formed attribute list: mandatory attributes always present,
+   optional ones sometimes *)
+let gen_attr_list =
+  QCheck2.Gen.(
+    let opt_attr g = option (map Bgp.Attr.v g) in
+    map
+      (fun (path, (med, (lp, (comms, (orig, cl))))) ->
+        Bgp.Attr.(
+          [
+            v (Origin Igp);
+            v (As_path [ Seq path ]);
+            v (Next_hop 0x0A000001);
+          ]
+          @ List.filter_map Fun.id [ med; lp; comms; orig; cl ]))
+      (pair
+         (list_size (int_range 1 6) gen_asn)
+         (pair
+            (opt_attr (map (fun m -> Bgp.Attr.Med m) gen_u32))
+            (pair
+               (opt_attr (map (fun l -> Bgp.Attr.Local_pref l) gen_u32))
+               (pair
+                  (opt_attr
+                     (map
+                        (fun cs -> Bgp.Attr.Communities cs)
+                        (list_size (int_range 1 4) gen_u32)))
+                  (pair
+                     (opt_attr
+                        (map (fun o -> Bgp.Attr.Originator_id o) gen_u32))
+                     (opt_attr
+                        (map
+                           (fun cl -> Bgp.Attr.Cluster_list cl)
+                           (list_size (int_range 1 3) gen_u32)))))))))
+
+(* a mutation: install/replace an attribute, remove an optional one, or
+   prepend to the AS path — the three cache-invalidation paths *)
+type mutation =
+  | Set of Bgp.Attr.t
+  | Remove of int
+  | Prepend of int
+
+let gen_mutation =
+  QCheck2.Gen.(
+    oneof
+      [
+        map
+          (fun m -> Set (Bgp.Attr.v (Bgp.Attr.Med m)))
+          gen_u32;
+        map
+          (fun cs -> Set (Bgp.Attr.v (Bgp.Attr.Communities cs)))
+          (list_size (int_range 1 4) gen_u32);
+        map (fun l -> Set (Bgp.Attr.v (Bgp.Attr.Local_pref l))) gen_u32;
+        map
+          (fun c -> Remove c)
+          (oneofl
+             Bgp.Attr.
+               [
+                 code_med;
+                 code_local_pref;
+                 code_communities;
+                 code_originator_id;
+                 code_cluster_list;
+               ]);
+        map (fun a -> Prepend a) gen_asn;
+      ])
+
+let gen_case =
+  QCheck2.Gen.(pair gen_attr_list (list_size (int_range 0 6) gen_mutation))
+
+let all_codes =
+  Bgp.Attr.
+    [
+      code_origin;
+      code_as_path;
+      code_next_hop;
+      code_med;
+      code_local_pref;
+      code_atomic_aggregate;
+      code_aggregator;
+      code_communities;
+      code_originator_id;
+      code_cluster_list;
+    ]
+
+(* --- FRR cache equivalence -------------------------------------- *)
+
+(* every xBGP-boundary conversion the record supports, as comparable
+   strings (the returned bytes are shared, so copy) *)
+let observe_frr t =
+  ( Frrouting.Attr_intern.to_attrs t,
+    List.filter_map
+      (fun c ->
+        Option.map
+          (fun b -> (c, Bytes.to_string b))
+          (Frrouting.Attr_intern.get_tlv t c))
+      all_codes )
+
+let apply_frr t = function
+  | Set a -> Frrouting.Attr_intern.set_tlv t (Bgp.Attr.to_tlv a)
+  | Remove c -> Frrouting.Attr_intern.remove t c
+  | Prepend asn -> Frrouting.Attr_intern.prepend_as t asn
+
+(* run the whole build+mutate sequence, observing all conversions twice
+   after every step (the second observation exercises the warm path) *)
+let trace_frr ~cache (attrs, muts) =
+  Frrouting.Attr_intern.set_conversion_cache cache;
+  Fun.protect
+    ~finally:(fun () -> Frrouting.Attr_intern.set_conversion_cache true)
+    (fun () ->
+      let t0 = Frrouting.Attr_intern.of_attrs attrs in
+      let acc = ref [ observe_frr t0; observe_frr t0 ] in
+      let _final =
+        List.fold_left
+          (fun t m ->
+            let t' = apply_frr t m in
+            acc := observe_frr t' :: observe_frr t' :: !acc;
+            t')
+          t0 muts
+      in
+      List.rev !acc)
+
+let prop_frr_cache_equiv =
+  QCheck2.Test.make ~count:300 ~name:"frr cached = fresh conversions"
+    gen_case
+    (fun case -> trace_frr ~cache:true case = trace_frr ~cache:false case)
+
+(* --- BIRD cache equivalence ------------------------------------- *)
+
+let observe_bird s =
+  ( Bird.Eattr.to_attrs s,
+    Bytes.to_string (Bird.Eattr.encode_known s),
+    List.filter_map
+      (fun c ->
+        Option.map (fun b -> (c, Bytes.to_string b)) (Bird.Eattr.get_tlv s c))
+      all_codes )
+
+let apply_bird s = function
+  | Set a -> Bird.Eattr.set_tlv s (Bgp.Attr.to_tlv a)
+  | Remove c -> Bird.Eattr.remove_code c s
+  | Prepend asn -> Bird.Eattr.prepend_as s asn
+
+let trace_bird ~cache (attrs, muts) =
+  Bird.Eattr.set_conversion_cache cache;
+  Fun.protect
+    ~finally:(fun () -> Bird.Eattr.set_conversion_cache true)
+    (fun () ->
+      let s0 = Bird.Eattr.of_attrs attrs in
+      let acc = ref [ observe_bird s0; observe_bird s0 ] in
+      let _final =
+        List.fold_left
+          (fun s m ->
+            let s' = apply_bird s m in
+            acc := observe_bird s' :: observe_bird s' :: !acc;
+            s')
+          s0 muts
+      in
+      List.rev !acc)
+
+let prop_bird_cache_equiv =
+  QCheck2.Test.make ~count:300 ~name:"bird cached = fresh conversions"
+    gen_case
+    (fun case -> trace_bird ~cache:true case = trace_bird ~cache:false case)
+
+(* the memo actually serves warm probes (otherwise the equivalence
+   property would pass vacuously with a cache that never engages) *)
+let test_cache_hits () =
+  Frrouting.Attr_intern.set_conversion_cache true;
+  Frrouting.Attr_intern.reset_intern_table ();
+  let t =
+    Frrouting.Attr_intern.of_attrs
+      Bgp.Attr.
+        [
+          v (Origin Igp);
+          v (As_path [ Seq [ 65001; 65002 ] ]);
+          v (Next_hop 0x0A000001);
+          v (Communities [ 1; 2; 3 ]);
+        ]
+  in
+  Frrouting.Attr_intern.reset_conversion_cache_stats ();
+  for _ = 1 to 10 do
+    ignore (Frrouting.Attr_intern.get_tlv t Bgp.Attr.code_as_path);
+    ignore (Frrouting.Attr_intern.get_tlv t Bgp.Attr.code_communities)
+  done;
+  let hits, misses = Frrouting.Attr_intern.conversion_cache_stats () in
+  check_int "one miss per distinct code" 2 misses;
+  check_int "warm probes hit" 18 hits;
+  (* absent attributes are answered from the record, not the memo *)
+  Frrouting.Attr_intern.reset_conversion_cache_stats ();
+  ignore (Frrouting.Attr_intern.get_tlv t Bgp.Attr.code_med);
+  check
+    (Alcotest.pair Alcotest.int Alcotest.int)
+    "absent probe touches no memo" (0, 0)
+    (Frrouting.Attr_intern.conversion_cache_stats ())
+
+(* --- batch-invariance analysis ---------------------------------- *)
+
+let vmm_of m = Xprogs.Registry.vmm_of_manifest ~host:"test" m
+
+let test_batch_invariant () =
+  let inv vmm =
+    Xbgp.Vmm.batch_invariant vmm Xbgp.Api.Bgp_inbound_filter
+      ~variant_args:[ Xbgp.Api.arg_prefix ]
+  in
+  (* empty chain: vacuously invariant *)
+  check_bool "empty chain" true (inv (Xbgp.Vmm.create ~host:"test" ()));
+  (* route reflection reads peer info and attributes only *)
+  check_bool "route_reflector import" true
+    (inv (vmm_of Xprogs.Route_reflector.manifest));
+  (* origin validation fetches the prefix argument: the verdict varies
+     across the batch *)
+  check_bool "origin_validation import" false
+    (inv (vmm_of Xprogs.Origin_validation.manifest));
+  (* prefix_limit counts per-call map state: effectful *)
+  check_bool "prefix_limit import" false
+    (inv (vmm_of Xprogs.Prefix_limit.manifest))
+
+let test_dispatch_summary () =
+  let summary_of prog bc =
+    Xbgp.Xprog.dispatch_summary (List.assoc bc prog.Xbgp.Xprog.bytecodes)
+  in
+  let rr = summary_of Xprogs.Route_reflector.program "import" in
+  check_bool "rr import non-effectful" false rr.Xbgp.Xprog.effectful;
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "rr import arg reads" (Some []) rr.Xbgp.Xprog.arg_reads;
+  let ov = summary_of Xprogs.Origin_validation.program "import" in
+  check_bool "ov import non-effectful" false ov.Xbgp.Xprog.effectful;
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "ov import reads the prefix"
+    (Some [ Xbgp.Api.arg_prefix ])
+    ov.Xbgp.Xprog.arg_reads;
+  let pl = summary_of Xprogs.Prefix_limit.program "import" in
+  check_bool "prefix_limit import effectful (map writes)" true
+    pl.Xbgp.Xprog.effectful
+
+(* --- batched NLRI processing ≡ sequential ------------------------ *)
+
+(* a table whose prefixes share attribute records in groups, so the
+   upstream's flush emits genuine multi-prefix UPDATEs *)
+let grouped_routes ~groups ~per_group =
+  List.concat
+    (List.init groups (fun g ->
+         let attrs =
+           Bgp.Attr.
+             [
+               v (Origin Igp);
+               v (As_path [ Seq [ 65100 + g; 65200 ] ]);
+               v (Next_hop 0x0A000001);
+               v (Communities [ 0x00640000 + g ]);
+             ]
+         in
+         List.init per_group (fun i ->
+             {
+               Dataset.Ris_gen.prefix =
+                 Bgp.Prefix.v (0x0B000000 + (((g * per_group) + i) lsl 8)) 24;
+               attrs;
+             })))
+
+let dut_state tb =
+  ( Scenario.Daemon.loc_snapshot tb.Scenario.Testbed.dut,
+    Frrouting.Bgpd.loc_snapshot tb.Scenario.Testbed.downstream )
+
+let run_mode mode routes =
+  let tb = Scenario.Testbed.create mode in
+  Scenario.Testbed.establish tb;
+  Scenario.Testbed.feed tb routes;
+  check_bool "table converged" true
+    (Scenario.Testbed.run_until_downstream_has tb (List.length routes));
+  (* the batching scenario must actually see multi-prefix UPDATEs *)
+  check_bool "multi-prefix UPDATEs reached the DUT" true
+    (Scenario.Daemon.updates_rx tb.Scenario.Testbed.dut < List.length routes);
+  dut_state tb
+
+let snap =
+  Alcotest.testable
+    (fun ppf s ->
+      Fmt.pf ppf "%d prefixes, hash %d" (List.length s) (Hashtbl.hash s))
+    ( = )
+
+let batch_vs_sequential ~host ~mk_mode () =
+  let routes = grouped_routes ~groups:4 ~per_group:8 in
+  let batched = run_mode (mk_mode ~host ~batch:true) routes in
+  let sequential = run_mode (mk_mode ~host ~batch:false) routes in
+  check (Alcotest.pair snap snap) "batched = sequential state" sequential
+    batched
+
+(* route reflection: the chain is batch-invariant, so the batched run
+   exercises the shared-verdict fast path *)
+let rr_mode ~host ~batch =
+  Scenario.Testbed.mode ~host ~ibgp:true
+    ~manifest:Xprogs.Route_reflector.manifest ~batch_updates:batch ()
+
+(* origin validation reads the prefix: the batched run must detect the
+   variance and fall back to per-prefix dispatch, same final state *)
+let ov_mode roas ~host ~batch =
+  Scenario.Testbed.mode ~host ~ibgp:false
+    ~manifest:Xprogs.Origin_validation.manifest
+    ~xtras:[ ("roa_table", Xprogs.Util.encode_roa_table roas) ]
+    ~batch_updates:batch ()
+
+let test_batch_ov ~host () =
+  let routes = grouped_routes ~groups:4 ~per_group:8 in
+  let roas =
+    Dataset.Ris_gen.roas_for ~seed:11 ~valid_pct:50 ~invalid_pct:25 routes
+  in
+  let batched = run_mode (ov_mode roas ~host ~batch:true) routes in
+  let sequential = run_mode (ov_mode roas ~host ~batch:false) routes in
+  check (Alcotest.pair snap snap) "batched = sequential state" sequential
+    batched
+
+(* --- differential oracle under forced cache settings ------------- *)
+
+(* the same seed-pinned campaign must be clean with the conversion
+   caches forced on and forced off: the cache can never change the
+   xBGP-visible state either host exposes *)
+let test_oracle_caches () =
+  let campaign ~caches =
+    Frrouting.Attr_intern.set_conversion_cache caches;
+    Bird.Eattr.set_conversion_cache caches;
+    Fun.protect
+      ~finally:(fun () ->
+        Frrouting.Attr_intern.set_conversion_cache true;
+        Bird.Eattr.set_conversion_cache true)
+      (fun () -> Fuzz.Engine.campaign ~seed:21 ~cases:25 ())
+  in
+  let on = campaign ~caches:true in
+  check_int "caches on: no divergences" 0 (List.length on.Fuzz.Engine.results);
+  let off = campaign ~caches:false in
+  check_int "caches off: no divergences" 0
+    (List.length off.Fuzz.Engine.results)
+
+(* --- span sampling ----------------------------------------------- *)
+
+let test_span_sampling () =
+  let runs = 64 and n = 8 in
+  let spans_with sampling =
+    let tele = Telemetry.create ~enabled:true () in
+    Telemetry.set_span_sampling tele sampling;
+    let vmm =
+      Xprogs.Registry.vmm_of_manifest ~telemetry:tele ~host:"test"
+        Xprogs.Route_reflector.manifest
+    in
+    let pi =
+      {
+        Xbgp.Host_intf.peer_type = Xbgp.Api.ibgp_session;
+        peer_as = 65000;
+        peer_router_id = 0x0A000001;
+        peer_addr = 0x0A000001;
+        local_as = 65000;
+        local_router_id = 0x0A000002;
+        cluster_id = 0x0A000002;
+        rr_client = true;
+      }
+    in
+    let ops =
+      {
+        Xbgp.Host_intf.null_ops with
+        peer_info = (fun () -> Some pi);
+        get_attr = (fun _ -> None);
+      }
+    in
+    let args = Xbgp.Host_intf.Args.create () in
+    Telemetry.reset_spans tele;
+    let before =
+      Telemetry.counter_value tele ~name:"xbgp_runs_total" ~labels:[]
+    in
+    for _ = 1 to runs do
+      ignore
+        (Xbgp.Vmm.run vmm Xbgp.Api.Bgp_inbound_filter ~ops ~args
+           ~default:(fun () -> 0L))
+    done;
+    (Xbgp.Vmm.stats vmm, List.length (Telemetry.spans tele), before)
+  in
+  let stats_full, spans_full, _ = spans_with 1 in
+  check_int "counters exact (full)" runs stats_full.Xbgp.Vmm.runs;
+  check_bool "every dispatch spanned" true (spans_full >= runs);
+  let stats_sampled, spans_sampled, _ = spans_with n in
+  check_int "counters exact (sampled)" runs stats_sampled.Xbgp.Vmm.runs;
+  check_bool
+    (Printf.sprintf "1-in-%d sampling recorded %d spans" n spans_sampled)
+    true
+    (spans_sampled > 0 && spans_sampled <= (runs / n) + n)
+
+let () =
+  Alcotest.run "dispatch"
+    [
+      ( "conversion-cache",
+        [
+          qc prop_frr_cache_equiv;
+          qc prop_bird_cache_equiv;
+          Alcotest.test_case "memo engages" `Quick test_cache_hits;
+        ] );
+      ( "batch-invariance",
+        [
+          Alcotest.test_case "chain analysis" `Quick test_batch_invariant;
+          Alcotest.test_case "bytecode summaries" `Quick
+            test_dispatch_summary;
+        ] );
+      ( "batched-updates",
+        [
+          Alcotest.test_case "rr frr" `Quick
+            (batch_vs_sequential ~host:`Frr ~mk_mode:rr_mode);
+          Alcotest.test_case "rr bird" `Quick
+            (batch_vs_sequential ~host:`Bird ~mk_mode:rr_mode);
+          Alcotest.test_case "ov frr" `Quick (test_batch_ov ~host:`Frr);
+          Alcotest.test_case "ov bird" `Quick (test_batch_ov ~host:`Bird);
+        ] );
+      ( "fuzz-oracle",
+        [
+          Alcotest.test_case "caches forced on/off" `Slow test_oracle_caches;
+        ] );
+      ( "telemetry",
+        [ Alcotest.test_case "span sampling" `Quick test_span_sampling ] );
+    ]

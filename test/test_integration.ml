@@ -249,7 +249,7 @@ let test_fault_falls_back_to_native () =
   (* direct VMM check: run the point; it must fall back to default *)
   let result =
     Xbgp.Vmm.run vmm Xbgp.Api.Bgp_inbound_filter ~ops:Xbgp.Host_intf.null_ops
-      ~args:[] ~default:(fun () -> 42L)
+      ~args:Xbgp.Host_intf.Args.empty ~default:(fun () -> 42L)
   in
   check Alcotest.int64 "fell back to native default" 42L result;
   check Alcotest.int "fault recorded" 1 (Xbgp.Vmm.stats vmm).faults
@@ -600,8 +600,8 @@ let test_fault_injection_per_point () =
       | Error e -> Alcotest.fail e);
       (* run a raw VMM chain at that point: fault -> default *)
       let got =
-        Xbgp.Vmm.run vmm2 point ~ops:Xbgp.Host_intf.null_ops ~args:[]
-          ~default:(fun () -> 123L)
+        Xbgp.Vmm.run vmm2 point ~ops:Xbgp.Host_intf.null_ops
+          ~args:Xbgp.Host_intf.Args.empty ~default:(fun () -> 123L)
       in
       check Alcotest.int64 (Xbgp.Api.point_name point ^ " falls back") 123L
         got)

@@ -156,7 +156,7 @@ let test_attach_errors () =
 
 let run_point ?(ops = Xbgp.Host_intf.null_ops) ?(args = []) vmm point default
     =
-  Xbgp.Vmm.run vmm point ~ops ~args ~default
+  Xbgp.Vmm.run vmm point ~ops ~args:(Xbgp.Host_intf.Args.of_list args) ~default
 
 let test_no_attachment_runs_default () =
   let vmm = fresh_vmm () in

@@ -28,7 +28,9 @@ let peer ?(peer_type = Xbgp.Api.ebgp_session) ?(peer_as = 65001)
   }
 
 let run vmm point ?(ops = Xbgp.Host_intf.null_ops) ?(args = []) default =
-  Xbgp.Vmm.run vmm point ~ops ~args ~default:(fun () -> default)
+  Xbgp.Vmm.run vmm point ~ops
+    ~args:(Xbgp.Host_intf.Args.of_list args)
+    ~default:(fun () -> default)
 
 (* scripted attribute store: get_attr/set_attr backed by a TLV list ref *)
 let attr_store initial =
