@@ -987,6 +987,152 @@ let dispatch_bench () =
   dispatch_pipeline ();
   Printf.printf "\n"
 
+(* ------------------------------------------------------------------ *)
+(* Fan-out: encode-once update groups vs per-peer export               *)
+(* ------------------------------------------------------------------ *)
+
+(* Full-table export from a hub DUT to K identical spokes (the Star
+   topology), grouped vs per-peer. Every route carries a distinct MED so
+   attribute grouping cannot collapse the table into a handful of shared
+   frames: the grouped leg's win must come from running export policy,
+   outbound dispatch and UPDATE encoding once per group instead of once
+   per peer. A group-invariant outbound extension is attached so the
+   per-peer baseline also pays K bytecode dispatches per route — the
+   deployment shape the update-group engine is for.
+
+   Env knobs: XBGP_BENCH_ROUTES (table size, default 100k here — this is
+   a full-table bench), XBGP_BENCH_RUNS (rounds = max 2 runs/5). *)
+
+let fanout_n =
+  try int_of_string (Sys.getenv "XBGP_BENCH_ROUTES") with Not_found -> 100_000
+
+let fanout_routes n =
+  List.init n (fun i ->
+      let a =
+        Bgp.Prefix.addr_of_quad
+          (32 + (i lsr 16), (i lsr 8) land 255, i land 255, 0)
+      in
+      ( Bgp.Prefix.v a 24,
+        Bgp.Attr.
+          [
+            v (Origin Igp);
+            v (As_path [ Seq [ 64900; 64901 ] ]);
+            v (Next_hop 0x0A000001);
+            v (Med i);
+          ] ))
+
+(* pure compute, no helpers: provably group-invariant, attached at both
+   outbound points (filter and encode-message — the realistic "policy
+   plus wire rewriter" deployment), so the grouped leg dispatches each
+   once per route while the baseline dispatches once per route per
+   peer *)
+let fanout_vmm () =
+  let prog =
+    Ebpf.Asm.(
+      assemble
+        [
+          movi Ebpf.Insn.R7 60;
+          label "compute";
+          addi Ebpf.Insn.R0 3;
+          subi Ebpf.Insn.R7 1;
+          jnei Ebpf.Insn.R7 0 "compute";
+          movi Ebpf.Insn.R0 0;
+          (* filter_accept *)
+          exit_;
+        ])
+  in
+  let xp = Xbgp.Xprog.v ~name:"fanout_bench" [ ("main", prog) ] in
+  let vmm = Xbgp.Vmm.create ~host:"bench" ~engine:Ebpf.Vm.Block () in
+  (match Xbgp.Vmm.register vmm xp with
+  | Ok () -> ()
+  | Error e -> failwith ("fanout bench: register: " ^ e));
+  List.iter
+    (fun point ->
+      match
+        Xbgp.Vmm.attach vmm ~program:"fanout_bench" ~bytecode:"main" ~point
+          ~order:0
+      with
+      | Ok () -> ()
+      | Error e -> failwith ("fanout bench: attach: " ^ e))
+    [ Xbgp.Api.Bgp_outbound_filter; Xbgp.Api.Bgp_encode_message ];
+  vmm
+
+(* one full-table export; returns wall-clock seconds between the first
+   announcement and every sink holding the whole table, plus the star
+   for telemetry readout *)
+let fanout_run ~host ~grouped ~npeers routes =
+  let star =
+    Scenario.Star.create ~host ~vmm:(fanout_vmm ()) ~update_groups:grouped
+      ~record_frames:false ~track_rib:false ~npeers ()
+  in
+  Scenario.Star.establish star;
+  let n = List.length routes in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (p, attrs) -> Scenario.Star.originate star p attrs) routes;
+  let full () =
+    let ok = ref true in
+    for i = 0 to npeers - 1 do
+      if Scenario.Star.sink_adv_seen star i < n then ok := false
+    done;
+    !ok
+  in
+  if not (Scenario.Star.run_until ~timeout_us:3_600_000_000 star full) then
+    failwith "fanout bench: export did not converge";
+  (Unix.gettimeofday () -. t0, star)
+
+let fanout_bench () =
+  Printf.printf
+    "=== Fan-out: update groups (encode once) vs per-peer export ===\n";
+  let routes = fanout_routes fanout_n in
+  let rounds = max 2 (runs_n / 5) in
+  let peer_counts = [ 2; 4; 8; 16; 32 ] in
+  List.iter
+    (fun (host, hname) ->
+      List.iter
+        (fun npeers ->
+          let key fmt =
+            Printf.sprintf ("fanout.%s.p%d." ^^ fmt) hname npeers
+          in
+          let best_g = ref infinity and best_b = ref infinity in
+          let saved = ref 0 and groups = ref 0 in
+          for round = 0 to rounds - 1 do
+            (* alternate leg order across rounds so neither leg
+               systematically inherits a fresher heap *)
+            let legs =
+              if round mod 2 = 0 then [ true; false ] else [ false; true ]
+            in
+            List.iter
+              (fun grouped ->
+                Gc.compact ();
+                let dt, star = fanout_run ~host ~grouped ~npeers routes in
+                if grouped then begin
+                  best_g := min !best_g dt;
+                  saved :=
+                    Telemetry.counter_value
+                      (Scenario.Star.telemetry star)
+                      ~name:"bgp_fanout_bytes_saved_total"
+                      ~labels:[ ("daemon", "dut") ];
+                  groups := Scenario.Daemon.group_count (Scenario.Star.dut star)
+                end
+                else best_b := min !best_b dt)
+              legs
+          done;
+          let n = float_of_int fanout_n in
+          let speedup = !best_b /. !best_g in
+          Printf.printf
+            "%-6s p%-3d baseline=%.0f routes/s  grouped=%.0f routes/s  \
+             speedup=%.2fx  groups=%d  bytes_saved=%d\n\
+             %!"
+            hname npeers (n /. !best_b) (n /. !best_g) speedup !groups !saved;
+          record (key "baseline.routes_per_s") (n /. !best_b);
+          record (key "grouped.routes_per_s") (n /. !best_g);
+          record (key "speedup") speedup;
+          record (key "groups") (float_of_int !groups);
+          record (key "bytes_saved") (float_of_int !saved))
+        peer_counts)
+    [ (`Frr, "frr"); (`Bird, "bird") ];
+  Printf.printf "\n"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
@@ -1004,6 +1150,7 @@ let () =
   | "churn" -> churn ()
   | "telemetry" -> telemetry_bench ()
   | "dispatch" -> dispatch_bench ()
+  | "fanout" -> fanout_bench ()
   | "json" ->
     (* bare --json: run exactly the benches whose numbers land in the file *)
     micro ();
@@ -1020,10 +1167,15 @@ let () =
   | other ->
     Printf.eprintf
       "unknown bench %S \
-       (fig1|fig4|fig5|ablation|churn|telemetry|dispatch|micro|all; add \
-       --json to write BENCH_pr3.json, or BENCH_pr4.json for dispatch)\n"
+       (fig1|fig4|fig5|ablation|churn|telemetry|dispatch|fanout|micro|all; \
+       add --json to write BENCH_pr3.json, BENCH_pr4.json for dispatch, \
+       or BENCH_pr5.json for fanout)\n"
       other;
     exit 1);
   if json then
-    write_json (if which = "dispatch" then "BENCH_pr4.json" else "BENCH_pr3.json");
+    write_json
+      (match which with
+      | "dispatch" -> "BENCH_pr4.json"
+      | "fanout" -> "BENCH_pr5.json"
+      | _ -> "BENCH_pr3.json");
   Printf.printf "done.\n"

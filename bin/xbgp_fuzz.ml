@@ -12,6 +12,12 @@
    Replay mode (--replay FILE) regenerates a reproducer's case and
    re-runs the oracle on it.
 
+   Fan-out mode (--fanout) runs the multi-peer update-group oracle
+   instead: every case executes one star-topology scenario under both
+   export modes (update groups on / off) and requires byte-identical
+   per-peer UPDATE streams, adj-RIB-ins and Loc-RIBs on both hosts,
+   across session churn and live regrouping.
+
    Exit status: 0 clean, 1 findings, 124 internal error. *)
 
 let setup_logs ~quiet verbose =
@@ -37,6 +43,19 @@ let run_campaign ~cases ~seed ~out ~force_divergence ~quiet =
       Option.iter (Fmt.pr "  reproducer: %s@.") f.repro_path)
     summary.results;
   if summary.results = [] then 0 else 1
+
+let run_fanout ~cases ~seed ~force_divergence ~quiet =
+  let log s = if not quiet then print_endline s in
+  let summary =
+    Fuzz.Fanout.campaign ~perturb:force_divergence ~log ~seed ~cases ()
+  in
+  Fmt.pr "%a@." Fuzz.Fanout.pp_summary summary;
+  List.iter
+    (fun (c, findings) ->
+      Fmt.pr "@.FAILING %a@." Fuzz.Fanout.pp_case c;
+      List.iter (Fmt.pr "  %s@.") findings)
+    summary.failures;
+  if summary.failures = [] then 0 else 1
 
 let run_replay path =
   match Fuzz.Replay.load path with
@@ -101,6 +120,14 @@ let caches =
   in
   Arg.(value & opt bool true & info [ "caches" ] ~docv:"BOOL" ~doc)
 
+let fanout =
+  let doc =
+    "Run the multi-peer fan-out oracle instead of the main campaign: \
+     the same star-topology scenario under grouped and per-peer export \
+     must leave byte-identical per-peer UPDATE streams."
+  in
+  Arg.(value & flag & info [ "fanout" ] ~doc)
+
 let quiet =
   let doc = "Only print the final summary." in
   Arg.(value & flag & info [ "quiet" ] ~doc)
@@ -109,12 +136,14 @@ let verbose =
   let doc = "Verbose daemon logging." in
   Arg.(value & flag & info [ "verbose" ] ~doc)
 
-let main cases seed out no_out force_divergence caches replay quiet verbose =
+let main cases seed out no_out force_divergence caches fanout replay quiet
+    verbose =
   setup_logs ~quiet verbose;
   Frrouting.Attr_intern.set_conversion_cache caches;
   Bird.Eattr.set_conversion_cache caches;
   match replay with
   | Some path -> run_replay path
+  | None when fanout -> run_fanout ~cases ~seed ~force_divergence ~quiet
   | None ->
     let out = if no_out then None else out in
     run_campaign ~cases ~seed ~out ~force_divergence ~quiet
@@ -141,6 +170,6 @@ let cmd =
     (Cmd.info "xbgp-fuzz" ~doc ~man)
     Term.(
       const main $ cases $ seed $ out $ no_out $ force_divergence $ caches
-      $ replay $ quiet $ verbose)
+      $ fanout $ replay $ quiet $ verbose)
 
 let () = exit (Cmd.eval' cmd)

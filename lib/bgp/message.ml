@@ -108,6 +108,44 @@ let encode_update_raw ~(withdrawn : Prefix.t list) ~(attr_bytes : bytes)
   assert (pos = len);
   buf
 
+(** Build raw UPDATE frames from pre-encoded parts, splitting the prefix
+    lists so every frame respects the RFC 4271 §4 4096-byte maximum.
+    Withdrawn routes go first in attribute-less frames; the NLRI frames
+    each repeat [attr_bytes]. Returns the frames in send order — empty
+    when there is nothing to announce or withdraw.
+    @raise Parse_error when [attr_bytes] alone (with any NLRI at all)
+    cannot fit one frame. *)
+let split_update_raw ~(withdrawn : Prefix.t list) ~(attr_bytes : bytes)
+    ~(nlri : Prefix.t list) =
+  (* greedy chunking, order preserved; [capacity] is the room left for
+     prefix bytes once the header and both length fields are counted *)
+  let chunk capacity prefixes =
+    let rec go acc size chunks = function
+      | [] -> List.rev (if acc = [] then chunks else List.rev acc :: chunks)
+      | p :: rest ->
+        let s = Prefix.wire_size p in
+        if s > capacity then
+          parse_error "split_update_raw: %d attribute bytes leave no room \
+                       for NLRI"
+            (Bytes.length attr_bytes)
+        else if size + s > capacity && acc <> [] then
+          go [ p ] s (List.rev acc :: chunks) rest
+        else go (p :: acc) (size + s) chunks rest
+    in
+    go [] 0 [] prefixes
+  in
+  let wd_frames =
+    List.map
+      (fun ps -> encode_update_raw ~withdrawn:ps ~attr_bytes:Bytes.empty ~nlri:[])
+      (chunk (max_size - header_size - 4) withdrawn)
+  in
+  let nlri_frames =
+    List.map
+      (fun ps -> encode_update_raw ~withdrawn:[] ~attr_bytes ~nlri:ps)
+      (chunk (max_size - header_size - 4 - Bytes.length attr_bytes) nlri)
+  in
+  wd_frames @ nlri_frames
+
 (* --- decoding --- *)
 
 let decode_prefix_list buf pos limit =

@@ -42,7 +42,19 @@ val encode_update_raw :
   withdrawn:Prefix.t list -> attr_bytes:bytes -> nlri:Prefix.t list -> bytes
 (** Build a raw UPDATE frame from pre-encoded attribute bytes — used when
     the BGP_ENCODE_MESSAGE insertion point has appended attributes beyond
-    what the native encoder produces. *)
+    what the native encoder produces.
+    @raise Parse_error when the frame would exceed 4096 bytes (use
+    {!split_update_raw} to stay within the limit). *)
+
+val split_update_raw :
+  withdrawn:Prefix.t list -> attr_bytes:bytes -> nlri:Prefix.t list ->
+  bytes list
+(** Like {!encode_update_raw}, but splits the prefix lists (order
+    preserved, withdrawn-only frames first, every NLRI frame repeating
+    [attr_bytes]) so each frame respects the RFC 4271 §4 4096-byte
+    maximum. Empty result when both lists are empty.
+    @raise Parse_error when [attr_bytes] alone leaves no room for any
+    NLRI prefix. *)
 
 val decode : bytes -> t
 (** Decode a full frame. @raise Parse_error *)

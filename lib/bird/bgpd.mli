@@ -29,6 +29,7 @@ val config :
   ?igp_metric:(int -> int) ->
   ?xtras:(string * bytes) list ->
   ?batch_updates:bool ->
+  ?update_groups:bool ->
   name:string ->
   router_id:int ->
   local_as:int ->
@@ -39,7 +40,11 @@ val config :
     address to its IGP cost; [xtras] feed the [get_xtra] helper.
     [batch_updates] (default [true]) processes a multi-prefix UPDATE's
     NLRI as one batch sharing one converted attribute view; [false]
-    restores the legacy per-prefix path (the dispatch-bench baseline). *)
+    restores the legacy per-prefix path (the dispatch-bench baseline).
+    [update_groups] (default [true]) partitions peers into update groups
+    ({!Rib.Update_group}) so export policy, outbound dispatch and UPDATE
+    encoding run once per group and the frames fan out to every member;
+    [false] restores the per-peer export path (the fan-out baseline). *)
 
 (** Validation-result communities attached by native origin validation
     and, identically, by the extension (65535:1/2/3). *)
@@ -126,6 +131,11 @@ val loc_snapshot : t -> (Bgp.Prefix.t * Bgp.Attr.t list) list
 val iter_loc : t -> (Bgp.Prefix.t -> route -> unit) -> unit
 val stats : t -> stats
 val telemetry : t -> Telemetry.t
+
+val group_count : t -> int
+(** Active update groups (0 until a peer syncs, or when [update_groups]
+    is off). *)
+
 val peer : t -> int -> peer
 val peer_established : t -> int -> bool
 val set_log : t -> (string -> unit) -> unit

@@ -128,6 +128,10 @@ type t = {
   tele : Telemetry.t;
   fallbacks : Telemetry.Counter.t array;  (** indexed by [Api.point_index] *)
   mutable last_fault_record : fault option;
+  mutable generation : int;
+      (** bumped on every attach/detach, so hosts caching decisions
+          derived from the chains (update-group keys) can revalidate
+          with one integer compare *)
 }
 
 let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
@@ -159,9 +163,11 @@ let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
     tele;
     fallbacks;
     last_fault_record = None;
+    generation = 0;
   }
 
 let stats t = t.stats
+let generation t = t.generation
 let telemetry t = t.tele
 let last_fault_record t = t.last_fault_record
 let last_fault t = Option.map render_fault t.last_fault_record
@@ -548,6 +554,7 @@ let attach t ~program ~bytecode ~point ~order : (unit, string) result =
           (List.sort
              (fun a b -> Int.compare a.order b.order)
              (att :: Array.to_list t.chains.(idx)));
+      t.generation <- t.generation + 1;
       Ok ())
 
 let detach t ~program ~point =
@@ -556,7 +563,8 @@ let detach t ~program ~point =
     Array.of_list
       (List.filter
          (fun a -> a.ext.prog.name <> program)
-         (Array.to_list t.chains.(idx)))
+         (Array.to_list t.chains.(idx)));
+  t.generation <- t.generation + 1
 
 let attachments t point =
   List.map
@@ -580,6 +588,38 @@ let batch_invariant t point ~variant_args =
       | None -> false
       | Some reads -> not (List.exists (fun a -> List.mem a variant_args) reads))
     t.chains.(Api.point_index point)
+
+(* True when every bytecode attached at [point] provably behaves the same
+   towards every peer: the chain is global (all peers run the same
+   bytecodes), so the only ways a run can depend on — or reveal — the
+   peer are reading peer state ([h_get_peer_info]) and per-call
+   observable effects (maps, logs, rib_add, persistent scratch: one run
+   per group instead of one per peer changes what they see). Route edits
+   and the ephemeral heap are fine — the exported route is shared by the
+   whole group, exactly like an NLRI batch shares them. [h_write_buf] is
+   per-call observable too, but at the encode point one buffer per group
+   is precisely the semantics the caller wants, so it is opt-in. *)
+let group_invariant t point ~allow_write_buf =
+  Array.for_all
+    (fun att ->
+      att.ext.prog.Xprog.scratch_size = 0
+      && List.for_all
+           (fun id ->
+             (allow_write_buf && id = Api.h_write_buf)
+             || id <> Api.h_get_peer_info
+                && List.mem id Xprog.batchable_helpers)
+           att.summary.Xprog.helpers)
+    t.chains.(Api.point_index point)
+
+(* A stable textual identity of the chain at [point] — update-group keys
+   embed it so an attach/detach re-partitions the peers. *)
+let chain_signature t point =
+  String.concat ";"
+    (List.map
+       (fun att ->
+         Printf.sprintf "%s/%s@%d" att.ext.prog.Xprog.name att.bc_name
+           att.order)
+       (Array.to_list t.chains.(Api.point_index point)))
 
 let registered t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.extensions []

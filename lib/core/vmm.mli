@@ -117,6 +117,25 @@ val batch_invariant : t -> Api.point -> variant_args:int list -> bool
     UPDATE's import chain once and share the verdict — and any
     route-attribute edits — across the whole NLRI list. *)
 
+val group_invariant : t -> Api.point -> allow_write_buf:bool -> bool
+(** True when every bytecode attached at [point] provably behaves the
+    same towards every peer, so one run can stand in for a whole
+    update-group: no [h_get_peer_info], no per-call observable effects
+    (map writes, RIB injection, logging, message-buffer writes,
+    persistent scratch). [allow_write_buf] additionally admits
+    [h_write_buf] — at the encode point one shared buffer per group is
+    exactly the intended semantics. An empty chain is vacuously
+    invariant. *)
+
+val chain_signature : t -> Api.point -> string
+(** Stable textual identity (program/bytecode\@order, execution order) of
+    the chain attached at [point]; update-group keys embed it. *)
+
+val generation : t -> int
+(** Monotonic counter bumped by every {!attach} and {!detach} — lets a
+    host revalidate chain-derived cached decisions (update-group keys)
+    with one integer compare. *)
+
 val run :
   t ->
   Api.point ->

@@ -58,6 +58,13 @@ type dispatch_summary = {
       (** the bytecode has per-call observable effects beyond its return
           value and its route-attribute edits: map writes, RIB
           injection, message-buffer writes, logging *)
+  helpers : int list;
+      (** every helper id the bytecode calls. [effectful] is a
+          batch-oriented digest of this set; the update-group engine
+          needs the raw set because its invariance question is different
+          (e.g. [h_get_peer_info] is batchable — a batch shares the peer
+          — yet peer-dependent, and [h_write_buf] is effectful yet
+          exactly what the encode point is for) *)
 }
 
 (* Helpers whose effect is confined to the run's return value, the
@@ -98,6 +105,7 @@ let dispatch_summary code =
   let reads = ref [] in
   let unknown = ref false in
   let effectful = ref false in
+  let helpers = ref [] in
   let r1 = ref None in
   let pos = ref 0 in
   List.iter
@@ -118,6 +126,7 @@ let dispatch_summary code =
           | None -> unknown := true
         end;
         if not (List.mem id batchable_helpers) then effectful := true;
+        if not (List.mem id !helpers) then helpers := id :: !helpers;
         r1 := None
       | _ -> ());
       pos := !pos + Ebpf.Insn.slots insn)
@@ -125,6 +134,7 @@ let dispatch_summary code =
   {
     arg_reads = (if !unknown then None else Some !reads);
     effectful = !effectful;
+    helpers = List.rev !helpers;
   }
 
 (** Total instruction slots across all bytecodes (a rough LoC measure). *)

@@ -48,7 +48,19 @@ type dispatch_summary = {
       (** the bytecode has per-call observable effects beyond its return
           value and its route-attribute edits: map writes, RIB
           injection, message-buffer writes, logging *)
+  helpers : int list;
+      (** every helper id the bytecode calls, in first-call order. The
+          raw set behind [effectful]: consumers with a different notion
+          of invariance (the update-group engine treats the batchable
+          [h_get_peer_info] as disqualifying and the effectful
+          [h_write_buf] as allowed at the encode point) start from
+          here. *)
 }
+
+val batchable_helpers : int list
+(** Helpers whose effect is confined to the run's return value, the
+    ephemeral heap, or the shared route record — the whitelist behind
+    [dispatch_summary.effectful]. *)
 
 val dispatch_summary : Ebpf.Insn.t list -> dispatch_summary
 (** Conservative linear scan of one bytecode. Hosts use it (through

@@ -40,11 +40,16 @@ type config = {
       (** process a multi-prefix UPDATE's NLRI as one batch sharing one
           converted attribute view (off = the legacy per-prefix path,
           kept for the dispatch-bench baseline) *)
+  update_groups : bool;
+      (** partition peers into update groups and run export policy,
+          outbound dispatch and UPDATE encoding once per group (off =
+          the legacy per-peer path, kept as the fan-out baseline) *)
 }
 
 let config ?(cluster_id = 0) ?(hold_time = 90) ?(native_rr = false)
     ?native_ov ?(igp_metric = fun _ -> 0) ?(xtras = [])
-    ?(batch_updates = true) ~name ~router_id ~local_as ~local_addr () =
+    ?(batch_updates = true) ?(update_groups = true) ~name ~router_id
+    ~local_as ~local_addr () =
   {
     name;
     router_id;
@@ -57,6 +62,7 @@ let config ?(cluster_id = 0) ?(hold_time = 90) ?(native_rr = false)
     igp_metric;
     xtras;
     batch_updates;
+    update_groups;
   }
 
 (* Communities used to tag origin-validation results, both by native code
@@ -148,6 +154,16 @@ type t = {
   pending_adv : (int, (Bgp.Prefix.t * Attr_intern.t) list ref) Hashtbl.t;
   pending_wd : (int, Bgp.Prefix.t list ref) Hashtbl.t;
   mutable flush_scheduled : bool;
+  ugroups : Attr_intern.t Rib.Update_group.t;
+      (** update-group partition (the encode-once/fan-out-many path);
+          unused when [config.update_groups] is off *)
+  mutable group_gen : int;
+      (** {!Xbgp.Vmm.generation} at the last re-grouping; -1 forces the
+          first {!refresh_grouping} to compute the partition key *)
+  mutable groupable : bool;
+      (** both outbound points pass {!Xbgp.Vmm.group_invariant}; when
+          false every peer gets a singleton "solo" group *)
+  mutable chain_sig : string;  (** outbound chain signatures *)
   xtras : (string, bytes) Hashtbl.t;
   mutable log_fn : string -> unit;
   mutable base_ops : Xbgp.Host_intf.ops;
@@ -416,6 +432,13 @@ let pending_list tbl peer =
     Hashtbl.replace tbl peer l;
     l
 
+(* RFC 4271 §4: both export paths frame through [split_update_raw], so a
+   prefix list (or an attribute block grown by an encode-point
+   extension) can never push a frame past the 4096-byte maximum. *)
+let withdrawal_frames prefixes =
+  Bgp.Message.split_update_raw ~withdrawn:prefixes ~attr_bytes:Bytes.empty
+    ~nlri:[]
+
 let rec schedule_flush t =
   if not t.flush_scheduled then begin
     t.flush_scheduled <- true;
@@ -425,44 +448,70 @@ let rec schedule_flush t =
   end
 
 and flush t =
-  Array.iter
-    (fun peer ->
-      if Session.Fsm.is_established peer.session then begin
-        (* withdrawals first *)
-        (match Hashtbl.find_opt t.pending_wd peer.idx with
-        | Some ({ contents = _ :: _ } as l) ->
-          let prefixes = List.rev !l in
-          l := [];
-          send_withdrawals t peer prefixes
-        | _ -> ());
-        match Hashtbl.find_opt t.pending_adv peer.idx with
-        | Some ({ contents = _ :: _ } as l) ->
-          let advs = List.rev !l in
-          l := [];
-          send_advertisements t peer advs
-        | _ -> ()
-      end)
-    t.peers
+  if t.config.update_groups then flush_groups t
+  else
+    Array.iter
+      (fun peer ->
+        if Session.Fsm.is_established peer.session then begin
+          (* withdrawals first *)
+          (match Hashtbl.find_opt t.pending_wd peer.idx with
+          | Some ({ contents = _ :: _ } as l) ->
+            let prefixes = List.rev !l in
+            l := [];
+            send_withdrawals t peer prefixes
+          | _ -> ());
+          match Hashtbl.find_opt t.pending_adv peer.idx with
+          | Some ({ contents = _ :: _ } as l) ->
+            let advs = List.rev !l in
+            l := [];
+            send_advertisements t peer advs
+          | _ -> ()
+        end)
+      t.peers
+
+(* The fan-out fast path: drain each group's queued events as flush
+   classes (members whose pending streams are identical), encode each
+   class's frames once, and share the buffers across every member
+   session. A class of one degrades to exactly the per-peer baseline. *)
+and flush_groups t =
+  Rib.Update_group.iter_groups t.ugroups (fun g ->
+      List.iter
+        (fun (members, wds, advs) ->
+          let sessions =
+            List.filter_map
+              (fun m ->
+                let p = t.peers.(m) in
+                if Session.Fsm.is_established p.session then Some p.session
+                else None)
+              members
+          in
+          if sessions <> [] then begin
+            let fan frame =
+              let sent = Session.Fsm.send_raw_shared sessions frame in
+              Telemetry.Counter.add t.probes.c_updates_tx sent;
+              Rib.Update_group.note_fanout_saved t.ugroups
+                ((sent - 1) * Bytes.length frame)
+            in
+            List.iter fan (withdrawal_frames wds);
+            if advs <> [] then
+              List.iter fan
+                (advertisement_frames t t.peers.(List.hd members) advs)
+          end)
+        (Rib.Update_group.take_classes g))
 
 and send_withdrawals t peer prefixes =
-  let rec chunk acc size = function
-    | [] -> if acc <> [] then emit (List.rev acc)
-    | p :: rest ->
-      let s = Bgp.Prefix.wire_size p in
-      if size + s > 4000 then begin
-        emit (List.rev acc);
-        chunk [ p ] s rest
-      end
-      else chunk (p :: acc) (size + s) rest
-  and emit prefixes =
-    Telemetry.Counter.inc t.probes.c_updates_tx;
-    Session.Fsm.send_raw peer.session
-      (Bgp.Message.encode_update_raw ~withdrawn:prefixes
-         ~attr_bytes:Bytes.empty ~nlri:[])
-  in
-  chunk [] 0 prefixes
+  List.iter
+    (fun frame ->
+      Telemetry.Counter.inc t.probes.c_updates_tx;
+      Session.Fsm.send_raw peer.session frame)
+    (withdrawal_frames prefixes)
 
-and send_advertisements t peer advs =
+(* Build the UPDATE frames advertising [advs] towards [peer]. The
+   grouped path calls this once per flush class with a representative
+   member — sound because peers only share a group when the outbound
+   chains pass [Vmm.group_invariant], so the bytecode provably never
+   observes which peer the ops record answers for. *)
+and advertisement_frames t peer advs =
   (* group prefixes sharing an interned attribute record; interning makes
      physical equality the grouping key *)
   let groups : Bgp.Prefix.t list ref Attr_intern.Interned_tbl.t =
@@ -477,7 +526,7 @@ and send_advertisements t peer advs =
         Attr_intern.Interned_tbl.replace groups attrs (ref [ p ]);
         order := attrs :: !order)
     advs;
-  List.iter
+  List.concat_map
     (fun attrs ->
       let prefixes = List.rev !(Attr_intern.Interned_tbl.find groups attrs) in
       (* native encoder: known attributes only *)
@@ -506,23 +555,15 @@ and send_advertisements t peer advs =
            ~default:(fun () -> Xbgp.Api.ret_ok));
       release_args t args;
       let attr_bytes = Buffer.to_bytes buf in
-      let budget = 4000 - Bytes.length attr_bytes in
-      let rec chunk acc size = function
-        | [] -> if acc <> [] then emit (List.rev acc)
-        | p :: rest ->
-          let s = Bgp.Prefix.wire_size p in
-          if size + s > budget && acc <> [] then begin
-            emit (List.rev acc);
-            chunk [ p ] s rest
-          end
-          else chunk (p :: acc) (size + s) rest
-      and emit nlri =
-        Telemetry.Counter.inc t.probes.c_updates_tx;
-        Session.Fsm.send_raw peer.session
-          (Bgp.Message.encode_update_raw ~withdrawn:[] ~attr_bytes ~nlri)
-      in
-      chunk [] 0 prefixes)
+      Bgp.Message.split_update_raw ~withdrawn:[] ~attr_bytes ~nlri:prefixes)
     (List.rev !order)
+
+and send_advertisements t peer advs =
+  List.iter
+    (fun frame ->
+      Telemetry.Counter.inc t.probes.c_updates_tx;
+      Session.Fsm.send_raw peer.session frame)
+    (advertisement_frames t peer advs)
 
 and export t (target : peer) prefix (r : route) : Attr_intern.t option =
   if r.src = target.idx then None
@@ -545,26 +586,104 @@ and export t (target : peer) prefix (r : route) : Attr_intern.t option =
     end
   end
 
+(* Which update group a peer belongs in: everything the export path can
+   observe about the peer. [native_export] and [canonicalize] read only
+   the peer type and reflection role; the xprog chains are covered by
+   their signatures and may not read peer identity at all when
+   [t.groupable] holds. Peer-dependent chains degrade every peer to a
+   singleton group, which flows through the same machinery as the
+   per-peer baseline. *)
+and group_key t peer =
+  if not t.groupable then Printf.sprintf "solo:%d" peer.idx
+  else
+    Printf.sprintf "pt%d:rr%b:%s" peer.peer_type peer.conf.rr_client
+      t.chain_sig
+
+(* Re-derive the partition key when the attached chains changed (one
+   integer compare per propagate — [Vmm.generation] bumps only on
+   attach/detach). Queued events are drained under the old partition
+   first; the re-key itself emits nothing, like the baseline. *)
+and refresh_grouping t =
+  let gen = match t.vmm with Some v -> Xbgp.Vmm.generation v | None -> 0 in
+  if gen <> t.group_gen then begin
+    flush_groups t;
+    (match t.vmm with
+    | Some vmm ->
+      t.groupable <-
+        Xbgp.Vmm.group_invariant vmm Xbgp.Api.Bgp_outbound_filter
+          ~allow_write_buf:false
+        && Xbgp.Vmm.group_invariant vmm Xbgp.Api.Bgp_encode_message
+             ~allow_write_buf:true;
+      t.chain_sig <-
+        Xbgp.Vmm.chain_signature vmm Xbgp.Api.Bgp_outbound_filter
+        ^ "|"
+        ^ Xbgp.Vmm.chain_signature vmm Xbgp.Api.Bgp_encode_message
+    | None ->
+      t.groupable <- true;
+      t.chain_sig <- "");
+    t.group_gen <- gen;
+    Rib.Update_group.rekey t.ugroups ~desired:(fun m ->
+        group_key t t.peers.(m))
+  end
+
+(* One export evaluation per group instead of per peer: run the filter
+   chain for a representative member and let the engine expand the
+   result into per-member transitions. *)
+and export_to_group t g prefix (r : route) =
+  let members = Rib.Update_group.members g in
+  match List.find_opt (fun m -> m <> r.src) members with
+  | None -> Rib.Update_group.route_update t.ugroups g prefix None
+  | Some rep ->
+    let entry =
+      match export t t.peers.(rep) prefix r with
+      | Some attrs ->
+        let skip = if List.mem r.src members then r.src else -1 in
+        Some (attrs, skip)
+      | None ->
+        (* keep the rejection counter peer-accurate: the baseline counts
+           one rejection per eligible member *)
+        let eligible =
+          List.length members - (if List.mem r.src members then 1 else 0)
+        in
+        Telemetry.Counter.add t.probes.c_export_rejected (eligible - 1);
+        None
+    in
+    Rib.Update_group.route_update t.ugroups g prefix entry
+
 and propagate t prefix (change : route Rib.Loc_rib.change) =
-  match change with
-  | Rib.Loc_rib.Unchanged -> ()
-  | Rib.Loc_rib.Withdrawn ->
-    Array.iter
-      (fun peer ->
-        match Rib.Adj_rib.clear t.adj_out ~peer:peer.idx prefix with
-        | Some _ ->
-          let l = pending_list t.pending_wd peer.idx in
-          l := prefix :: !l
-        | None -> ())
-      t.peers;
-    schedule_flush t
-  | Rib.Loc_rib.New_best r ->
-    Array.iter
-      (fun peer ->
-        if Session.Fsm.is_established peer.session && peer.synced then
-          advertise_to t peer prefix r)
-      t.peers;
-    schedule_flush t
+  if t.config.update_groups then begin
+    refresh_grouping t;
+    match change with
+    | Rib.Loc_rib.Unchanged -> ()
+    | Rib.Loc_rib.Withdrawn ->
+      Rib.Update_group.iter_groups t.ugroups (fun g ->
+          Rib.Update_group.route_update t.ugroups g prefix None);
+      schedule_flush t
+    | Rib.Loc_rib.New_best r ->
+      Rib.Update_group.iter_groups t.ugroups (fun g ->
+          export_to_group t g prefix r);
+      schedule_flush t
+  end
+  else
+    match change with
+    | Rib.Loc_rib.Unchanged -> ()
+    | Rib.Loc_rib.Withdrawn ->
+      Array.iter
+        (fun peer ->
+          match Rib.Adj_rib.clear t.adj_out ~peer:peer.idx prefix with
+          | Some _ ->
+            let l = pending_list t.pending_wd peer.idx in
+            l := prefix :: !l
+          | None -> ())
+        t.peers;
+      schedule_flush t
+    | Rib.Loc_rib.New_best r ->
+      Array.iter
+        (fun peer ->
+          if Session.Fsm.is_established peer.session && peer.synced then
+            advertise_to t peer prefix r)
+        t.peers;
+      schedule_flush t
 
 and advertise_to t peer prefix r =
   match export t peer prefix r with
@@ -783,11 +902,40 @@ let on_update t peer (u : Bgp.Message.update) ~raw =
 
 let sync_peer t peer =
   peer.synced <- true;
-  Rib.Loc_rib.iter_best t.loc (fun prefix r -> advertise_to t peer prefix r);
+  if t.config.update_groups then begin
+    refresh_grouping t;
+    let g =
+      Rib.Update_group.join t.ugroups ~peer:peer.idx ~key:(group_key t peer)
+    in
+    (* catch-up: one fresh export per Loc-RIB best, targeted at the
+       joiner only — identical to a baseline initial sync, and
+       self-healing for group entries dropped while nobody listened *)
+    Rib.Loc_rib.iter_best t.loc (fun prefix r ->
+        match export t peer prefix r with
+        | Some attrs ->
+          let skip =
+            if Rib.Update_group.is_member g r.src then r.src else -1
+          in
+          Rib.Update_group.catch_up_entry g prefix attrs ~skip
+            ~member:peer.idx
+        | None -> ())
+  end
+  else
+    Rib.Loc_rib.iter_best t.loc (fun prefix r -> advertise_to t peer prefix r);
   schedule_flush t
 
 let on_close t peer =
   peer.synced <- false;
+  if t.config.update_groups then
+    Rib.Update_group.leave t.ugroups ~peer:peer.idx;
+  (* a closed session must not leave stale queued frames behind — on
+     re-establishment the initial sync re-sends the whole table *)
+  (match Hashtbl.find_opt t.pending_adv peer.idx with
+  | Some l -> l := []
+  | None -> ());
+  (match Hashtbl.find_opt t.pending_wd peer.idx with
+  | Some l -> l := []
+  | None -> ());
   let prefixes =
     let acc = ref [] in
     Rib.Adj_rib.iter_peer t.adj_in ~peer:peer.idx (fun p _ ->
@@ -828,6 +976,13 @@ let create ?telemetry ?vmm ~sched (config : config)
       pending_adv = Hashtbl.create 8;
       pending_wd = Hashtbl.create 8;
       flush_scheduled = false;
+      ugroups =
+        Rib.Update_group.create ~telemetry:tele ~daemon:config.name
+          ~equal:(fun (a : Attr_intern.t) b -> a = b)
+          ();
+      group_gen = -1;
+      groupable = false;
+      chain_sig = "";
       xtras = Hashtbl.create 8;
       log_fn = ignore;
       base_ops = Xbgp.Host_intf.null_ops;
@@ -943,12 +1098,19 @@ let restart_sessions t =
     what a real daemon does when IGP state changes (§3.1: the export
     filter consults the live IGP metric of the next hop). *)
 let refresh_exports t =
-  Rib.Loc_rib.iter_best t.loc (fun prefix r ->
-      Array.iter
-        (fun peer ->
-          if Session.Fsm.is_established peer.session && peer.synced then
-            advertise_to t peer prefix r)
-        t.peers);
+  if t.config.update_groups then begin
+    refresh_grouping t;
+    Rib.Loc_rib.iter_best t.loc (fun prefix r ->
+        Rib.Update_group.iter_groups t.ugroups (fun g ->
+            export_to_group t g prefix r))
+  end
+  else
+    Rib.Loc_rib.iter_best t.loc (fun prefix r ->
+        Array.iter
+          (fun peer ->
+            if Session.Fsm.is_established peer.session && peer.synced then
+              advertise_to t peer prefix r)
+          t.peers);
   schedule_flush t
 
 (* --- introspection --- *)
@@ -969,6 +1131,7 @@ let stats t : stats =
   }
 
 let telemetry t = t.tele
+let group_count t = Rib.Update_group.group_count t.ugroups
 let peer t idx = t.peers.(idx)
 let peer_established t idx = Session.Fsm.is_established t.peers.(idx).session
 let set_log t f = t.log_fn <- f

@@ -1,0 +1,49 @@
+(** The multi-peer fan-out oracle ([xbgp-fuzz --fanout]).
+
+    Executes the same deterministic star-topology scenario twice —
+    update groups on, update groups off — and requires, for every spoke
+    peer, a byte-identical UPDATE frame stream, an identical derived
+    adj-RIB-in and an identical DUT Loc-RIB. Cases sweep both hosts,
+    peer counts, outbound extensions (none / group-invariant /
+    peer-dependent, the latter forcing the solo fallback) and churn
+    (session bounce, split-horizon feeding from a spoke, mid-run chain
+    detach forcing a live regroup). *)
+
+type churn = No_churn | Bounce | Sink_feed | Rechain
+
+val churn_name : churn -> string
+
+type case = {
+  seed : int;
+  index : int;
+  host : Scenario.Testbed.host;
+  npeers : int;
+  extension : string option;  (** registry manifest name *)
+  churn : churn;
+  routes : Dataset.Ris_gen.route list;
+}
+
+val case : seed:int -> index:int -> case
+(** Deterministically generate the case for one campaign slot. *)
+
+val pp_case : Format.formatter -> case -> unit
+
+val run_case : ?perturb:bool -> case -> string list
+(** Run both export modes and compare; returns divergence descriptions
+    (empty = equivalent). [perturb] corrupts one grouped-side frame so
+    the oracle provably fires (self-test mode). *)
+
+type summary = {
+  cases : int;
+  failures : (case * string list) list;  (** failing cases only *)
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val campaign :
+  ?perturb:bool ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  summary

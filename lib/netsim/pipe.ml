@@ -84,6 +84,14 @@ let send port chunk =
           deliver peer chunk)
     end
 
+(** Fan one chunk out to several ports. The single buffer is shared by
+    every delivery — each port's byte accounting counts the full length,
+    but nothing is copied per port (delivery already passes chunks by
+    reference; this entry point makes the sharing contract explicit for
+    the update-group fast path). Receivers must treat delivered chunks
+    as immutable. *)
+let send_shared ports chunk = List.iter (fun port -> send port chunk) ports
+
 (** Take the link down/up (failure injection for §3.1 / §3.3). *)
 let set_up port up =
   port.up <- up;

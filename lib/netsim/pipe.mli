@@ -27,6 +27,13 @@ val send : port -> bytes -> unit
     session layer notices via its hold timer).
     @raise Invalid_argument on an unconnected port. *)
 
+val send_shared : port list -> bytes -> unit
+(** Fan one chunk out to several ports, sharing the single buffer across
+    every delivery (no per-port copy; per-port byte accounting still
+    counts the full length). Receivers must treat delivered chunks as
+    immutable.
+    @raise Invalid_argument if any port is unconnected. *)
+
 val set_up : port -> bool -> unit
 (** Fail / repair the link (both directions). *)
 

@@ -83,3 +83,16 @@ let set_log t f =
   match t with
   | Frr d -> Frrouting.Bgpd.set_log d f
   | Bird d -> Bird.Bgpd.set_log d f
+
+let restart_sessions = function
+  | Frr d -> Frrouting.Bgpd.restart_sessions d
+  | Bird d -> Bird.Bgpd.restart_sessions d
+
+let refresh_exports = function
+  | Frr d -> Frrouting.Bgpd.refresh_exports d
+  | Bird d -> Bird.Bgpd.refresh_exports d
+
+(** Active update groups on the daemon (0 with update groups off). *)
+let group_count = function
+  | Frr d -> Frrouting.Bgpd.group_count d
+  | Bird d -> Bird.Bgpd.group_count d

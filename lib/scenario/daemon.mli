@@ -28,3 +28,12 @@ val best_communities : t -> Bgp.Prefix.t -> int list option
 val updates_rx : t -> int
 val import_rejected : t -> int
 val set_log : t -> (string -> unit) -> unit
+
+val restart_sessions : t -> unit
+(** Re-open any session that has fallen back to Idle. *)
+
+val refresh_exports : t -> unit
+(** Re-evaluate export policy for every best route. *)
+
+val group_count : t -> int
+(** Active update groups (0 when update groups are off). *)

@@ -22,11 +22,15 @@ type mode = {
   batch_updates : bool;
       (** batched NLRI processing in every daemon (false = the legacy
           per-prefix path, the dispatch-bench baseline) *)
+  update_groups : bool;
+      (** update-group export in every daemon (false = the legacy
+          per-peer export path, the fan-out baseline) *)
 }
 
 let mode ?(host = `Frr) ?(ibgp = true) ?manifest ?(native_rr = false)
     ?native_ov_roas ?(xtras = []) ?(hold_time = 90)
-    ?(engine = Ebpf.Vm.Interpreted) ?telemetry ?(batch_updates = true) () =
+    ?(engine = Ebpf.Vm.Interpreted) ?telemetry ?(batch_updates = true)
+    ?(update_groups = true) () =
   {
     host;
     ibgp;
@@ -38,6 +42,7 @@ let mode ?(host = `Frr) ?(ibgp = true) ?manifest ?(native_rr = false)
     engine;
     telemetry;
     batch_updates;
+    update_groups;
   }
 
 type t = {
@@ -81,14 +86,14 @@ let create (m : mode) : t =
     Frrouting.Bgpd.create ~telemetry ~sched
       (Frrouting.Bgpd.config ~name:"upstream" ~router_id:up_addr
          ~local_as:up_as ~local_addr:up_addr ~hold_time:m.hold_time
-         ~batch_updates:m.batch_updates ())
+         ~batch_updates:m.batch_updates ~update_groups:m.update_groups ())
       [ frr_peer "dut" dut_as dut_addr l1_up ]
   in
   let downstream =
     Frrouting.Bgpd.create ~telemetry ~sched
       (Frrouting.Bgpd.config ~name:"downstream" ~router_id:down_addr
          ~local_as:down_as ~local_addr:down_addr ~hold_time:m.hold_time
-         ~batch_updates:m.batch_updates ())
+         ~batch_updates:m.batch_updates ~update_groups:m.update_groups ())
       [ frr_peer "dut" dut_as dut_addr l2_down ]
   in
   let dut_vmm =
@@ -107,7 +112,7 @@ let create (m : mode) : t =
            (Frrouting.Bgpd.config ~name:"dut" ~router_id:dut_addr
               ~local_as:dut_as ~local_addr:dut_addr ~hold_time:m.hold_time
               ~native_rr:m.native_rr ?native_ov ~xtras:m.xtras
-              ~batch_updates:m.batch_updates ())
+              ~batch_updates:m.batch_updates ~update_groups:m.update_groups ())
            [
              frr_peer "upstream" up_as up_addr l1_dut;
              frr_peer ~rr_client:true "downstream" down_as down_addr l2_dut;
@@ -119,7 +124,7 @@ let create (m : mode) : t =
            (Bird.Bgpd.config ~name:"dut" ~router_id:dut_addr
               ~local_as:dut_as ~local_addr:dut_addr ~hold_time:m.hold_time
               ~native_rr:m.native_rr ?native_ov ~xtras:m.xtras
-              ~batch_updates:m.batch_updates ())
+              ~batch_updates:m.batch_updates ~update_groups:m.update_groups ())
            [
              bird_peer "upstream" up_as up_addr l1_dut;
              bird_peer ~rr_client:true "downstream" down_as down_addr l2_dut;

@@ -21,6 +21,9 @@ type mode = {
   batch_updates : bool;
       (** batched NLRI processing in every daemon (false = the legacy
           per-prefix path, the dispatch-bench baseline) *)
+  update_groups : bool;
+      (** update-group export in every daemon (false = the legacy
+          per-peer export path, the fan-out baseline) *)
 }
 
 val mode :
@@ -34,6 +37,7 @@ val mode :
   ?engine:Ebpf.Vm.engine ->
   ?telemetry:Telemetry.t ->
   ?batch_updates:bool ->
+  ?update_groups:bool ->
   unit ->
   mode
 

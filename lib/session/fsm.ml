@@ -226,6 +226,24 @@ let send_raw t frame =
     Netsim.Pipe.send t.port frame
   end
 
+(** Fan one pre-encoded UPDATE frame out to every Established session,
+    sharing the single buffer across the deliveries
+    ([Netsim.Pipe.send_shared]). Returns the number of sessions the
+    frame was sent to. *)
+let send_raw_shared sessions frame =
+  let ports =
+    List.filter_map
+      (fun t ->
+        if t.state = Established then begin
+          t.msgs_tx <- t.msgs_tx + 1;
+          Some t.port
+        end
+        else None)
+      sessions
+  in
+  Netsim.Pipe.send_shared ports frame;
+  List.length ports
+
 let state t = t.state
 let is_established t = t.state = Established
 let peer_id t = t.peer_id

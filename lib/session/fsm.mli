@@ -46,6 +46,12 @@ val send_raw : t -> bytes -> unit
     so the BGP_ENCODE_MESSAGE insertion point can append attribute
     bytes. *)
 
+val send_raw_shared : t list -> bytes -> int
+(** Fan one pre-encoded UPDATE frame out to every Established session of
+    the list, sharing the single buffer across deliveries
+    ({!Netsim.Pipe.send_shared}); non-Established sessions are skipped.
+    Returns the number of sessions the frame went to. *)
+
 val state : t -> state
 val is_established : t -> bool
 
