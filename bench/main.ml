@@ -1133,6 +1133,88 @@ let fanout_bench () =
     [ (`Frr, "frr"); (`Bird, "bird") ];
   Printf.printf "\n"
 
+(* ------------------------------------------------------------------ *)
+(* chaos: convergence-time distributions from the chaos campaign       *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cases_n =
+  try int_of_string (Sys.getenv "XBGP_BENCH_CHAOS_CASES")
+  with Not_found -> 200
+
+let chaos_seed =
+  try int_of_string (Sys.getenv "XBGP_BENCH_CHAOS_SEED") with Not_found -> 42
+
+let chaos_bench () =
+  Printf.printf
+    "=== Chaos: per-phase convergence distributions (%d cases, seed %d) \
+     ===\n\
+     %!"
+    chaos_cases_n chaos_seed;
+  let s =
+    Fuzz.Chaos.campaign ~seed:chaos_seed ~cases:chaos_cases_n ()
+  in
+  record "chaos.cases" (float_of_int s.cases);
+  record "chaos.failures" (float_of_int (List.length s.failures));
+  List.iter
+    (fun (topo, n) ->
+      record (Printf.sprintf "chaos.topology.%s.cases" topo)
+        (float_of_int n))
+    s.topologies;
+  if s.failures <> [] then
+    Printf.printf "!! %d failing case(s) — distributions below cover the \
+                   passing legs only\n"
+      (List.length s.failures);
+  (* Convergence samples are (phase label, simulated us) from leg 0 of
+     every case. Phase labels carry instance detail after the first ':'
+     ("doublefail:13+0"), so bucket by the family prefix. *)
+  let family label =
+    match String.index_opt label ':' with
+    | Some i -> String.sub label 0 i
+    | None -> label
+  in
+  let percentile p xs =
+    let a = Array.of_list (List.sort compare xs) in
+    let n = Array.length a in
+    let i = p *. float_of_int (n - 1) in
+    let lo = int_of_float i in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = i -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  in
+  let buckets = Hashtbl.create 16 and order = ref [] in
+  List.iter
+    (fun (label, us) ->
+      let f = family label in
+      let l =
+        match Hashtbl.find_opt buckets f with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.add buckets f l;
+          order := f :: !order;
+          l
+      in
+      l := (float_of_int us /. 1e6) :: !l)
+    s.convergence;
+  let stats name xs =
+    let mn, _, md, _, mx = quartiles xs in
+    let p90 = percentile 0.9 xs in
+    Printf.printf
+      "%-14s n=%-5d min=%6.2fs  median=%6.2fs  p90=%6.2fs  max=%6.2fs\n%!"
+      name (List.length xs) mn md p90 mx;
+    let key fmt = Printf.sprintf ("chaos.%s." ^^ fmt) name in
+    record (key "n") (float_of_int (List.length xs));
+    record (key "min_s") mn;
+    record (key "median_s") md;
+    record (key "p90_s") p90;
+    record (key "max_s") mx
+  in
+  List.iter (fun f -> stats f !(Hashtbl.find buckets f)) (List.rev !order);
+  (match List.map (fun (_, us) -> float_of_int us /. 1e6) s.convergence with
+  | [] -> ()
+  | all -> stats "all" all);
+  Printf.printf "\n"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
@@ -1151,6 +1233,7 @@ let () =
   | "telemetry" -> telemetry_bench ()
   | "dispatch" -> dispatch_bench ()
   | "fanout" -> fanout_bench ()
+  | "chaos" -> chaos_bench ()
   | "json" ->
     (* bare --json: run exactly the benches whose numbers land in the file *)
     micro ();
@@ -1167,9 +1250,9 @@ let () =
   | other ->
     Printf.eprintf
       "unknown bench %S \
-       (fig1|fig4|fig5|ablation|churn|telemetry|dispatch|fanout|micro|all; \
+       (fig1|fig4|fig5|ablation|churn|telemetry|dispatch|fanout|chaos|micro|all; \
        add --json to write BENCH_pr3.json, BENCH_pr4.json for dispatch, \
-       or BENCH_pr5.json for fanout)\n"
+       BENCH_pr5.json for fanout, or BENCH_pr6.json for chaos)\n"
       other;
     exit 1);
   if json then
@@ -1177,5 +1260,6 @@ let () =
       (match which with
       | "dispatch" -> "BENCH_pr4.json"
       | "fanout" -> "BENCH_pr5.json"
+      | "chaos" -> "BENCH_pr6.json"
       | _ -> "BENCH_pr3.json");
   Printf.printf "done.\n"

@@ -57,7 +57,55 @@ let run_fanout ~cases ~seed ~force_divergence ~quiet =
     summary.failures;
   if summary.failures = [] then 0 else 1
 
+let run_chaos ~cases ~seed ~out ~force_divergence ~quiet =
+  let log s = if not quiet then print_endline s in
+  let summary =
+    Fuzz.Chaos.campaign ?out ~perturb:force_divergence ~log ~seed ~cases ()
+  in
+  Fmt.pr "%a@." Fuzz.Chaos.pp_summary summary;
+  List.iter
+    (fun (f : Fuzz.Chaos.failure) ->
+      Fmt.pr "@.FAILING %a@." Fuzz.Config_gen.pp_case f.case;
+      List.iter (fun fi -> Fmt.pr "  %a@." Fuzz.Chaos.pp_finding fi) f.findings;
+      Option.iter (Fmt.pr "  reproducer: %s@.") f.repro_path)
+    summary.failures;
+  if summary.failures = [] then 0 else 1
+
+let run_chaos_replay path content =
+  match Fuzz.Replay.Chaos.of_string content with
+  | Error e ->
+    Fmt.epr "xbgp-fuzz: cannot load %s: %s@." path e;
+    124
+  | Ok repro -> (
+    match Fuzz.Chaos.replay repro with
+    | Error e ->
+      Fmt.epr "xbgp-fuzz: cannot replay %s: %s@." path e;
+      124
+    | Ok (case, findings, reproduced) ->
+      Fmt.pr "replaying %a@." Fuzz.Config_gen.pp_case case;
+      if repro.note <> "" then Fmt.pr "recorded: %s@." repro.note;
+      (match findings with
+      | [] ->
+        Fmt.pr "no findings — the reproducer no longer fails@.";
+        0
+      | fs ->
+        List.iter (fun f -> Fmt.pr "%a@." Fuzz.Chaos.pp_finding f) fs;
+        if not reproduced then
+          Fmt.pr
+            "note: findings do not match the recorded divergence classes \
+             (%s)@."
+            (String.concat " " repro.classes);
+        1))
+
 let run_replay path =
+  (* both reproducer formats are self-describing; route on the magic *)
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e ->
+    Fmt.epr "xbgp-fuzz: cannot read %s: %s@." path e;
+    124
+  | content when Fuzz.Replay.Chaos.is_chaos content ->
+    run_chaos_replay path content
+  | _ -> (
   match Fuzz.Replay.load path with
   | Error e ->
     Fmt.epr "xbgp-fuzz: cannot load %s: %s@." path e;
@@ -76,7 +124,7 @@ let run_replay path =
         0
       | fs ->
         List.iter (fun f -> Fmt.pr "%a@." Fuzz.Oracle.pp_finding f) fs;
-        1))
+        1)))
 
 open Cmdliner
 
@@ -128,6 +176,20 @@ let fanout =
   in
   Arg.(value & flag & info [ "fanout" ] ~doc)
 
+let chaos =
+  let doc =
+    "Run the config-space chaos campaign instead of the main campaign: \
+     every case draws a random point in the knob/topology matrix (host, \
+     engine, caches, batching, update groups, span sampling, xprog \
+     chains), runs it through a generated scenario under a seeded fault \
+     schedule (session flaps, link failures, ROA swaps, live xprog \
+     detach/attach), and asserts convergence within budget, \
+     route-for-route equivalence across the knob grid, and telemetry \
+     invariants. Failures are ddmin-shrunk over the fault schedule and \
+     route table and written as seed-pinned chaos reproducers."
+  in
+  Arg.(value & flag & info [ "chaos" ] ~doc)
+
 let quiet =
   let doc = "Only print the final summary." in
   Arg.(value & flag & info [ "quiet" ] ~doc)
@@ -136,14 +198,17 @@ let verbose =
   let doc = "Verbose daemon logging." in
   Arg.(value & flag & info [ "verbose" ] ~doc)
 
-let main cases seed out no_out force_divergence caches fanout replay quiet
-    verbose =
+let main cases seed out no_out force_divergence caches fanout chaos replay
+    quiet verbose =
   setup_logs ~quiet verbose;
   Frrouting.Attr_intern.set_conversion_cache caches;
   Bird.Eattr.set_conversion_cache caches;
   match replay with
   | Some path -> run_replay path
   | None when fanout -> run_fanout ~cases ~seed ~force_divergence ~quiet
+  | None when chaos ->
+    let out = if no_out then None else out in
+    run_chaos ~cases ~seed ~out ~force_divergence ~quiet
   | None ->
     let out = if no_out then None else out in
     run_campaign ~cases ~seed ~out ~force_divergence ~quiet
@@ -164,12 +229,19 @@ let cmd =
          that the verifier and VM never let an exception escape on \
          arbitrary programs. Every failing case is shrunk and written as \
          a seed-pinned reproducer file (see $(b,--replay)).";
+      `P
+        "$(b,--chaos) switches to the config-space chaos campaign: \
+         randomized knob-matrix points driven through generated \
+         star/fabric scenarios under seeded fault schedules, with \
+         convergence, cross-knob equivalence and telemetry oracles. \
+         Chaos reproducers share the $(b,--replay) flag — the file \
+         format is self-describing.";
     ]
   in
   Cmd.v
     (Cmd.info "xbgp-fuzz" ~doc ~man)
     Term.(
       const main $ cases $ seed $ out $ no_out $ force_divergence $ caches
-      $ fanout $ replay $ quiet $ verbose)
+      $ fanout $ chaos $ replay $ quiet $ verbose)
 
 let () = exit (Cmd.eval' cmd)

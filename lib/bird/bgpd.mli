@@ -112,6 +112,15 @@ val restart_sessions : t -> unit
 (** Re-open any session that has fallen back to Idle (e.g. after a link
     failure healed). *)
 
+val set_xtra : t -> string -> bytes -> unit
+(** Replace (or add) one named configuration extra at runtime — how an
+    operator delivers an updated ROA file or threshold to a running
+    router. Init-time extension state needs {!rerun_init} afterwards. *)
+
+val rerun_init : t -> unit
+(** Re-run the extension init bytecodes against the current xtras (the
+    runtime half of a configuration swap, e.g. an RPKI ROA update). *)
+
 val refresh_exports : t -> unit
 (** Re-evaluate export policy for every best route — what a daemon does
     when IGP state changes (§3.1). *)

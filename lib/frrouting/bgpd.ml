@@ -432,6 +432,19 @@ let pending_list tbl peer =
     Hashtbl.replace tbl peer l;
     l
 
+(* A withdrawal supersedes any advertisement of the same prefix still
+   sitting in the peer's pending queue. Flush emits withdrawals before
+   advertisements, so a stale queued advertisement would be delivered
+   AFTER the withdrawal that semantically follows it — the receiver
+   would keep a candidate this side's adj-RIB-out no longer tracks, and
+   no later event would ever correct it (path hunting then "converges"
+   onto ghost routes). *)
+let purge_pending_adv t peer_idx prefix =
+  match Hashtbl.find_opt t.pending_adv peer_idx with
+  | Some l ->
+    l := List.filter (fun (p, _) -> Bgp.Prefix.compare p prefix <> 0) !l
+  | None -> ()
+
 (* RFC 4271 §4: both export paths frame through [split_update_raw], so a
    prefix list (or an attribute block grown by an encode-point
    extension) can never push a frame past the 4096-byte maximum. *)
@@ -672,6 +685,7 @@ and propagate t prefix (change : route Rib.Loc_rib.change) =
         (fun peer ->
           match Rib.Adj_rib.clear t.adj_out ~peer:peer.idx prefix with
           | Some _ ->
+            purge_pending_adv t peer.idx prefix;
             let l = pending_list t.pending_wd peer.idx in
             l := prefix :: !l
           | None -> ())
@@ -697,6 +711,7 @@ and advertise_to t peer prefix r =
   | None -> (
     match Rib.Adj_rib.clear t.adj_out ~peer:peer.idx prefix with
     | Some _ ->
+      purge_pending_adv t peer.idx prefix;
       let l = pending_list t.pending_wd peer.idx in
       l := prefix :: !l
     | None -> ())
@@ -876,11 +891,17 @@ let on_update t peer (u : Bgp.Message.update) ~raw =
           | exception Bgp.Attr.Parse_error _ -> acc)
         attrs0 (List.rev !extra_tlvs)
     in
-    (* eBGP loop prevention: our own AS in the path *)
+    (* eBGP loop prevention: our own AS in the path. RFC 4271 treats
+       such a route as unfeasible, which makes it an IMPLICIT WITHDRAWAL
+       of any earlier route for the same NLRI from this peer — silently
+       ignoring the update would leave the older advertisement in
+       Adj-RIB-In even though the sender has moved on, and path hunting
+       can then lock the fabric onto a stable cycle of such stale
+       entries. *)
     if
       peer.peer_type = src_ebgp
       && Attr_intern.contains_as attrs0 t.config.local_as
-    then ()
+    then List.iter (fun p -> reject_route t peer p) u.nlri
     else begin
       let route =
         {
@@ -1084,6 +1105,20 @@ let () =
 let withdraw_local t prefix =
   let change = Rib.Loc_rib.update t.loc ~peer:(-1) prefix None in
   propagate t prefix change
+
+(** Replace (or add) one named configuration extra at runtime — how the
+    simulated operator delivers an updated ROA file or a new threshold
+    to a running router. Extensions observe the new blob on their next
+    [get_xtra]; state built at init time needs {!rerun_init}. *)
+let set_xtra t key value = Hashtbl.replace t.xtras key value
+
+(** Re-run the extension init bytecodes against the current xtras — the
+    runtime half of a configuration swap (e.g. an RPKI ROA update that
+    must be folded into the origin-validation map). *)
+let rerun_init t =
+  match t.vmm with
+  | Some vmm -> Xbgp.Vmm.run_init vmm ~ops:t.base_ops
+  | None -> ()
 
 (** Re-open any session that has fallen back to Idle (e.g. after a link
     failure healed). Peers already Established are untouched. *)

@@ -1,0 +1,747 @@
+(* The config-space chaos oracle.
+
+   One case = one configuration point plus a fault schedule
+   ({!Config_gen}). The runner executes the SAME scenario — same
+   topology, same route feed, same faults in the same order, each event
+   settled to quiescence — once per knob grid leg, and demands:
+
+   (a) convergence: every phase (establish, feed, each fault, the
+       aftershock) reaches quiescence inside a simulated-time budget,
+       and every session is re-established once its faults heal;
+   (b) equivalence: the xBGP-visible routing state after every phase —
+       DUT Loc-RIB, per-sink derived adj-RIB-ins, per-router fabric
+       Loc-RIBs and ToR reachability, all in the normalized neutral
+       form — is identical on every leg of the grid. Settling between
+       fault events makes the event history knob-independent, so any
+       difference is a real configuration-dependence bug;
+   (c) telemetry invariants: registry counters are monotone across
+       phase snapshots, no pipe leaks in-flight chunks at quiescence,
+       and update groups re-merge after churn (1 group for a
+       group-invariant outbound chain, one solo group per peer for a
+       peer-dependent one, 0 with grouping off).
+
+   Faults restore what they break before the next phase begins, so the
+   final state is a function of the configuration alone — which is what
+   makes (b) a meaningful oracle. *)
+
+module Cg = Config_gen
+
+type cls = Convergence | Equivalence | Telemetry_oracle | Crash
+
+type finding = { cls : cls; detail : string }
+
+let cls_name = function
+  | Convergence -> "convergence"
+  | Equivalence -> "equivalence"
+  | Telemetry_oracle -> "telemetry"
+  | Crash -> "crash"
+
+let all_classes = [ Convergence; Equivalence; Telemetry_oracle; Crash ]
+let cls_of_name n = List.find_opt (fun c -> cls_name c = n) all_classes
+let pp_finding ppf f = Fmt.pf ppf "[%s] %s" (cls_name f.cls) f.detail
+let finding cls fmt = Fmt.kstr (fun s -> { cls; detail = s }) fmt
+
+let classes_of findings =
+  List.sort_uniq compare (List.map (fun f -> f.cls) findings)
+
+(* --- per-phase observations --- *)
+
+type phase = {
+  label : string;
+  dur_us : int;  (** simulated time from phase start to quiescence *)
+  locs : (string * (Bgp.Prefix.t * Bgp.Attr.t list) list) list;
+      (** per-daemon normalized Loc-RIB snapshots *)
+  ribs : (Bgp.Prefix.t * Bgp.Attr.t list) list array;
+      (** star: per-sink derived adj-RIB-ins, normalized *)
+  reach : bool list;  (** fabric: ToR-pair reachability flags *)
+}
+
+type leg = {
+  knobs : Cg.knobs;
+  phases : phase list;  (** oldest first *)
+  leg_findings : finding list;
+}
+
+let phase_budget_us = 60_000_000
+
+let set_caches b =
+  Frrouting.Attr_intern.set_conversion_cache b;
+  Bird.Eattr.set_conversion_cache b
+
+(* --- telemetry invariants --- *)
+
+let pp_labels ppf l =
+  Fmt.pf ppf "{%s}"
+    (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l))
+
+let check_monotone ~leg ~label prev cur =
+  List.filter_map
+    (fun (n, l, v) ->
+      match
+        List.find_opt (fun (n', l', _) -> n' = n && l' = l) cur
+      with
+      | Some (_, _, v') when v' < v ->
+        Some
+          (finding Telemetry_oracle
+             "[%a] counter %s%a went backwards (%d -> %d) across phase %s"
+             Cg.pp_knobs leg n pp_labels l v v' label)
+      | Some _ -> None
+      | None ->
+        Some
+          (finding Telemetry_oracle
+             "[%a] counter %s%a disappeared across phase %s" Cg.pp_knobs leg n
+             pp_labels l label))
+    prev
+
+let check_inflight ~leg telemetry =
+  List.filter_map
+    (fun (n, l, v) ->
+      if n = "net_in_flight_chunks" && v <> 0 then
+        Some
+          (finding Telemetry_oracle
+             "[%a] gauge %s%a = %d at quiescence (leaked in-flight bytes)"
+             Cg.pp_knobs leg n pp_labels l v)
+      else None)
+    (Telemetry.gauges telemetry)
+
+(* --- shared leg scaffolding --- *)
+
+type 'a rig = {
+  now : unit -> int;
+  settle : unit -> unit;
+  snapshot : string -> phase;  (** label -> settled observation *)
+}
+
+let run_phases ~(knobs : Cg.knobs) ~telemetry ~(rig : _ rig) steps =
+  let findings = ref [] and phases = ref [] in
+  let counters_prev = ref (Telemetry.counters telemetry) in
+  let note f = findings := f :: !findings in
+  (try
+     List.iter
+       (fun (label, f) ->
+         let t0 = rig.now () in
+         f ();
+         rig.settle ();
+         let dur = rig.now () - t0 in
+         if dur > phase_budget_us then
+           note
+             (finding Convergence
+                "[%a] phase %s took %d us simulated (budget %d)" Cg.pp_knobs
+                knobs label dur phase_budget_us);
+         let cur = Telemetry.counters telemetry in
+         List.iter note (check_monotone ~leg:knobs ~label !counters_prev cur);
+         counters_prev := cur;
+         phases := { (rig.snapshot label) with dur_us = dur } :: !phases)
+       steps
+   with
+  | Failure msg ->
+    note (finding Convergence "[%a] %s" Cg.pp_knobs knobs msg)
+  | e ->
+    note
+      (finding Crash "[%a] leg raised %s" Cg.pp_knobs knobs
+         (Printexc.to_string e)));
+  (List.rev !phases, !findings, note)
+
+(* --- the star leg --- *)
+
+let extra_prefix n =
+  Bgp.Prefix.v (Bgp.Prefix.addr_of_quad (198, 51, (100 + n) land 0xff, 0)) 24
+
+let dut_extra_attrs =
+  Bgp.Attr.
+    [ v (Origin Igp); v (As_path [ Seq [ 64999 ] ]); v (Next_hop 0x0A000001) ]
+
+let build_chain_vmm ~(knobs : Cg.knobs) ~telemetry chain =
+  match chain with
+  | [] -> None
+  | chain ->
+    let vmm =
+      Xbgp.Vmm.create ~engine:knobs.engine ~telemetry ~host:"dut" ()
+    in
+    List.iter
+      (fun name ->
+        match Xprogs.Registry.find_manifest name with
+        | None -> invalid_arg ("Chaos: unknown manifest " ^ name)
+        | Some m -> (
+          match Xbgp.Manifest.load vmm ~registry:Xprogs.Registry.find m with
+          | Ok () -> ()
+          | Error e -> invalid_arg ("Chaos: manifest " ^ name ^ ": " ^ e)))
+      chain;
+    Some vmm
+
+let star_xtras (c : Cg.case) =
+  (if List.mem "origin_validation" c.chain then
+     [ ("roa_table", Xprogs.Util.encode_roa_table c.roas) ]
+   else [])
+  @
+  match c.limit with
+  | Some n when List.mem "prefix_limit" c.chain ->
+    [ ("max_prefix", Xprogs.Util.encode_u32 n) ]
+  | _ -> []
+
+let run_star_leg (c : Cg.case) (knobs : Cg.knobs) ~npeers : leg =
+  set_caches knobs.caches;
+  let telemetry = Telemetry.create ~enabled:knobs.telemetry () in
+  Telemetry.set_span_sampling telemetry knobs.span_sampling;
+  let vmm = build_chain_vmm ~knobs ~telemetry c.chain in
+  let star =
+    Scenario.Star.create ~host:knobs.host ?vmm ~telemetry
+      ~update_groups:knobs.update_groups ~batch_updates:knobs.batch_updates
+      ~hold_time:3 ~xtras:(star_xtras c) ~npeers ()
+  in
+  let dut = Scenario.Star.dut star in
+  let sched = Scenario.Star.sched star in
+  let extra_count = ref 0 in
+  let inject_extra () =
+    let p = extra_prefix !extra_count in
+    incr extra_count;
+    match c.feed with
+    | Cg.Dut_originate -> Scenario.Star.originate star p dut_extra_attrs
+    | Cg.Sink_announce ->
+      Scenario.Star.sink_announce star 0
+        ~attrs:
+          Bgp.Attr.
+            [
+              v (Origin Igp);
+              v (As_path [ Seq [ 65101 ] ]);
+              v (Next_hop (Scenario.Star.sink_address star 0));
+            ]
+        [ p ]
+  in
+  let feed_all () =
+    List.iter
+      (fun (r : Dataset.Ris_gen.route) ->
+        match c.feed with
+        | Cg.Dut_originate -> Scenario.Star.originate star r.prefix r.attrs
+        | Cg.Sink_announce ->
+          Scenario.Star.sink_announce star 0 ~attrs:r.attrs [ r.prefix ])
+      c.routes
+  in
+  let bounce j ~mid_transfer =
+    if mid_transfer then begin
+      inject_extra ();
+      inject_extra ();
+      (* frames are now in flight towards the sinks (pipe latency is
+         ~100 us); the failure catches the transfer mid-stream *)
+      Scenario.Star.run_for star 150
+    end;
+    Scenario.Star.set_link_up star j false;
+    (* hold_time is 3 s: both ends notice the dead link and close *)
+    Scenario.Star.run_for star 4_000_000;
+    Scenario.Star.set_link_up star j true;
+    Scenario.Star.restart star;
+    if
+      not
+        (Scenario.Star.run_until star (fun () ->
+             Scenario.Star.all_established star))
+    then failwith (Printf.sprintf "sink %d did not re-establish" j)
+  in
+  let apply_fault = function
+    | Cg.Flap j -> bounce j ~mid_transfer:false
+    | Cg.Mid_transfer_fail j -> bounce j ~mid_transfer:true
+    | Cg.Roa_swap -> (
+      Scenario.Daemon.set_xtra dut "roa_table"
+        (Xprogs.Util.encode_roa_table c.roas2);
+      Scenario.Daemon.rerun_init dut;
+      (* re-announce so the import path revalidates under the new table *)
+      match c.feed with
+      | Cg.Sink_announce ->
+        List.iter
+          (fun (r : Dataset.Ris_gen.route) ->
+            Scenario.Star.sink_announce star 0 ~attrs:r.attrs [ r.prefix ])
+          c.routes
+      | Cg.Dut_originate -> ())
+    | Cg.Detach_attach name -> (
+      match vmm with
+      | None -> ()
+      | Some vmm ->
+        let m =
+          match Xprogs.Registry.find_manifest name with
+          | Some m -> m
+          | None -> invalid_arg ("Chaos: unknown manifest " ^ name)
+        in
+        let points =
+          List.sort_uniq compare
+            (List.map
+               (fun (a : Xbgp.Manifest.attachment) -> a.point)
+               m.attachments)
+        in
+        List.iter
+          (fun p -> Xbgp.Vmm.detach vmm ~program:name ~point:p)
+          points;
+        (* force every adj-RIB-out through the shortened chain so the
+           final state does not depend on WHEN each group re-evaluates *)
+        Scenario.Daemon.refresh_exports dut;
+        Scenario.Star.settle star;
+        inject_extra () (* a live change rides the shortened chain *);
+        Scenario.Star.settle star;
+        List.iter
+          (fun (a : Xbgp.Manifest.attachment) ->
+            match
+              Xbgp.Vmm.attach vmm ~program:a.program ~bytecode:a.bytecode
+                ~point:a.point ~order:a.order
+            with
+            | Ok () -> ()
+            | Error e -> failwith ("re-attach " ^ name ^ ": " ^ e))
+          m.attachments;
+        Scenario.Daemon.refresh_exports dut)
+    | Cg.Fabric_fail _ | Cg.Fabric_double_fail _ ->
+      invalid_arg "Chaos: fabric fault in a star case"
+  in
+  let rig =
+    {
+      now = (fun () -> Netsim.Sched.now sched);
+      settle = (fun () -> Scenario.Star.settle star);
+      snapshot =
+        (fun label ->
+          {
+            label;
+            dur_us = 0;
+            locs =
+              [
+                ( "dut",
+                  Oracle.normalize (Scenario.Daemon.loc_snapshot dut) );
+              ];
+            ribs =
+              Array.init npeers (fun i ->
+                  Oracle.normalize (Scenario.Star.sink_rib star i));
+            reach = [];
+          });
+    }
+  in
+  let steps =
+    [ ("establish", fun () -> Scenario.Star.establish star);
+      ("feed", feed_all) ]
+    @ List.map
+        (fun fault -> (Cg.fault_name fault, fun () -> apply_fault fault))
+        c.faults
+    @ [
+        ( "aftershock",
+          fun () ->
+            inject_extra ();
+            match c.routes with
+            | r :: _ -> (
+              match c.feed with
+              | Cg.Dut_originate -> Scenario.Star.withdraw_local star r.prefix
+              | Cg.Sink_announce ->
+                Scenario.Star.sink_withdraw star 0 [ r.prefix ])
+            | [] -> () );
+      ]
+  in
+  let phases, findings, note = run_phases ~knobs ~telemetry ~rig steps in
+  (* final-state oracles, only meaningful when every phase completed *)
+  if List.length phases = List.length steps then begin
+    if not (Scenario.Star.all_established star) then
+      note
+        (finding Convergence "[%a] sessions down after the last phase"
+           Cg.pp_knobs knobs);
+    let expected_groups =
+      if not knobs.update_groups then 0
+      else if List.mem "igp_filter" c.chain then npeers
+      else 1
+    in
+    let got = Scenario.Daemon.group_count dut in
+    if got <> expected_groups then
+      note
+        (finding Telemetry_oracle
+           "[%a] update groups did not re-merge: %d active, expected %d \
+            (chain=[%s])"
+           Cg.pp_knobs knobs got expected_groups
+           (String.concat "," c.chain));
+    List.iter note (check_inflight ~leg:knobs telemetry)
+  end;
+  { knobs; phases; leg_findings = findings }
+
+(* --- the fabric leg --- *)
+
+let tor_pairs =
+  let tors = [ "T20"; "T21"; "T22"; "T23" ] in
+  List.concat_map
+    (fun a -> List.filter_map (fun b -> if a = b then None else Some (a, b)) tors)
+    tors
+
+let run_fabric_leg (c : Cg.case) (knobs : Cg.knobs) ~fconfig ~with_transit :
+    leg =
+  set_caches knobs.caches;
+  let telemetry = Telemetry.create ~enabled:knobs.telemetry () in
+  Telemetry.set_span_sampling telemetry knobs.span_sampling;
+  let fab =
+    Scenario.Fabric.build ~host:knobs.host ~with_transit ~engine:knobs.engine
+      ~telemetry ~batch_updates:knobs.batch_updates
+      ~update_groups:knobs.update_groups fconfig
+  in
+  let sched = fab.Scenario.Fabric.sched in
+  let links = Array.of_list fab.Scenario.Fabric.clos.Dataset.Clos.links in
+  let link i = links.(i mod Array.length links) in
+  let run_us us =
+    ignore (Netsim.Sched.run ~until:(Netsim.Sched.now sched + us) sched)
+  in
+  let activity () =
+    List.fold_left
+      (fun acc (_, d) ->
+        let s = Scenario.Daemon.stats d in
+        acc + s.Telemetry.updates_rx + s.Telemetry.updates_tx)
+      0 fab.Scenario.Fabric.daemons
+  in
+  (* Quiescence in 500 ms slices, demanding two consecutive quiet
+     slices. A freshly failed link is silent until the hold timers
+     expire — and the two ends' timers fire up to hold_time (9 s) plus
+     one keepalive interval (3 s) after the failure, depending on
+     keepalive phase — so fault phases pre-roll past the worst-case
+     expiry before watching for the update churn to stop. (The first
+     campaign surfaced exactly this: an 11 s pre-roll left a window in
+     which a quiet slice could precede a late hold expiry, freezing a
+     mid-path-hunt snapshot on timing-shifted legs.) *)
+  let pre_roll = ref 0 in
+  let quiesce () =
+    run_us !pre_roll;
+    pre_roll := 0;
+    let rec go n quiet last =
+      if n > 0 && quiet < 2 then begin
+        run_us 500_000;
+        let cur = activity () in
+        go (n - 1) (if cur = last then quiet + 1 else 0) cur
+      end
+    in
+    go 200 0 (activity ())
+  in
+  let fail_idx i =
+    let a, b = link i in
+    Scenario.Fabric.fail_link fab a b
+  in
+  let repair_idx i =
+    let a, b = link i in
+    Scenario.Fabric.repair_link fab a b
+  in
+  (* hold_time (9 s) + keepalive interval (3 s) + margin — covers the
+     worst-case hold expiry after a failure AND the worst-case connect
+     retry after a repair (a handshake wedged by a multi-link repair
+     re-opens one hold interval after its OPEN was lost) *)
+  let hold_roll = 13_000_000 in
+  let steps =
+    [ ("start", fun () -> Scenario.Fabric.start fab) ]
+    @ List.concat_map
+        (fun fault ->
+          match fault with
+          | Cg.Fabric_fail i ->
+            let name = Cg.fault_name fault in
+            [
+              ( name,
+                fun () ->
+                  fail_idx i;
+                  pre_roll := hold_roll );
+              ( "repair:" ^ name,
+                fun () ->
+                  repair_idx i;
+                  pre_roll := hold_roll );
+            ]
+          | Cg.Fabric_double_fail (i, j) ->
+            let name = Cg.fault_name fault in
+            [
+              ( name,
+                fun () ->
+                  fail_idx i;
+                  fail_idx j;
+                  pre_roll := hold_roll );
+              ( "repair:" ^ name,
+                fun () ->
+                  repair_idx i;
+                  repair_idx j;
+                  pre_roll := hold_roll );
+            ]
+          | _ -> invalid_arg "Chaos: star fault in a fabric case")
+        c.faults
+  in
+  let rig =
+    {
+      now = (fun () -> Netsim.Sched.now sched);
+      settle = quiesce;
+      snapshot =
+        (fun label ->
+          {
+            label;
+            dur_us = 0;
+            locs =
+              List.map
+                (fun (name, d) ->
+                  (name, Oracle.normalize (Scenario.Daemon.loc_snapshot d)))
+                fab.Scenario.Fabric.daemons;
+            ribs = [||];
+            reach =
+              List.map
+                (fun (a, b) -> Scenario.Fabric.reaches fab a b)
+                tor_pairs;
+          });
+    }
+  in
+  let phases, findings, note = run_phases ~knobs ~telemetry ~rig steps in
+  if List.length phases = List.length steps then begin
+    let unreachable =
+      List.filter (fun (a, b) -> not (Scenario.Fabric.reaches fab a b)) tor_pairs
+    in
+    if unreachable <> [] then
+      note
+        (finding Convergence
+           "[%a] fabric did not reconverge after repairs: %s" Cg.pp_knobs
+           knobs
+           (String.concat ", "
+              (List.map (fun (a, b) -> a ^ "->" ^ b) unreachable)));
+    List.iter note (check_inflight ~leg:knobs telemetry)
+  end;
+  { knobs; phases; leg_findings = findings }
+
+let run_leg (c : Cg.case) (knobs : Cg.knobs) : leg =
+  match c.topology with
+  | Cg.Star { npeers } -> run_star_leg c knobs ~npeers
+  | Cg.Fabric { fconfig; with_transit } ->
+    run_fabric_leg c knobs ~fconfig ~with_transit
+
+(* --- grid equivalence --- *)
+
+let pp_route ppf (p, attrs) =
+  Fmt.pf ppf "%a [%a]" Bgp.Prefix.pp p
+    (Fmt.list ~sep:(Fmt.any "; ") Bgp.Attr.pp)
+    attrs
+
+(* First difference between two normalized snapshots (same shape as the
+   host differential's, with leg names instead of host names). *)
+let diff_snap ~what ~l0 ~l1 a b =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> None
+    | ra :: _, [] -> Some (Fmt.str "%s: %a only on %s" what pp_route ra l0)
+    | [], rb :: _ -> Some (Fmt.str "%s: %a only on %s" what pp_route rb l1)
+    | ((pa, aa) as ra) :: ta, ((pb, ab) as rb) :: tb ->
+      let cmp = Bgp.Prefix.compare pa pb in
+      if cmp < 0 then Some (Fmt.str "%s: %a only on %s" what pp_route ra l0)
+      else if cmp > 0 then
+        Some (Fmt.str "%s: %a only on %s" what pp_route rb l1)
+      else if
+        List.length aa <> List.length ab
+        || not (List.for_all2 Bgp.Attr.equal aa ab)
+      then
+        Some
+          (Fmt.str "%s: %a differs: %s=%a %s=%a" what Bgp.Prefix.pp pa l0
+             pp_route ra l1 pp_route rb)
+      else go ta tb
+  in
+  go a b
+
+let diff_phase ~l0 ~l1 (p0 : phase) (p1 : phase) : string list =
+  let locs =
+    List.filter_map
+      (fun (name, snap0) ->
+        match List.assoc_opt name p1.locs with
+        | None -> Some (Fmt.str "%s loc-rib missing on %s" name l1)
+        | Some snap1 ->
+          diff_snap ~what:(name ^ " loc-rib") ~l0 ~l1 snap0 snap1)
+      p0.locs
+  in
+  let ribs = ref [] in
+  if Array.length p0.ribs = Array.length p1.ribs then
+    Array.iteri
+      (fun i snap0 ->
+        match
+          diff_snap
+            ~what:(Fmt.str "sink %d adj-rib-in" i)
+            ~l0 ~l1 snap0 p1.ribs.(i)
+        with
+        | Some d -> ribs := d :: !ribs
+        | None -> ())
+      p0.ribs
+  else ribs := [ Fmt.str "sink count differs (%d vs %d)" (Array.length p0.ribs) (Array.length p1.ribs) ];
+  let reach =
+    if p0.reach <> p1.reach then
+      [
+        Fmt.str "ToR reachability differs: %s=[%s] %s=[%s]" l0
+          (String.concat ""
+             (List.map (fun r -> if r then "1" else "0") p0.reach))
+          l1
+          (String.concat ""
+             (List.map (fun r -> if r then "1" else "0") p1.reach));
+      ]
+    else []
+  in
+  List.map
+    (fun d -> Fmt.str "phase %s: %s" p0.label d)
+    (locs @ List.rev !ribs @ reach)
+
+let compare_legs (base : leg) (other : leg) : finding list =
+  let l0 = Fmt.str "%a" Cg.pp_knobs base.knobs in
+  let l1 = Fmt.str "%a" Cg.pp_knobs other.knobs in
+  let rec go p0s p1s acc =
+    match (p0s, p1s) with
+    | [], [] -> acc
+    | _ :: _, [] | [], _ :: _ ->
+      (* a leg that aborted early already carries its own finding *)
+      acc
+    | p0 :: t0, p1 :: t1 ->
+      let diffs =
+        List.map
+          (fun d -> finding Equivalence "%s vs %s: %s" l0 l1 d)
+          (diff_phase ~l0 ~l1 p0 p1)
+      in
+      go t0 t1 (acc @ diffs)
+  in
+  go base.phases other.phases []
+
+(* [perturb] corrupts the base leg's final routing snapshot — the knob
+   the self-tests use to prove the oracle, shrinker and replay pipeline
+   fire end to end. *)
+let perturb_leg (l : leg) : leg =
+  match List.rev l.phases with
+  | [] -> l
+  | last :: rest ->
+    let locs =
+      match last.locs with
+      | (name, _ :: routes) :: others -> (name, routes) :: others
+      | locs -> locs
+    in
+    { l with phases = List.rev ({ last with locs } :: rest) }
+
+let run_case ?(perturb = false) (c : Cg.case) :
+    finding list * (string * int) list =
+  let legs = List.map (fun k -> run_leg c k) c.grid in
+  set_caches true (* restore the process-wide default *);
+  let legs =
+    match legs with
+    | base :: rest when perturb -> perturb_leg base :: rest
+    | legs -> legs
+  in
+  let leg_findings = List.concat_map (fun l -> l.leg_findings) legs in
+  let equiv =
+    match legs with
+    | base :: rest -> List.concat_map (compare_legs base) rest
+    | [] -> []
+  in
+  let durations =
+    match legs with
+    | base :: _ -> List.map (fun p -> (p.label, p.dur_us)) base.phases
+    | [] -> []
+  in
+  (leg_findings @ equiv, durations)
+
+(* --- shrinking --- *)
+
+(* Minimize the fault schedule and the route table together; the
+   predicate preserves the original divergence CLASS, not just "any
+   finding" — a convergence timeout must not shrink into an unrelated
+   telemetry violation. *)
+let shrink_case ~perturb (c : Cg.case) ~classes =
+  let still_fails dims =
+    match dims with
+    | [| faults; routes |] ->
+      let c' = Cg.restrict ~faults ~routes c in
+      let findings, _ = run_case ~perturb c' in
+      List.exists (fun f -> List.mem f.cls classes) findings
+    | _ -> assert false
+  in
+  let kept =
+    Shrink.minimize_multi ~still_fails
+      [| Shrink.indices c.faults; Shrink.indices c.routes |]
+  in
+  match kept with
+  | [| faults; routes |] ->
+    (Cg.restrict ~faults ~routes c, faults, routes)
+  | _ -> assert false
+
+(* --- the campaign --- *)
+
+type failure = {
+  case : Cg.case;  (** minimized *)
+  findings : finding list;  (** findings of the minimized case *)
+  classes : cls list;  (** divergence classes of the ORIGINAL case *)
+  repro : Replay.Chaos.t;
+  repro_path : string option;
+}
+
+type summary = {
+  cases : int;
+  topologies : (string * int) list;  (** histogram, generation order *)
+  failures : failure list;
+  convergence : (string * int) list;
+      (** (phase label, simulated us) pairs from every case's leg 0 —
+          the raw material for the bench's convergence distributions *)
+}
+
+let result_of ~perturb ~out (c : Cg.case) ~classes =
+  let minimized, faults, routes = shrink_case ~perturb c ~classes in
+  let findings, _ = run_case ~perturb minimized in
+  let findings =
+    if findings = [] then fst (run_case ~perturb c) else findings
+  in
+  let note =
+    match findings with [] -> "" | f :: _ -> Fmt.str "%a" pp_finding f
+  in
+  let repro =
+    {
+      Replay.Chaos.seed = c.seed;
+      case_index = c.index;
+      perturb;
+      faults = Some faults;
+      routes = Some routes;
+      classes = List.map cls_name classes;
+      note;
+    }
+  in
+  let repro_path = Option.map (fun dir -> Replay.Chaos.save ~dir repro) out in
+  { case = minimized; findings; classes; repro; repro_path }
+
+let campaign ?out ?(perturb = false) ?(log = fun _ -> ()) ~seed ~cases () :
+    summary =
+  let histogram = Hashtbl.create 8 in
+  let order = ref [] in
+  let bump name =
+    if not (Hashtbl.mem histogram name) then order := name :: !order;
+    Hashtbl.replace histogram name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt histogram name))
+  in
+  let failures = ref [] and convergence = ref [] in
+  for index = 0 to cases - 1 do
+    let c = Cg.case ~seed ~index in
+    bump (Cg.topology_name c.topology);
+    let findings, durations = run_case ~perturb c in
+    convergence := List.rev_append durations !convergence;
+    (match findings with
+    | [] -> ()
+    | first :: _ ->
+      log (Fmt.str "FAIL %a: %a" Cg.pp_case c pp_finding first);
+      let r = result_of ~perturb ~out c ~classes:(classes_of findings) in
+      (match r.repro_path with
+      | Some p -> log (Fmt.str "  reproducer: %s" p)
+      | None -> ());
+      failures := r :: !failures);
+    if (index + 1) mod 25 = 0 then
+      log
+        (Fmt.str "%d/%d chaos cases, %d failing" (index + 1) cases
+           (List.length !failures))
+  done;
+  {
+    cases;
+    topologies = List.rev_map (fun n -> (n, Hashtbl.find histogram n)) !order;
+    failures = List.rev !failures;
+    convergence = List.rev !convergence;
+  }
+
+(* --- replay --- *)
+
+let replay (r : Replay.Chaos.t) =
+  match Replay.Chaos.case_of r with
+  | Error e -> Error e
+  | Ok c ->
+    let findings, _ = run_case ~perturb:r.perturb c in
+    let recorded =
+      List.filter_map cls_of_name r.classes |> List.sort_uniq compare
+    in
+    let reproduced =
+      recorded = []
+      || List.exists (fun f -> List.mem f.cls recorded) findings
+    in
+    Ok (c, findings, reproduced)
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%d chaos cases (%a): %d failing"
+    s.cases
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (n, c) -> Fmt.pf ppf "%s %d" n c))
+    s.topologies
+    (List.length s.failures)

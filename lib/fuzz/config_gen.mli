@@ -1,0 +1,69 @@
+(** Seeded generation of chaos-campaign configuration points: random
+    points in the shipped configuration matrix (host x engine x caches x
+    batching x update groups x telemetry x extension chain x topology)
+    plus a seeded fault schedule to run against each point.
+
+    Like {!Gen}, a case is a pure function of (master seed, case index):
+    the campaign loop, the shrinker and the replay machinery all
+    regenerate the same case from those two integers and restrict it to
+    kept fault / route indices. *)
+
+type knobs = {
+  host : Scenario.Testbed.host;
+  engine : Ebpf.Vm.engine;
+  caches : bool;  (** both hosts' attribute conversion caches *)
+  batch_updates : bool;
+  update_groups : bool;
+  telemetry : bool;  (** histograms and spans (counters always count) *)
+  span_sampling : int;  (** 1-in-N span sampling, 1 = everything *)
+}
+
+type topology =
+  | Star of { npeers : int }  (** DUT hub + scripted sinks, hold 3 s *)
+  | Fabric of { fconfig : Scenario.Fabric.config; with_transit : bool }
+      (** the Fig. 5 data-center fabric, hold 9 s *)
+
+type feed =
+  | Dut_originate  (** the DUT originates the table (export-side chaos) *)
+  | Sink_announce  (** sink 0 announces it (full pipeline chaos) *)
+
+type fault =
+  | Flap of int  (** star: sink link down past the hold timer, restore *)
+  | Mid_transfer_fail of int
+      (** star: inject fresh routes, fail the link with frames in
+          flight, restore after the hold timer *)
+  | Roa_swap  (** swap the ROA table (set_xtra + rerun_init), re-feed *)
+  | Detach_attach of string
+      (** hot-detach one chain program, push a route through the
+          shortened chain, re-attach per its manifest *)
+  | Fabric_fail of int  (** fabric: fail link [i], settle, repair *)
+  | Fabric_double_fail of int * int  (** fabric: two overlapping fails *)
+
+type case = {
+  seed : int;
+  index : int;
+  grid : knobs list;  (** equivalence legs; leg 0 is the case's point *)
+  topology : topology;
+  feed : feed;
+  chain : string list;  (** registry manifest names, load order *)
+  limit : int option;  (** prefix_limit threshold, when in the chain *)
+  faults : fault list;
+  routes : Dataset.Ris_gen.route list;
+  roas : Rpki.Roa.t list;  (** initial ROA table *)
+  roas2 : Rpki.Roa.t list;  (** the table Roa_swap installs *)
+}
+
+val case : seed:int -> index:int -> case
+(** Deterministic: the same (seed, index) always yields the same case —
+    knobs, grid, chain, fault schedule, routes and ROA tables. *)
+
+val restrict : ?faults:int list -> ?routes:int list -> case -> case
+(** Keep only the listed fault / route indices (shrinking, replay); an
+    absent argument keeps that list whole. *)
+
+val host_name : Scenario.Testbed.host -> string
+val feed_name : feed -> string
+val fault_name : fault -> string
+val topology_name : topology -> string
+val pp_knobs : Format.formatter -> knobs -> unit
+val pp_case : Format.formatter -> case -> unit

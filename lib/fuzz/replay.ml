@@ -73,21 +73,23 @@ let of_string s =
     try
       List.iter
         (fun l ->
-          match String.index_opt l ' ' with
-          | None -> failwith ("malformed line: " ^ l)
-          | Some i -> (
-            let key = String.sub l 0 i in
-            let v = String.sub l (i + 1) (String.length l - i - 1) in
-            match key with
-            | "seed" -> seed := Some (int_of_string v)
-            | "case" -> case_index := Some (int_of_string v)
-            | "scenario" -> scenario := Some v
-            | "perturb" -> perturb := bool_of_string v
-            | "routes" -> routes := Some (parse_idxs v)
-            | "frames" -> frames := Some (parse_idxs v)
-            | "progs" -> progs := Some (parse_idxs v)
-            | "note" -> note := v
-            | _ -> failwith ("unknown key: " ^ key)))
+          let key, v =
+            (* a fully-shrunk index list serializes as a bare key *)
+            match String.index_opt l ' ' with
+            | None -> (l, "")
+            | Some i ->
+              (String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1))
+          in
+          match key with
+          | "seed" -> seed := Some (int_of_string v)
+          | "case" -> case_index := Some (int_of_string v)
+          | "scenario" -> scenario := Some v
+          | "perturb" -> perturb := bool_of_string v
+          | "routes" -> routes := Some (parse_idxs v)
+          | "frames" -> frames := Some (parse_idxs v)
+          | "progs" -> progs := Some (parse_idxs v)
+          | "note" -> note := v
+          | _ -> failwith ("unknown key: " ^ key))
         rest;
       match (!seed, !case_index, !scenario) with
       | Some seed, Some case_index, Some scenario ->
@@ -141,3 +143,142 @@ let load path =
   match In_channel.with_open_text path In_channel.input_all with
   | s -> of_string s
   | exception Sys_error e -> Error e
+
+(* --- chaos reproducers --- *)
+
+(* The chaos campaign's counterpart: same philosophy (regenerate from
+   (seed, index), restrict to kept indices), different generator and an
+   extra `classes` line pinning the divergence classes the shrinker
+   preserved, so replay can tell "reproduced" from "found something
+   unrelated".
+
+     # xbgp_fuzz chaos reproducer v1
+     seed 42
+     case 17
+     perturb false
+     faults 0 2
+     routes 1 4 5
+     classes equivalence telemetry
+     note frr/int ... vs bird/int ...: phase flap:1: dut loc-rib ... *)
+
+module Chaos = struct
+  type t = {
+    seed : int;
+    case_index : int;
+    perturb : bool;
+    faults : int list option;
+    routes : int list option;
+    classes : string list;
+    note : string;
+  }
+
+  let magic = "# xbgp_fuzz chaos reproducer v1"
+
+  let is_chaos s =
+    match String.index_opt s '\n' with
+    | Some i -> String.trim (String.sub s 0 i) = magic
+    | None -> String.trim s = magic
+
+  let to_string r =
+    let b = Buffer.create 256 in
+    let line fmt =
+      Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+    in
+    line "%s" magic;
+    line "seed %d" r.seed;
+    line "case %d" r.case_index;
+    line "perturb %b" r.perturb;
+    let idx_line name = function
+      | None -> ()
+      | Some idxs ->
+        line "%s %s" name (String.concat " " (List.map string_of_int idxs))
+    in
+    idx_line "faults" r.faults;
+    idx_line "routes" r.routes;
+    if r.classes <> [] then line "classes %s" (String.concat " " r.classes);
+    if r.note <> "" then
+      line "note %s"
+        (String.map (fun c -> if c = '\n' then ' ' else c) r.note);
+    Buffer.contents b
+
+  let of_string s =
+    let lines =
+      String.split_on_char '\n' s
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "")
+    in
+    match lines with
+    | m :: rest when m = magic -> (
+      let seed = ref None
+      and case_index = ref None
+      and perturb = ref false
+      and faults = ref None
+      and routes = ref None
+      and classes = ref []
+      and note = ref "" in
+      let parse_idxs v =
+        String.split_on_char ' ' v
+        |> List.filter (fun x -> x <> "")
+        |> List.map int_of_string
+      in
+      try
+        List.iter
+          (fun l ->
+            let key, v =
+              (* a fully-shrunk index list serializes as a bare key *)
+              match String.index_opt l ' ' with
+              | None -> (l, "")
+              | Some i ->
+                ( String.sub l 0 i,
+                  String.sub l (i + 1) (String.length l - i - 1) )
+            in
+            match key with
+            | "seed" -> seed := Some (int_of_string v)
+            | "case" -> case_index := Some (int_of_string v)
+            | "perturb" -> perturb := bool_of_string v
+            | "faults" -> faults := Some (parse_idxs v)
+            | "routes" -> routes := Some (parse_idxs v)
+            | "classes" ->
+              classes :=
+                String.split_on_char ' ' v |> List.filter (fun x -> x <> "")
+            | "note" -> note := v
+            | _ -> failwith ("unknown key: " ^ key))
+          rest;
+        match (!seed, !case_index) with
+        | Some seed, Some case_index ->
+          Ok
+            {
+              seed;
+              case_index;
+              perturb = !perturb;
+              faults = !faults;
+              routes = !routes;
+              classes = !classes;
+              note = !note;
+            }
+        | _ -> Error "missing seed or case line"
+      with
+      | Failure e -> Error e
+      | Invalid_argument e -> Error e)
+    | _ -> Error "not an xbgp_fuzz chaos reproducer (bad magic line)"
+
+  let case_of r =
+    let c = Config_gen.case ~seed:r.seed ~index:r.case_index in
+    Ok (Config_gen.restrict ?faults:r.faults ?routes:r.routes c)
+
+  let save ~dir r =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "chaos-s%d-c%d.txt" r.seed r.case_index)
+    in
+    let oc = open_out path in
+    output_string oc (to_string r);
+    close_out oc;
+    path
+
+  let load path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | s -> of_string s
+    | exception Sys_error e -> Error e
+end

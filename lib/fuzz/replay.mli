@@ -26,3 +26,34 @@ val save : dir:string -> t -> string
     returns the path. *)
 
 val load : string -> (t, string) result
+
+(** Reproducers for the chaos campaign ({!Chaos.t} pins a
+    {!Config_gen.case}): same regenerate-and-restrict scheme, plus the
+    divergence classes the shrinker preserved so replay can distinguish
+    "reproduced" from "found something unrelated". *)
+module Chaos : sig
+  type t = {
+    seed : int;
+    case_index : int;
+    perturb : bool;
+    faults : int list option;  (** kept fault indices; [None] keeps all *)
+    routes : int list option;
+    classes : string list;  (** {!Chaos.cls_name}s of the original case *)
+    note : string;  (** first finding, for humans *)
+  }
+
+  val is_chaos : string -> bool
+  (** Does this file content carry the chaos magic line? (Used by the
+      CLI to route [--replay] to the right campaign.) *)
+
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+
+  val case_of : t -> (Config_gen.case, string) result
+  (** Regenerate the (restricted) chaos case this reproducer pins. *)
+
+  val save : dir:string -> t -> string
+  (** Write [chaos-s<seed>-c<index>.txt] under [dir]; returns the path. *)
+
+  val load : string -> (t, string) result
+end

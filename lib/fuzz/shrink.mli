@@ -7,3 +7,11 @@ val minimize : still_fails:(int list -> bool) -> int list -> int list
 
 val indices : 'a list -> int list
 (** [0; 1; ...; length-1]. *)
+
+val minimize_multi :
+  still_fails:(int list array -> bool) -> int list array -> int list array
+(** Coordinate-descent {!minimize} over several index lists at once —
+    dimension [d] is minimized with the other dimensions pinned to
+    their current kept sets, repeating until a (bounded) fixpoint. The
+    chaos shrinker uses it to minimize a fault schedule and a route
+    table together. [still_fails] must hold for the input array. *)

@@ -260,12 +260,29 @@ let take_classes g =
       (fun ((start, excl) as cls) ->
         let excluded = Hashtbl.create (max 1 (List.length excl)) in
         List.iter (fun i -> Hashtbl.replace excluded i ()) excl;
+        (* Splitting the chronological stream into a withdrawal list and
+           an advertisement list loses inter-list ordering, and the
+           daemon sends withdrawals first — so an advertisement
+           superseded by a LATER withdrawal of the same prefix must be
+           dropped here, or it would be delivered after that withdrawal
+           and leave the receivers holding a ghost route. This mirrors
+           the daemons' own pending queues, which purge queued
+           advertisements when a withdrawal is queued; every other
+           event (duplicate advertisements, a withdrawal followed by a
+           fresher advertisement) is kept in enqueue order so grouped
+           streams stay byte-identical to the per-peer baseline. *)
+        let withdrawn = Hashtbl.create 8 in
         let wds = ref [] and advs = ref [] in
         for i = n - 1 downto start do
-          if not (Hashtbl.mem excluded i) then
+          if not (Hashtbl.mem excluded i) then begin
             match arr.(i) with
-            | Adv a -> advs := (a.prefix, a.attrs) :: !advs
-            | Wd w -> wds := w.prefix :: !wds
+            | Adv a ->
+              if not (Hashtbl.mem withdrawn a.prefix) then
+                advs := (a.prefix, a.attrs) :: !advs
+            | Wd w ->
+              Hashtbl.replace withdrawn w.prefix ();
+              wds := w.prefix :: !wds
+          end
         done;
         let ms =
           match Hashtbl.find_opt classes cls with

@@ -88,6 +88,19 @@ let restart_sessions = function
   | Frr d -> Frrouting.Bgpd.restart_sessions d
   | Bird d -> Bird.Bgpd.restart_sessions d
 
+let set_xtra t key value =
+  match t with
+  | Frr d -> Frrouting.Bgpd.set_xtra d key value
+  | Bird d -> Bird.Bgpd.set_xtra d key value
+
+let rerun_init = function
+  | Frr d -> Frrouting.Bgpd.rerun_init d
+  | Bird d -> Bird.Bgpd.rerun_init d
+
+let stats = function
+  | Frr d -> Frrouting.Bgpd.stats d
+  | Bird d -> Bird.Bgpd.stats d
+
 let refresh_exports = function
   | Frr d -> Frrouting.Bgpd.refresh_exports d
   | Bird d -> Bird.Bgpd.refresh_exports d

@@ -32,6 +32,16 @@ val set_log : t -> (string -> unit) -> unit
 val restart_sessions : t -> unit
 (** Re-open any session that has fallen back to Idle. *)
 
+val set_xtra : t -> string -> bytes -> unit
+(** Replace one named configuration extra at runtime (e.g. an updated
+    ROA table); pair with {!rerun_init} for init-time extension state. *)
+
+val rerun_init : t -> unit
+(** Re-run the extension init bytecodes against the current xtras. *)
+
+val stats : t -> Telemetry.daemon_stats
+(** Point-in-time daemon counters (updates/routes/rejections). *)
+
 val refresh_exports : t -> unit
 (** Re-evaluate export policy for every best route. *)
 

@@ -22,14 +22,27 @@ type t = {
 let hold_time = 9 (* short hold: failure scenarios converge quickly *)
 
 let build ?(host : Testbed.host = `Frr) ?(with_transit = false)
-    (config : config) : t =
+    ?(engine = Ebpf.Vm.Interpreted) ?telemetry ?(batch_updates = true)
+    ?(update_groups = true) (config : config) : t =
   let clos =
     Dataset.Clos.fig5 ~with_transit ~same_spine_as:(config = `Same_as) ()
   in
   Frrouting.Attr_intern.reset_intern_table ();
   let sched = Netsim.Sched.create () in
+  let telemetry =
+    match telemetry with
+    | Some t -> t
+    | None -> Telemetry.create ~enabled:false ()
+  in
+  Telemetry.set_clock_us telemetry (fun () -> Netsim.Sched.now sched);
   let pipes =
-    List.map (fun link -> (link, Netsim.Pipe.create sched)) clos.links
+    List.map
+      (fun ((a, b) as link) ->
+        ( link,
+          Netsim.Pipe.create ~telemetry
+            ~name:(Printf.sprintf "%s-%s" a b)
+            sched ))
+      clos.links
   in
   (* peer configurations per router *)
   let ports_of name =
@@ -55,8 +68,8 @@ let build ?(host : Testbed.host = `Frr) ?(with_transit = false)
         let vmm =
           if config = `Xbgp then
             Some
-              (Xprogs.Registry.vmm_of_manifest ~host:r.rname
-                 Xprogs.Valley_free.manifest)
+              (Xprogs.Registry.vmm_of_manifest ~engine ~telemetry
+                 ~host:r.rname Xprogs.Valley_free.manifest)
           else None
         in
         let daemon =
@@ -76,9 +89,10 @@ let build ?(host : Testbed.host = `Frr) ?(with_transit = false)
                 peers
             in
             Daemon.Frr
-              (Frrouting.Bgpd.create ?vmm ~sched
+              (Frrouting.Bgpd.create ~telemetry ?vmm ~sched
                  (Frrouting.Bgpd.config ~name:r.rname ~router_id:r.router_id
-                    ~local_as:r.asn ~local_addr:r.addr ~hold_time ~xtras ())
+                    ~local_as:r.asn ~local_addr:r.addr ~hold_time
+                    ~batch_updates ~update_groups ~xtras ())
                  confs)
           | `Bird ->
             let confs =
@@ -95,9 +109,10 @@ let build ?(host : Testbed.host = `Frr) ?(with_transit = false)
                 peers
             in
             Daemon.Bird
-              (Bird.Bgpd.create ?vmm ~sched
+              (Bird.Bgpd.create ~telemetry ?vmm ~sched
                  (Bird.Bgpd.config ~name:r.rname ~router_id:r.router_id
-                    ~local_as:r.asn ~local_addr:r.addr ~hold_time ~xtras ())
+                    ~local_as:r.asn ~local_addr:r.addr ~hold_time
+                    ~batch_updates ~update_groups ~xtras ())
                  confs)
         in
         (r.rname, daemon))

@@ -26,6 +26,7 @@ val create :
   ?hold_time:int ->
   ?record_frames:bool ->
   ?track_rib:bool ->
+  ?xtras:(string * bytes) list ->
   npeers:int ->
   unit ->
   t
@@ -34,8 +35,9 @@ val create :
     registry. [ibgp] makes every spoke an iBGP peer (default: each spoke
     its own AS); [rr_client i] marks spoke [i] a route-reflector client.
     [record_frames] / [track_rib] (default true) can be switched off to
-    keep full-table benchmark runs lean. Also resets the FRR intern
-    table (fresh-process semantics).
+    keep full-table benchmark runs lean. [xtras] are the DUT's named
+    configuration extras (ROA tables, thresholds) fed to [get_xtra].
+    Also resets the FRR intern table (fresh-process semantics).
     @raise Invalid_argument unless [1 <= npeers <= 200]. *)
 
 val npeers : t -> int

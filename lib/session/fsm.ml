@@ -114,10 +114,22 @@ and arm_hold_timer t =
   t.hold_deadline <- deadline;
   Netsim.Sched.after t.sched (sec t.config.hold_time) (fun () ->
       if t.state <> Idle && Netsim.Sched.now t.sched >= t.hold_deadline then begin
-        send_msg t
-          (Bgp.Message.Notification
-             { code = 4; subcode = 0; data = Bytes.empty });
-        close t "hold timer expired"
+        let handshaking = t.state <> Established in
+        (* no Notification for an expired handshake: when both ends
+           retry at the same instant, each side's Notification would
+           arrive just ahead of the peer's fresh OPEN and tear the new
+           attempt down again — a livelock *)
+        if not handshaking then
+          send_msg t
+            (Bgp.Message.Notification
+               { code = 4; subcode = 0; data = Bytes.empty });
+        close t "hold timer expired";
+        (* connect retry (RFC 4271 §8.2.1): a handshake that never
+           completed lost its OPEN — typically sent into a link that was
+           down at the time — so re-open, or the session would sit Idle
+           forever even after the link heals. An Established session
+           that expires stays down until its owner restarts it. *)
+        if handshaking then start t
       end)
 
 and schedule_keepalive t =
@@ -140,7 +152,7 @@ and handle_msg t msg ~raw =
   match (t.state, msg) with
   | _, Bgp.Message.Notification n ->
     close t (Printf.sprintf "notification %d/%d received" n.code n.subcode)
-  | Open_sent, Bgp.Message.Open o ->
+  | (Idle | Open_sent | Open_confirm), Bgp.Message.Open o ->
     let expected =
       if t.config.peer_as > 0xffff then Bgp.Message.as_trans
       else t.config.peer_as
@@ -157,6 +169,22 @@ and handle_msg t msg ~raw =
         (Printf.sprintf "bad peer AS %d (expected %d)" o.my_as expected)
     end
     else begin
+      (* passive open: an OPEN arriving while Idle (from a peer in its
+         connect-retry loop) is answered with our own OPEN instead of
+         being dropped — otherwise two peers whose handshakes failed at
+         different times livelock, each retry landing in the other's
+         Idle. A duplicate OPEN in Open_confirm (simultaneous retries
+         answering each other's passive opens) is benign: re-confirm
+         rather than treating it as a protocol error. *)
+      if t.state = Idle then
+        send_msg t
+          (Bgp.Message.Open
+             {
+               version = 4;
+               my_as = t.config.local_as;
+               hold_time = t.config.hold_time;
+               bgp_id = t.config.local_id;
+             });
       t.peer_id <- o.bgp_id;
       transition t Open_confirm;
       send_msg t Bgp.Message.Keepalive;
@@ -169,6 +197,9 @@ and handle_msg t msg ~raw =
   | Established, Bgp.Message.Update u ->
     arm_hold_timer t;
     t.callbacks.on_update u ~raw
+  | Idle, _ ->
+    (* stale in-flight frames from before a close; drop silently *)
+    ()
   | state, msg ->
     send_msg t
       (Bgp.Message.Notification { code = 5; subcode = 0; data = Bytes.empty });
@@ -185,22 +216,26 @@ and receive t chunk =
     t.pending <- rest;
     List.iter
       (fun raw ->
-        if t.state <> Idle then
-          match Bgp.Message.decode raw with
-          | msg -> handle_msg t msg ~raw
-          | exception Bgp.Message.Parse_error e ->
+        (* Idle frames still reach [handle_msg]: an OPEN there is a
+           passive open, everything else is dropped *)
+        match Bgp.Message.decode raw with
+        | msg -> handle_msg t msg ~raw
+        | exception Bgp.Message.Parse_error e ->
+          if t.state <> Idle then begin
             send_msg t
               (Bgp.Message.Notification
                  { code = 1; subcode = 0; data = Bytes.empty });
-            close t ("parse error: " ^ e))
+            close t ("parse error: " ^ e)
+          end)
       frames
   | exception Bgp.Message.Parse_error e ->
     send_msg t
       (Bgp.Message.Notification { code = 1; subcode = 0; data = Bytes.empty });
     close t ("framing error: " ^ e)
 
-(** Actively open the session (send OPEN). *)
-let start t =
+(* Actively open the session (send OPEN). In the recursive knot because
+   the hold-timer expiry of a failed handshake retries through it. *)
+and start t =
   if t.state = Idle then begin
     transition t Open_sent;
     send_msg t

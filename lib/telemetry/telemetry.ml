@@ -294,6 +294,33 @@ let metric_names t =
   List.sort String.compare
     (Hashtbl.fold (fun name _ acc -> name :: acc) t.families [])
 
+(* Enumerate every instance of one metric kind, sorted by (family,
+   label key) so two snapshots of the same registry line up pairwise —
+   what the chaos fuzzer's monotonicity and leak oracles diff. *)
+let instances_of_kind t ~kind ~value =
+  Hashtbl.fold
+    (fun name (f : family) acc ->
+      if f.kind <> kind then acc
+      else
+        Hashtbl.fold
+          (fun _ (labels, m) acc -> (name, labels, value m) :: acc)
+          f.instances acc)
+    t.families []
+  |> List.sort (fun (na, la, _) (nb, lb, _) ->
+         match String.compare na nb with
+         | 0 -> compare la lb
+         | c -> c)
+
+let counters t =
+  instances_of_kind t ~kind:`Counter ~value:(function
+    | M_counter c -> Counter.value c
+    | _ -> 0)
+
+let gauges t =
+  instances_of_kind t ~kind:`Gauge ~value:(function
+    | M_gauge g -> Gauge.value g
+    | _ -> 0)
+
 (* --- spans --- *)
 
 let span_begin t ?(tags = []) name : Span.t =

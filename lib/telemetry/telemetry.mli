@@ -145,6 +145,16 @@ val histogram_count :
 val metric_names : t -> string list
 (** Registered family names, sorted. *)
 
+val counters : t -> (string * (string * string) list * int) list
+(** Every counter instance as [(family, labels, value)], sorted by
+    family then labels — two snapshots of the same registry line up
+    pairwise, which is how the chaos fuzzer asserts monotonicity. *)
+
+val gauges : t -> (string * (string * string) list * int) list
+(** Every gauge instance as [(family, labels, value)], same order
+    contract as {!counters} (the chaos fuzzer's leak oracle reads the
+    [net_in_flight_chunks] instances at quiescence). *)
+
 (** {1 Spans}
 
     A span is one timed operation (a [Vmm.run], a scenario phase). Spans

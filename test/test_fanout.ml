@@ -354,6 +354,12 @@ let engine_model_prop =
           pend_adv.(m) <- (p, a) :: pend_adv.(m)
         | None when old <> None ->
           Hashtbl.remove mrib.(m) p;
+          (* like the daemons' pending queues: a withdrawal purges any
+             queued advertisement it supersedes — the flush sends
+             withdrawals first, so a stale advertisement surviving here
+             would resurrect the route at the receivers *)
+          pend_adv.(m) <-
+            List.filter (fun (p', _) -> p' <> p) pend_adv.(m);
           pend_wd.(m) <- p :: pend_wd.(m)
         | _ -> ()
       in

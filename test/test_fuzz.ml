@@ -151,6 +151,174 @@ let test_replay_rejects_garbage () =
   | Ok _ -> Alcotest.fail "accepted bad seed"
   | Error _ -> ()
 
+(* --- chaos campaign --- *)
+
+let test_chaos_gen_deterministic () =
+  for index = 0 to 25 do
+    let a = Fuzz.Config_gen.case ~seed:5 ~index
+    and b = Fuzz.Config_gen.case ~seed:5 ~index in
+    check_bool "identical case" true (a = b)
+  done;
+  let differs =
+    List.exists
+      (fun index ->
+        Fuzz.Config_gen.case ~seed:1 ~index
+        <> Fuzz.Config_gen.case ~seed:2 ~index)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  check_bool "seeds matter" true differs
+
+let prop_chaos_gen_pure =
+  QCheck2.Test.make ~name:"chaos case is a pure function of (seed, index)"
+    ~count:60
+    QCheck2.Gen.(pair (int_bound 99_999) (int_bound 500))
+    (fun (seed, index) ->
+      let a = Fuzz.Config_gen.case ~seed ~index in
+      let b = Fuzz.Config_gen.case ~seed ~index in
+      a = b
+      (* restricting to every index is the identity *)
+      && Fuzz.Config_gen.restrict
+           ~faults:(List.mapi (fun i _ -> i) a.faults)
+           ~routes:(List.mapi (fun i _ -> i) a.routes)
+           a
+         = a)
+
+let test_chaos_verdict_deterministic () =
+  (* same seed => same fault schedule, same verdict, same convergence
+     samples — byte-for-byte replayability *)
+  List.iter
+    (fun index ->
+      let c = Fuzz.Config_gen.case ~seed:7 ~index in
+      let f1, conv1 = Fuzz.Chaos.run_case c in
+      let f2, conv2 = Fuzz.Chaos.run_case c in
+      check_bool "same findings" true
+        (List.map (fun (f : Fuzz.Chaos.finding) -> (f.cls, f.detail)) f1
+        = List.map (fun (f : Fuzz.Chaos.finding) -> (f.cls, f.detail)) f2);
+      check_bool "same convergence samples" true (conv1 = conv2))
+    [ 0; 1; 2 ]
+
+let test_chaos_campaign_clean () =
+  let s = Fuzz.Chaos.campaign ~seed:3 ~cases:25 () in
+  check_int "cases" 25 s.cases;
+  check_int "no failures" 0 (List.length s.failures);
+  check_int "topology histogram sums" 25
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.topologies);
+  check_bool "convergence samples collected" true (s.convergence <> [])
+
+(* pinned regressions: the cases that surfaced the pending-queue
+   reorder bug (ghost advertisement after a flap) and the silent
+   loop-drop bug (stable ghost cycle after a fabric double failure) *)
+let test_chaos_pinned_star () =
+  let c = Fuzz.Config_gen.case ~seed:13 ~index:26 in
+  let findings, _ = Fuzz.Chaos.run_case c in
+  check_int "seed 13 case 26 clean" 0 (List.length findings)
+
+let test_chaos_pinned_fabric () =
+  let c = Fuzz.Config_gen.case ~seed:2026 ~index:88 in
+  let findings, _ = Fuzz.Chaos.run_case c in
+  check_int "seed 2026 case 88 clean" 0 (List.length findings)
+
+let test_chaos_perturb_pipeline () =
+  (* the self-test knob corrupts leg 0's final snapshot: the oracle
+     must fire, the shrinker must keep the divergence class, and the
+     reproducer must round-trip through its file form and replay *)
+  let dir = Filename.temp_file "chaosrepro" "" in
+  Sys.remove dir;
+  let s = Fuzz.Chaos.campaign ~out:dir ~perturb:true ~seed:7 ~cases:4 () in
+  check_bool "perturbed campaign fails somewhere" true (s.failures <> []);
+  List.iter
+    (fun (f : Fuzz.Chaos.failure) ->
+      check_bool "original classes recorded" true (f.classes <> []);
+      check_bool "minimized case still finds them" true
+        (List.exists
+           (fun c -> List.mem c f.classes)
+           (Fuzz.Chaos.classes_of f.findings));
+      let path =
+        match f.repro_path with
+        | Some p -> p
+        | None -> Alcotest.fail "no reproducer written"
+      in
+      let content =
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let b = really_input_string ic n in
+        close_in ic;
+        b
+      in
+      check_bool "file routes to the chaos replayer" true
+        (Fuzz.Replay.Chaos.is_chaos content);
+      (match Fuzz.Replay.Chaos.load path with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+        check_int "same seed" f.repro.seed r.seed;
+        check_int "same case" f.repro.case_index r.case_index;
+        check_bool "same kept faults" true (f.repro.faults = r.faults);
+        check_bool "same kept routes" true (f.repro.routes = r.routes);
+        (* replaying is deterministic and reproduces the class *)
+        let run () =
+          match Fuzz.Chaos.replay r with
+          | Error e -> Alcotest.fail e
+          | Ok (_, findings, reproduced) ->
+            check_bool "replay reproduces the class" true reproduced;
+            List.map (fun (x : Fuzz.Chaos.finding) -> x.detail) findings
+        in
+        check_bool "replay is deterministic" true (run () = run ())))
+    s.failures;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let prop_chaos_shrink_preserves_class =
+  (* ddmin over the fault schedule and route table must not trade the
+     original divergence class for a different (easier) one *)
+  QCheck2.Test.make ~name:"shrunk chaos case reproduces the original class"
+    ~count:3
+    QCheck2.Gen.(int_bound 20)
+    (fun index ->
+      let c = Fuzz.Config_gen.case ~seed:7 ~index in
+      match c.topology with
+      | Fuzz.Config_gen.Fabric _ -> true (* keep the property cheap *)
+      | Fuzz.Config_gen.Star _ -> (
+        let findings, _ = Fuzz.Chaos.run_case ~perturb:true c in
+        match Fuzz.Chaos.classes_of findings with
+        | [] -> true (* perturbation has nothing to corrupt here *)
+        | classes ->
+          let minimized, _, _ =
+            Fuzz.Chaos.shrink_case ~perturb:true c ~classes
+          in
+          let findings', _ = Fuzz.Chaos.run_case ~perturb:true minimized in
+          List.exists
+            (fun cl -> List.mem cl classes)
+            (Fuzz.Chaos.classes_of findings')))
+
+let test_chaos_reproducer_empty_lists () =
+  (* pinned regression: a reproducer whose kept-index lists are empty
+     serializes to bare keys; the parser must read them back as
+     [Some []], not reject the line (or worse, [None]) *)
+  let r =
+    {
+      Fuzz.Replay.Chaos.seed = 42;
+      case_index = 7;
+      perturb = true;
+      faults = Some [];
+      routes = Some [];
+      classes = [ "equivalence" ];
+      note = "synthetic";
+    }
+  in
+  match Fuzz.Replay.Chaos.of_string (Fuzz.Replay.Chaos.to_string r) with
+  | Error e -> Alcotest.fail e
+  | Ok r' ->
+    check_bool "empty kept lists survive the round trip" true (r = r');
+    (* and a non-empty one for good measure *)
+    let r2 = { r with faults = Some [ 0; 2 ]; routes = None } in
+    (match Fuzz.Replay.Chaos.of_string (Fuzz.Replay.Chaos.to_string r2) with
+    | Error e -> Alcotest.fail e
+    | Ok r2' -> check_bool "mixed lists round-trip" true (r2 = r2'));
+    check_bool "chaos magic recognized" true
+      (Fuzz.Replay.Chaos.is_chaos (Fuzz.Replay.Chaos.to_string r));
+    check_bool "plain reproducers are not chaos" false
+      (Fuzz.Replay.Chaos.is_chaos "# xbgp_fuzz reproducer v1\n")
+
 (* --- shrink primitive --- *)
 
 let test_shrink_primitive () =
@@ -193,4 +361,22 @@ let () =
         ] );
       ( "shrink",
         [ Alcotest.test_case "ddmin cores" `Quick test_shrink_primitive ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "gen deterministic" `Quick
+            test_chaos_gen_deterministic;
+          Qc.to_alcotest prop_chaos_gen_pure;
+          Alcotest.test_case "verdict deterministic" `Slow
+            test_chaos_verdict_deterministic;
+          Alcotest.test_case "25 cases clean" `Slow test_chaos_campaign_clean;
+          Alcotest.test_case "pinned: seed 13 case 26" `Quick
+            test_chaos_pinned_star;
+          Alcotest.test_case "pinned: seed 2026 case 88" `Slow
+            test_chaos_pinned_fabric;
+          Alcotest.test_case "perturb pipeline" `Slow
+            test_chaos_perturb_pipeline;
+          Qc.to_alcotest prop_chaos_shrink_preserves_class;
+          Alcotest.test_case "reproducer empty kept lists" `Quick
+            test_chaos_reproducer_empty_lists;
+        ] );
     ]

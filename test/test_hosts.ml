@@ -321,6 +321,55 @@ let test_daemon_decision_prefers_shorter_path () =
       (Frrouting.Attr_intern.neighbor_as r.attrs)
   | None -> Alcotest.fail "no route"
 
+let test_daemon_loop_implicit_withdrawal () =
+  (* RFC 4271: a received route whose AS_PATH contains the receiver's
+     own AS is unfeasible — an IMPLICIT WITHDRAWAL of any earlier route
+     for the same NLRI from that peer, not a silent no-op. Chaos seed
+     2026 case 88 caught the silent-drop variant leaving a stale
+     adj-rib-in entry that path hunting then locked into a ghost
+     cycle. *)
+  let sched, da, db, a_addr = two_routers () in
+  let p = Bgp.Prefix.of_string "203.0.113.0/24" in
+  Frrouting.Bgpd.originate da p (basic_attrs a_addr);
+  ignore (Netsim.Sched.run ~until:(5 * 1_000_000) sched);
+  check_bool "learned" true (Frrouting.Bgpd.best_route db p <> None);
+  (* A now re-advertises the same prefix over a path that already
+     contains B's AS (A prepends 65001, so B receives [65001 65000]) *)
+  Frrouting.Bgpd.originate da p
+    [
+      Bgp.Attr.v (Bgp.Attr.Origin Bgp.Attr.Igp);
+      Bgp.Attr.v (Bgp.Attr.As_path [ Bgp.Attr.Seq [ 65000 ] ]);
+      Bgp.Attr.v (Bgp.Attr.Next_hop a_addr);
+    ];
+  ignore (Netsim.Sched.run ~until:(10 * 1_000_000) sched);
+  check_bool "stale route implicitly withdrawn" true
+    (Frrouting.Bgpd.best_route db p = None)
+
+let test_daemon_wedged_handshake_recovers () =
+  (* A session restarted while its pipe is still down loses its OPEN;
+     without the FSM's connect retry (and the passive open answering a
+     retry that lands in Idle) it would sit Open_sent until the hold
+     timer closes it, then stay dead forever. *)
+  let sched, da, db, a_addr = two_routers () in
+  let p = Bgp.Prefix.of_string "203.0.113.0/24" in
+  Frrouting.Bgpd.originate da p (basic_attrs a_addr);
+  ignore (Netsim.Sched.run ~until:(5 * 1_000_000) sched);
+  let port = (Frrouting.Bgpd.peer da 0).conf.port in
+  Netsim.Pipe.set_up port false;
+  ignore (Netsim.Sched.run ~until:(20 * 1_000_000) sched);
+  check_bool "session torn down" false (Frrouting.Bgpd.peer_established da 0);
+  (* restart into the still-down pipe: both OPENs are lost *)
+  Frrouting.Bgpd.restart_sessions da;
+  Frrouting.Bgpd.restart_sessions db;
+  ignore (Netsim.Sched.run ~until:(22 * 1_000_000) sched);
+  Netsim.Pipe.set_up port true;
+  (* no further restart: recovery must come from the FSM itself, one
+     hold interval after the lost OPENs *)
+  ignore (Netsim.Sched.run ~until:(45 * 1_000_000) sched);
+  check_bool "A re-established" true (Frrouting.Bgpd.peer_established da 0);
+  check_bool "B re-established" true (Frrouting.Bgpd.peer_established db 0);
+  check_bool "route re-learned" true (Frrouting.Bgpd.best_route db p <> None)
+
 
 (* churn property: after a random sequence of announcements and
    withdrawals, the receiving daemon converges to exactly the set of
@@ -442,6 +491,10 @@ let () =
             test_daemon_session_loss_cleans_rib;
           Alcotest.test_case "decision: shorter path" `Quick
             test_daemon_decision_prefers_shorter_path;
+          Alcotest.test_case "loop is implicit withdrawal" `Quick
+            test_daemon_loop_implicit_withdrawal;
+          Alcotest.test_case "wedged handshake recovers" `Quick
+            test_daemon_wedged_handshake_recovers;
           Alcotest.test_case "BIRD daemon basics" `Quick
             test_bird_daemon_basics;
           qc prop_churn_convergence;
