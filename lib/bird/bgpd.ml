@@ -859,7 +859,10 @@ let mandatory_present (attrs : Bgp.Attr.t list) extra_tlvs =
 let on_update t peer (u : Bgp.Message.update) ~raw =
   Telemetry.Counter.inc t.probes.c_updates_rx;
   let extra_tlvs = ref [] in
-  (if u.nlri <> [] then
+  (* withdraw-only UPDATEs go through the point too (flap damping needs
+     to see withdrawals; the point runs before they are processed);
+     only truly empty messages — End-of-RIB markers — are skipped *)
+  (if u.nlri <> [] || u.withdrawn <> [] then
      let body =
        Bytes.sub raw Bgp.Message.header_size
          (Bytes.length raw - Bgp.Message.header_size)

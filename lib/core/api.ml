@@ -161,8 +161,10 @@ let nh_igp_metric = 4
 
 let igp_unreachable = 0xFFFFFFFF
 
-(* --- blob structure returned by get_arg / get_xtra / map_lookup:
-       u32 length followed by the payload bytes --- *)
+(* --- blob structure returned by get_arg / get_xtra: u32 length
+       followed by the payload bytes. map_lookup is NOT a blob: it
+       returns the raw value bytes (the length is the map's declared
+       value_size, known statically to the bytecode) --- *)
 
 let blob_header_size = 4
 

@@ -24,15 +24,21 @@ type t = {
   attachments : attachment list;
   engines : (string * Ebpf.Vm.engine) list;
       (** per-program execution-engine overrides ([engine] directives) *)
+  maps : (string * Ebpf.Map.spec) list;
+      (** per-program map declarations ([map] directives); when a
+          program has any, they replace the program's built-in specs at
+          [load] time *)
 }
 
-let empty = { programs = []; attachments = []; engines = [] }
+let empty = { programs = []; attachments = []; engines = []; maps = [] }
 
-let v ~programs ~attachments = { programs; attachments; engines = [] }
+let v ~programs ~attachments =
+  { programs; attachments; engines = []; maps = [] }
 
 (* the record is public: callers add overrides with [with_engines] or a
    record update *)
 let with_engines engines t = { t with engines }
+let with_maps maps t = { t with maps }
 
 (* --- text form --- *)
 
@@ -44,6 +50,12 @@ let to_string t =
       Buffer.add_string b
         (Printf.sprintf "engine %s %s\n" p (Ebpf.Vm.engine_name e)))
     t.engines;
+  List.iter
+    (fun (p, (m : Ebpf.Map.spec)) ->
+      Buffer.add_string b
+        (Printf.sprintf "map %s %s %s %d %d %d\n" p m.name
+           (Ebpf.Map.kind_name m.kind) m.key_size m.value_size m.max_entries))
+    t.maps;
   List.iter
     (fun a ->
       Buffer.add_string b
@@ -78,6 +90,25 @@ let parse (s : string) : (t, string) result =
         | Some e ->
           go (lineno + 1) { acc with engines = (program, e) :: acc.engines } rest
         | None -> err lineno "unknown engine %S" engine_s)
+      | [ "map"; program; name; kind_s; key_s; value_s; entries_s ] -> (
+        match
+          ( Ebpf.Map.kind_of_name kind_s,
+            int_of_string_opt key_s,
+            int_of_string_opt value_s,
+            int_of_string_opt entries_s )
+        with
+        | Some kind, Some key_size, Some value_size, Some max_entries -> (
+          let spec =
+            { Ebpf.Map.name; kind; key_size; value_size; max_entries }
+          in
+          match Ebpf.Map.validate spec with
+          | Ok () ->
+            go (lineno + 1)
+              { acc with maps = (program, spec) :: acc.maps }
+              rest
+          | Error e -> err lineno "%s" e)
+        | None, _, _, _ -> err lineno "unknown map kind %S" kind_s
+        | _ -> err lineno "bad map sizes %S %S %S" key_s value_s entries_s)
       | [ "attach"; program; bytecode; point_s; order_s ] -> (
         match (Api.point_of_name point_s, int_of_string_opt order_s) with
         | Some point, Some order ->
@@ -94,6 +125,7 @@ let parse (s : string) : (t, string) result =
         programs = List.rev t.programs;
         attachments = List.rev t.attachments;
         engines = List.rev t.engines;
+        maps = List.rev t.maps;
       }
   | e -> e
 
@@ -113,6 +145,18 @@ let load vmm ~registry t : (unit, string) result =
           match List.assoc_opt name t.engines with
           | Some e -> { prog with Xprog.engine = Some e }
           | None -> prog
+        in
+        (* [map] directives for this program replace its built-in
+           specs wholesale: the operator declares the sizes they are
+           willing to host, exactly like the helper whitelist *)
+        let prog =
+          match
+            List.filter_map
+              (fun (p, s) -> if p = name then Some s else None)
+              t.maps
+          with
+          | [] -> prog
+          | maps -> { prog with Xprog.maps }
         in
         let* () = Vmm.register vmm prog in
         register_all rest)

@@ -11,13 +11,16 @@
 # GeoLoc on the edge routers
 program geoloc
 engine  geoloc block
+map    geoloc visited hash 8 4 1024
 attach geoloc receive BGP_RECEIVE_MESSAGE 0
 attach geoloc import  BGP_INBOUND_FILTER  10
     v}
 
     The optional [engine] directive pins a program to one of the eBPF
     execution engines ([interpreted], [compiled] or [block]); programs
-    without one use the VMM's default. *)
+    without one use the VMM's default. [map] directives declare the
+    name, kind ([hash]/[lru]/[array]) and sizes of the maps the
+    operator is willing to host for a program. *)
 
 type attachment = {
   program : string;
@@ -31,15 +34,24 @@ type t = {
   attachments : attachment list;
   engines : (string * Ebpf.Vm.engine) list;
       (** per-program execution-engine overrides ([engine] directives) *)
+  maps : (string * Ebpf.Map.spec) list;
+      (** per-program map declarations ([map] directives:
+          [map <program> <name> <kind> <key> <value> <entries>], kind
+          one of [hash]/[lru]/[array]); when a program has any, they
+          replace the program's built-in specs at {!load} time *)
 }
 
 val empty : t
 
 val v : programs:string list -> attachments:attachment list -> t
-(** A manifest with no engine overrides; see {!with_engines}. *)
+(** A manifest with no engine overrides or map declarations; see
+    {!with_engines} and {!with_maps}. *)
 
 val with_engines : (string * Ebpf.Vm.engine) list -> t -> t
 (** Replace the per-program engine overrides. *)
+
+val with_maps : (string * Ebpf.Map.spec) list -> t -> t
+(** Replace the per-program map declarations. *)
 
 val to_string : t -> string
 val parse : string -> (t, string) result

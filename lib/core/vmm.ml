@@ -25,11 +25,26 @@ module Log = (val Logs.src_log src : Logs.LOG)
 (* Raised by the next() helper; never escapes [run]. *)
 exception Next
 
-type map_state = { spec : Xprog.map_spec; table : (string, bytes) Hashtbl.t }
+(* A live map plus its telemetry handles. Handles are interned by
+   (name, labels) in the registry, so a program that is detached and
+   re-attached gets a fresh [Ebpf.Map.t] (the paper's lifecycle: maps
+   are created at attach, destroyed at detach) while its counters stay
+   monotone — the chaos telemetry oracle depends on that. *)
+type live_map = {
+  map : Ebpf.Map.t;
+  m_entries : Telemetry.Gauge.t;
+  m_hits : Telemetry.Counter.t;
+  m_misses : Telemetry.Counter.t;
+  m_updates : Telemetry.Counter.t;
+  m_deletes : Telemetry.Counter.t;
+  m_evictions : Telemetry.Counter.t;
+}
 
 type ext = {
   prog : Xprog.t;
-  maps : map_state array;
+  mutable maps : live_map array option;
+      (** [Some] while the program is attached anywhere; [None] before
+          the first attach and after the last detach *)
   scratch : bytes;  (** persistent across runs, shared by the program *)
 }
 
@@ -173,8 +188,9 @@ let last_fault_record t = t.last_fault_record
 let last_fault t = Option.map render_fault t.last_fault_record
 
 (** Register an xBGP program: verify every bytecode against the structural
-    checks and the program's helper whitelist, then instantiate its maps
-    and persistent scratch. *)
+    checks, the program's helper whitelist and its map declarations, then
+    instantiate its persistent scratch. Maps are *not* created here — the
+    VMM owns their lifecycle and brings them up at the first attach. *)
 let register t (prog : Xprog.t) : (unit, string) result =
   if Hashtbl.mem t.extensions prog.name then
     Error (Printf.sprintf "program %S already registered" prog.name)
@@ -183,7 +199,9 @@ let register t (prog : Xprog.t) : (unit, string) result =
       List.filter_map
         (fun (name, code) ->
           match
-            Ebpf.Verifier.check ?allowed_helpers:prog.allowed_helpers code
+            Ebpf.Verifier.check ?allowed_helpers:prog.allowed_helpers
+              ~map_helpers:[ Api.h_map_lookup; Api.h_map_update; Api.h_map_delete ]
+              ~maps:prog.maps code
           with
           | Ok () -> None
           | Error es ->
@@ -196,16 +214,53 @@ let register t (prog : Xprog.t) : (unit, string) result =
     match bad with
     | e :: _ -> Error ("verifier rejected " ^ e)
     | [] ->
-      let maps =
-        Array.of_list
-          (List.map
-             (fun spec -> { spec; table = Hashtbl.create 64 })
-             prog.maps)
+      let ext =
+        { prog; maps = None; scratch = Bytes.make prog.scratch_size '\x00' }
       in
-      let ext = { prog; maps; scratch = Bytes.make prog.scratch_size '\x00' } in
       Hashtbl.replace t.extensions prog.name ext;
       Ok ()
   end
+
+(* --- map lifecycle ---
+
+   Maps come up when the program gains its first attachment and are torn
+   down when it loses its last one (across *all* points — the bytecodes
+   of one program share state, so the maps must survive as long as any
+   of them can run). Contents do survive plain dispatches; only the
+   attach/detach edges move state. *)
+
+let map_probe t (ext : ext) (spec : Ebpf.Map.spec) : live_map =
+  let labels =
+    [ ("host", t.host); ("program", ext.prog.Xprog.name); ("map", spec.name) ]
+  in
+  let counter help name =
+    Telemetry.counter t.tele ~help ~name ~labels ()
+  in
+  {
+    map = Ebpf.Map.create spec;
+    m_entries =
+      Telemetry.gauge t.tele ~help:"live map entries" ~name:"xbgp_map_entries"
+        ~labels ();
+    m_hits = counter "map lookup hits" "xbgp_map_lookup_hits_total";
+    m_misses = counter "map lookup misses" "xbgp_map_lookup_misses_total";
+    m_updates = counter "map updates applied" "xbgp_map_updates_total";
+    m_deletes = counter "map entries deleted" "xbgp_map_deletes_total";
+    m_evictions = counter "LRU evictions" "xbgp_map_evictions_total";
+  }
+
+let ensure_maps_live t (ext : ext) =
+  match ext.maps with
+  | Some _ -> ()
+  | None ->
+    ext.maps <-
+      Some (Array.of_list (List.map (map_probe t ext) ext.prog.Xprog.maps))
+
+let destroy_maps (ext : ext) =
+  (match ext.maps with
+  | Some live ->
+    Array.iter (fun lm -> Telemetry.Gauge.set lm.m_entries 0) live
+  | None -> ());
+  ext.maps <- None
 
 (* --- bytecode execution --- *)
 
@@ -290,10 +345,16 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
   and args () = (Lazy.force rt).args
   and read_mem vm addr len =
     Ebpf.Memory.read_bytes (Ebpf.Vm.memory vm) addr len
-  and map_of_index idx =
-    if idx < 0 || idx >= Array.length ext.maps then
-      raise (Ebpf.Vm.Error (Printf.sprintf "no map %d" idx))
-    else ext.maps.(idx)
+  and live_map idx =
+    match ext.maps with
+    | None ->
+      (* unreachable from an attached bytecode (attach brings maps up),
+         kept as a hard fault rather than a silent empty map *)
+      raise (Ebpf.Vm.Error (Printf.sprintf "map %d: maps not live" idx))
+    | Some live ->
+      if idx < 0 || idx >= Array.length live then
+        raise (Ebpf.Vm.Error (Printf.sprintf "no map %d" idx))
+      else live.(idx)
   and helpers =
     [
       (Api.h_next, fun _ _ -> raise Next);
@@ -364,26 +425,51 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
           0L );
       (Api.h_htonl, fun _ a -> Int64.logand (Ebpf.Vm.bswap32 a.(0)) 0xFFFFFFFFL);
       (Api.h_htons, fun _ a -> Ebpf.Vm.bswap16 a.(0));
+      (* Map helpers copy the key/value out of VM memory (immutable
+         strings — a stored entry can never alias bytecode-visible
+         memory) and a looked-up value into freshly allocated ephemeral
+         heap, so the blob dies with the run while the entry lives with
+         the map. Lookup returns the RAW value bytes, no blob header. *)
       ( Api.h_map_lookup,
         fun vm a ->
-          let m = map_of_index (u32_of a.(0)) in
-          let key = read_mem vm a.(1) m.spec.key_size in
-          match Hashtbl.find_opt m.table (Bytes.to_string key) with
-          | Some value -> alloc_bytes value
-          | None -> 0L );
+          let lm = live_map (u32_of a.(0)) in
+          let ks = (Ebpf.Map.spec lm.map).Ebpf.Map.key_size in
+          let key = Bytes.to_string (read_mem vm a.(1) ks) in
+          match Ebpf.Map.lookup lm.map key with
+          | Some value ->
+            Telemetry.Counter.inc lm.m_hits;
+            alloc_bytes (Bytes.of_string value)
+          | None ->
+            Telemetry.Counter.inc lm.m_misses;
+            0L );
       ( Api.h_map_update,
         fun vm a ->
-          let m = map_of_index (u32_of a.(0)) in
-          let key = read_mem vm a.(1) m.spec.key_size in
-          let value = read_mem vm a.(2) m.spec.value_size in
-          Hashtbl.replace m.table (Bytes.to_string key) value;
-          0L );
+          let lm = live_map (u32_of a.(0)) in
+          let spec = Ebpf.Map.spec lm.map in
+          let key =
+            Bytes.to_string (read_mem vm a.(1) spec.Ebpf.Map.key_size)
+          in
+          let value =
+            Bytes.to_string (read_mem vm a.(2) spec.Ebpf.Map.value_size)
+          in
+          let ev0 = (Ebpf.Map.stats lm.map).Ebpf.Map.evictions in
+          let ok = Ebpf.Map.update lm.map key value in
+          let ev1 = (Ebpf.Map.stats lm.map).Ebpf.Map.evictions in
+          if ev1 > ev0 then Telemetry.Counter.add lm.m_evictions (ev1 - ev0);
+          if ok then begin
+            Telemetry.Counter.inc lm.m_updates;
+            Telemetry.Gauge.set lm.m_entries (Ebpf.Map.length lm.map);
+            0L
+          end
+          else -1L );
       ( Api.h_map_delete,
         fun vm a ->
-          let m = map_of_index (u32_of a.(0)) in
-          let key = Bytes.to_string (read_mem vm a.(1) m.spec.key_size) in
-          if Hashtbl.mem m.table key then begin
-            Hashtbl.remove m.table key;
+          let lm = live_map (u32_of a.(0)) in
+          let ks = (Ebpf.Map.spec lm.map).Ebpf.Map.key_size in
+          let key = Bytes.to_string (read_mem vm a.(1) ks) in
+          if Ebpf.Map.delete lm.map key then begin
+            Telemetry.Counter.inc lm.m_deletes;
+            Telemetry.Gauge.set lm.m_entries (Ebpf.Map.length lm.map);
             0L
           end
           else -1L );
@@ -537,6 +623,8 @@ let attach t ~program ~bytecode ~point ~order : (unit, string) result =
         if ext.prog.scratch_size > 0 then { s with Xprog.effectful = true }
         else s
       in
+      (* maps come up with the program's first attachment *)
+      ensure_maps_live t ext;
       let att =
         {
           ext;
@@ -564,6 +652,16 @@ let detach t ~program ~point =
       (List.filter
          (fun a -> a.ext.prog.name <> program)
          (Array.to_list t.chains.(idx)));
+  (* maps die with the program's last attachment — across all points,
+     because every bytecode of the program shares them *)
+  let still_attached =
+    Array.exists
+      (fun chain ->
+        Array.exists (fun a -> a.ext.prog.name = program) chain)
+      t.chains
+  in
+  if not still_attached then
+    Option.iter destroy_maps (Hashtbl.find_opt t.extensions program);
   t.generation <- t.generation + 1
 
 let attachments t point =
@@ -576,13 +674,27 @@ let has_attachment t point =
 
 (* True when every bytecode attached at [point] provably computes the
    same result for every element of a batch whose members differ only in
-   [variant_args]: no effectful helpers or persistent scratch, and every
-   argument read statically resolved to an id outside [variant_args].
-   An empty chain is vacuously invariant. *)
+   [variant_args]: no effectful helpers or persistent scratch, every
+   argument read statically resolved to an id outside [variant_args],
+   and no map access that makes the run count observable — writes are
+   out entirely (they are also [effectful]), and every lookup must
+   statically resolve to a non-LRU map, because an LRU lookup refreshes
+   recency and thereby changes later eviction order. An empty chain is
+   vacuously invariant. *)
 let batch_invariant t point ~variant_args =
   Array.for_all
     (fun att ->
       (not att.summary.Xprog.effectful)
+      && att.summary.Xprog.map_writes = Some []
+      && (match att.summary.Xprog.map_reads with
+         | None -> false
+         | Some idxs ->
+           List.for_all
+             (fun i ->
+               match List.nth_opt att.ext.prog.Xprog.maps i with
+               | Some spec -> spec.Ebpf.Map.kind <> Ebpf.Map.Lru
+               | None -> false)
+             idxs)
       &&
       match att.summary.Xprog.arg_reads with
       | None -> false
@@ -598,7 +710,13 @@ let batch_invariant t point ~variant_args =
    and the ephemeral heap are fine — the exported route is shared by the
    whole group, exactly like an NLRI batch shares them. [h_write_buf] is
    per-call observable too, but at the encode point one buffer per group
-   is precisely the semantics the caller wants, so it is opt-in. *)
+   is precisely the semantics the caller wants, so it is opt-in.
+
+   Map access of ANY kind — including lookups — disqualifies a chain
+   from grouping: a per-peer-keyed map read necessarily depends on which
+   peer is asking (the whole point of the key), and even a peer-blind
+   LRU lookup refreshes recency, so one run per group would leave
+   different state than one per peer. *)
 let group_invariant t point ~allow_write_buf =
   Array.for_all
     (fun att ->
@@ -607,6 +725,7 @@ let group_invariant t point ~allow_write_buf =
            (fun id ->
              (allow_write_buf && id = Api.h_write_buf)
              || id <> Api.h_get_peer_info
+                && id <> Api.h_map_lookup
                 && List.mem id Xprog.batchable_helpers)
            att.summary.Xprog.helpers)
     t.chains.(Api.point_index point)
@@ -682,9 +801,47 @@ let run_init t ~ops =
 
 let map_size t ~program idx =
   match Hashtbl.find_opt t.extensions program with
-  | Some ext when idx < Array.length ext.maps ->
-    Some (Hashtbl.length ext.maps.(idx).table)
+  | Some ext when idx >= 0 && idx < List.length ext.prog.Xprog.maps -> (
+    match ext.maps with
+    | Some live -> Some (Ebpf.Map.length live.(idx).map)
+    | None -> Some 0 (* declared but not live: registered, unattached *))
   | _ -> None
+
+let map_stats t ~program idx =
+  match Hashtbl.find_opt t.extensions program with
+  | Some { maps = Some live; _ } when idx >= 0 && idx < Array.length live ->
+    Some (Ebpf.Map.stats live.(idx).map)
+  | _ -> None
+
+(* Canonical dumps for the fuzz oracles: every live map of [program] (in
+   declaration order) with its entries sorted by key bytes. *)
+let map_dump t ~program =
+  match Hashtbl.find_opt t.extensions program with
+  | Some { maps = Some live; _ } ->
+    Some
+      (Array.to_list live
+      |> List.map (fun lm ->
+             ((Ebpf.Map.spec lm.map).Ebpf.Map.name, Ebpf.Map.dump lm.map)))
+  | _ -> None
+
+(* The whole VMM's live map state, sorted by program name — the
+   cross-leg comparison unit of the map-state oracle. Programs with no
+   live maps are omitted, so a VMM that never attached a stateful
+   program compares equal to one that attached and fully detached it. *)
+let map_state t =
+  Hashtbl.fold
+    (fun name ext acc ->
+      match ext.maps with
+      | Some live when Array.length live > 0 ->
+        let dumps =
+          Array.to_list live
+          |> List.map (fun lm ->
+                 ((Ebpf.Map.spec lm.map).Ebpf.Map.name, Ebpf.Map.dump lm.map))
+        in
+        (name, dumps) :: acc
+      | _ -> acc)
+    t.extensions []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let scratch t ~program =
   Option.map (fun e -> e.scratch) (Hashtbl.find_opt t.extensions program)

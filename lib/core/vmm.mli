@@ -85,8 +85,13 @@ val fault_detail : fault -> string
     fuzz divergence reports print. *)
 
 val register : t -> Xprog.t -> (unit, string) result
-(** Verify every bytecode (structural checks plus the program's helper
-    whitelist) and instantiate the program's maps and scratch. *)
+(** Verify every bytecode (structural checks, the program's helper
+    whitelist and its map declarations — bad map specs and
+    statically-known out-of-range map indices are rejected here) and
+    instantiate the program's scratch. Maps are created at the
+    program's first {!attach} and destroyed at its last {!detach}:
+    their lifetime is the attachment's, surviving every dispatch in
+    between. *)
 
 val attach :
   t ->
@@ -99,6 +104,10 @@ val attach :
     point's execution queue. Builds the attachment's VM. *)
 
 val detach : t -> program:string -> point:Api.point -> unit
+(** Remove [program]'s attachments at [point]. When this was the
+    program's last attachment at {e any} point, its maps are destroyed
+    (entries dropped, telemetry entry gauges zeroed; the monotone map
+    counters survive in the registry). *)
 
 val attachments : t -> Api.point -> (string * string * int) list
 (** [(program, bytecode, order)] per attachment, in execution order. *)
@@ -113,14 +122,19 @@ val batch_invariant : t -> Api.point -> variant_args:int list -> bool
     arguments, all its argument reads are statically resolved
     ({!Xprog.dispatch_summary}), and it has no per-call observable
     effects (map writes, RIB injection, logging, persistent scratch).
-    An empty chain is vacuously invariant. The hosts use this to run an
-    UPDATE's import chain once and share the verdict — and any
-    route-attribute edits — across the whole NLRI list. *)
+    Map lookups are admitted only when every lookup statically resolves
+    to a non-LRU map — an LRU lookup refreshes recency, so the run
+    count would change later eviction order. An empty chain is
+    vacuously invariant. The hosts use this to run an UPDATE's import
+    chain once and share the verdict — and any route-attribute edits —
+    across the whole NLRI list. *)
 
 val group_invariant : t -> Api.point -> allow_write_buf:bool -> bool
 (** True when every bytecode attached at [point] provably behaves the
     same towards every peer, so one run can stand in for a whole
-    update-group: no [h_get_peer_info], no per-call observable effects
+    update-group: no [h_get_peer_info], no map access of any kind (a
+    per-peer-keyed read depends on which peer asks, and an LRU lookup
+    is a write in disguise), no per-call observable effects
     (map writes, RIB injection, logging, message-buffer writes,
     persistent scratch). [allow_write_buf] additionally admits
     [h_write_buf] — at the encode point one shared buffer per group is
@@ -156,7 +170,25 @@ val run_init : t -> ops:Host_intf.ops -> unit
 (** Run every bytecode attached to [Bgp_init] once (manifest load time);
     faults are logged and initialization continues. *)
 
-(** {1 Introspection} (tests and the CLI) *)
+(** {1 Introspection} (tests, the CLI and the fuzz map-state oracle) *)
 
 val map_size : t -> program:string -> int -> int option
+(** Live entries of map [idx] of [program]; [Some 0] when the program
+    is registered but its maps are not live (never attached, or fully
+    detached); [None] on an unknown program or map index. *)
+
+val map_stats : t -> program:string -> int -> Ebpf.Map.stats option
+(** Operation counters of a live map ([None] when not live). *)
+
+val map_dump : t -> program:string -> (string * (string * string) list) list option
+(** Canonical contents of every live map of [program], in declaration
+    order: [(map_name, sorted (key, value) entries)]. [None] when the
+    program is unknown or its maps are not live. *)
+
+val map_state : t -> (string * (string * (string * string) list) list) list
+(** {!map_dump} for every program with live maps, sorted by program
+    name — the cross-leg comparison unit of the fuzz map-state oracle.
+    Programs whose maps are not live are omitted, so "never attached"
+    and "attached then fully detached" compare equal. *)
+
 val scratch : t -> program:string -> bytes option

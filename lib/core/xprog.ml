@@ -6,7 +6,19 @@
    manifest declares for them. Bytecodes of the same program share state;
    distinct programs are fully isolated from each other (§2.1). *)
 
-type map_spec = { key_size : int; value_size : int }
+type map_spec = Ebpf.Map.spec = {
+  name : string;
+  kind : Ebpf.Map.kind;
+  key_size : int;
+  value_size : int;
+  max_entries : int;
+}
+
+(* Spec builder for the common case: a small anonymous hash map. [v]
+   names anonymous maps "map<i>" by declaration index. *)
+let map ?(name = "") ?(kind = Ebpf.Map.Hash) ?(max_entries = 1024) ~key_size
+    ~value_size () =
+  { name; kind; key_size; value_size; max_entries }
 
 type t = {
   name : string;
@@ -24,11 +36,18 @@ type t = {
 let v ?(maps = []) ?(scratch_size = 0) ?allowed_helpers ?engine ~name bytecodes
     =
   if bytecodes = [] then invalid_arg "Xprog.v: no bytecodes";
-  List.iter
-    (fun { key_size; value_size } ->
-      if key_size <= 0 || value_size <= 0 then
-        invalid_arg "Xprog.v: map sizes must be positive")
-    maps;
+  let maps =
+    List.mapi
+      (fun i (m : map_spec) ->
+        let m =
+          if m.name = "" then { m with name = Printf.sprintf "map%d" i }
+          else m
+        in
+        match Ebpf.Map.validate m with
+        | Ok () -> m
+        | Error e -> invalid_arg ("Xprog.v: " ^ e))
+      maps
+  in
   if scratch_size < 0 then invalid_arg "Xprog.v: negative scratch size";
   { name; bytecodes; maps; scratch_size; allowed_helpers; engine }
 
@@ -65,6 +84,17 @@ type dispatch_summary = {
           (e.g. [h_get_peer_info] is batchable — a batch shares the peer
           — yet peer-dependent, and [h_write_buf] is effectful yet
           exactly what the encode point is for) *)
+  map_reads : int list option;
+      (** map indices the bytecode may pass to [h_map_lookup]; [None] =
+          statically unresolvable (treat as "could read any map"). The
+          batch gate needs the indices, not just the helper id, because
+          a lookup on an LRU map refreshes recency — a write in
+          disguise — while a lookup on a hash or array map is pure. *)
+  map_writes : int list option;
+      (** map indices the bytecode may pass to
+          [h_map_update]/[h_map_delete]; [None] = unresolvable. A
+          bytecode with [map_writes <> Some []] makes the number of runs
+          observable and must never be batch-shared or update-grouped. *)
 }
 
 (* Helpers whose effect is confined to the run's return value, the
@@ -104,6 +134,10 @@ let dispatch_summary code =
     code;
   let reads = ref [] in
   let unknown = ref false in
+  let mreads = ref [] in
+  let mreads_unknown = ref false in
+  let mwrites = ref [] in
+  let mwrites_unknown = ref false in
   let effectful = ref false in
   let helpers = ref [] in
   let r1 = ref None in
@@ -125,6 +159,17 @@ let dispatch_summary code =
           | Some a -> if not (List.mem a !reads) then reads := a :: !reads
           | None -> unknown := true
         end;
+        if id = Api.h_map_lookup then begin
+          match !r1 with
+          | Some m -> if not (List.mem m !mreads) then mreads := m :: !mreads
+          | None -> mreads_unknown := true
+        end;
+        if id = Api.h_map_update || id = Api.h_map_delete then begin
+          match !r1 with
+          | Some m ->
+            if not (List.mem m !mwrites) then mwrites := m :: !mwrites
+          | None -> mwrites_unknown := true
+        end;
         if not (List.mem id batchable_helpers) then effectful := true;
         if not (List.mem id !helpers) then helpers := id :: !helpers;
         r1 := None
@@ -135,6 +180,8 @@ let dispatch_summary code =
     arg_reads = (if !unknown then None else Some !reads);
     effectful = !effectful;
     helpers = List.rev !helpers;
+    map_reads = (if !mreads_unknown then None else Some (List.rev !mreads));
+    map_writes = (if !mwrites_unknown then None else Some (List.rev !mwrites));
   }
 
 (** Total instruction slots across all bytecodes (a rough LoC measure). *)

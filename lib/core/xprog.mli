@@ -6,7 +6,25 @@
     same program share state; distinct programs are fully isolated
     (§2.1). *)
 
-type map_spec = { key_size : int; value_size : int }
+type map_spec = Ebpf.Map.spec = {
+  name : string;
+  kind : Ebpf.Map.kind;
+  key_size : int;
+  value_size : int;
+  max_entries : int;
+}
+
+val map :
+  ?name:string ->
+  ?kind:Ebpf.Map.kind ->
+  ?max_entries:int ->
+  key_size:int ->
+  value_size:int ->
+  unit ->
+  map_spec
+(** Spec builder; defaults to an anonymous 1024-entry hash map
+    (anonymous maps are named ["map<i>"] by {!v}). Not validated here —
+    {!v} validates via {!Ebpf.Map.validate}. *)
 
 type t = {
   name : string;
@@ -29,8 +47,8 @@ val v :
   name:string ->
   (string * Ebpf.Insn.t list) list ->
   t
-(** @raise Invalid_argument on an empty bytecode list, non-positive map
-    sizes or a negative scratch size. *)
+(** @raise Invalid_argument on an empty bytecode list, an invalid map
+    spec (see {!Ebpf.Map.validate}) or a negative scratch size. *)
 
 val bytecode : t -> string -> Ebpf.Insn.t list option
 
@@ -55,6 +73,15 @@ type dispatch_summary = {
           [h_get_peer_info] as disqualifying and the effectful
           [h_write_buf] as allowed at the encode point) start from
           here. *)
+  map_reads : int list option;
+      (** map indices possibly passed to [h_map_lookup]; [None] =
+          statically unresolvable. Consumers need the indices because a
+          lookup on an LRU map refreshes recency (a write in disguise)
+          while hash/array lookups are pure. *)
+  map_writes : int list option;
+      (** map indices possibly passed to [h_map_update]/[h_map_delete];
+          [None] = unresolvable. Anything but [Some []] makes the
+          number of runs observable. *)
 }
 
 val batchable_helpers : int list

@@ -32,8 +32,15 @@ let writes_r10 (i : Insn.t) =
   | _ -> false
 
 (** [check ?allowed_helpers prog] verifies [prog]; [allowed_helpers] is the
-    manifest whitelist ([None] = all helpers allowed). *)
-let check ?allowed_helpers (prog : Insn.t list) : check_result =
+    manifest whitelist ([None] = all helpers allowed). [map_helpers] are
+    the helper ids that take a map index in r1 (supplied by the caller —
+    this library does not know the xBGP helper numbering) and [maps] the
+    program's declared map specs: a call to a map helper is rejected when
+    the program declares no maps, or when the index in r1 is statically
+    known and out of range. An index the linear scan cannot resolve is
+    left to the runtime check. *)
+let check ?allowed_helpers ?(map_helpers = []) ?(maps = [])
+    (prog : Insn.t list) : check_result =
   let errors = ref [] in
   let err slot fmt =
     Printf.ksprintf (fun message -> errors := { slot; message } :: !errors) fmt
@@ -89,6 +96,58 @@ let check ?allowed_helpers (prog : Insn.t list) : check_result =
         slot + Insn.slots i)
       0 prog
   in
+  (* map access: the spec bounds themselves, then a linear scan tracking
+     the constant in r1 (the map-index argument register) to catch
+     statically-known out-of-range indices at map-helper call sites. The
+     constant is discarded at every jump target and after every call,
+     mirroring the dispatch-summary analysis: unresolvable degrades to
+     "checked at runtime", never to a wrong rejection. *)
+  List.iteri
+    (fun i spec ->
+      match Map.validate spec with
+      | Ok () -> ()
+      | Error m -> err 0 "map %d: %s" i m)
+    maps;
+  if map_helpers <> [] then begin
+    let nmaps = List.length maps in
+    let jump_targets = Hashtbl.create 16 in
+    let pos = ref 0 in
+    List.iter
+      (fun (i : Insn.t) ->
+        (match i with
+        | Ja off -> Hashtbl.replace jump_targets (!pos + 1 + off) ()
+        | Jcond (_, _, _, _, off) ->
+          Hashtbl.replace jump_targets (!pos + 1 + off) ()
+        | _ -> ());
+        pos := !pos + Insn.slots i)
+      prog;
+    let r1 = ref None in
+    let pos = ref 0 in
+    List.iter
+      (fun (i : Insn.t) ->
+        if Hashtbl.mem jump_targets !pos then r1 := None;
+        (match i with
+        | Alu (_, Mov, R1, Imm v) -> r1 := Some (Int32.to_int v)
+        | Lddw (R1, v) -> r1 := Some (Int64.to_int v)
+        | Alu (_, _, R1, _) | Endian (_, R1, _) | Ldx (_, R1, _, _) ->
+          r1 := None
+        | Call id ->
+          if List.mem id map_helpers then begin
+            if nmaps = 0 then
+              err !pos "map helper %d called but the program declares no maps"
+                id
+            else
+              match !r1 with
+              | Some idx when idx < 0 || idx >= nmaps ->
+                err !pos "map index %d out of range (program declares %d)"
+                  idx nmaps
+              | _ -> ()
+          end;
+          r1 := None
+        | _ -> ());
+        pos := !pos + Insn.slots i)
+      prog
+  end;
   (* reachability: every instruction must be reachable from slot 0. Only
      meaningful once the jump targets themselves are sound, so skip the
      pass when structural errors were already found. *)
@@ -128,8 +187,8 @@ let check ?allowed_helpers (prog : Insn.t list) : check_result =
   end;
   match !errors with [] -> Ok () | es -> Error (List.rev es)
 
-let check_exn ?allowed_helpers prog =
-  match check ?allowed_helpers prog with
+let check_exn ?allowed_helpers ?map_helpers ?maps prog =
+  match check ?allowed_helpers ?map_helpers ?maps prog with
   | Ok () -> ()
   | Error es ->
     invalid_arg

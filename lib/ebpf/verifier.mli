@@ -8,6 +8,8 @@
       rejected, as in the kernel verifier);
     - the frame pointer r10 is never written;
     - helper calls are restricted to the manifest's whitelist;
+    - map specs are bounds-checked and map-helper calls with a
+      statically-known bad map index are rejected;
     - immediate division/modulo by zero is rejected;
     - the program fits {!max_insns}.
 
@@ -22,9 +24,24 @@ val max_insns : int
 
 type check_result = (unit, error list) result
 
-val check : ?allowed_helpers:int list -> Insn.t list -> check_result
+val check :
+  ?allowed_helpers:int list ->
+  ?map_helpers:int list ->
+  ?maps:Map.spec list ->
+  Insn.t list ->
+  check_result
 (** Verify a program; [allowed_helpers] is the manifest whitelist ([None]
-    = all helpers allowed). *)
+    = all helpers allowed). [map_helpers] names the helper ids that take
+    a map index in r1 (the caller supplies the numbering) and [maps] the
+    program's declared map specs: each spec is bounds-checked, a map
+    helper call with no declared maps is rejected, and a statically
+    resolvable out-of-range index in r1 is rejected. Unresolvable
+    indices are left to the runtime check. *)
 
-val check_exn : ?allowed_helpers:int list -> Insn.t list -> unit
+val check_exn :
+  ?allowed_helpers:int list ->
+  ?map_helpers:int list ->
+  ?maps:Map.spec list ->
+  Insn.t list ->
+  unit
 (** @raise Invalid_argument with the error list rendered when rejected. *)

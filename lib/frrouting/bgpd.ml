@@ -856,7 +856,10 @@ let on_update t peer (u : Bgp.Message.update) ~raw =
   (* BGP_RECEIVE_MESSAGE point: extensions may recover attributes the
      native parser drops; additions are collected as neutral TLVs *)
   let extra_tlvs = ref [] in
-  (if u.nlri <> [] then
+  (* withdraw-only UPDATEs go through the point too (flap damping needs
+     to see withdrawals; the point runs before they are processed);
+     only truly empty messages — End-of-RIB markers — are skipped *)
+  (if u.nlri <> [] || u.withdrawn <> [] then
      let body =
        Bytes.sub raw Bgp.Message.header_size
          (Bytes.length raw - Bgp.Message.header_size)

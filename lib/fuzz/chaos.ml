@@ -54,6 +54,8 @@ type phase = {
   ribs : (Bgp.Prefix.t * Bgp.Attr.t list) list array;
       (** star: per-sink derived adj-RIB-ins, normalized *)
   reach : bool list;  (** fabric: ToR-pair reachability flags *)
+  maps : string;
+      (** star: DUT VMM map-state fingerprint ([Oracle.render_map_state]) *)
 }
 
 type leg = {
@@ -173,10 +175,14 @@ let star_xtras (c : Cg.case) =
   (if List.mem "origin_validation" c.chain then
      [ ("roa_table", Xprogs.Util.encode_roa_table c.roas) ]
    else [])
+  @ (match c.limit with
+    | Some n when List.mem "prefix_limit" c.chain ->
+      [ ("max_prefix", Xprogs.Util.encode_u32 n) ]
+    | _ -> [])
   @
-  match c.limit with
-  | Some n when List.mem "prefix_limit" c.chain ->
-    [ ("max_prefix", Xprogs.Util.encode_u32 n) ]
+  match c.rate with
+  | Some n when List.mem "rate_limit" c.chain ->
+    [ ("rate_limit", Xprogs.Util.encode_u32 n) ]
   | _ -> []
 
 let run_star_leg (c : Cg.case) (knobs : Cg.knobs) ~npeers : leg =
@@ -306,6 +312,10 @@ let run_star_leg (c : Cg.case) (knobs : Cg.knobs) ~npeers : leg =
               Array.init npeers (fun i ->
                   Oracle.normalize (Scenario.Star.sink_rib star i));
             reach = [];
+            maps =
+              (match vmm with
+              | Some vmm -> Oracle.render_map_state (Xbgp.Vmm.map_state vmm)
+              | None -> "");
           });
     }
   in
@@ -471,6 +481,7 @@ let run_fabric_leg (c : Cg.case) (knobs : Cg.knobs) ~fconfig ~with_transit :
               List.map
                 (fun (a, b) -> Scenario.Fabric.reaches fab a b)
                 tor_pairs;
+            maps = "";
           });
     }
   in
@@ -562,9 +573,14 @@ let diff_phase ~l0 ~l1 (p0 : phase) (p1 : phase) : string list =
       ]
     else []
   in
+  let maps =
+    if p0.maps <> p1.maps then
+      [ Fmt.str "map state differs: %s=[%s] %s=[%s]" l0 p0.maps l1 p1.maps ]
+    else []
+  in
   List.map
     (fun d -> Fmt.str "phase %s: %s" p0.label d)
-    (locs @ List.rev !ribs @ reach)
+    (locs @ List.rev !ribs @ reach @ maps)
 
 let compare_legs (base : leg) (other : leg) : finding list =
   let l0 = Fmt.str "%a" Cg.pp_knobs base.knobs in
@@ -585,9 +601,12 @@ let compare_legs (base : leg) (other : leg) : finding list =
   in
   go base.phases other.phases []
 
-(* [perturb] corrupts the base leg's final routing snapshot — the knob
-   the self-tests use to prove the oracle, shrinker and replay pipeline
-   fire end to end. *)
+(* [perturb] corrupts the base leg's final snapshot — the knob the
+   self-tests use to prove the oracle, shrinker and replay pipeline fire
+   end to end. A map-carrying case gets its map fingerprint corrupted
+   (dropping the leading entry, the moral equivalent of losing one map
+   write), proving the map-state oracle specifically; every case also
+   loses the head route of its first Loc-RIB snapshot. *)
 let perturb_leg (l : leg) : leg =
   match List.rev l.phases with
   | [] -> l
@@ -597,7 +616,17 @@ let perturb_leg (l : leg) : leg =
       | (name, _ :: routes) :: others -> (name, routes) :: others
       | locs -> locs
     in
-    { l with phases = List.rev ({ last with locs } :: rest) }
+    let maps =
+      if last.maps = "" then last.maps
+      else
+        match String.index_opt last.maps ',' with
+        | Some i ->
+          (* drop the first map entry, keep the rest well-formed *)
+          String.sub last.maps (i + 1)
+            (String.length last.maps - i - 1)
+        | None -> last.maps ^ "|perturbed"
+    in
+    { l with phases = List.rev ({ last with locs; maps } :: rest) }
 
 let run_case ?(perturb = false) (c : Cg.case) :
     finding list * (string * int) list =

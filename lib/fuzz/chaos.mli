@@ -22,6 +22,9 @@ type phase = {
   locs : (string * (Bgp.Prefix.t * Bgp.Attr.t list) list) list;
   ribs : (Bgp.Prefix.t * Bgp.Attr.t list) list array;
   reach : bool list;
+  maps : string;
+      (** star: DUT VMM map-state fingerprint ([Oracle.render_map_state]);
+          compared leg-against-leg like the routing snapshots *)
 }
 
 type leg = {

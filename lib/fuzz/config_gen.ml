@@ -56,6 +56,7 @@ type case = {
   feed : feed;
   chain : string list;  (** registry manifest names, load order *)
   limit : int option;  (** prefix_limit threshold, when in the chain *)
+  rate : int option;  (** rate_limit window, when in the chain *)
   faults : fault list;
   routes : Dataset.Ris_gen.route list;
   roas : Rpki.Roa.t list;  (** initial ROA table *)
@@ -223,6 +224,7 @@ let case ~seed ~index : case =
       feed = Dut_originate;
       chain = [];
       limit = None;
+      rate = None;
       faults;
       routes = [];
       roas = [];
@@ -263,6 +265,28 @@ let case ~seed ~index : case =
       List.init (Prng.int rng 4) (fun _ ->
           gen_star_fault rng ~npeers ~feed ~chain)
     in
+    (* Map-carrying chain programs ride along on sink-fed cases,
+       appended AFTER everything above has been drawn and from an
+       independently seeded stream, so every existing (seed, index)
+       case — and every pinned reproducer — keeps the exact same knobs,
+       chain, faults and routes. The trade-off: Detach_attach faults
+       generated above never target these two programs. *)
+    let chain, rate =
+      match feed with
+      | Dut_originate -> (chain, None)
+      | Sink_announce ->
+        let mrng =
+          Prng.create ((seed * 31) lxor (index * 0x85EBCA6B) lxor 0x6d6170)
+        in
+        let damp = Prng.int mrng 3 = 0 in
+        let rate =
+          if Prng.int mrng 3 = 0 then Some (Prng.int mrng 3) else None
+        in
+        ( chain
+          @ (if damp then [ "flap_damping" ] else [])
+          @ (if rate <> None then [ "rate_limit" ] else []),
+          rate )
+    in
     {
       seed;
       index;
@@ -271,6 +295,7 @@ let case ~seed ~index : case =
       feed;
       chain;
       limit;
+      rate;
       faults;
       routes;
       roas;

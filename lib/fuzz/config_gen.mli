@@ -47,6 +47,7 @@ type case = {
   feed : feed;
   chain : string list;  (** registry manifest names, load order *)
   limit : int option;  (** prefix_limit threshold, when in the chain *)
+  rate : int option;  (** rate_limit window, when in the chain *)
   faults : fault list;
   routes : Dataset.Ris_gen.route list;
   roas : Rpki.Roa.t list;  (** initial ROA table *)
@@ -55,7 +56,11 @@ type case = {
 
 val case : seed:int -> index:int -> case
 (** Deterministic: the same (seed, index) always yields the same case —
-    knobs, grid, chain, fault schedule, routes and ROA tables. *)
+    knobs, grid, chain, fault schedule, routes and ROA tables. The
+    map-carrying chain programs (flap_damping, rate_limit) are drawn
+    from an independently seeded stream appended after every other
+    field, so cases generated before they existed are unchanged in
+    every other respect. *)
 
 val restrict : ?faults:int list -> ?routes:int list -> case -> case
 (** Keep only the listed fault / route indices (shrinking, replay); an

@@ -67,6 +67,17 @@ let case ~seed ~index : case =
         count = 12 + Random.State.int rand 36;
       }
   in
+  (* Map-carrying chains ride along on a third of the extension-free
+     cases: flap damping attaches inbound on the hub, so both export
+     legs see the same stream and must end with byte-identical map
+     state. Drawn from an independent RNG stream so every other field
+     of every existing seeded case stays bit-identical. *)
+  let extension =
+    let mrand = Random.State.make [| seed; index; 0x6d6170 |] in
+    if extension = None && Random.State.int mrand 3 = 0 then
+      Some "flap_damping"
+    else extension
+  in
   { seed; index; host; npeers; extension; churn; routes }
 
 (* what the spokes and the hub look like after the scenario settles *)
@@ -75,6 +86,7 @@ type obs = {
   ribs : (Bgp.Prefix.t * Bgp.Attr.t list) list array;
   loc : (Bgp.Prefix.t * Bgp.Attr.t list) list;
   groups : int;
+  maps : string;  (** DUT VMM map-state fingerprint ([Oracle.render_map_state]) *)
 }
 
 let extra_prefix k = Bgp.Prefix.v (Bgp.Prefix.addr_of_quad (199, 51, k, 0)) 24
@@ -146,6 +158,10 @@ let run_leg (c : case) ~grouped : obs =
     ribs = Array.init c.npeers (Scenario.Star.sink_rib star);
     loc = Scenario.Daemon.loc_snapshot (Scenario.Star.dut star);
     groups = Scenario.Daemon.group_count (Scenario.Star.dut star);
+    maps =
+      (match Scenario.Star.dut_vmm star with
+      | Some vmm -> Oracle.render_map_state (Xbgp.Vmm.map_state vmm)
+      | None -> "");
   }
 
 let first_mismatch a b =
@@ -180,6 +196,9 @@ let diff (c : case) (g : obs) (b : obs) : string list =
   if g.loc <> b.loc then
     add "DUT Loc-RIB differs between export modes (%d vs %d routes)"
       (List.length g.loc) (List.length b.loc);
+  if g.maps <> b.maps then
+    add "DUT map state differs between export modes (grouped=%s per-peer=%s)"
+      g.maps b.maps;
   List.rev !fs
 
 let run_case ?(perturb = false) (c : case) : string list =
@@ -187,10 +206,11 @@ let run_case ?(perturb = false) (c : case) : string list =
   let baseline = run_leg c ~grouped:false in
   let grouped =
     if perturb && Array.length grouped.frames > 0 then (
-      (* self-test: corrupt one grouped frame so the oracle provably fires *)
+      (* self-test: corrupt one grouped frame AND the map fingerprint so
+         both the stream oracle and the map-state oracle provably fire *)
       let frames = Array.copy grouped.frames in
       frames.(0) <- frames.(0) @ [ "CORRUPT" ];
-      { grouped with frames })
+      { grouped with frames; maps = grouped.maps ^ "|corrupt" })
     else grouped
   in
   diff c grouped baseline

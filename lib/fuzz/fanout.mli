@@ -3,9 +3,10 @@
     Executes the same deterministic star-topology scenario twice —
     update groups on, update groups off — and requires, for every spoke
     peer, a byte-identical UPDATE frame stream, an identical derived
-    adj-RIB-in and an identical DUT Loc-RIB. Cases sweep both hosts,
-    peer counts, outbound extensions (none / group-invariant /
-    peer-dependent, the latter forcing the solo fallback) and churn
+    adj-RIB-in, an identical DUT Loc-RIB and an identical DUT VMM
+    map-state fingerprint. Cases sweep both hosts, peer counts,
+    extensions (none / group-invariant / peer-dependent forcing the
+    solo fallback / the map-carrying flap-damping chain) and churn
     (session bounce, split-horizon feeding from a spoke, mid-run chain
     detach forcing a live regroup). *)
 
@@ -28,10 +29,22 @@ val case : seed:int -> index:int -> case
 
 val pp_case : Format.formatter -> case -> unit
 
+type obs = {
+  frames : string list array;  (** per sink, raw UPDATE frames in order *)
+  ribs : (Bgp.Prefix.t * Bgp.Attr.t list) list array;
+  loc : (Bgp.Prefix.t * Bgp.Attr.t list) list;
+  groups : int;
+  maps : string;  (** DUT VMM map-state fingerprint ([Oracle.render_map_state]) *)
+}
+
+val run_leg : case -> grouped:bool -> obs
+(** Execute one export mode of the case and snapshot everything the
+    oracle compares (exposed for tests). *)
+
 val run_case : ?perturb:bool -> case -> string list
 (** Run both export modes and compare; returns divergence descriptions
-    (empty = equivalent). [perturb] corrupts one grouped-side frame so
-    the oracle provably fires (self-test mode). *)
+    (empty = equivalent). [perturb] corrupts one grouped-side frame and
+    the map fingerprint so the oracle provably fires (self-test mode). *)
 
 type summary = {
   cases : int;

@@ -351,15 +351,45 @@ let run_engine engine prog : vm_outcome =
 
 let engine_name = Ebpf.Vm.engine_name
 
+(* Canonical textual fingerprint of [Vmm.map_state] — the unit the
+   map-state oracle compares across engines, fan-out legs and chaos
+   legs. Hex-rendered so a divergence report is printable byte-for-byte. *)
+let render_map_state ms =
+  let hex s =
+    String.to_seq s
+    |> Seq.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+    |> List.of_seq |> String.concat ""
+  in
+  ms
+  |> List.map (fun (prog, maps) ->
+         Printf.sprintf "%s{%s}" prog
+           (String.concat ";"
+              (List.map
+                 (fun (m, entries) ->
+                   Printf.sprintf "%s:[%s]" m
+                     (String.concat ","
+                        (List.map
+                           (fun (k, v) -> hex k ^ "=" ^ hex v)
+                           entries)))
+                 maps)))
+  |> String.concat "|"
+
 (* Full VMM round trip on one engine: register the program
-   (re-verifying it), attach it to the inbound filter and run it the way
-   a daemon would. The VMM contract is that nothing escapes [run] —
-   faults turn into the native default. Returns the chain result plus
-   the fault/fallback counters, which every engine must agree on. *)
+   (re-verifying it, now including the static map-access checks against
+   the declared map), attach it to the inbound filter and run it the
+   way a daemon would. The VMM contract is that nothing escapes [run] —
+   faults turn into the native default. Returns the chain result, the
+   fault/fallback counters and the final map-state fingerprint, all of
+   which every engine must agree on. *)
 let vmm_round_trip engine prog :
-    (int64 * int * int, string) result =
+    (int64 * int * int * string, string) result =
   match
-    let xp = Xbgp.Xprog.v ~name:"fuzzcase" [ ("main", prog) ] in
+    let xp =
+      Xbgp.Xprog.v ~name:"fuzzcase"
+        ~maps:
+          [ Xbgp.Xprog.map ~name:"m0" ~key_size:4 ~value_size:8 ~max_entries:8 () ]
+        [ ("main", prog) ]
+    in
     let vmm = Xbgp.Vmm.create ~budget:20_000 ~engine ~host:"fuzz" () in
     match Xbgp.Vmm.register vmm xp with
     | Ok () -> (
@@ -378,9 +408,12 @@ let vmm_round_trip engine prog :
             ~default:(fun () -> 0L)
         in
         let st = Xbgp.Vmm.stats vmm in
-        (v, st.faults, st.native_fallbacks)
-      | Error _ -> (0L, 0, 0))
-    | Error _ -> (0L, 0, 0)
+        ( v,
+          st.faults,
+          st.native_fallbacks,
+          render_map_state (Xbgp.Vmm.map_state vmm) )
+      | Error _ -> (0L, 0, 0, ""))
+    | Error _ -> (0L, 0, 0, "")
   with
   | r -> Ok r
   | exception e -> Error (Printexc.to_string e)
@@ -515,8 +548,8 @@ let check_prog ~perturb pi prog =
           (fun (e, r) ->
             match r with
             | Ok res when res <> bres ->
-              let render (v, f, nf) =
-                Fmt.str "r0=%Ld faults=%d fallbacks=%d" v f nf
+              let render (v, f, nf, ms) =
+                Fmt.str "r0=%Ld faults=%d fallbacks=%d maps=%s" v f nf ms
               in
               Some
                 (divergence

@@ -7,8 +7,8 @@
     For VM scenarios the engine comparison is N-way against the
     interpreter baseline: return value, final register file and the
     helper-call trace on success; fault-vs-value and the trace on
-    faults; plus a full VMM round trip per engine whose result and
-    fault/fallback counters must agree.
+    faults; plus a full VMM round trip per engine whose result,
+    fault/fallback counters and final map state must agree.
 
     An empty finding list is the verdict "equivalent and crash-free". *)
 
@@ -32,3 +32,10 @@ val normalize :
   (Bgp.Prefix.t * Bgp.Attr.t list) list
 (** Drop Unknown attributes and sort each attribute list canonically —
     the neutral form compared across hosts (exposed for tests). *)
+
+val render_map_state :
+  (string * (string * (string * string) list) list) list -> string
+(** Canonical textual fingerprint of [Vmm.map_state]: keys and values
+    hex-encoded, entries in the map's canonical (sorted) dump order —
+    the unit of comparison for the map-state oracle, shared with the
+    fan-out and chaos harnesses. *)

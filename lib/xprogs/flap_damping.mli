@@ -1,0 +1,17 @@
+(** Route-flap damping (RFC 2439), event-driven: withdrawals add
+    penalty to a per-prefix LRU map entry, announcements decay it; a
+    prefix over the cut-off threshold is suppressed until its penalty
+    falls below the reuse threshold.
+
+    See the .ml for the annotated bytecode. *)
+
+val penalty_per_flap : int
+val penalty_cap : int
+val suppress_threshold : int
+val reuse_threshold : int
+
+val program : Xbgp.Xprog.t
+(** The deployable program (verified at registration). *)
+
+val manifest : Xbgp.Manifest.t
+(** The standard attachment manifest for this program. *)

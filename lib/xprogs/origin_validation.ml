@@ -178,7 +178,7 @@ let import =
 
 let program =
   Xbgp.Xprog.v ~name:"origin_validation"
-    ~maps:[ { Xbgp.Xprog.key_size = 8; value_size = 4 } ]
+    ~maps:[ Xbgp.Xprog.map ~name:"roa" ~key_size:8 ~value_size:4 () ]
     ~allowed_helpers:
       Xbgp.Api.
         [

@@ -63,7 +63,7 @@ let import =
 
 let program =
   Xbgp.Xprog.v ~name:"prefix_limit"
-    ~maps:[ { Xbgp.Xprog.key_size = 4; value_size = 4 } ]
+    ~maps:[ Xbgp.Xprog.map ~name:"seen" ~key_size:4 ~value_size:4 () ]
     ~allowed_helpers:
       Xbgp.Api.
         [ h_next; h_get_peer_info; h_get_xtra; h_map_lookup; h_map_update ]

@@ -1,0 +1,15 @@
+(** Per-peer prefix-rate limiting: a per-peer-array map window counts
+    the prefixes each UPDATE announces; beyond get_xtra("rate_limit")
+    prefixes are rejected and a cumulative per-peer drop counter is
+    kept in the map.
+
+    See the .ml for the annotated bytecode. *)
+
+val slots : int
+(** Array-map slots; peers hash in by [peer_addr mod slots]. *)
+
+val program : Xbgp.Xprog.t
+(** The deployable program (verified at registration). *)
+
+val manifest : Xbgp.Manifest.t
+(** The standard attachment manifest for this program. *)

@@ -12,6 +12,8 @@ let all : Xbgp.Xprog.t list =
     Med_compare.program;
     Prefix_limit.program;
     Community_strip.program;
+    Flap_damping.program;
+    Rate_limit.program;
   ]
 
 let find name =
@@ -29,6 +31,8 @@ let manifests =
     ("med_compare", Med_compare.manifest);
     ("prefix_limit", Prefix_limit.manifest);
     ("community_strip", Community_strip.manifest);
+    ("flap_damping", Flap_damping.manifest);
+    ("rate_limit", Rate_limit.manifest);
   ]
 
 let find_manifest name = List.assoc_opt name manifests

@@ -201,8 +201,8 @@ let program =
   Xbgp.Xprog.v ~name:"valley_free"
     ~maps:
       [
-        { Xbgp.Xprog.key_size = 8; value_size = 4 };
-        { Xbgp.Xprog.key_size = 4; value_size = 4 };
+        Xbgp.Xprog.map ~name:"rel" ~key_size:8 ~value_size:4 ();
+        Xbgp.Xprog.map ~name:"myas" ~key_size:4 ~value_size:4 ();
       ]
     ~allowed_helpers:
       Xbgp.Api.

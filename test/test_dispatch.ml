@@ -228,7 +228,47 @@ let test_batch_invariant () =
     (inv (vmm_of Xprogs.Origin_validation.manifest));
   (* prefix_limit counts per-call map state: effectful *)
   check_bool "prefix_limit import" false
-    (inv (vmm_of Xprogs.Prefix_limit.manifest))
+    (inv (vmm_of Xprogs.Prefix_limit.manifest));
+  (* map-writing chains are excluded wholesale *)
+  check_bool "flap_damping import" false
+    (inv (vmm_of Xprogs.Flap_damping.manifest));
+  check_bool "rate_limit import" false
+    (inv (vmm_of Xprogs.Rate_limit.manifest));
+  (* a read-only lookup is batchable on a hash map but stateful on an
+     LRU map, whose recency refresh makes the run count observable *)
+  let probe kind =
+    let prog =
+      let open Ebpf.Asm in
+      assemble
+        [
+          stw R10 (-4) 0;
+          movi R1 0;
+          mov R2 R10;
+          addi R2 (-4);
+          call Xbgp.Api.h_map_lookup;
+          movi R0 0;
+          exit_;
+        ]
+    in
+    let xp =
+      Xbgp.Xprog.v ~name:"probe"
+        ~maps:[ Xbgp.Xprog.map ~name:"m" ~kind ~key_size:4 ~value_size:4 () ]
+        [ ("import", prog) ]
+    in
+    let vmm = Xbgp.Vmm.create ~host:"test" () in
+    (match Xbgp.Vmm.register vmm xp with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    (match
+       Xbgp.Vmm.attach vmm ~program:"probe" ~bytecode:"import"
+         ~point:Xbgp.Api.Bgp_inbound_filter ~order:0
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    vmm
+  in
+  check_bool "hash-map read-only chain" true (inv (probe Ebpf.Map.Hash));
+  check_bool "lru-map read is stateful" false (inv (probe Ebpf.Map.Lru))
 
 let test_dispatch_summary () =
   let summary_of prog bc =
@@ -248,7 +288,19 @@ let test_dispatch_summary () =
     ov.Xbgp.Xprog.arg_reads;
   let pl = summary_of Xprogs.Prefix_limit.program "import" in
   check_bool "prefix_limit import effectful (map writes)" true
-    pl.Xbgp.Xprog.effectful
+    pl.Xbgp.Xprog.effectful;
+  let fd = summary_of Xprogs.Flap_damping.program "import" in
+  check_bool "flap_damping import effectful" true fd.Xbgp.Xprog.effectful;
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "flap_damping import reads map 0" (Some [ 0 ]) fd.Xbgp.Xprog.map_reads;
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "flap_damping import writes map 0" (Some [ 0 ]) fd.Xbgp.Xprog.map_writes;
+  let rr = summary_of Xprogs.Route_reflector.program "import" in
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "rr import touches no maps" (Some []) rr.Xbgp.Xprog.map_writes
 
 (* --- batched NLRI processing ≡ sequential ------------------------ *)
 
@@ -324,6 +376,43 @@ let test_batch_ov ~host () =
   let sequential = run_mode (ov_mode roas ~host ~batch:false) routes in
   check (Alcotest.pair snap snap) "batched = sequential state" sequential
     batched
+
+(* rate_limit writes its window map once per prefix: the batch gate must
+   force per-prefix dispatch, leaving routing state AND final map state
+   identical to the sequential run. The window (5) is smaller than each
+   multi-prefix UPDATE (8 prefixes), so the map chain demonstrably bites:
+   only 5 prefixes of each UPDATE survive. *)
+let test_batch_map_chain ~host () =
+  let routes = grouped_routes ~groups:4 ~per_group:8 in
+  let admitted = 4 * 5 in
+  let run ~batch =
+    let tb =
+      Scenario.Testbed.create
+        (Scenario.Testbed.mode ~host ~ibgp:false
+           ~manifest:Xprogs.Rate_limit.manifest
+           ~xtras:[ ("rate_limit", Xprogs.Util.encode_u32 5) ]
+           ~batch_updates:batch ())
+    in
+    Scenario.Testbed.establish tb;
+    Scenario.Testbed.feed tb routes;
+    check_bool "admitted prefixes converged" true
+      (Scenario.Testbed.run_until_downstream_has tb admitted);
+    check_bool "multi-prefix UPDATEs reached the DUT" true
+      (Scenario.Daemon.updates_rx tb.Scenario.Testbed.dut
+      < List.length routes);
+    let maps =
+      match tb.Scenario.Testbed.dut_vmm with
+      | Some vmm -> Xbgp.Vmm.map_state vmm
+      | None -> []
+    in
+    (dut_state tb, maps)
+  in
+  let (b_state, b_maps) = run ~batch:true in
+  let (s_state, s_maps) = run ~batch:false in
+  check (Alcotest.pair snap snap) "batched = sequential routing state"
+    s_state b_state;
+  check_bool "final map state non-empty" true (b_maps <> []);
+  check_bool "batched = sequential map state" true (b_maps = s_maps)
 
 (* --- differential oracle under forced cache settings ------------- *)
 
@@ -421,6 +510,10 @@ let () =
             (batch_vs_sequential ~host:`Bird ~mk_mode:rr_mode);
           Alcotest.test_case "ov frr" `Quick (test_batch_ov ~host:`Frr);
           Alcotest.test_case "ov bird" `Quick (test_batch_ov ~host:`Bird);
+          Alcotest.test_case "map chain frr" `Quick
+            (test_batch_map_chain ~host:`Frr);
+          Alcotest.test_case "map chain bird" `Quick
+            (test_batch_map_chain ~host:`Bird);
         ] );
       ( "fuzz-oracle",
         [

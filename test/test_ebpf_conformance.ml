@@ -278,10 +278,193 @@ let test_wire_round_trip () =
         (List.map I.to_string (I.decode (I.encode prog))))
     vectors
 
+(* --- map conformance ------------------------------------------------- *)
+
+(* The map helpers live above the raw VM, in the VMM, so these vectors
+   pin their semantics through a full register/attach/run round trip —
+   still once per engine. Expected outcomes: a final r0 (MV), a runtime
+   fault swallowed into the native default (MF: default returned, fault
+   counted), or a clean verifier rejection at registration (MREJ). *)
+
+module A = Asm
+
+type mexpect = MV of int64 | MF | MREJ
+
+let hash_map ?(kind = Map.Hash) ?(max_entries = 4) () =
+  [ Xbgp.Xprog.map ~name:"m" ~kind ~max_entries ~key_size:4 ~value_size:8 () ]
+
+(* store key [k] (u32 LE) at r10-4 and point r1/r2 at (map 0, key) *)
+let key k =
+  A.[ stw R10 (-4) k; movi R1 0; mov R2 R10; addi R2 (-4) ]
+
+(* additionally store value [v] (u64 LE) at r10-16 and point r3 at it *)
+let key_value k v =
+  key k @ A.[ stdw R10 (-16) v; mov R3 R10; addi R3 (-16) ]
+
+let upd = A.[ call Xbgp.Api.h_map_update ]
+let look = A.[ call Xbgp.Api.h_map_lookup ]
+let del = A.[ call Xbgp.Api.h_map_delete ]
+let bad = A.[ label "bad"; movi R0 (-1); exit_ ]
+
+let map_vectors : (string * Xbgp.Xprog.map_spec list * Insn.t list * mexpect) list
+    =
+  [
+    ( "map/update-lookup-roundtrip",
+      hash_map (),
+      A.assemble
+        (key_value 5 42 @ upd @ key 5 @ look
+        @ A.[ jeqi R0 0 "bad"; ldxdw R0 R0 0; exit_ ]
+        @ bad),
+      MV 42L );
+    ( "map/lookup-miss-is-null",
+      hash_map (),
+      A.assemble
+        (key 5 @ look @ A.[ jnei R0 0 "bad"; movi R0 7; exit_ ] @ bad),
+      MV 7L );
+    ( "map/delete-then-miss",
+      hash_map (),
+      A.assemble
+        (key_value 5 42 @ upd @ key 5 @ del
+        @ A.[ jnei R0 0 "bad" ]
+        (* a second delete finds nothing and reports -1 *)
+        @ key 5 @ del
+        @ A.[ jeqi R0 0 "bad" ]
+        @ key 5 @ look
+        @ A.[ jnei R0 0 "bad"; movi R0 3; exit_ ]
+        @ bad),
+      MV 3L );
+    ( "map/full-hash-update-fails",
+      hash_map ~max_entries:2 (),
+      A.assemble
+        (key_value 1 11 @ upd @ key_value 2 22 @ upd @ key_value 3 33 @ upd
+        @ A.[ exit_ ]),
+      MV (-1L) );
+    ( "map/lru-evicts-least-recent",
+      hash_map ~kind:Map.Lru ~max_entries:2 (),
+      A.assemble
+        (key_value 1 11 @ upd @ key_value 2 22 @ upd
+        (* touch key 1 so key 2 is the eviction victim *)
+        @ key 1 @ look
+        @ key_value 3 33 @ upd
+        @ key 2 @ look
+        @ A.[ jnei R0 0 "bad" ]
+        @ key 1 @ look
+        @ A.[ jeqi R0 0 "bad"; ldxdw R0 R0 0; exit_ ]
+        @ bad),
+      MV 11L );
+    ( "map/array-slot-always-exists",
+      hash_map ~kind:Map.Per_peer_array (),
+      A.assemble
+        (key 2 @ look
+        @ A.[ jeqi R0 0 "bad"; ldxdw R0 R0 0; addi R0 5; exit_ ]
+        @ bad),
+      MV 5L );
+    ( "map/array-oob-index-rejected",
+      hash_map ~kind:Map.Per_peer_array (),
+      A.assemble
+        (* update and lookup on slot 99 of a 4-slot array: the update
+           reports -1 and the lookup reports null, neither faults *)
+        (key_value 99 1 @ upd
+        @ A.[ jeqi R0 0 "bad" ]
+        @ key 99 @ look
+        @ A.[ jnei R0 0 "bad"; movi R0 9; exit_ ]
+        @ bad),
+      MV 9L );
+    ( "map/short-key-buffer-faults",
+      hash_map (),
+      (* key pointer at r10: reading key_size bytes crosses the stack
+         top, so the helper faults and the chain falls back to native *)
+      A.assemble A.[ movi R1 0; mov R2 R10; call Xbgp.Api.h_map_lookup; exit_ ],
+      MF );
+    ( "map/unresolvable-oob-index-faults",
+      hash_map (),
+      (* the index comes out of memory, so the verifier cannot prove it
+         wrong statically; the runtime bounds check must fault instead *)
+      A.assemble
+        A.[
+            stw R10 (-8) 9;
+            ldxw R1 R10 (-8);
+            stw R10 (-4) 0;
+            mov R2 R10;
+            addi R2 (-4);
+            call Xbgp.Api.h_map_lookup;
+            exit_;
+          ],
+      MF );
+    ( "map/undeclared-index-rejected",
+      hash_map (),
+      A.assemble
+        A.[
+            movi R1 1;
+            mov R2 R10;
+            addi R2 (-4);
+            call Xbgp.Api.h_map_lookup;
+            exit_;
+          ],
+      MREJ );
+    ( "map/no-maps-declared-rejected",
+      [],
+      A.assemble
+        A.[
+            movi R1 0;
+            mov R2 R10;
+            addi R2 (-4);
+            call Xbgp.Api.h_map_lookup;
+            exit_;
+          ],
+      MREJ );
+  ]
+
+let run_map_vector engine ~maps prog =
+  let xp = Xbgp.Xprog.v ~name:"conformance" ~maps [ ("main", prog) ] in
+  let vmm = Xbgp.Vmm.create ~budget:10_000 ~engine ~host:"conf" () in
+  match Xbgp.Vmm.register vmm xp with
+  | Error e -> Error e
+  | Ok () -> (
+    match
+      Xbgp.Vmm.attach vmm ~program:"conformance" ~bytecode:"main"
+        ~point:Xbgp.Api.Bgp_inbound_filter ~order:0
+    with
+    | Error e -> Error e
+    | Ok () ->
+      let v =
+        Xbgp.Vmm.run vmm Xbgp.Api.Bgp_inbound_filter
+          ~ops:Xbgp.Host_intf.null_ops
+          ~args:
+            (Xbgp.Host_intf.Args.of_list
+               [ (Xbgp.Api.arg_prefix, Bytes.make 5 '\x00') ])
+          ~default:(fun () -> 0L)
+      in
+      let st = Xbgp.Vmm.stats vmm in
+      Ok (v, st.faults))
+
+let check_map_vector (name, maps, prog, expect) =
+  let check () =
+    List.iter
+      (fun engine ->
+        let label = Printf.sprintf "%s [%s]" name (Vm.engine_name engine) in
+        match (run_map_vector engine ~maps prog, expect) with
+        | Ok (got, faults), MV want ->
+          Alcotest.(check int64) label want got;
+          Alcotest.(check int) (label ^ " fault count") 0 faults
+        | Ok (got, faults), MF ->
+          Alcotest.(check int64) (label ^ " native default") 0L got;
+          Alcotest.(check bool) (label ^ " fault counted") true (faults > 0)
+        | Error _, MREJ -> ()
+        | Ok (got, _), MREJ ->
+          Alcotest.failf "%s: expected a verifier rejection, ran to %Ld"
+            label got
+        | Error m, (MV _ | MF) ->
+          Alcotest.failf "%s: rejected at registration: %s" label m)
+      Vm.all_engines
+  in
+  Alcotest.test_case name `Quick check
+
 let () =
   Alcotest.run "ebpf-conformance"
     [
       ("vectors", List.map check_vector vectors);
+      ("map vectors", List.map check_map_vector map_vectors);
       ( "encoding",
         [ Alcotest.test_case "wire round trip" `Quick test_wire_round_trip ]
       );

@@ -504,6 +504,53 @@ let test_grouping_effectiveness () =
       done)
     [ `Frr; `Bird ]
 
+(* --- map-carrying chains across export modes ---
+
+   With flap_damping attached on the hub's inbound side, both export
+   legs must agree not just on streams and RIBs but on the DUT VMM's
+   final map state, byte for byte. Pinned to seeded cases known to draw
+   the flap_damping extension with sink_feed churn, whose mid-scenario
+   withdrawals leave non-empty damp-map entries. *)
+let test_map_state_equivalence () =
+  let checked = ref 0 in
+  let index = ref 0 in
+  while !checked < 2 && !index < 200 do
+    let c = Fuzz.Fanout.case ~seed:1234 ~index:!index in
+    if c.extension = Some "flap_damping" && c.churn = Fuzz.Fanout.Sink_feed
+    then begin
+      incr checked;
+      let label = Format.asprintf "%a" Fuzz.Fanout.pp_case c in
+      check_bool (label ^ ": equivalent") true (Fuzz.Fanout.run_case c = []);
+      let g = Fuzz.Fanout.run_leg c ~grouped:true in
+      let b = Fuzz.Fanout.run_leg c ~grouped:false in
+      check_bool (label ^ ": maps non-empty") true (g.Fuzz.Fanout.maps <> "");
+      check_bool (label ^ ": map fingerprints byte-identical") true
+        (g.Fuzz.Fanout.maps = b.Fuzz.Fanout.maps)
+    end;
+    incr index
+  done;
+  check_int "two flap_damping sink_feed cases found" 2 !checked
+
+(* the self-test knob must trip the map-state comparison, not just the
+   frame-stream one *)
+let test_map_state_perturb () =
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let rec find index =
+    if index > 200 then Alcotest.fail "no flap_damping case in range"
+    else
+      let c = Fuzz.Fanout.case ~seed:1234 ~index in
+      if c.extension = Some "flap_damping" then c else find (index + 1)
+  in
+  let c = find 0 in
+  let findings = Fuzz.Fanout.run_case ~perturb:true c in
+  check_bool "perturbation caught" true (findings <> []);
+  check_bool "map-state divergence reported" true
+    (List.exists (contains ~sub:"map state differs") findings)
+
 let () =
   Alcotest.run "fanout"
     [
@@ -535,5 +582,8 @@ let () =
           Qc.to_alcotest star_equivalence_prop;
           ("every host x churn variant", `Quick, test_equivalence_per_churn);
           ("grouping effectiveness", `Quick, test_grouping_effectiveness);
+          ("map state across export modes", `Quick,
+            test_map_state_equivalence);
+          ("map-state oracle self-test", `Quick, test_map_state_perturb);
         ] );
     ]

@@ -218,6 +218,30 @@ let test_chaos_pinned_fabric () =
   let findings, _ = Fuzz.Chaos.run_case c in
   check_int "seed 2026 case 88 clean" 0 (List.length findings)
 
+let test_chaos_pinned_map_divergence () =
+  (* pinned self-test for the map-state oracle: seed 42 case 17 runs a
+     flap_damping-carrying chain whose damp map is non-empty at the end
+     of every leg, so a frame/RIB-only oracle would pass a corrupted
+     map fingerprint. The perturbation knob seeds exactly that
+     divergence; the oracle must catch it as an Equivalence finding. *)
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let c = Fuzz.Config_gen.case ~seed:42 ~index:17 in
+  check_bool "case carries a map-writing program" true
+    (List.mem "flap_damping" c.chain);
+  let clean, _ = Fuzz.Chaos.run_case c in
+  check_int "clean without perturbation" 0 (List.length clean);
+  let findings, _ = Fuzz.Chaos.run_case ~perturb:true c in
+  check_bool "seeded map divergence caught" true
+    (List.exists
+       (fun (f : Fuzz.Chaos.finding) ->
+         f.cls = Fuzz.Chaos.Equivalence
+         && contains f.detail "map state differs")
+       findings)
+
 let test_chaos_perturb_pipeline () =
   (* the self-test knob corrupts leg 0's final snapshot: the oracle
      must fire, the shrinker must keep the divergence class, and the
@@ -373,6 +397,8 @@ let () =
             test_chaos_pinned_star;
           Alcotest.test_case "pinned: seed 2026 case 88" `Slow
             test_chaos_pinned_fabric;
+          Alcotest.test_case "pinned: map-state oracle self-test" `Quick
+            test_chaos_pinned_map_divergence;
           Alcotest.test_case "perturb pipeline" `Slow
             test_chaos_perturb_pipeline;
           Qc.to_alcotest prop_chaos_shrink_preserves_class;

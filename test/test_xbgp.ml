@@ -94,7 +94,7 @@ let test_xprog_validation () =
   check_bool "bad map sizes" true
     (match
        Xbgp.Xprog.v ~name:"x"
-         ~maps:[ { Xbgp.Xprog.key_size = 0; value_size = 4 } ]
+         ~maps:[ Xbgp.Xprog.map ~key_size:0 ~value_size:4 () ]
          [ ("m", assemble [ movi r0 0; exit_ ]) ]
      with
     | exception Invalid_argument _ -> true
@@ -417,7 +417,7 @@ let test_maps_across_runs () =
   let prog =
     (* run 1 (arg 1 = 0): store 99 under key 5; run 2: look it up *)
     Xbgp.Xprog.v ~name:"maps"
-      ~maps:[ { Xbgp.Xprog.key_size = 4; value_size = 4 } ]
+      ~maps:[ Xbgp.Xprog.map ~key_size:4 ~value_size:4 () ]
       [
         ( "main",
           assemble

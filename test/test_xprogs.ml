@@ -793,6 +793,147 @@ let prop_ov_model =
 
 (* --- util encoders --- *)
 
+(* --- flap_damping (RFC 2439, event-driven) --- *)
+
+let le32 n = String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+(* minimal UPDATE body: the withdrawn-routes section plus an empty
+   path-attribute section *)
+let update_body_withdrawing prefixes =
+  let w = Buffer.create 16 in
+  List.iter
+    (fun (addr, plen) ->
+      Buffer.add_uint8 w plen;
+      let nbytes = (plen + 7) / 8 in
+      for i = 0 to nbytes - 1 do
+        Buffer.add_uint8 w ((addr lsr (8 * (3 - i))) land 0xff)
+      done)
+    prefixes;
+  let buf = Buffer.create 32 in
+  Buffer.add_uint16_be buf (Buffer.length w);
+  Buffer.add_buffer buf w;
+  Buffer.add_uint16_be buf 0;
+  Bytes.of_string (Buffer.contents buf)
+
+let prefix_arg addr plen =
+  let b = Bytes.create 5 in
+  Bytes.set_int32_be b 0 (Int32.of_int addr);
+  Bytes.set_uint8 b 4 plen;
+  b
+
+let test_flap_damping () =
+  let tele = Telemetry.create ~enabled:true () in
+  let vmm =
+    Xprogs.Registry.vmm_of_manifest ~telemetry:tele ~host:"test"
+      Xprogs.Flap_damping.manifest
+  in
+  let addr = 0x0A000000 and plen = 24 in
+  let withdraw () =
+    ignore
+      (run vmm Xbgp.Api.Bgp_receive_message
+         ~args:
+           [
+             ( Xbgp.Api.arg_update_payload,
+               update_body_withdrawing [ (addr, plen) ] );
+           ]
+         0L)
+  in
+  let announce () =
+    run vmm Xbgp.Api.Bgp_inbound_filter
+      ~args:[ (Xbgp.Api.arg_prefix, prefix_arg addr plen) ]
+      9L
+  in
+  (* no damping state: the filter defers *)
+  check_i64 "clean prefix defers" 9L (announce ());
+  (* three flaps (withdraw + re-announce) leave the prefix usable:
+     penalties 1000/1750/2313 decay to 750/1313/1735 *)
+  for i = 1 to 3 do
+    withdraw ();
+    check_i64 (Printf.sprintf "announce after flap %d accepted" i) 9L
+      (announce ())
+  done;
+  (* the fourth flap reaches 2735, over the 2500 cut-off: suppressed
+     for the next four announcements (2052/1539/1155/867)... *)
+  withdraw ();
+  for i = 1 to 4 do
+    check_i64
+      (Printf.sprintf "suppressed announcement %d rejected" i)
+      Xbgp.Api.filter_reject (announce ())
+  done;
+  (* ...until the decayed penalty (651) crosses the 700 reuse bound *)
+  check_i64 "prefix reused" 9L (announce ());
+  check_i64 "and stays usable" 9L (announce ());
+  (* a single damp entry holds the whole history *)
+  (match Xbgp.Vmm.map_dump vmm ~program:"flap_damping" with
+  | Some [ ("damp", [ (key, _) ]) ] ->
+    check_bool "key is [addr BE][plen][pad3]" true
+      (key = "\x0a\x00\x00\x00\x18\x00\x00\x00")
+  | _ -> Alcotest.fail "unexpected damp-map dump");
+  (* map activity is visible through the telemetry registry *)
+  check_bool "map updates counted" true
+    (Telemetry.counter_value tele ~name:"xbgp_map_updates_total"
+       ~labels:
+         [ ("host", "test"); ("program", "flap_damping"); ("map", "damp") ]
+     > 0)
+
+(* --- rate_limit (per-peer announcement windows) --- *)
+
+let test_rate_limit () =
+  let tele = Telemetry.create ~enabled:true () in
+  let vmm =
+    Xprogs.Registry.vmm_of_manifest ~telemetry:tele ~host:"test"
+      Xprogs.Rate_limit.manifest
+  in
+  let ops peer_addr =
+    {
+      Xbgp.Host_intf.null_ops with
+      peer_info = (fun () -> Some { (peer ()) with Xbgp.Host_intf.peer_addr });
+      get_xtra =
+        (fun key ->
+          if key = "rate_limit" then Some (Xprogs.Util.encode_u32 2)
+          else None);
+    }
+  in
+  let new_update p = ignore (run vmm Xbgp.Api.Bgp_receive_message ~ops:(ops p) 0L) in
+  let announce p = run vmm Xbgp.Api.Bgp_inbound_filter ~ops:(ops p) 9L in
+  (* window of 2: the first two prefixes of the UPDATE pass, the rest drop *)
+  new_update 1;
+  check_i64 "prefix 1 accepted" 9L (announce 1);
+  check_i64 "prefix 2 accepted" 9L (announce 1);
+  check_i64 "prefix 3 dropped" Xbgp.Api.filter_reject (announce 1);
+  check_i64 "prefix 4 dropped" Xbgp.Api.filter_reject (announce 1);
+  (* the limit is per peer: peer 2 has its own window *)
+  new_update 2;
+  check_i64 "other peer unaffected" 9L (announce 2);
+  (* a new UPDATE from peer 1 opens a fresh window, drops accumulate *)
+  new_update 1;
+  check_i64 "fresh window prefix 1" 9L (announce 1);
+  check_i64 "fresh window prefix 2" 9L (announce 1);
+  check_i64 "fresh window prefix 3 dropped" Xbgp.Api.filter_reject
+    (announce 1);
+  (* slot 1 ends with count=2 and 3 cumulative drops; slot 2 with 1/0 *)
+  (match Xbgp.Vmm.map_dump vmm ~program:"rate_limit" with
+  | Some [ ("win", entries) ] ->
+    check
+      Alcotest.(list (pair string string))
+      "window slots"
+      [ (le32 1, le32 2 ^ le32 3); (le32 2, le32 1 ^ le32 0) ]
+      entries
+  | _ -> Alcotest.fail "unexpected win-map dump");
+  (* without a configured limit the filter defers *)
+  let no_limit =
+    {
+      Xbgp.Host_intf.null_ops with
+      peer_info = (fun () -> Some (peer ()));
+    }
+  in
+  check_i64 "no limit configured" 9L
+    (run vmm Xbgp.Api.Bgp_inbound_filter ~ops:no_limit 9L);
+  check_bool "drops visible as map updates" true
+    (Telemetry.counter_value tele ~name:"xbgp_map_updates_total"
+       ~labels:[ ("host", "test"); ("program", "rate_limit"); ("map", "win") ]
+     > 0)
+
 let test_util_encoders () =
   let b = Xprogs.Util.encode_u32 0x01020304 in
   check Alcotest.int "u32 BE" 0x01
@@ -850,6 +991,14 @@ let () =
             test_geoloc_encode_writes_wire_attr;
           Alcotest.test_case "export strips on eBGP" `Quick
             test_geoloc_export_strips_on_ebgp;
+        ] );
+      ( "flap_damping",
+        [
+          Alcotest.test_case "suppress then reuse" `Quick test_flap_damping;
+        ] );
+      ( "rate_limit",
+        [
+          Alcotest.test_case "per-peer windows" `Quick test_rate_limit;
         ] );
       ("util", [ Alcotest.test_case "encoders" `Quick test_util_encoders ]);
     ]
