@@ -1134,6 +1134,128 @@ let fanout_bench () =
   Printf.printf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder: record-path cost and pipeline overhead (E16)       *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability tax. Micro: nanoseconds per [Recorder.record] in
+   the two ring regimes (append-only vs. steady-state eviction). End to
+   end: the Fig. 3 pipeline with route-reflection bytecode, run bare,
+   with a flight recorder attached (default 64 KiB ring — a full-table
+   feed overflows it, so the eviction path is priced in), and with a
+   recorder plus a BMP mirror. Legs interleave per round with the
+   per-leg best kept (the telemetry-bench methodology: drift is
+   common-mode within a round, timing noise is one-sided). *)
+let recorder_bench () =
+  Printf.printf
+    "=== Flight recorder: record cost and pipeline overhead ===\n";
+  let micro_rounds = max 5 (runs_n / 3) in
+  let micro_record label capacity =
+    let fields =
+      [
+        ("daemon", "dut"); ("peer", "7"); ("prefix", "10.32.0.0/24");
+        ("why", "as_path_len");
+      ]
+    in
+    let iters = 200_000 in
+    let leg () =
+      let rc = Obs.Recorder.create ~capacity ~name:"bench" () in
+      Gc.compact ();
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        Obs.Recorder.record rc Obs.Recorder.Route_add fields
+      done;
+      (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9
+    in
+    ignore (leg ());
+    let best = ref infinity in
+    for _ = 1 to micro_rounds do
+      best := min !best (leg ())
+    done;
+    Printf.printf "%-34s %8.1f ns/event\n%!" label !best;
+    record (Printf.sprintf "recorder.micro.%s.ns_per_event" label) !best
+  in
+  (* 16 MiB swallows every frame of the loop: pure append *)
+  micro_record "record_append" (1 lsl 24);
+  (* 4 KiB is full within ~60 events: every record also evicts *)
+  micro_record "record_evicting" 4096;
+  let n = max 1000 (routes_n / 2) in
+  let rounds = max 5 (runs_n / 3) in
+  let routes =
+    Dataset.Ris_gen.generate { Dataset.Ris_gen.default_config with count = n }
+  in
+  let mode host =
+    Scenario.Testbed.mode ~host ~ibgp:true
+      ~manifest:Xprogs.Route_reflector.manifest ()
+  in
+  let timed host obs =
+    Gc.compact ();
+    let tb = Scenario.Testbed.create (mode host) in
+    let rc =
+      if obs = `Off then None
+      else begin
+        let rc = Obs.Recorder.create ~name:"dut" () in
+        Obs.Recorder.set_clock rc (fun () ->
+            Netsim.Sched.now tb.Scenario.Testbed.sched);
+        Scenario.Daemon.set_recorder tb.Scenario.Testbed.dut (Some rc);
+        if obs = `Bmp then
+          Scenario.Daemon.set_collector tb.Scenario.Testbed.dut
+            (Some (Obs.Bmp.collector ()));
+        Some rc
+      end
+    in
+    Scenario.Testbed.establish tb;
+    let t0 = Unix.gettimeofday () in
+    Scenario.Testbed.feed tb routes;
+    if not (Scenario.Testbed.run_until_downstream_has tb n) then
+      failwith "recorder bench: pipeline did not converge";
+    (Unix.gettimeofday () -. t0, rc)
+  in
+  List.iter
+    (fun (host, hname) ->
+      let legs = [ (`Off, "off"); (`Recorder, "recorder"); (`Bmp, "recorder_bmp") ] in
+      let best = Hashtbl.create 4 in
+      let held = ref 0 and evicted = ref 0 in
+      let run_leg (obs, lname) =
+        let dt, rc = timed host obs in
+        (match rc with
+        | Some rc when obs = `Recorder ->
+          held := Obs.Recorder.length rc;
+          evicted := Obs.Recorder.dropped rc
+        | _ -> ());
+        let prev =
+          Option.value ~default:infinity (Hashtbl.find_opt best lname)
+        in
+        Hashtbl.replace best lname (min prev dt)
+      in
+      List.iter run_leg legs;
+      (* warmup *)
+      Hashtbl.reset best;
+      let nlegs = List.length legs in
+      for round = 0 to rounds - 1 do
+        (* rotate the leg order so no leg systematically inherits a
+           fresher heap *)
+        List.iteri (fun i _ -> run_leg (List.nth legs ((i + round) mod nlegs))) legs
+      done;
+      let ups lname = float_of_int n /. Hashtbl.find best lname in
+      let off = ups "off" in
+      let pct lname = (off -. ups lname) /. off *. 100. in
+      Printf.printf
+        "%-6s off=%.0f up/s  recorder=%.0f up/s (%+.1f%%)  \
+         recorder+bmp=%.0f up/s (%+.1f%%)  ring held=%d evicted=%d\n%!"
+        hname off (ups "recorder") (pct "recorder") (ups "recorder_bmp")
+        (pct "recorder_bmp") !held !evicted;
+      let key fmt = Printf.sprintf ("recorder.%s." ^^ fmt) hname in
+      record (key "off.updates_per_s") off;
+      record (key "recorder.updates_per_s") (ups "recorder");
+      record (key "recorder_overhead_pct") (pct "recorder");
+      record (key "recorder_bmp.updates_per_s") (ups "recorder_bmp");
+      record (key "recorder_bmp_overhead_pct") (pct "recorder_bmp");
+      record (key "ring.events_held") (float_of_int !held);
+      record (key "ring.events_evicted") (float_of_int !evicted))
+    [ (`Frr, "frr"); (`Bird, "bird") ];
+  Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
 (* chaos: convergence-time distributions from the chaos campaign       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1233,6 +1355,7 @@ let () =
   | "telemetry" -> telemetry_bench ()
   | "dispatch" -> dispatch_bench ()
   | "fanout" -> fanout_bench ()
+  | "recorder" -> recorder_bench ()
   | "chaos" -> chaos_bench ()
   | "json" ->
     (* bare --json: run exactly the benches whose numbers land in the file *)
@@ -1250,9 +1373,10 @@ let () =
   | other ->
     Printf.eprintf
       "unknown bench %S \
-       (fig1|fig4|fig5|ablation|churn|telemetry|dispatch|fanout|chaos|micro|all; \
+       (fig1|fig4|fig5|ablation|churn|telemetry|dispatch|fanout|recorder|chaos|micro|all; \
        add --json to write BENCH_pr3.json, BENCH_pr4.json for dispatch, \
-       BENCH_pr5.json for fanout, or BENCH_pr6.json for chaos)\n"
+       BENCH_pr5.json for fanout, BENCH_pr6.json for chaos, or \
+       BENCH_pr8.json for recorder)\n"
       other;
     exit 1);
   if json then
@@ -1261,5 +1385,6 @@ let () =
       | "dispatch" -> "BENCH_pr4.json"
       | "fanout" -> "BENCH_pr5.json"
       | "chaos" -> "BENCH_pr6.json"
+      | "recorder" -> "BENCH_pr8.json"
       | _ -> "BENCH_pr3.json");
   Printf.printf "done.\n"

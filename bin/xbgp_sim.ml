@@ -5,6 +5,9 @@
      xbgp-sim verify PROG     -- run the verifier over a program
      xbgp-sim manifest FILE   -- parse and validate a manifest file
      xbgp-sim run SCENARIO    -- run a scenario (rr|ov|dc) and report
+     xbgp-sim show QUERY...   -- build a scenario and answer a live
+                                 introspection query (rib, provenance,
+                                 update-groups, maps, recorder, bmp)
 *)
 
 open Cmdliner
@@ -292,6 +295,157 @@ let run_cmd =
       const run $ scenario $ host_arg $ routes_arg $ metrics_out_arg
       $ trace_out_arg $ trace_sample_arg)
 
+(* --- show --- *)
+
+(* A deterministic observed scenario: build it, attach a flight recorder
+   and a BMP collector, drive a fixed traffic script, and answer live
+   `show` queries against the resulting daemon state. Two variants:
+
+   - star: 4 sinks around an origin-validation DUT. Sinks 0 and 1 both
+     announce 10.32.0.0/24 (sink 0 wins on AS-path length; the ROA makes
+     its announcement Valid and sink 1's Invalid), sink 1 alone
+     announces 10.33.0.0/24, and sink 2 announces then withdraws
+     10.34.0.0/24 — covering Best/Only_candidate/Withdrawn provenance.
+
+   - fabric: the Fig. 5 Clos under the valley_free extension with the
+     transit router; queries are answered at one router (default T20),
+     where e.g. `show provenance 8.8.0.0/16` explains a route whose
+     import chain ran on every hop. *)
+
+let show_star ~host ~batch_updates ~update_groups ~capacity =
+  let pfx = Bgp.Prefix.of_string in
+  let roas = [ Rpki.Roa.v (pfx "10.32.0.0/24") ~max_len:24 ~asn:65101 ] in
+  let star =
+    Scenario.Star.create ~host ~npeers:4
+      ~manifest:Xprogs.Origin_validation.manifest
+      ~xtras:[ ("roa_table", Xprogs.Util.encode_roa_table roas) ]
+      ~batch_updates ~update_groups ()
+  in
+  let rc = Obs.Recorder.create ~capacity ~name:"dut" () in
+  Scenario.Star.attach_recorder star rc;
+  Scenario.Star.attach_collector star (Obs.Bmp.collector ());
+  Scenario.Star.establish star;
+  let announce i path nlri =
+    Scenario.Star.sink_announce star i
+      ~attrs:
+        Bgp.Attr.
+          [
+            v (Origin Igp);
+            v (As_path [ Seq path ]);
+            v (Next_hop (Scenario.Star.sink_address star i));
+          ]
+      nlri
+  in
+  announce 0 [ 65101 ] [ pfx "10.32.0.0/24" ];
+  announce 1 [ 65102; 64999 ] [ pfx "10.32.0.0/24" ];
+  announce 1 [ 65102 ] [ pfx "10.33.0.0/24" ];
+  announce 2 [ 65103 ] [ pfx "10.34.0.0/24" ];
+  Scenario.Star.settle star;
+  Scenario.Star.sink_withdraw star 2 [ pfx "10.34.0.0/24" ];
+  Scenario.Star.settle star;
+  Scenario.Star.dut star
+
+let show_fabric ~host ~batch_updates ~update_groups ~capacity ~router =
+  let f =
+    Scenario.Fabric.build ~host ~with_transit:true ~batch_updates
+      ~update_groups `Xbgp
+  in
+  let rc = Obs.Recorder.create ~capacity ~name:"fabric" () in
+  Scenario.Fabric.attach_recorder f rc;
+  let d =
+    match List.assoc_opt router f.daemons with
+    | Some d -> d
+    | None ->
+      Fmt.epr "unknown router %S; fabric routers: %s@." router
+        (String.concat " " (List.map fst f.daemons));
+      exit 1
+  in
+  Scenario.Fabric.attach_collector f router (Obs.Bmp.collector ());
+  Scenario.Fabric.start f;
+  Scenario.Fabric.settle f 30;
+  d
+
+let show_cmd =
+  let query_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "Query words: $(b,rib) | $(b,provenance) $(i,PREFIX) | \
+             $(b,update-groups) | $(b,maps) | $(b,recorder) | $(b,bmp)")
+  in
+  let scenario_arg =
+    let s = Arg.enum [ ("star", `Star); ("fabric", `Fabric) ] in
+    Arg.(
+      value & opt s `Star
+      & info [ "scenario" ] ~docv:"SCEN"
+          ~doc:"Observed scenario to build: star or fabric (Fig. 5)")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text")
+  in
+  let since_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "since" ] ~docv:"SEQ"
+          ~doc:"For $(b,recorder): only events with seqno >= $(docv)")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "batch-updates" ] ~docv:"BOOL"
+          ~doc:"Batched NLRI processing on the daemons")
+  in
+  let groups_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "update-groups" ] ~docv:"BOOL"
+          ~doc:"Update-group export engine on the daemons")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "recorder-capacity" ] ~docv:"BYTES"
+          ~doc:"Flight-recorder ring size in bytes")
+  in
+  let router_arg =
+    Arg.(
+      value & opt string "T20"
+      & info [ "router" ] ~docv:"NAME"
+          ~doc:"Fabric router to query (fabric scenario only)")
+  in
+  let run scenario host json since batch_updates update_groups capacity router
+      query =
+    setup_logs ();
+    let d =
+      match scenario with
+      | `Star -> show_star ~host ~batch_updates ~update_groups ~capacity
+      | `Fabric ->
+        show_fabric ~host ~batch_updates ~update_groups ~capacity ~router
+    in
+    let query =
+      match (query, since) with
+      | [ "recorder" ], Some s -> [ "recorder"; "--since"; string_of_int s ]
+      | q, _ -> q
+    in
+    match Scenario.Introspect.query d ~json query with
+    | Ok out ->
+      print_string out;
+      if out = "" || out.[String.length out - 1] <> '\n' then print_newline ();
+      0
+    | Error e ->
+      Fmt.epr "%s@." e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:
+         "Answer a live introspection query against an observed scenario")
+    Term.(
+      const run $ scenario_arg $ host_arg $ json_arg $ since_arg $ batch_arg
+      $ groups_arg $ capacity_arg $ router_arg $ query_arg)
+
 let () =
   let info =
     Cmd.info "xbgp-sim" ~version:"1.0.0"
@@ -299,4 +453,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ list_cmd; disasm_cmd; verify_cmd; manifest_cmd; run_cmd ]))
+       (Cmd.group info
+          [ list_cmd; disasm_cmd; verify_cmd; manifest_cmd; run_cmd; show_cmd ]))

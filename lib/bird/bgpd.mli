@@ -149,3 +149,38 @@ val peer : t -> int -> peer
 val peer_established : t -> int -> bool
 val set_log : t -> (string -> unit) -> unit
 val name : t -> string
+val vmm : t -> Xbgp.Vmm.t option
+
+(** {1 Observability: provenance, flight recorder, BMP mirror} *)
+
+val provenance : t -> Bgp.Prefix.t -> Obs.Provenance.t option
+(** Provenance of the prefix's current best route — ingress peer, the
+    import chain that ran (per-bytecode verdicts, attribute mutations,
+    map writes) and the decision-process disposal computed against the
+    live Loc-RIB. Falls back to the last reject/withdraw record once no
+    candidate is left. *)
+
+val provenance_candidates : t -> Bgp.Prefix.t -> Obs.Provenance.t list
+
+val provenance_snapshot : t -> (Bgp.Prefix.t * Obs.Provenance.t) list
+(** One record per installed best route, sorted by prefix. *)
+
+val set_recorder : t -> Obs.Recorder.t option -> unit
+(** Attach (or detach) a flight recorder; the hook is pushed down to the
+    VMM (xprog faults, native fallbacks, map evictions), the session
+    FSMs (transitions) and the update-group engine (split/merge/rekey),
+    while the daemon itself records route add/replace/withdraw events
+    with provenance digests. *)
+
+val recorder : t -> Obs.Recorder.t option
+
+val set_collector : t -> Obs.Bmp.collector option -> unit
+(** Attach a BMP-style (RFC 7854-inspired) monitoring collector: every
+    received UPDATE is mirrored verbatim as Route Monitoring, and every
+    session edge as Peer Up / Peer Down. *)
+
+val collector : t -> Obs.Bmp.collector option
+
+val group_details : t -> (string * int list) list
+(** Update-group partition [(key, ascending member indices)] in group
+    creation order — the [show update-groups] payload. *)

@@ -147,6 +147,20 @@ type t = {
       (** bumped on every attach/detach, so hosts caching decisions
           derived from the chains (update-group keys) can revalidate
           with one integer compare *)
+  mutable recorder : Obs.Recorder.t option;
+      (** flight recorder for faults, native fallbacks and map
+          evictions; [None] (the default) costs one load per event *)
+  (* Last-dispatch trace: which bytecodes of the chain ran and what
+     each returned, captured by [run] into preallocated arrays so the
+     hot path pays two int stores per bytecode and nothing allocates.
+     Hosts turn it into provenance steps via [last_trace] immediately
+     after their dispatch wrapper returns — a nested dispatch (import
+     -> rib_add -> export) overwrites it. *)
+  mutable trace_point : int;  (** point index of the traced dispatch; -1 none *)
+  mutable trace_gen : int;  (** [generation] at capture; stale -> no trace *)
+  mutable trace_len : int;
+  mutable trace_out : int array;  (** 0 = returned value, 1 = next(), 2 = fault *)
+  mutable trace_val : int64;  (** r0 of the deciding bytecode *)
 }
 
 let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
@@ -179,6 +193,12 @@ let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
     fallbacks;
     last_fault_record = None;
     generation = 0;
+    recorder = None;
+    trace_point = -1;
+    trace_gen = -1;
+    trace_len = 0;
+    trace_out = Array.make 8 0;
+    trace_val = 0L;
   }
 
 let stats t = t.stats
@@ -186,6 +206,8 @@ let generation t = t.generation
 let telemetry t = t.tele
 let last_fault_record t = t.last_fault_record
 let last_fault t = Option.map render_fault t.last_fault_record
+let set_recorder t r = t.recorder <- r
+let recorder t = t.recorder
 
 (** Register an xBGP program: verify every bytecode against the structural
     checks, the program's helper whitelist and its map declarations, then
@@ -455,7 +477,19 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
           let ev0 = (Ebpf.Map.stats lm.map).Ebpf.Map.evictions in
           let ok = Ebpf.Map.update lm.map key value in
           let ev1 = (Ebpf.Map.stats lm.map).Ebpf.Map.evictions in
-          if ev1 > ev0 then Telemetry.Counter.add lm.m_evictions (ev1 - ev0);
+          if ev1 > ev0 then begin
+            Telemetry.Counter.add lm.m_evictions (ev1 - ev0);
+            match t.recorder with
+            | None -> ()
+            | Some r ->
+              Obs.Recorder.record r Obs.Recorder.Map_evict
+                [
+                  ("host", t.host);
+                  ("program", ext.prog.Xprog.name);
+                  ("map", spec.Ebpf.Map.name);
+                  ("n", string_of_int (ev1 - ev0));
+                ]
+          end;
           if ok then begin
             Telemetry.Counter.inc lm.m_updates;
             Telemetry.Gauge.set lm.m_entries (Ebpf.Map.length lm.map);
@@ -573,6 +607,17 @@ let record_fault t att point ~init msg =
        ~labels:
          (att.probe.span_tags @ [ ("insn", Option.value ~default:"-" insn) ])
        ());
+  (match t.recorder with
+  | None -> ()
+  | Some r ->
+    Obs.Recorder.record r Obs.Recorder.Xprog_fault
+      [
+        ("host", t.host);
+        ("point", Api.point_name point);
+        ("program", att.ext.prog.name);
+        ("bytecode", att.bc_name);
+        ("msg", msg);
+      ]);
   f
 
 let make_probe t (ext : ext) ~bytecode ~point =
@@ -758,19 +803,33 @@ let run t point ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t)
     (* the common case — no extension attached — costs one array load
        and a length test, with nothing allocated *)
   else begin
+    (* arm the last-dispatch trace (two stores per bytecode, no
+       allocation; [last_trace] rebuilds the structured view on demand) *)
+    if Array.length t.trace_out < n then t.trace_out <- Array.make n 0;
+    t.trace_point <- idx;
+    t.trace_gen <- t.generation;
+    t.trace_len <- 0;
     let i = ref 0 and decided = ref false and result = ref 0L in
     while (not !decided) && !i < n do
       let att = chain.(!i) in
       match exec_one t att ~ops ~args with
       | Value v ->
         result := v;
-        decided := true
-      | Deferred -> incr i
+        decided := true;
+        t.trace_out.(!i) <- 0;
+        t.trace_val <- v;
+        t.trace_len <- !i + 1
+      | Deferred ->
+        t.trace_out.(!i) <- 1;
+        t.trace_len <- !i + 1;
+        incr i
       | Faulted msg ->
         t.stats.faults <- t.stats.faults + 1;
         let err = render_fault (record_fault t att point ~init:false msg) in
         Log.warn (fun m -> m "%s" err);
         ops.log err;
+        t.trace_out.(!i) <- 2;
+        t.trace_len <- !i + 1;
         (* a fault abandons the rest of the chain and falls back *)
         i := n
     done;
@@ -778,6 +837,11 @@ let run t point ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t)
     else begin
       t.stats.native_fallbacks <- t.stats.native_fallbacks + 1;
       Telemetry.Counter.inc t.fallbacks.(idx);
+      (match t.recorder with
+      | None -> ()
+      | Some r ->
+        Obs.Recorder.record r Obs.Recorder.Native_fallback
+          [ ("host", t.host); ("point", Api.point_name point) ]);
       default ()
     end
   end
@@ -798,6 +862,72 @@ let run_init t ~ops =
     t.chains.(Api.point_index Api.Bgp_init)
 
 (* --- introspection used by tests and the CLI --- *)
+
+(* Render the r0 of the deciding bytecode in the point's return
+   convention — provenance wants "accept", not "ret=0". *)
+let outcome_value_name point v =
+  match point with
+  | Api.Bgp_inbound_filter | Api.Bgp_outbound_filter ->
+    if v = Api.filter_accept then "accept"
+    else if v = Api.filter_reject then "reject"
+    else Printf.sprintf "ret=%Ld" v
+  | Api.Bgp_decision ->
+    if v = Api.decision_tie then "tie"
+    else if v = Api.decision_first then "first"
+    else if v = Api.decision_second then "second"
+    else Printf.sprintf "ret=%Ld" v
+  | _ -> Printf.sprintf "ret=%Ld" v
+
+(* The last dispatch at [point] as provenance steps: one per bytecode
+   that actually ran, in execution order, static facts (may it mutate
+   attributes? which maps can it write?) from the attach-time dispatch
+   summary and the dynamic verdict from the trace [run] just captured.
+   [None] when the last traced dispatch was at a different point or the
+   chains changed since — callers must read it before dispatching
+   anything else (a nested import -> rib_add -> export overwrites it). *)
+let last_trace t point : Obs.Provenance.step list option =
+  let idx = Api.point_index point in
+  if t.trace_point <> idx || t.trace_gen <> t.generation then None
+  else begin
+    let chain = t.chains.(idx) in
+    let n = min t.trace_len (Array.length chain) in
+    let steps = ref [] in
+    for i = n - 1 downto 0 do
+      let att = chain.(i) in
+      let outcome =
+        match t.trace_out.(i) with
+        | 0 -> outcome_value_name point t.trace_val
+        | 1 -> "next()"
+        | _ -> "fault"
+      in
+      let attrs_mutated =
+        List.exists
+          (fun h ->
+            h = Api.h_set_attr || h = Api.h_add_attr || h = Api.h_remove_attr)
+          att.summary.Xprog.helpers
+      in
+      let map_names = List.map (fun s -> s.Ebpf.Map.name) att.ext.prog.maps in
+      let maps_written =
+        match att.summary.Xprog.map_writes with
+        | Some idxs ->
+          List.filteri (fun i _ -> List.mem i idxs) map_names
+        | None -> map_names (* unresolvable: any declared map *)
+      in
+      steps :=
+        {
+          Obs.Provenance.program = att.ext.prog.name;
+          bytecode = att.bc_name;
+          engine =
+            Ebpf.Vm.engine_name
+              (Option.value att.ext.prog.engine ~default:t.engine);
+          outcome;
+          attrs_mutated;
+          maps_written;
+        }
+        :: !steps
+    done;
+    Some !steps
+  end
 
 let map_size t ~program idx =
   match Hashtbl.find_opt t.extensions program with

@@ -150,6 +150,23 @@ val generation : t -> int
     host revalidate chain-derived cached decisions (update-group keys)
     with one integer compare. *)
 
+val set_recorder : t -> Obs.Recorder.t option -> unit
+(** Attach a flight recorder: bytecode faults, native fallbacks and LRU
+    map evictions are recorded as structured events. [None] (the
+    default) makes every hook one load-and-branch. *)
+
+val recorder : t -> Obs.Recorder.t option
+
+val last_trace : t -> Api.point -> Obs.Provenance.step list option
+(** The dispatch {!run} just executed at [point], as provenance steps —
+    one per bytecode that ran, in order, with its dynamic verdict
+    ("accept" / "reject" / "next()" / "fault" / point-rendered return)
+    and the attach-time static facts (may it mutate route attributes,
+    which maps it may write). [None] when the last traced dispatch was
+    at a different point or the chains changed since. Read it
+    immediately after the dispatch: a nested dispatch (import ->
+    [rib_add] -> export) overwrites the trace. *)
+
 val run :
   t ->
   Api.point ->

@@ -164,6 +164,16 @@ type t = {
       (** both outbound points pass {!Xbgp.Vmm.group_invariant}; when
           false every peer gets a singleton "solo" group *)
   mutable chain_sig : string;  (** outbound chain signatures *)
+  prov : (Bgp.Prefix.t * int, Obs.Provenance.t) Hashtbl.t;
+      (** import half of the provenance record, keyed by (prefix, source
+          peer index; -1 = local). Decision disposal is computed on
+          demand against the live Loc-RIB, never stored. *)
+  last_prov : (Bgp.Prefix.t, Obs.Provenance.t) Hashtbl.t;
+      (** last reject/withdraw record per prefix — what [show
+          provenance] answers once no candidate is left *)
+  mutable recorder : Obs.Recorder.t option;
+  mutable collector : Obs.Bmp.collector option;
+      (** BMP-style monitoring mirror (RFC 7854-inspired) *)
   xtras : (string, bytes) Hashtbl.t;
   mutable log_fn : string -> unit;
   mutable base_ops : Xbgp.Host_intf.ops;
@@ -331,6 +341,143 @@ let decision_compare t vmm a b =
     else Rib.Decision.compare decision_view a b
   end
   else Rib.Decision.compare decision_view a b
+
+(* --- provenance and monitoring mirror --- *)
+
+let src_label t idx =
+  if idx < 0 then "local"
+  else
+    let p = t.peers.(idx) in
+    Printf.sprintf "peer %s (AS %d)" p.conf.pname p.conf.remote_as
+
+(* Read the import chain's execution trace immediately after the
+   dispatch: the VMM keeps only the last dispatch per point, and the
+   propagate step below re-enters it for the outbound chain. *)
+let import_trace t =
+  match t.vmm with
+  | None -> []
+  | Some vmm -> (
+    match Xbgp.Vmm.last_trace vmm Xbgp.Api.Bgp_inbound_filter with
+    | Some steps -> steps
+    | None -> [])
+
+(* the chain itself produced the verdict: its last executed bytecode
+   returned instead of deferring ([next()]) or faulting to native *)
+let chain_decided (chain : Obs.Provenance.step list) =
+  match List.rev chain with
+  | last :: _ ->
+    last.Obs.Provenance.outcome <> "next()"
+    && last.Obs.Provenance.outcome <> "fault"
+  | [] -> false
+
+let import_verdict chain ~accepted =
+  let base = if accepted then "accepted" else "rejected" in
+  if chain_decided chain then base else base ^ " (native)"
+
+(* Decision-process disposal for the route contributed by [src], against
+   the Loc-RIB's current state. Computed on demand (query time, recorder
+   events) rather than stored, so the record always explains the state
+   the operator is looking at — including after a competing withdrawal
+   promotes a shadowed candidate. Runner-up ranking deliberately uses
+   the native RFC 4271 order and never dispatches the BGP_DECISION
+   chain: explaining a route must not perturb maps, counters or the
+   dispatch trace. An attached decision extension is reported as
+   [Xprog_decided] instead of a fabricated tie-break step. *)
+let decision_info t prefix ~src :
+    Obs.Provenance.decision option * Obs.Provenance.status =
+  match Rib.Loc_rib.best_with_peer t.loc prefix with
+  | None -> (None, Obs.Provenance.Withdrawn)
+  | Some (bpeer, best) ->
+    let cands = Rib.Loc_rib.candidates t.loc prefix in
+    let others = List.filter (fun (p, _) -> p <> bpeer) cands in
+    let xprog =
+      match t.vmm with
+      | Some vmm -> Xbgp.Vmm.has_attachment vmm Xbgp.Api.Bgp_decision
+      | None -> false
+    in
+    if src = bpeer then
+      match others with
+      | [] -> (Some Obs.Provenance.Only_candidate, Obs.Provenance.Installed)
+      | first :: rest ->
+        let rup, ru =
+          List.fold_left
+            (fun (bp, br) (p, r) ->
+              if Rib.Decision.compare decision_view r br < 0 then (p, r)
+              else (bp, br))
+            first rest
+        in
+        let d =
+          if xprog then
+            Obs.Provenance.Xprog_decided { runner_up = src_label t rup }
+          else
+            let step = Rib.Decision.deciding_step decision_view best ru in
+            Obs.Provenance.Best
+              {
+                runner_up = src_label t rup;
+                step;
+                step_name = Rib.Decision.step_name step;
+              }
+        in
+        (Some d, Obs.Provenance.Installed)
+    else
+      let d =
+        if xprog then
+          Some (Obs.Provenance.Xprog_decided { runner_up = src_label t bpeer })
+        else
+          match List.assoc_opt src cands with
+          | None -> None
+          | Some r ->
+            let step = Rib.Decision.deciding_step decision_view best r in
+            Some
+              (Obs.Provenance.Shadowed
+                 {
+                   best = src_label t bpeer;
+                   step;
+                   step_name = Rib.Decision.step_name step;
+                 })
+      in
+      (d, Obs.Provenance.Candidate)
+
+let assemble_prov t prefix (stored : Obs.Provenance.t) ~src =
+  let decision, status = decision_info t prefix ~src in
+  { stored with Obs.Provenance.decision; status }
+
+let import_record t prefix ~src ~chain ~import ~status : Obs.Provenance.t =
+  {
+    Obs.Provenance.prefix = Bgp.Prefix.to_string prefix;
+    ingress = src_label t src;
+    chain;
+    import;
+    decision = None;
+    status;
+  }
+
+let note_gone t prefix ~src (pr : Obs.Provenance.t) =
+  Hashtbl.remove t.prov (prefix, src);
+  Hashtbl.replace t.last_prov prefix pr
+
+let record_route_event t kind prefix (pr : Obs.Provenance.t) =
+  match t.recorder with
+  | None -> ()
+  | Some rc ->
+    Obs.Recorder.record rc kind
+      [
+        ("daemon", t.config.name);
+        ("prefix", Bgp.Prefix.to_string prefix);
+        ("prov", Obs.Provenance.summary pr);
+      ]
+
+let bmp_peer (p : peer) : Obs.Bmp.peer =
+  {
+    Obs.Bmp.addr = p.conf.remote_addr;
+    asn = p.conf.remote_as;
+    bgp_id = Session.Fsm.peer_id p.session;
+  }
+
+let mirror t frame =
+  match t.collector with
+  | None -> ()
+  | Some col -> Obs.Bmp.receive col frame
 
 (* --- native policies --- *)
 
@@ -722,19 +869,45 @@ let withdraw_prefix t peer prefix =
   match Rib.Adj_rib.clear t.adj_in ~peer:peer.idx prefix with
   | Some _ ->
     Telemetry.Counter.inc t.probes.c_withdrawals_rx;
+    let pr =
+      import_record t prefix ~src:peer.idx ~chain:[] ~import:"withdrawn"
+        ~status:Obs.Provenance.Withdrawn
+    in
+    note_gone t prefix ~src:peer.idx pr;
     let change = Rib.Loc_rib.update t.loc ~peer:peer.idx prefix None in
+    record_route_event t Obs.Recorder.Route_withdraw prefix pr;
     propagate t prefix change
   | None -> ()
 
-let accept_route t peer prefix (r : route) =
+let accept_route t peer prefix (r : route) ~chain ~import =
   Telemetry.Counter.inc t.probes.c_routes_in;
+  let existed =
+    t.recorder <> None
+    && Rib.Adj_rib.find t.adj_in ~peer:peer.idx prefix <> None
+  in
   ignore (Rib.Adj_rib.set t.adj_in ~peer:peer.idx prefix r);
+  let stored =
+    import_record t prefix ~src:peer.idx ~chain ~import
+      ~status:Obs.Provenance.Candidate
+  in
+  Hashtbl.replace t.prov (prefix, peer.idx) stored;
   let change = Rib.Loc_rib.update t.loc ~peer:peer.idx prefix (Some r) in
+  (match t.recorder with
+  | None -> ()
+  | Some _ ->
+    record_route_event t
+      (if existed then Obs.Recorder.Route_replace else Obs.Recorder.Route_add)
+      prefix
+      (assemble_prov t prefix stored ~src:peer.idx));
   propagate t prefix change
 
-let reject_route t peer prefix =
+let reject_route t peer prefix ~chain ~import =
   Telemetry.Counter.inc t.probes.c_import_rejected;
-  withdraw_prefix t peer prefix
+  withdraw_prefix t peer prefix;
+  (* the rejection supersedes the withdrawal record the clear leaves *)
+  Hashtbl.replace t.last_prov prefix
+    (import_record t prefix ~src:peer.idx ~chain ~import
+       ~status:Obs.Provenance.Rejected)
 
 (* The legacy per-prefix path (kept verbatim for the dispatch-bench
    baseline; [config.batch_updates = false]). *)
@@ -751,8 +924,13 @@ let learn_route t peer prefix (route : route) =
            ])
       ~default:(fun () -> native_import t route_ref prefix peer)
   in
-  if verdict = Xbgp.Api.filter_accept then accept_route t peer prefix !route_ref
-  else reject_route t peer prefix
+  let chain = import_trace t in
+  if verdict = Xbgp.Api.filter_accept then
+    accept_route t peer prefix !route_ref ~chain
+      ~import:(import_verdict chain ~accepted:true)
+  else
+    reject_route t peer prefix ~chain
+      ~import:(import_verdict chain ~accepted:false)
 
 (* Batched NLRI processing: every prefix of one UPDATE shares the same
    attribute record, so share the converted view and the dispatch
@@ -798,9 +976,19 @@ let learn_routes t peer prefixes (route : route) =
         end
         else native_import t route_ref first peer
       in
-      if verdict = Xbgp.Api.filter_accept then
-        List.iter (fun prefix -> accept_route t peer prefix !route_ref) prefixes
-      else List.iter (fun prefix -> reject_route t peer prefix) prefixes
+      (* one trace covers the whole batch — [batch_invariant] is exactly
+         the proof that per-prefix dispatches would have replayed it *)
+      let chain = if has_inbound_ext then import_trace t else [] in
+      let accepted = verdict = Xbgp.Api.filter_accept in
+      let import = import_verdict chain ~accepted in
+      if accepted then
+        List.iter
+          (fun prefix -> accept_route t peer prefix !route_ref ~chain ~import)
+          prefixes
+      else
+        List.iter
+          (fun prefix -> reject_route t peer prefix ~chain ~import)
+          prefixes
     end
     else begin
       (* Per-prefix verdicts are required (inbound bytecode or origin
@@ -823,9 +1011,13 @@ let learn_routes t peer prefixes (route : route) =
             vmm_run t Xbgp.Api.Bgp_inbound_filter ~ops ~args
               ~default:(fun () -> native_import t route_ref prefix peer)
           in
+          let chain = import_trace t in
           if verdict = Xbgp.Api.filter_accept then
-            accept_route t peer prefix !route_ref
-          else reject_route t peer prefix)
+            accept_route t peer prefix !route_ref ~chain
+              ~import:(import_verdict chain ~accepted:true)
+          else
+            reject_route t peer prefix ~chain
+              ~import:(import_verdict chain ~accepted:false))
         prefixes;
       release_args t args
     end
@@ -853,6 +1045,13 @@ let mandatory_present (attrs : Bgp.Attr.t list) extra_tlvs =
 
 let on_update t peer (u : Bgp.Message.update) ~raw =
   Telemetry.Counter.inc t.probes.c_updates_rx;
+  (* BMP-style route monitoring: mirror the UPDATE PDU verbatim, pre
+     policy (RFC 7854 §5) *)
+  if t.collector <> None then
+    mirror t
+      (Obs.Bmp.route_monitoring ~peer:(bmp_peer peer)
+         ~ts_us:(Netsim.Sched.now t.sched)
+         ~update:(Bytes.to_string raw));
   (* BGP_RECEIVE_MESSAGE point: extensions may recover attributes the
      native parser drops; additions are collected as neutral TLVs *)
   let extra_tlvs = ref [] in
@@ -882,7 +1081,16 @@ let on_update t peer (u : Bgp.Message.update) ~raw =
      release_args t args);
   List.iter (fun p -> withdraw_prefix t peer p) u.withdrawn;
   if u.nlri <> [] && not (mandatory_present u.attrs (List.rev !extra_tlvs))
-  then List.iter (fun p -> withdraw_prefix t peer p) u.nlri
+  then
+    List.iter
+      (fun p ->
+        withdraw_prefix t peer p;
+        Hashtbl.replace t.last_prov p
+          (import_record t p ~src:peer.idx ~chain:[]
+             ~import:
+               "rejected: missing mandatory attribute (treat-as-withdraw)"
+             ~status:Obs.Provenance.Rejected))
+      u.nlri
   else if u.nlri <> [] then begin
     let attrs0 = Attr_intern.of_attrs u.attrs in
     (* apply extension-recovered attributes *)
@@ -904,7 +1112,12 @@ let on_update t peer (u : Bgp.Message.update) ~raw =
     if
       peer.peer_type = src_ebgp
       && Attr_intern.contains_as attrs0 t.config.local_as
-    then List.iter (fun p -> reject_route t peer p) u.nlri
+    then
+      List.iter
+        (fun p ->
+          reject_route t peer p ~chain:[]
+            ~import:"rejected: own AS in AS_PATH (eBGP loop)")
+        u.nlri
     else begin
       let route =
         {
@@ -925,6 +1138,12 @@ let on_update t peer (u : Bgp.Message.update) ~raw =
 (* --- session lifecycle --- *)
 
 let sync_peer t peer =
+  if t.collector <> None then
+    mirror t
+      (Obs.Bmp.peer_up ~peer:(bmp_peer peer)
+         ~ts_us:(Netsim.Sched.now t.sched)
+         ~local_addr:t.config.local_addr ~local_asn:t.config.local_as
+         ~local_bgp_id:t.config.router_id ~hold_time:t.config.hold_time);
   peer.synced <- true;
   if t.config.update_groups then begin
     refresh_grouping t;
@@ -949,6 +1168,11 @@ let sync_peer t peer =
   schedule_flush t
 
 let on_close t peer =
+  if t.collector <> None then
+    mirror t
+      (Obs.Bmp.peer_down ~peer:(bmp_peer peer)
+         ~ts_us:(Netsim.Sched.now t.sched)
+         ~reason:Obs.Bmp.reason_remote_no_notification);
   peer.synced <- false;
   if t.config.update_groups then
     Rib.Update_group.leave t.ugroups ~peer:peer.idx;
@@ -969,7 +1193,14 @@ let on_close t peer =
   List.iter
     (fun prefix ->
       ignore (Rib.Adj_rib.clear t.adj_in ~peer:peer.idx prefix);
+      let pr =
+        import_record t prefix ~src:peer.idx ~chain:[]
+          ~import:"withdrawn: session closed"
+          ~status:Obs.Provenance.Withdrawn
+      in
+      note_gone t prefix ~src:peer.idx pr;
       let change = Rib.Loc_rib.update t.loc ~peer:peer.idx prefix None in
+      record_route_event t Obs.Recorder.Route_withdraw prefix pr;
       propagate t prefix change)
     prefixes;
   Rib.Adj_rib.drop_peer t.adj_out peer.idx
@@ -1007,6 +1238,10 @@ let create ?telemetry ?vmm ~sched (config : config)
       group_gen = -1;
       groupable = false;
       chain_sig = "";
+      prov = Hashtbl.create 64;
+      last_prov = Hashtbl.create 16;
+      recorder = None;
+      collector = None;
       xtras = Hashtbl.create 8;
       log_fn = ignore;
       base_ops = Xbgp.Host_intf.null_ops;
@@ -1084,7 +1319,20 @@ let originate t prefix (attrs : Bgp.Attr.t list) =
       igp_cost = 0;
     }
   in
+  let existed = t.recorder <> None && Hashtbl.mem t.prov (prefix, -1) in
+  let stored =
+    import_record t prefix ~src:(-1) ~chain:[]
+      ~import:"accepted (local origination)" ~status:Obs.Provenance.Candidate
+  in
+  Hashtbl.replace t.prov (prefix, -1) stored;
   let change = Rib.Loc_rib.update t.loc ~peer:(-1) prefix (Some route) in
+  (match t.recorder with
+  | None -> ()
+  | Some _ ->
+    record_route_event t
+      (if existed then Obs.Recorder.Route_replace else Obs.Recorder.Route_add)
+      prefix
+      (assemble_prov t prefix stored ~src:(-1)));
   propagate t prefix change
 
 (* the add_route_to_rib helper (the paper's "dedicated helper enables an
@@ -1106,6 +1354,14 @@ let () =
 
 (** Withdraw a locally originated route. *)
 let withdraw_local t prefix =
+  if Hashtbl.mem t.prov (prefix, -1) then begin
+    let pr =
+      import_record t prefix ~src:(-1) ~chain:[] ~import:"withdrawn (local)"
+        ~status:Obs.Provenance.Withdrawn
+    in
+    note_gone t prefix ~src:(-1) pr;
+    record_route_event t Obs.Recorder.Route_withdraw prefix pr
+  end;
   let change = Rib.Loc_rib.update t.loc ~peer:(-1) prefix None in
   propagate t prefix change
 
@@ -1170,6 +1426,65 @@ let stats t : stats =
 
 let telemetry t = t.tele
 let group_count t = Rib.Update_group.group_count t.ugroups
+let vmm t = t.vmm
+
+(** Attach (or detach, [None]) a flight recorder: the daemon itself
+    records route events, and the hook is pushed down to the VMM
+    (faults, fallbacks, map evictions), the session FSMs (transitions)
+    and the update-group engine (split/merge/rekey). *)
+let set_recorder t r =
+  t.recorder <- r;
+  (match t.vmm with
+  | Some vmm -> Xbgp.Vmm.set_recorder vmm r
+  | None -> ());
+  Rib.Update_group.set_recorder t.ugroups r;
+  Array.iter (fun p -> Session.Fsm.set_recorder p.session r) t.peers
+
+let recorder t = t.recorder
+
+(** Attach a BMP-style monitoring collector; the daemon mirrors every
+    received UPDATE and every session up/down edge to it. *)
+let set_collector t c = t.collector <- c
+
+let collector t = t.collector
+
+(** Provenance of the prefix's current best route (decision disposal
+    computed against the live Loc-RIB), falling back to the last
+    reject/withdraw record once no candidate is left. *)
+let provenance t prefix =
+  match Rib.Loc_rib.best_with_peer t.loc prefix with
+  | Some (bpeer, _) -> (
+    match Hashtbl.find_opt t.prov (prefix, bpeer) with
+    | Some stored -> Some (assemble_prov t prefix stored ~src:bpeer)
+    | None -> Hashtbl.find_opt t.last_prov prefix)
+  | None -> Hashtbl.find_opt t.last_prov prefix
+
+(** Provenance of every candidate for the prefix (best first by peer
+    storage order is NOT guaranteed; entries carry their own status). *)
+let provenance_candidates t prefix =
+  List.filter_map
+    (fun (src, _) ->
+      Option.map
+        (fun stored -> assemble_prov t prefix stored ~src)
+        (Hashtbl.find_opt t.prov (prefix, src)))
+    (Rib.Loc_rib.candidates t.loc prefix)
+
+(** One provenance record per installed best route, sorted by prefix. *)
+let provenance_snapshot t =
+  let acc = ref [] in
+  Rib.Loc_rib.iter_best t.loc (fun p _ ->
+      match provenance t p with
+      | Some pr -> acc := (p, pr) :: !acc
+      | None -> ());
+  List.sort (fun (a, _) (b, _) -> Bgp.Prefix.compare a b) !acc
+
+(** Update-group partition: [(key, ascending member indices)] in group
+    creation order — the [show update-groups] payload. *)
+let group_details t =
+  let acc = ref [] in
+  Rib.Update_group.iter_groups t.ugroups (fun g ->
+      acc := (Rib.Update_group.key g, Rib.Update_group.members g) :: !acc);
+  List.rev !acc
 let peer t idx = t.peers.(idx)
 let peer_established t idx = Session.Fsm.is_established t.peers.(idx).session
 let set_log t f = t.log_fn <- f

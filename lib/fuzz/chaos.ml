@@ -62,6 +62,7 @@ type leg = {
   knobs : Cg.knobs;
   phases : phase list;  (** oldest first *)
   leg_findings : finding list;
+  tail : string list;  (** flight-recorder tail, divergence-report context *)
 }
 
 let phase_budget_us = 60_000_000
@@ -195,6 +196,8 @@ let run_star_leg (c : Cg.case) (knobs : Cg.knobs) ~npeers : leg =
       ~update_groups:knobs.update_groups ~batch_updates:knobs.batch_updates
       ~hold_time:3 ~xtras:(star_xtras c) ~npeers ()
   in
+  let rc = Obs.Recorder.create ~capacity:4096 ~name:"dut" () in
+  Scenario.Star.attach_recorder star rc;
   let dut = Scenario.Star.dut star in
   let sched = Scenario.Star.sched star in
   let extra_count = ref 0 in
@@ -360,7 +363,12 @@ let run_star_leg (c : Cg.case) (knobs : Cg.knobs) ~npeers : leg =
            (String.concat "," c.chain));
     List.iter note (check_inflight ~leg:knobs telemetry)
   end;
-  { knobs; phases; leg_findings = findings }
+  {
+    knobs;
+    phases;
+    leg_findings = findings;
+    tail = Obs.Recorder.tail_lines ~n:12 ~prefix:"    " rc;
+  }
 
 (* --- the fabric leg --- *)
 
@@ -380,6 +388,8 @@ let run_fabric_leg (c : Cg.case) (knobs : Cg.knobs) ~fconfig ~with_transit :
       ~telemetry ~batch_updates:knobs.batch_updates
       ~update_groups:knobs.update_groups fconfig
   in
+  let rc = Obs.Recorder.create ~capacity:4096 ~name:"fabric" () in
+  Scenario.Fabric.attach_recorder fab rc;
   let sched = fab.Scenario.Fabric.sched in
   let links = Array.of_list fab.Scenario.Fabric.clos.Dataset.Clos.links in
   let link i = links.(i mod Array.length links) in
@@ -499,7 +509,12 @@ let run_fabric_leg (c : Cg.case) (knobs : Cg.knobs) ~fconfig ~with_transit :
               (List.map (fun (a, b) -> a ^ "->" ^ b) unreachable)));
     List.iter note (check_inflight ~leg:knobs telemetry)
   end;
-  { knobs; phases; leg_findings = findings }
+  {
+    knobs;
+    phases;
+    leg_findings = findings;
+    tail = Obs.Recorder.tail_lines ~n:12 ~prefix:"    " rc;
+  }
 
 let run_leg (c : Cg.case) (knobs : Cg.knobs) : leg =
   match c.topology with
@@ -648,7 +663,21 @@ let run_case ?(perturb = false) (c : Cg.case) :
     | base :: _ -> List.map (fun p -> (p.label, p.dur_us)) base.phases
     | [] -> []
   in
-  (leg_findings @ equiv, durations)
+  (* Failing report? Append leg 0's flight-recorder tail to the last
+     finding as context — extending a detail keeps the finding count and
+     class set exactly what shrinking and the self-tests assert on. *)
+  let findings =
+    match (List.rev (leg_findings @ equiv), legs) with
+    | last :: rest, base :: _ when base.tail <> [] ->
+      let text =
+        String.concat "\n"
+          (Fmt.str "  [%a] flight-recorder tail:" Cg.pp_knobs base.knobs
+          :: base.tail)
+      in
+      List.rev ({ last with detail = last.detail ^ "\n" ^ text } :: rest)
+    | rev, _ -> List.rev rev
+  in
+  (findings, durations)
 
 (* --- shrinking --- *)
 

@@ -31,6 +31,9 @@ type leg = {
   knobs : Config_gen.knobs;
   phases : phase list;  (** oldest first *)
   leg_findings : finding list;
+  tail : string list;
+      (** flight-recorder tail of the leg — attached to failing reports
+          as context, never compared between legs *)
 }
 
 val phase_budget_us : int

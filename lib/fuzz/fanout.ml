@@ -87,6 +87,7 @@ type obs = {
   loc : (Bgp.Prefix.t * Bgp.Attr.t list) list;
   groups : int;
   maps : string;  (** DUT VMM map-state fingerprint ([Oracle.render_map_state]) *)
+  tail : string list;  (** DUT flight-recorder tail, divergence-report context *)
 }
 
 let extra_prefix k = Bgp.Prefix.v (Bgp.Prefix.addr_of_quad (199, 51, k, 0)) 24
@@ -99,6 +100,8 @@ let run_leg (c : case) ~grouped : obs =
     Scenario.Star.create ~host:c.host ?manifest ~update_groups:grouped
       ~hold_time:3 ~npeers:c.npeers ()
   in
+  let rc = Obs.Recorder.create ~capacity:4096 ~name:"dut" () in
+  Scenario.Star.attach_recorder star rc;
   Scenario.Star.establish star;
   List.iter
     (fun (r : Dataset.Ris_gen.route) ->
@@ -162,6 +165,7 @@ let run_leg (c : case) ~grouped : obs =
       (match Scenario.Star.dut_vmm star with
       | Some vmm -> Oracle.render_map_state (Xbgp.Vmm.map_state vmm)
       | None -> "");
+    tail = Obs.Recorder.tail_lines ~n:12 ~prefix:"    " rc;
   }
 
 let first_mismatch a b =
@@ -213,7 +217,14 @@ let run_case ?(perturb = false) (c : case) : string list =
       { grouped with frames; maps = grouped.maps ^ "|corrupt" })
     else grouped
   in
-  diff c grouped baseline
+  match diff c grouped baseline with
+  | [] -> []
+  | fs ->
+    (* context for the report: what each leg's DUT was doing last *)
+    let tail who lines =
+      if lines = [] then [] else ("  " ^ who ^ " flight-recorder tail:") :: lines
+    in
+    fs @ tail "grouped leg" grouped.tail @ tail "per-peer leg" baseline.tail
 
 type summary = {
   cases : int;

@@ -35,6 +35,9 @@ type obs = {
   loc : (Bgp.Prefix.t * Bgp.Attr.t list) list;
   groups : int;
   maps : string;  (** DUT VMM map-state fingerprint ([Oracle.render_map_state]) *)
+  tail : string list;
+      (** DUT flight-recorder tail — attached to divergence reports as
+          context, never compared between legs *)
 }
 
 val run_leg : case -> grouped:bool -> obs

@@ -82,7 +82,28 @@ type host_state = {
   dut : (Bgp.Prefix.t * Bgp.Attr.t list) list;
   down : (Bgp.Prefix.t * Bgp.Attr.t list) list;
   vmm_fault : string option;
+  tail : string list;  (** DUT flight-recorder tail, report context *)
 }
+
+(* Append the legs' flight-recorder tails to the last finding, so a
+   divergence report shows what the DUTs were doing right before the
+   states were snapshotted — without changing the finding count any
+   caller asserts on. *)
+let with_tails tails findings =
+  let text =
+    String.concat "\n"
+      (List.concat_map
+         (fun (who, lines) ->
+           if lines = [] then []
+           else Printf.sprintf "  %s flight-recorder tail:" who :: lines)
+         tails)
+  in
+  if text = "" then findings
+  else
+    match List.rev findings with
+    | [] -> []
+    | last :: rest ->
+      List.rev ({ last with detail = last.detail ^ "\n" ^ text } :: rest)
 
 let manifest_exn name =
   match Xprogs.Registry.find_manifest name with
@@ -112,6 +133,9 @@ let settle_us = 30_000_000 (* 30 simulated seconds after the feed *)
 let run_testbed host (c : Gen.case) : host_state =
   let module T = Scenario.Testbed in
   let tb = T.create (mode_for host c) in
+  let rc = Obs.Recorder.create ~capacity:4096 ~name:"dut" () in
+  Obs.Recorder.set_clock rc (fun () -> Netsim.Sched.now tb.sched);
+  Scenario.Daemon.set_recorder tb.dut (Some rc);
   T.establish tb;
   T.feed tb c.routes;
   ignore (Netsim.Sched.run tb.sched ~until:(Netsim.Sched.now tb.sched + settle_us));
@@ -123,6 +147,7 @@ let run_testbed host (c : Gen.case) : host_state =
     vmm_fault =
       Option.bind tb.dut_vmm (fun vmm ->
           Option.map Xbgp.Vmm.fault_detail (Xbgp.Vmm.last_fault_record vmm));
+    tail = Obs.Recorder.tail_lines ~n:12 ~prefix:"    " rc;
   }
 
 (* [perturb] artificially corrupts the BIRD-side view — the knob the
@@ -162,7 +187,9 @@ let run_differential ~perturb (c : Gen.case) =
         ]
       |> List.map (fun d -> divergence "%s" d)
     in
-    faults @ diffs
+    with_tails
+      [ ("frr", frr.tail); ("bird", bird.tail) ]
+      (faults @ diffs)
 
 (* --- hostile peer --- *)
 

@@ -1,0 +1,267 @@
+(* A BMP-inspired monitoring mirror (RFC 7854, version 3).
+
+   BMP is how real deployments watch a BGP speaker from the outside:
+   the router streams its received routes (Route Monitoring messages
+   wrapping verbatim UPDATE PDUs) and session events (Peer Up / Peer
+   Down) to a passive collector, which never talks back. We reproduce
+   the wire format faithfully — common header, 42-byte per-peer
+   header, network byte order — but deliver the frames in-process: a
+   scenario attaches a [collector] to a daemon and every accepted
+   UPDATE and session edge is mirrored to it, so a test or the CLI can
+   audit "what did the speaker tell the world it learned" without
+   touching daemon internals.
+
+   Messages implemented: Route Monitoring (0), Peer Down Notification
+   (2), Peer Up Notification (3), Initiation (4). Timestamps come from
+   the caller (scenarios pass the simulated clock), keeping recordings
+   deterministic. *)
+
+let version = 3
+let common_header_size = 6
+let per_peer_header_size = 42
+
+type msg_type =
+  | Route_monitoring  (** type 0: verbatim UPDATE PDU *)
+  | Stats_report  (** type 1 (not emitted) *)
+  | Peer_down  (** type 2 *)
+  | Peer_up  (** type 3 *)
+  | Initiation  (** type 4 *)
+  | Termination  (** type 5 (not emitted) *)
+
+let type_code = function
+  | Route_monitoring -> 0
+  | Stats_report -> 1
+  | Peer_down -> 2
+  | Peer_up -> 3
+  | Initiation -> 4
+  | Termination -> 5
+
+let type_of_code = function
+  | 0 -> Some Route_monitoring
+  | 1 -> Some Stats_report
+  | 2 -> Some Peer_down
+  | 3 -> Some Peer_up
+  | 4 -> Some Initiation
+  | 5 -> Some Termination
+  | _ -> None
+
+let type_name = function
+  | Route_monitoring -> "route_monitoring"
+  | Stats_report -> "stats_report"
+  | Peer_down -> "peer_down"
+  | Peer_up -> "peer_up"
+  | Initiation -> "initiation"
+  | Termination -> "termination"
+
+(** The monitored peer, as carried in the per-peer header. Addresses
+    and BGP identifiers are IPv4 u32s (the per-peer header stores the
+    address IPv4-mapped in its 16-byte field). *)
+type peer = { addr : int; asn : int; bgp_id : int }
+
+(* --- encoding --- *)
+
+let add_u32 b v = Buffer.add_int32_be b (Int32.of_int (v land 0xFFFFFFFF))
+
+let add_per_peer b (p : peer) ~ts_us =
+  Buffer.add_uint8 b 0 (* peer type: global instance *);
+  Buffer.add_uint8 b 0 (* flags: IPv4, post-policy *);
+  Buffer.add_int64_be b 0L (* peer distinguisher *);
+  Buffer.add_string b (String.make 12 '\x00') (* v4-mapped padding *);
+  add_u32 b p.addr;
+  add_u32 b p.asn;
+  add_u32 b p.bgp_id;
+  add_u32 b (ts_us / 1_000_000);
+  add_u32 b (ts_us mod 1_000_000)
+
+let finish ty body =
+  let b = Buffer.create (common_header_size + String.length body) in
+  Buffer.add_uint8 b version;
+  add_u32 b (common_header_size + String.length body);
+  Buffer.add_uint8 b (type_code ty);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let route_monitoring ~peer ~ts_us ~update =
+  let b = Buffer.create (per_peer_header_size + String.length update) in
+  add_per_peer b peer ~ts_us;
+  Buffer.add_string b update;
+  finish Route_monitoring (Buffer.contents b)
+
+(* A minimal syntactically-valid BGP OPEN for the Peer Up payload when
+   the host no longer holds the original (we mirror established
+   sessions, not the handshake bytes). *)
+let synth_open ~asn ~bgp_id ~hold_time =
+  let b = Buffer.create 29 in
+  Buffer.add_string b (String.make 16 '\xff');
+  Buffer.add_uint16_be b 29;
+  Buffer.add_uint8 b 1 (* OPEN *);
+  Buffer.add_uint8 b 4 (* BGP-4 *);
+  Buffer.add_uint16_be b (asn land 0xFFFF);
+  Buffer.add_uint16_be b hold_time;
+  add_u32 b bgp_id;
+  Buffer.add_uint8 b 0 (* no optional parameters *);
+  Buffer.contents b
+
+let peer_up ~peer ~ts_us ~local_addr ~local_asn ~local_bgp_id ~hold_time =
+  let b = Buffer.create 128 in
+  add_per_peer b peer ~ts_us;
+  Buffer.add_string b (String.make 12 '\x00');
+  add_u32 b local_addr;
+  Buffer.add_uint16_be b 179 (* local port *);
+  Buffer.add_uint16_be b 179 (* remote port *);
+  Buffer.add_string b (synth_open ~asn:local_asn ~bgp_id:local_bgp_id ~hold_time);
+  Buffer.add_string b (synth_open ~asn:peer.asn ~bgp_id:peer.bgp_id ~hold_time);
+  finish Peer_up (Buffer.contents b)
+
+(** RFC 7854 §4.9 reason 2: local system closed, no notification. *)
+let reason_local_no_notification = 2
+
+(** Reason 4: remote system closed, no notification. *)
+let reason_remote_no_notification = 4
+
+let peer_down ~peer ~ts_us ~reason =
+  let b = Buffer.create (per_peer_header_size + 1) in
+  add_per_peer b peer ~ts_us;
+  Buffer.add_uint8 b reason;
+  finish Peer_down (Buffer.contents b)
+
+let initiation ~sys_name ~sys_descr =
+  let b = Buffer.create 64 in
+  let tlv ty s =
+    Buffer.add_uint16_be b ty;
+    Buffer.add_uint16_be b (String.length s);
+    Buffer.add_string b s
+  in
+  tlv 1 sys_descr;
+  tlv 2 sys_name;
+  finish Initiation (Buffer.contents b)
+
+(* --- decoding (the collector side) --- *)
+
+let u32_at s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+type parsed_peer = { p_peer : peer; p_ts_us : int }
+
+type msg =
+  | Route of parsed_peer * string  (** the wrapped BGP UPDATE PDU *)
+  | Up of parsed_peer
+  | Down of parsed_peer * int  (** reason code *)
+  | Init of (int * string) list  (** information TLVs *)
+  | Other of msg_type * string
+
+let parse_per_peer s off =
+  {
+    p_peer =
+      {
+        addr = u32_at s (off + 22);
+        asn = u32_at s (off + 26);
+        bgp_id = u32_at s (off + 30);
+      };
+    p_ts_us = (u32_at s (off + 34) * 1_000_000) + u32_at s (off + 38);
+  }
+
+let parse raw : (msg, string) result =
+  let n = String.length raw in
+  if n < common_header_size then Error "short BMP header"
+  else if Char.code raw.[0] <> version then
+    Error (Printf.sprintf "BMP version %d" (Char.code raw.[0]))
+  else if u32_at raw 1 <> n then
+    Error
+      (Printf.sprintf "BMP length %d does not match frame %d" (u32_at raw 1) n)
+  else
+    match type_of_code (Char.code raw.[5]) with
+    | None -> Error (Printf.sprintf "BMP type %d" (Char.code raw.[5]))
+    | Some ty -> (
+      let body_off = common_header_size in
+      let need k = n >= body_off + k in
+      match ty with
+      | Route_monitoring ->
+        if not (need per_peer_header_size) then Error "short per-peer header"
+        else
+          Ok
+            (Route
+               ( parse_per_peer raw body_off,
+                 String.sub raw
+                   (body_off + per_peer_header_size)
+                   (n - body_off - per_peer_header_size) ))
+      | Peer_up ->
+        if not (need per_peer_header_size) then Error "short per-peer header"
+        else Ok (Up (parse_per_peer raw body_off))
+      | Peer_down ->
+        if not (need (per_peer_header_size + 1)) then Error "short peer down"
+        else
+          Ok
+            (Down
+               ( parse_per_peer raw body_off,
+                 Char.code raw.[body_off + per_peer_header_size] ))
+      | Initiation ->
+        let tlvs = ref [] in
+        let p = ref body_off in
+        (try
+           while !p + 4 <= n do
+             let ty = (Char.code raw.[!p] lsl 8) lor Char.code raw.[!p + 1] in
+             let len =
+               (Char.code raw.[!p + 2] lsl 8) lor Char.code raw.[!p + 3]
+             in
+             if !p + 4 + len > n then raise Exit;
+             tlvs := (ty, String.sub raw (!p + 4) len) :: !tlvs;
+             p := !p + 4 + len
+           done
+         with Exit -> ());
+        Ok (Init (List.rev !tlvs))
+      | _ -> Ok (Other (ty, String.sub raw body_off (n - body_off))))
+
+(* --- the passive collector --- *)
+
+type collector = {
+  mutable frames : string list;  (** raw frames, newest first *)
+  mutable parsed : msg list;  (** newest first *)
+  mutable errors : string list;  (** newest first *)
+  counts : (string, int ref) Hashtbl.t;
+}
+
+let collector () =
+  { frames = []; parsed = []; errors = []; counts = Hashtbl.create 8 }
+
+let receive c raw =
+  c.frames <- raw :: c.frames;
+  match parse raw with
+  | Ok m ->
+    c.parsed <- m :: c.parsed;
+    let key =
+      match m with
+      | Route _ -> type_name Route_monitoring
+      | Up _ -> type_name Peer_up
+      | Down _ -> type_name Peer_down
+      | Init _ -> type_name Initiation
+      | Other (ty, _) -> type_name ty
+    in
+    (match Hashtbl.find_opt c.counts key with
+    | Some r -> incr r
+    | None -> Hashtbl.replace c.counts key (ref 1))
+  | Error e -> c.errors <- e :: c.errors
+
+let messages c = List.rev c.parsed
+let raw_frames c = List.rev c.frames
+let errors c = List.rev c.errors
+let count c = List.length c.parsed
+
+let count_of c ty =
+  match Hashtbl.find_opt c.counts (type_name ty) with
+  | Some r -> !r
+  | None -> 0
+
+let to_json c =
+  let counts =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) c.counts []
+    |> List.sort compare
+    |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"messages\":%d,\"errors\":%d,\"counts\":{%s}}"
+    (count c) (List.length c.errors) counts

@@ -1,0 +1,72 @@
+(** BMP-inspired monitoring mirror (RFC 7854 v3): wire-faithful
+    encoders for Route Monitoring / Peer Up / Peer Down / Initiation
+    messages plus an in-process passive collector. Scenarios attach a
+    {!collector} to a daemon; the daemon mirrors every accepted UPDATE
+    and session edge to it, so tests and the CLI can audit the
+    speaker's announced state from the outside. *)
+
+type msg_type =
+  | Route_monitoring
+  | Stats_report
+  | Peer_down
+  | Peer_up
+  | Initiation
+  | Termination
+
+val type_name : msg_type -> string
+
+type peer = { addr : int; asn : int; bgp_id : int }
+(** The monitored peer as carried in the 42-byte per-peer header
+    (IPv4 u32s, v4-mapped into the 16-byte address field). *)
+
+val route_monitoring : peer:peer -> ts_us:int -> update:string -> string
+(** Frame one received BGP UPDATE PDU (verbatim) for the collector. *)
+
+val peer_up :
+  peer:peer ->
+  ts_us:int ->
+  local_addr:int ->
+  local_asn:int ->
+  local_bgp_id:int ->
+  hold_time:int ->
+  string
+(** Session reached Established; OPENs are synthesized (we mirror the
+    established session, not the handshake bytes). *)
+
+val peer_down : peer:peer -> ts_us:int -> reason:int -> string
+
+val reason_local_no_notification : int
+val reason_remote_no_notification : int
+
+val initiation : sys_name:string -> sys_descr:string -> string
+
+(** {1 Collector} *)
+
+type parsed_peer = { p_peer : peer; p_ts_us : int }
+
+type msg =
+  | Route of parsed_peer * string  (** the wrapped BGP UPDATE PDU *)
+  | Up of parsed_peer
+  | Down of parsed_peer * int  (** reason code *)
+  | Init of (int * string) list
+  | Other of msg_type * string
+
+val parse : string -> (msg, string) result
+
+type collector
+
+val collector : unit -> collector
+
+val receive : collector -> string -> unit
+(** Feed one raw frame; parse failures are retained in {!errors}. *)
+
+val messages : collector -> msg list
+(** Parsed messages, oldest first. *)
+
+val raw_frames : collector -> string list
+(** Raw frames, oldest first. *)
+
+val errors : collector -> string list
+val count : collector -> int
+val count_of : collector -> msg_type -> int
+val to_json : collector -> string

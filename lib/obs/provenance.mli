@@ -1,0 +1,58 @@
+(** Per-route provenance: the compact "why is this route here?" record
+    kept by both daemons for the latest import of each prefix.
+
+    A record names the ingress peer, replays the import chain that ran
+    (per bytecode: program, engine, dynamic outcome, whether it may
+    mutate attributes, which maps it may write) and explains the
+    decision process's disposal (winning tie-break step vs the closest
+    runner-up, only-candidate, or an attached BGP_DECISION extension).
+
+    Determinism contract: records carry no run counters or timestamps,
+    so the same route must yield {!equal} records through the batched
+    and per-prefix import paths and through grouped and per-peer
+    export. *)
+
+type step = {
+  program : string;
+  bytecode : string;
+  engine : string;
+  outcome : string;
+      (** "accept" / "reject" / "next()" / "fault" / "ret=N" *)
+  attrs_mutated : bool;
+      (** statically: calls set_attr/add_attr/remove_attr *)
+  maps_written : string list;  (** statically: maps it may write *)
+}
+
+type decision =
+  | Only_candidate
+  | Best of { runner_up : string; step : int; step_name : string }
+      (** [step] is the 1-based RFC 4271 tie-break step separating it
+          from the runner-up; [0] = tied (arrival order decided) *)
+  | Shadowed of { best : string; step : int; step_name : string }
+  | Xprog_decided of { runner_up : string }
+
+type status = Installed | Candidate | Rejected | Withdrawn
+
+type t = {
+  prefix : string;
+  ingress : string;  (** ["peer <name> (AS <n>)"] or ["local"] *)
+  chain : step list;
+  import : string;
+      (** "accepted" / "accepted (native)" / "rejected: <why>" *)
+  decision : decision option;
+  status : status;
+}
+
+val status_name : status -> string
+val equal : t -> t -> bool
+
+val to_text : t -> string
+(** Multi-line operator-facing rendering (what [show provenance]
+    prints). *)
+
+val to_json : t -> string
+val step_to_text : step -> string
+val decision_to_text : decision -> string
+
+val summary : t -> string
+(** One-line digest used in flight-recorder route events. *)

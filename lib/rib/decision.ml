@@ -65,3 +65,18 @@ let deciding_step view a b =
     | step :: rest -> if step view a b <> 0 then i else go (i + 1) rest
   in
   go 1 steps
+
+(* Operator-facing names, aligned with [steps] — provenance records and
+   [show provenance] explain a win as "step 2 (as_path_len)". *)
+let step_name = function
+  | 0 -> "tied"
+  | 1 -> "local_pref"
+  | 2 -> "as_path_len"
+  | 3 -> "origin"
+  | 4 -> "med"
+  | 5 -> "ebgp_over_ibgp"
+  | 6 -> "igp_cost"
+  | 7 -> "originator_id"
+  | 8 -> "cluster_list_len"
+  | 9 -> "peer_addr"
+  | n -> Printf.sprintf "step_%d" n

@@ -28,3 +28,8 @@ val best : 'r view -> 'r list -> 'r option
 val deciding_step : 'r view -> 'r -> 'r -> int
 (** 1-based index of the first tie-break step separating the two routes;
     0 when fully tied. For tests and debugging. *)
+
+val step_name : int -> string
+(** Operator-facing name of a {!deciding_step} index ([0] = ["tied"],
+    [1] = ["local_pref"], ... [9] = ["peer_addr"]) — provenance records
+    and [show provenance] render wins with it. *)

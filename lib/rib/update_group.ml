@@ -59,6 +59,7 @@ type 'attrs group = {
 
 type 'attrs t = {
   equal : 'attrs -> 'attrs -> bool;
+  daemon : string;
   groups : (string, 'attrs group) Hashtbl.t;
   by_peer : (int, 'attrs group) Hashtbl.t;
   mutable next_id : int;
@@ -66,6 +67,8 @@ type 'attrs t = {
   c_splits : Telemetry.Counter.t;
   c_merges : Telemetry.Counter.t;
   c_saved : Telemetry.Counter.t;
+  mutable recorder : Obs.Recorder.t option;
+      (** flight recorder; splits, merges and re-key moves land in it *)
 }
 
 let create ?telemetry ~daemon ~equal () =
@@ -77,6 +80,7 @@ let create ?telemetry ~daemon ~equal () =
   let labels = [ ("daemon", daemon) ] in
   {
     equal;
+    daemon;
     groups = Hashtbl.create 8;
     by_peer = Hashtbl.create 8;
     next_id = 0;
@@ -99,7 +103,15 @@ let create ?telemetry ~daemon ~equal () =
           "UPDATE bytes never re-encoded thanks to shared fan-out \
            ((recipients - 1) x frame length)"
         ~name:"bgp_fanout_bytes_saved_total" ~labels ();
+    recorder = None;
   }
+
+let set_recorder t r = t.recorder <- r
+
+let record_group_event t kind fields =
+  match t.recorder with
+  | None -> ()
+  | Some r -> Obs.Recorder.record r kind (("daemon", t.daemon) :: fields)
 
 let group_count t = Hashtbl.length t.groups
 let members g = List.map fst g.members
@@ -166,6 +178,8 @@ let join t ~peer ~key =
       match Hashtbl.find_opt t.groups key with
       | Some g ->
         Telemetry.Counter.inc t.c_merges;
+        record_group_event t Obs.Recorder.Group_merge
+          [ ("peer", string_of_int peer); ("key", key) ];
         g
       | None -> new_group t ~key
     in
@@ -339,7 +353,14 @@ let rekey t ~desired =
         invalid_arg "Update_group.rekey: pending events (flush first)";
       let items = rib_items g in
       List.iter (fun m -> detach_member t m) ms;
-      if Hashtbl.mem t.groups g.key then Telemetry.Counter.inc t.c_splits;
+      if Hashtbl.mem t.groups g.key then begin
+        Telemetry.Counter.inc t.c_splits;
+        record_group_event t Obs.Recorder.Group_split
+          [
+            ("key", g.key);
+            ("moved", String.concat "," (List.map string_of_int ms));
+          ]
+      end;
       let candidates =
         Hashtbl.fold
           (fun _ g2 acc -> if base_key g2.key = want then g2 :: acc else acc)
@@ -352,6 +373,11 @@ let rekey t ~desired =
           if g2.events <> [] then
             invalid_arg "Update_group.rekey: pending events (flush first)";
           Telemetry.Counter.inc t.c_merges;
+          record_group_event t Obs.Recorder.Group_merge
+            [
+              ("key", g2.key);
+              ("peers", String.concat "," (List.map string_of_int ms));
+            ];
           g2
         | None ->
           let key =
@@ -363,6 +389,12 @@ let rekey t ~desired =
           List.iter (fun (p, v) -> ignore (Ptrie.replace g2.rib p v)) items;
           g2
       in
+      record_group_event t Obs.Recorder.Group_rekey
+        [
+          ("from", g.key);
+          ("to", target.key);
+          ("peers", String.concat "," (List.map string_of_int ms));
+        ];
       List.iter
         (fun m ->
           target.members <- insert_member target.members m target.serial;

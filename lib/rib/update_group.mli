@@ -35,6 +35,11 @@ val create :
     advertisement (drives re-advertise suppression, exactly as the
     per-peer baseline's comparison does). *)
 
+val set_recorder : 'attrs t -> Obs.Recorder.t option -> unit
+(** Attach a flight recorder: every split, merge and re-key cluster
+    move is recorded as a structured event (fields [daemon], [key] /
+    [from]/[to], moved peer indices). *)
+
 val group_count : 'attrs t -> int
 val iter_groups : 'attrs t -> ('attrs group -> unit) -> unit
 (** Stable order (group creation order), so flush framing is

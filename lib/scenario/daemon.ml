@@ -109,3 +109,46 @@ let refresh_exports = function
 let group_count = function
   | Frr d -> Frrouting.Bgpd.group_count d
   | Bird d -> Bird.Bgpd.group_count d
+
+let vmm = function
+  | Frr d -> Frrouting.Bgpd.vmm d
+  | Bird d -> Bird.Bgpd.vmm d
+
+(** Provenance of the prefix's current best route (or the last
+    reject/withdraw record). *)
+let provenance t prefix =
+  match t with
+  | Frr d -> Frrouting.Bgpd.provenance d prefix
+  | Bird d -> Bird.Bgpd.provenance d prefix
+
+let provenance_candidates t prefix =
+  match t with
+  | Frr d -> Frrouting.Bgpd.provenance_candidates d prefix
+  | Bird d -> Bird.Bgpd.provenance_candidates d prefix
+
+let provenance_snapshot = function
+  | Frr d -> Frrouting.Bgpd.provenance_snapshot d
+  | Bird d -> Bird.Bgpd.provenance_snapshot d
+
+let set_recorder t r =
+  match t with
+  | Frr d -> Frrouting.Bgpd.set_recorder d r
+  | Bird d -> Bird.Bgpd.set_recorder d r
+
+let recorder = function
+  | Frr d -> Frrouting.Bgpd.recorder d
+  | Bird d -> Bird.Bgpd.recorder d
+
+let set_collector t c =
+  match t with
+  | Frr d -> Frrouting.Bgpd.set_collector d c
+  | Bird d -> Bird.Bgpd.set_collector d c
+
+let collector = function
+  | Frr d -> Frrouting.Bgpd.collector d
+  | Bird d -> Bird.Bgpd.collector d
+
+(** Update-group partition [(key, member indices)] in creation order. *)
+let group_details = function
+  | Frr d -> Frrouting.Bgpd.group_details d
+  | Bird d -> Bird.Bgpd.group_details d

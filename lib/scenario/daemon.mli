@@ -47,3 +47,24 @@ val refresh_exports : t -> unit
 
 val group_count : t -> int
 (** Active update groups (0 when update groups are off). *)
+
+val vmm : t -> Xbgp.Vmm.t option
+
+val provenance : t -> Bgp.Prefix.t -> Obs.Provenance.t option
+(** Provenance of the prefix's current best route, falling back to the
+    last reject/withdraw record once no candidate is left. *)
+
+val provenance_candidates : t -> Bgp.Prefix.t -> Obs.Provenance.t list
+val provenance_snapshot : t -> (Bgp.Prefix.t * Obs.Provenance.t) list
+
+val set_recorder : t -> Obs.Recorder.t option -> unit
+(** Attach a flight recorder to the daemon (routes), its VMM (faults,
+    fallbacks, map evictions), its session FSMs (transitions) and its
+    update-group engine (split/merge/rekey). *)
+
+val recorder : t -> Obs.Recorder.t option
+val set_collector : t -> Obs.Bmp.collector option -> unit
+val collector : t -> Obs.Bmp.collector option
+
+val group_details : t -> (string * int list) list
+(** Update-group partition [(key, member indices)] in creation order. *)

@@ -122,6 +122,14 @@ let build ?(host : Testbed.host = `Frr) ?(with_transit = false)
 
 let daemon t name = List.assoc name t.daemons
 
+(* One recorder for the whole fabric: events carry the daemon name, and
+   the shared simulated clock keeps the stream totally ordered. *)
+let attach_recorder t rc =
+  Obs.Recorder.set_clock rc (fun () -> Netsim.Sched.now t.sched);
+  List.iter (fun (_, d) -> Daemon.set_recorder d (Some rc)) t.daemons
+
+let attach_collector t name col = Daemon.set_collector (daemon t name) (Some col)
+
 (** Start every daemon; every router originates its prefix. *)
 let start t =
   List.iter (fun (_, d) -> Daemon.start d) t.daemons;

@@ -32,6 +32,16 @@ val build :
 val daemon : t -> string -> Daemon.t
 (** @raise Not_found for an unknown router name. *)
 
+val attach_recorder : t -> Obs.Recorder.t -> unit
+(** Attach one flight recorder to {e every} daemon in the fabric —
+    events carry the daemon name, and the shared simulated clock keeps
+    the stream totally ordered. *)
+
+val attach_collector : t -> string -> Obs.Bmp.collector -> unit
+(** Attach a BMP-style passive collector to the named router, mirroring
+    its received UPDATEs and session edges.
+    @raise Not_found for an unknown router name. *)
+
 val start : t -> unit
 (** Start every daemon; every router originates its prefix. *)
 

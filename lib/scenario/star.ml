@@ -184,6 +184,14 @@ let settle ?(slice_us = 200_000) ?(max_slices = 500) t =
   in
   go max_slices (total_activity t)
 
+(* Observability attachments. The recorder clock is the simulated
+   clock, so event timestamps are reproducible under Netsim.Sched. *)
+let attach_recorder t rc =
+  Obs.Recorder.set_clock rc (fun () -> Netsim.Sched.now t.sched);
+  Daemon.set_recorder t.dut (Some rc)
+
+let attach_collector t col = Daemon.set_collector t.dut (Some col)
+
 let originate t prefix attrs = Daemon.originate t.dut prefix attrs
 let withdraw_local t prefix = Daemon.withdraw_local t.dut prefix
 

@@ -68,6 +68,15 @@ val settle : ?slice_us:int -> ?max_slices:int -> t -> unit
     brings no new route activity at any sink — long past the +0 flush
     delay and the 100 us pipe latency, far under the keepalive period. *)
 
+val attach_recorder : t -> Obs.Recorder.t -> unit
+(** Attach a flight recorder to the DUT (daemon, VMM, session FSMs,
+    update-group engine), clocked by the simulated scheduler so event
+    timestamps are reproducible. *)
+
+val attach_collector : t -> Obs.Bmp.collector -> unit
+(** Attach a BMP-style passive collector mirroring the DUT's received
+    UPDATEs and session edges. *)
+
 val originate : t -> Bgp.Prefix.t -> Bgp.Attr.t list -> unit
 val withdraw_local : t -> Bgp.Prefix.t -> unit
 

@@ -49,13 +49,15 @@ type t = {
   mutable keepalive_gen : int;  (** cancels stale keepalive timers *)
   mutable msgs_rx : int;
   mutable msgs_tx : int;
+  mutable recorder : Obs.Recorder.t option;
+      (** flight recorder; every FSM edge lands in it when attached *)
 }
 
 let sec s = s * 1_000_000
 
 (* Every state change funnels through here so the registry sees each
-   (from, to) edge. Transitions are rare, so the counter lookup per edge
-   is fine. *)
+   (from, to) edge — and the flight recorder, when one is attached.
+   Transitions are rare, so the counter lookup per edge is fine. *)
 let transition t to_state =
   if t.state <> to_state then begin
     Telemetry.Counter.inc
@@ -68,8 +70,20 @@ let transition t to_state =
              ("local_as", string_of_int t.config.local_as);
            ]
          ());
+    (match t.recorder with
+    | None -> ()
+    | Some r ->
+      Obs.Recorder.record r Obs.Recorder.Session_transition
+        [
+          ("local_as", string_of_int t.config.local_as);
+          ("peer_as", string_of_int t.config.peer_as);
+          ("from", state_name t.state);
+          ("to", state_name to_state);
+        ]);
     t.state <- to_state
   end
+
+let set_recorder t r = t.recorder <- r
 
 let rec create ?telemetry sched port config callbacks =
   let tele =
@@ -91,6 +105,7 @@ let rec create ?telemetry sched port config callbacks =
       keepalive_gen = 0;
       msgs_rx = 0;
       msgs_tx = 0;
+      recorder = None;
     }
   in
   Netsim.Pipe.set_receiver port (fun chunk -> receive t chunk);

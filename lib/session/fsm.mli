@@ -35,6 +35,10 @@ val create :
     per state edge, labeled [from]/[to]/[local_as] (default: a fresh
     disabled registry — the counters still count, nobody reads them). *)
 
+val set_recorder : t -> Obs.Recorder.t option -> unit
+(** Attach a flight recorder: every FSM edge is recorded as a
+    [Session_transition] event (labeled local/peer AS, from, to). *)
+
 val start : t -> unit
 (** Actively open the session (send OPEN). *)
 

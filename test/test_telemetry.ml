@@ -434,6 +434,69 @@ let test_profile_table () =
         (contains ~needle table))
     [ "BGP_INBOUND_FILTER"; "igp_filter"; "interpreted"; "10" ]
 
+(* --- flight-recorder metrics --- *)
+
+(* there is no [gauge_value] accessor; read through the [gauges] dump *)
+let gauge_value t ~name ~labels =
+  let labels = List.sort compare labels in
+  match
+    List.find_opt
+      (fun (n, l, _) -> n = name && List.sort compare l = labels)
+      (T.gauges t)
+  with
+  | Some (_, _, v) -> v
+  | None -> 0
+
+(* Overflow drops must be COUNTED, not silent: the ring forgets events,
+   the registry remembers how many. *)
+let test_recorder_overflow_counted () =
+  let t = T.create ~enabled:true () in
+  let rc = Obs.Recorder.create ~capacity:256 ~telemetry:t ~name:"ringtest" () in
+  let payload = String.make 48 'x' in
+  let n = 64 in
+  for i = 1 to n do
+    Obs.Recorder.record rc Obs.Recorder.Note
+      [ ("i", string_of_int i); ("pad", payload) ]
+  done;
+  check_bool "ring overflowed" true (Obs.Recorder.dropped rc > 0);
+  check_int "drops land in xbgp_recorder_dropped_total"
+    (Obs.Recorder.dropped rc)
+    (T.counter_value t ~name:"xbgp_recorder_dropped_total"
+       ~labels:[ ("recorder", "ringtest") ]);
+  check_int "per-kind counter saw every record, dropped or not" n
+    (T.counter_value t ~name:"xbgp_recorder_events_total"
+       ~labels:[ ("recorder", "ringtest"); ("kind", "note") ]);
+  check_int "held + dropped = recorded" n
+    (Obs.Recorder.length rc + Obs.Recorder.dropped rc);
+  (* the survivors are the NEWEST events, contiguous up to next_seq *)
+  (match Obs.Recorder.events rc with
+  | [] -> Alcotest.fail "ring empty after recording"
+  | first :: _ as evs ->
+    let last = List.nth evs (List.length evs - 1) in
+    check_int "newest survives" (n - 1) last.Obs.Recorder.seq;
+    check_int "survivors are contiguous"
+      (List.length evs)
+      (last.Obs.Recorder.seq - first.Obs.Recorder.seq + 1))
+
+let test_recorder_occupancy_gauge () =
+  let t = T.create ~enabled:true () in
+  let rc = Obs.Recorder.create ~capacity:512 ~telemetry:t ~name:"occ" () in
+  check_int "empty ring, zero gauge" 0
+    (gauge_value t ~name:"xbgp_recorder_bytes" ~labels:[ ("recorder", "occ") ]);
+  Obs.Recorder.record rc Obs.Recorder.Note [ ("k", "v") ];
+  let occ =
+    gauge_value t ~name:"xbgp_recorder_bytes" ~labels:[ ("recorder", "occ") ]
+  in
+  check_bool "occupied after a record" true (occ > 0);
+  check_bool "occupancy bounded by capacity" true
+    (occ <= Obs.Recorder.capacity rc)
+
+let test_recorder_json_shape () =
+  let rc = Obs.Recorder.create ~capacity:1024 () in
+  Obs.Recorder.record rc Obs.Recorder.Note
+    [ ("msg", "quote\" backslash\\ newline\n ctrl\x01") ];
+  check_bool "recorder JSON parses" true (json_valid (Obs.Recorder.to_json rc))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -469,5 +532,13 @@ let () =
             test_chrome_trace_export;
           Alcotest.test_case "empty registry" `Quick test_prometheus_of_empty;
           Alcotest.test_case "profile table" `Quick test_profile_table;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "overflow drops are counted" `Quick
+            test_recorder_overflow_counted;
+          Alcotest.test_case "occupancy gauge" `Quick
+            test_recorder_occupancy_gauge;
+          Alcotest.test_case "json shape" `Quick test_recorder_json_shape;
         ] );
     ]
