@@ -643,6 +643,38 @@ let set_caches on =
   Frrouting.Attr_intern.set_conversion_cache on;
   Bird.Eattr.set_conversion_cache on
 
+(* --- paired-ratio statistics ---
+
+   BENCH_pr4 reported each leg's best-of-rounds independently; under
+   container scheduling noise the independent minima drift apart, which
+   is how physically-impossible figures like a negative telemetry
+   overhead got published. Every comparison below is paired instead:
+   all legs run once per round (warmup pass discarded), the ratio is
+   computed within a round where drift is common mode, and the summary
+   is the median ratio with the min/max spread alongside, so a noisy
+   grid is visible in the artifact instead of laundered by a min. *)
+
+let median a =
+  let s = Array.copy a in
+  Array.sort compare s;
+  let n = Array.length s in
+  if n = 0 then nan
+  else if n land 1 = 1 then s.(n / 2)
+  else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.
+
+(* Per-round ratios num_i/den_i -> (median, min, max). *)
+let ratio_stats num den =
+  let n = min (Array.length num) (Array.length den) in
+  let r = Array.init n (fun i -> num.(i) /. den.(i)) in
+  ( median r,
+    Array.fold_left min infinity r,
+    Array.fold_left max neg_infinity r )
+
+let record_ratio key (med, lo, hi) =
+  record (key ^ ".median") med;
+  record (key ^ ".min") lo;
+  record (key ^ ".max") hi
+
 (* The extensions-attached dispatch benchmark, isolated from the rest of
    the pipeline. One "update" is what a daemon must dispatch for one
    received UPDATE message; the baseline leg reconstructs the pre-PR
@@ -703,11 +735,11 @@ let dispatch_micro () =
   let default () = Xbgp.Api.filter_accept in
   List.iter
     (fun (hname, get_attr) ->
-      (* block-compiled engine: the deployment-speed configuration, and
-         the one where dispatch-path overhead (not VM execution time)
-         dominates the per-call cost *)
-      let vmm_of manifest =
-        Xprogs.Registry.vmm_of_manifest ~engine:Ebpf.Vm.Block
+      (* one VMM per engine: the engine is fixed at VM creation, and the
+         grid below ablates all four (the whole-chain fused engine is
+         the deployment-speed configuration) *)
+      let vmm_of engine manifest =
+        Xprogs.Registry.vmm_of_manifest ~engine
           ~telemetry:(Telemetry.create ~enabled:false ())
           ~host:"bench" manifest
       in
@@ -734,99 +766,140 @@ let dispatch_micro () =
         in
         ignore (Xbgp.Vmm.run vmm point ~ops ~args ~default)
       in
-      let measure ~updates ~cache body =
-        let leg () =
-          set_caches cache;
-          Gc.compact ();
-          let t0 = Unix.gettimeofday () in
-          body ();
-          (Unix.gettimeofday () -. t0) /. float_of_int updates
-        in
-        ignore (leg ());
-        let best = ref infinity in
-        for _ = 1 to rounds do
-          best := min !best (leg ())
+      (* one timed pass of [body], in per-update seconds *)
+      let time ~updates ~cache body =
+        set_caches cache;
+        Gc.compact ();
+        let t0 = Unix.gettimeofday () in
+        body ();
+        (Unix.gettimeofday () -. t0) /. float_of_int updates
+      in
+      (* paired rounds: one warmup pass of every leg (discarded), then
+         every leg once per round so ratios are computed under
+         common-mode drift *)
+      let paired ~updates legs =
+        Array.iter
+          (fun (_, cache, body) -> ignore (time ~updates ~cache body))
+          legs;
+        let times = Array.map (fun _ -> Array.make rounds 0.) legs in
+        for r = 0 to rounds - 1 do
+          Array.iteri
+            (fun i (_, cache, body) ->
+              times.(i).(r) <- time ~updates ~cache body)
+            legs
         done;
         set_caches true;
-        !best
+        Array.to_list
+          (Array.mapi (fun i (name, _, _) -> (name, times.(i))) legs)
       in
-      let report group baseline fast =
+      (* A grid = the pre-PR baseline leg plus the hoisted fast loop on
+         every engine; "fast" is the whole-chain fused engine, the
+         deployment configuration. *)
+      let grid group ~updates ~legacy ~fast_of =
+        let legs =
+          Array.of_list
+            (("baseline", false, legacy)
+            :: List.map
+                 (fun e -> (Ebpf.Vm.engine_name e, true, fast_of e))
+                 Ebpf.Vm.all_engines)
+        in
+        let named = paired ~updates legs in
+        let t name = List.assoc name named in
+        let base = t "baseline" and fast = t "chain" in
+        let ((sp, sp_lo, sp_hi) as speedup) = ratio_stats base fast in
         let key fmt =
           Printf.sprintf ("dispatch.micro.%s.%s." ^^ fmt) hname group
         in
-        let speedup = baseline /. fast in
         Printf.printf
           "micro  %-6s %-8s baseline=%.0f up/s  fast=%.0f up/s  \
-           speedup=%.2fx\n\
+           speedup=%.2fx [%.2f..%.2f]\n\
            %!"
-          hname group (1.0 /. baseline) (1.0 /. fast) speedup;
-        record (key "baseline.updates_per_s") (1.0 /. baseline);
-        record (key "fast.updates_per_s") (1.0 /. fast);
-        record (key "speedup") speedup;
-        speedup
+          hname group
+          (1.0 /. median base)
+          (1.0 /. median fast)
+          sp sp_lo sp_hi;
+        record (key "baseline.updates_per_s") (1.0 /. median base);
+        record (key "fast.updates_per_s") (1.0 /. median fast);
+        record (key "speedup") sp;
+        record_ratio (key "speedup_rounds") speedup;
+        List.iter
+          (fun e ->
+            let en = Ebpf.Vm.engine_name e in
+            record (key "engine.%s.updates_per_s" en) (1.0 /. median (t en)))
+          Ebpf.Vm.all_engines;
+        (* the tentpole's own ablation: what fusing the chain buys over
+           the per-block engine it is built from *)
+        record_ratio (key "chain_vs_block") (ratio_stats (t "block") (t "chain"));
+        sp
+      in
+      let hoisted vmm body_of =
+        let ops = make_ops () in
+        let pbuf = Bytes.create 5 in
+        Bytes.set_uint8 pbuf 4 24;
+        let src = Xbgp.Host_intf.source_to_bytes source in
+        let args = Xbgp.Host_intf.Args.create () in
+        Xbgp.Host_intf.Args.set args Xbgp.Api.arg_prefix pbuf;
+        Xbgp.Host_intf.Args.set args Xbgp.Api.arg_source src;
+        body_of ~vmm ~ops ~args ~pbuf
       in
       (* --- ov: prefix-dependent, single-prefix updates --- *)
       let iters = 50_000 in
-      let ov_vmm = vmm_of Xprogs.Origin_validation.manifest in
-      let ov_baseline =
-        measure ~updates:iters ~cache:false (fun () ->
-            for i = 1 to iters do
-              legacy_dispatch ov_vmm i
-            done)
+      let ov_vmms =
+        List.map
+          (fun e -> (e, vmm_of e Xprogs.Origin_validation.manifest))
+          Ebpf.Vm.all_engines
       in
-      let ov_fast =
-        let ops = make_ops () in
-        let pbuf = Bytes.create 5 in
-        Bytes.set_uint8 pbuf 4 24;
-        let src = Xbgp.Host_intf.source_to_bytes source in
-        let args = Xbgp.Host_intf.Args.create () in
-        Xbgp.Host_intf.Args.set args Xbgp.Api.arg_prefix pbuf;
-        Xbgp.Host_intf.Args.set args Xbgp.Api.arg_source src;
-        measure ~updates:iters ~cache:true (fun () ->
+      let ov_legacy_vmm = List.assoc Ebpf.Vm.Block ov_vmms in
+      let ov_speedup =
+        grid "ov" ~updates:iters
+          ~legacy:(fun () ->
             for i = 1 to iters do
-              Bytes.set_int32_be pbuf 0 (Int32.of_int i);
-              ignore (Xbgp.Vmm.run ov_vmm point ~ops ~args ~default)
+              legacy_dispatch ov_legacy_vmm i
             done)
+          ~fast_of:(fun e ->
+            hoisted (List.assoc e ov_vmms) (fun ~vmm ~ops ~args ~pbuf () ->
+                for i = 1 to iters do
+                  Bytes.set_int32_be pbuf 0 (Int32.of_int i);
+                  ignore (Xbgp.Vmm.run vmm point ~ops ~args ~default)
+                done))
       in
-      ignore (report "ov" ov_baseline ov_fast);
+      ignore ov_speedup;
       (* --- rr: batch-invariant, [batch_k]-prefix updates --- *)
       let updates = 8_000 in
-      let rr_vmm = vmm_of Xprogs.Route_reflector.manifest in
-      let rr_baseline =
-        measure ~updates ~cache:false (fun () ->
+      let rr_vmms =
+        List.map
+          (fun e -> (e, vmm_of e Xprogs.Route_reflector.manifest))
+          Ebpf.Vm.all_engines
+      in
+      let rr_legacy_vmm = List.assoc Ebpf.Vm.Block rr_vmms in
+      let rr_speedup =
+        grid "rr_batch" ~updates
+          ~legacy:(fun () ->
             for u = 1 to updates do
               for k = 1 to batch_k do
-                legacy_dispatch rr_vmm ((u * batch_k) + k)
+                legacy_dispatch rr_legacy_vmm ((u * batch_k) + k)
               done
             done)
+          ~fast_of:(fun e ->
+            hoisted (List.assoc e rr_vmms) (fun ~vmm ~ops ~args ~pbuf () ->
+                for u = 1 to updates do
+                  (* the daemon's guard: one dispatch covers the batch
+                     only when the chain is provably prefix-independent *)
+                  if
+                    Xbgp.Vmm.batch_invariant vmm point
+                      ~variant_args:[ Xbgp.Api.arg_prefix ]
+                  then begin
+                    Bytes.set_int32_be pbuf 0 (Int32.of_int (u * batch_k));
+                    ignore (Xbgp.Vmm.run vmm point ~ops ~args ~default)
+                  end
+                  else
+                    for k = 1 to batch_k do
+                      Bytes.set_int32_be pbuf 0
+                        (Int32.of_int ((u * batch_k) + k));
+                      ignore (Xbgp.Vmm.run vmm point ~ops ~args ~default)
+                    done
+                done))
       in
-      let rr_fast =
-        let ops = make_ops () in
-        let pbuf = Bytes.create 5 in
-        Bytes.set_uint8 pbuf 4 24;
-        let src = Xbgp.Host_intf.source_to_bytes source in
-        let args = Xbgp.Host_intf.Args.create () in
-        Xbgp.Host_intf.Args.set args Xbgp.Api.arg_prefix pbuf;
-        Xbgp.Host_intf.Args.set args Xbgp.Api.arg_source src;
-        measure ~updates ~cache:true (fun () ->
-            for u = 1 to updates do
-              (* the daemon's guard: one dispatch covers the batch only
-                 when the chain is provably prefix-independent *)
-              if
-                Xbgp.Vmm.batch_invariant rr_vmm point
-                  ~variant_args:[ Xbgp.Api.arg_prefix ]
-              then begin
-                Bytes.set_int32_be pbuf 0 (Int32.of_int (u * batch_k));
-                ignore (Xbgp.Vmm.run rr_vmm point ~ops ~args ~default)
-              end
-              else
-                for k = 1 to batch_k do
-                  Bytes.set_int32_be pbuf 0 (Int32.of_int ((u * batch_k) + k));
-                  ignore (Xbgp.Vmm.run rr_vmm point ~ops ~args ~default)
-                done
-            done)
-      in
-      let rr_speedup = report "rr_batch" rr_baseline rr_fast in
       record
         (Printf.sprintf "dispatch.micro.%s.rr_batch.batch_k" hname)
         (float_of_int batch_k);
@@ -887,34 +960,69 @@ let dispatch_pipeline () =
   let scenarios host =
     [
       ( "native",
-        fun ~batch ~tele () ->
+        fun ~engine:_ ~batch ~tele () ->
           Scenario.Testbed.mode ~host ~ibgp:true ~native_rr:true
             ~batch_updates:batch ?telemetry:(telemetry_of tele) () );
       ( "rr-ext",
-        fun ~batch ~tele () ->
+        fun ~engine ~batch ~tele () ->
           Scenario.Testbed.mode ~host ~ibgp:true
-            ~manifest:Xprogs.Route_reflector.manifest ~batch_updates:batch
-            ?telemetry:(telemetry_of tele) () );
+            ~manifest:Xprogs.Route_reflector.manifest ~engine
+            ~batch_updates:batch ?telemetry:(telemetry_of tele) () );
       (* the conversion-heavy extension: OV pulls the AS_PATH and
          COMMUNITIES TLVs for every prefix *)
       ( "ov-ext",
-        fun ~batch ~tele () ->
+        fun ~engine ~batch ~tele () ->
           Scenario.Testbed.mode ~host ~ibgp:false
-            ~manifest:Xprogs.Origin_validation.manifest
+            ~manifest:Xprogs.Origin_validation.manifest ~engine
             ~xtras:[ ("roa_table", Xprogs.Util.encode_roa_table roas) ]
             ~batch_updates:batch
             ?telemetry:(telemetry_of tele) () );
     ]
+  in
+  (* Shared paired-rounds driver: warmup pass of every leg (discarded),
+     then every leg once per round, rotating the order each round (a
+     fixed order hands the early legs a systematically fresher heap —
+     a reproducible ~10-20% bias against whichever legs ran last).
+     Returns per-leg per-round times for paired-ratio statistics. *)
+  let paired_legs legs =
+    let times = Hashtbl.create 16 in
+    let run_leg round (lname, cache, mode_of) =
+      set_caches cache;
+      let t = timed (mode_of ()) in
+      match round with
+      | None -> ()
+      | Some r ->
+        let a =
+          match Hashtbl.find_opt times lname with
+          | Some a -> a
+          | None ->
+            let a = Array.make rounds nan in
+            Hashtbl.add times lname a;
+            a
+        in
+        a.(r) <- t
+    in
+    List.iter (run_leg None) legs;
+    let nlegs = List.length legs in
+    for round = 0 to rounds - 1 do
+      List.iteri
+        (fun i _ -> run_leg (Some round) (List.nth legs ((i + round) mod nlegs)))
+        legs
+    done;
+    set_caches true;
+    fun lname -> Hashtbl.find times lname
   in
   List.iter
     (fun (host, hname) ->
       List.iter
         (fun (sname, mk) ->
           let key fmt = Printf.sprintf ("dispatch.%s.%s." ^^ fmt) hname sname in
-          (* leg list: the legacy baseline, then the cache x telemetry
-             grid with batching on (cache_on/tele_off is the fast leg) *)
+          (* leg list: the legacy baseline, the cache x telemetry grid
+             with batching on and the fused chain engine (cache_on.
+             tele_off is the fast leg), and — for extension scenarios —
+             the remaining engines as an ablation *)
           let legs =
-            ("baseline", false, mk ~batch:false ~tele:`Off)
+            (("baseline", false, mk ~engine:Ebpf.Vm.Interpreted ~batch:false ~tele:`Off)
             :: List.concat_map
                  (fun cache ->
                    let cname = if cache then "cache_on" else "cache_off" in
@@ -922,42 +1030,35 @@ let dispatch_pipeline () =
                      (fun tele ->
                        ( cname ^ "." ^ tele_name tele,
                          cache,
-                         mk ~batch:true ~tele ))
+                         mk ~engine:Ebpf.Vm.Chain ~batch:true ~tele ))
                      [ `Off; `Full; `Sampled ])
-                 [ false; true ]
+                 [ false; true ])
+            @
+            if sname = "native" then []
+            else
+              List.map
+                (fun e ->
+                  ( "engine_" ^ Ebpf.Vm.engine_name e,
+                    true,
+                    mk ~engine:e ~batch:true ~tele:`Off ))
+                [ Ebpf.Vm.Interpreted; Ebpf.Vm.Compiled; Ebpf.Vm.Block ]
           in
-          let best = Hashtbl.create 8 in
-          let run_leg (lname, cache, mode_of) =
-            set_caches cache;
-            let t = timed (mode_of ()) in
-            let prev =
-              Option.value ~default:infinity (Hashtbl.find_opt best lname)
-            in
-            Hashtbl.replace best lname (min prev t)
-          in
-          List.iter (fun leg -> ignore (run_leg leg)) legs;
-          Hashtbl.reset best;
-          (* rotate the leg order every round: a fixed order hands the
-             early legs a systematically fresher heap, which showed up
-             as a reproducible ~10-20% bias against whichever legs ran
-             last *)
-          let nlegs = List.length legs in
-          for round = 0 to rounds - 1 do
-            List.iteri
-              (fun i _ ->
-                run_leg (List.nth legs ((i + round) mod nlegs)))
-              legs
-          done;
-          set_caches true;
-          let ups lname = float_of_int n /. Hashtbl.find best lname in
+          let t = paired_legs legs in
+          let ups lname = float_of_int n /. median (t lname) in
           let baseline = ups "baseline" in
           let fast = ups "cache_on.tele_off" in
+          let ((sp, sp_lo, sp_hi) as speedup) =
+            ratio_stats (t "baseline") (t "cache_on.tele_off")
+          in
           Printf.printf
-            "%-6s %-8s baseline=%.0f up/s  fast=%.0f up/s  speedup=%.2fx\n%!"
-            hname sname baseline fast (fast /. baseline);
+            "%-6s %-8s baseline=%.0f up/s  fast=%.0f up/s  speedup=%.2fx \
+             [%.2f..%.2f]\n\
+             %!"
+            hname sname baseline fast sp sp_lo sp_hi;
           record (key "baseline.updates_per_s") baseline;
           record (key "fast.updates_per_s") fast;
-          record (key "speedup") (fast /. baseline);
+          record (key "speedup") sp;
+          record_ratio (key "speedup_rounds") speedup;
           List.iter
             (fun (lname, _, _) ->
               if lname <> "baseline" then begin
@@ -966,18 +1067,71 @@ let dispatch_pipeline () =
                 record (key "%s.updates_per_s" lname) (ups lname)
               end)
             legs;
-          (* per-dispatch telemetry overhead with span sampling: the
-             acceptance bound is < 25% versus the same fast
-             configuration with telemetry off *)
-          let pct slow = (fast -. slow) /. fast *. 100. in
-          let full = ups ("cache_on." ^ tele_name `Full) in
-          let sampled = ups ("cache_on." ^ tele_name `Sampled) in
+          (* per-dispatch telemetry overhead with span sampling, paired
+             per round against the same fast configuration with
+             telemetry off: the acceptance bound is < 25% *)
+          let overhead slow =
+            let m, lo, hi =
+              ratio_stats (t ("cache_on." ^ tele_name slow)) (t "cache_on.tele_off")
+            in
+            ((m -. 1.) *. 100., (lo -. 1.) *. 100., (hi -. 1.) *. 100.)
+          in
+          let ((full, _, _) as fullr) = overhead `Full in
+          let ((sampled, _, _) as sampledr) = overhead `Sampled in
           Printf.printf
             "%-6s %-8s telemetry overhead: full=%.1f%%  sampled=%.1f%%\n%!"
-            hname sname (pct full) (pct sampled);
-          record (key "tele_full_overhead_pct") (pct full);
-          record (key "tele_sampled_overhead_pct") (pct sampled))
-        (scenarios host))
+            hname sname full sampled;
+          record (key "tele_full_overhead_pct") full;
+          record_ratio (key "tele_full_overhead_pct_rounds") fullr;
+          record (key "tele_sampled_overhead_pct") sampled;
+          record_ratio (key "tele_sampled_overhead_pct_rounds") sampledr)
+        (scenarios host);
+      (* --- extension-attached vs native, the tentpole's acceptance
+         figure. Each extension is paired with its *native
+         re-implementation of the same function* (native RR for rr,
+         native trie/hash OV for ov) in the same rounds; the ratio is
+         ext_time / native_time per round (1.0 = native parity, the
+         regression guard trips above 1.3). Caches on, batching on,
+         telemetry off, chain engine — the deployment configuration. *)
+      let ratio_pool =
+        [
+          ( "rr_native",
+            true,
+            fun () ->
+              Scenario.Testbed.mode ~host ~ibgp:true ~native_rr:true () );
+          ( "rr_chain",
+            true,
+            fun () ->
+              Scenario.Testbed.mode ~host ~ibgp:true
+                ~manifest:Xprogs.Route_reflector.manifest
+                ~engine:Ebpf.Vm.Chain () );
+          ( "ov_native",
+            true,
+            fun () ->
+              Scenario.Testbed.mode ~host ~ibgp:false ~native_ov_roas:roas () );
+          ( "ov_chain",
+            true,
+            fun () ->
+              Scenario.Testbed.mode ~host ~ibgp:false
+                ~manifest:Xprogs.Origin_validation.manifest
+                ~engine:Ebpf.Vm.Chain
+                ~xtras:[ ("roa_table", Xprogs.Util.encode_roa_table roas) ]
+                () );
+        ]
+      in
+      let t = paired_legs ratio_pool in
+      List.iter
+        (fun grid ->
+          let ((m, lo, hi) as r) =
+            ratio_stats (t (grid ^ "_chain")) (t (grid ^ "_native"))
+          in
+          Printf.printf
+            "%-6s %-8s chain/native ratio: %.3f [%.3f..%.3f]\n%!" hname grid m
+            lo hi;
+          record_ratio
+            (Printf.sprintf "dispatch.%s.%s.chain_native_ratio" hname grid)
+            r)
+        [ "rr"; "ov" ])
     hosts
 
 let dispatch_bench () =
@@ -1374,7 +1528,7 @@ let () =
     Printf.eprintf
       "unknown bench %S \
        (fig1|fig4|fig5|ablation|churn|telemetry|dispatch|fanout|recorder|chaos|micro|all; \
-       add --json to write BENCH_pr3.json, BENCH_pr4.json for dispatch, \
+       add --json to write BENCH_pr3.json, BENCH_pr9.json for dispatch, \
        BENCH_pr5.json for fanout, BENCH_pr6.json for chaos, or \
        BENCH_pr8.json for recorder)\n"
       other;
@@ -1382,7 +1536,7 @@ let () =
   if json then
     write_json
       (match which with
-      | "dispatch" -> "BENCH_pr4.json"
+      | "dispatch" -> "BENCH_pr9.json"
       | "fanout" -> "BENCH_pr5.json"
       | "chaos" -> "BENCH_pr6.json"
       | "recorder" -> "BENCH_pr8.json"

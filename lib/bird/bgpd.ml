@@ -158,6 +158,9 @@ type t = {
       (** both outbound points pass {!Xbgp.Vmm.group_invariant}; when
           false every peer gets a singleton "solo" group *)
   mutable chain_sig : string;  (** outbound chain signatures *)
+  mutable gate_gen : int;
+      (** {!Xbgp.Vmm.generation} at the last conversion-cache gate sync;
+          -1 forces the first dispatch to sync *)
   prov : (Bgp.Prefix.t * int, Obs.Provenance.t) Hashtbl.t;
       (** import half of the provenance record, keyed by (prefix, source
           peer index; -1 = local). Decision disposal is computed on
@@ -253,7 +256,24 @@ let release_args t a =
   in
   go 0
 
+(* Keep the global conversion-cache gate in sync with whether any
+   extension is attached (one integer compare per dispatch) — the
+   BIRD-side mirror of the FRR daemon's gate sync: the pure-native
+   baseline must not pay for memos nothing can read, and instances
+   sharing the global cache re-assert their own state before
+   dispatching (last writer wins, single-threaded runtime). *)
+let refresh_cache_gate t =
+  let gen = match t.vmm with Some v -> Xbgp.Vmm.generation v | None -> 0 in
+  if gen <> t.gate_gen then begin
+    Eattr.set_cache_gate
+      (match t.vmm with
+      | Some v -> Xbgp.Vmm.has_any_attachment v
+      | None -> false);
+    t.gate_gen <- gen
+  end
+
 let vmm_run t point ~ops ~args ~default =
+  refresh_cache_gate t;
   match t.vmm with
   | None -> default ()
   | Some vmm -> Xbgp.Vmm.run vmm point ~ops ~args ~default
@@ -1232,6 +1252,7 @@ let create ?telemetry ?vmm ~sched (config : config)
       group_gen = -1;
       groupable = false;
       chain_sig = "";
+      gate_gen = -1;
       prov = Hashtbl.create 64;
       last_prov = Hashtbl.create 16;
       recorder = None;

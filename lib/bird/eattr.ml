@@ -130,9 +130,16 @@ let remove_code code set =
 (* --- the conversion cache toggle (mirrors Attr_intern's) --- *)
 
 let cache_enabled = ref true
+
+(* Driven from [Vmm.has_any_attachment] by the daemon, mirroring
+   [Attr_intern.set_cache_gate]: the pure-native baseline must not pay
+   for memos no extension can read. Per-set memos are kept across gate
+   flips — they can never be stale. *)
+let cache_gate = ref true
 let cache_hits = ref 0
 let cache_misses = ref 0
 let set_conversion_cache b = cache_enabled := b
+let set_cache_gate b = cache_gate := b
 let conversion_cache_enabled () = !cache_enabled
 let conversion_cache_stats () = (!cache_hits, !cache_misses)
 
@@ -197,7 +204,7 @@ let to_attrs_fresh set : Bgp.Attr.t list =
     set.eattrs
 
 let to_attrs set =
-  if not !cache_enabled then to_attrs_fresh set
+  if (not !cache_enabled) || not !cache_gate then to_attrs_fresh set
   else
     match set.memo_attrs with
     | Some l ->
@@ -339,7 +346,7 @@ let encode_known set =
     List.iter (Bgp.Attr.encode_into_buffer buf) (to_attrs set);
     Buffer.to_bytes buf
   in
-  if not !cache_enabled then fresh ()
+  if (not !cache_enabled) || not !cache_gate then fresh ()
   else
     match set.memo_encoded with
     | Some b ->

@@ -59,6 +59,13 @@ val set_conversion_cache : bool -> unit
 (** Enable/disable memo use (enabled by default). Existing memos are
     kept but ignored while disabled — they can never be stale. *)
 
+val set_cache_gate : bool -> unit
+(** The attachment gate (default on), mirroring
+    [Attr_intern.set_cache_gate]: lowered by the daemon while its VMM
+    has no attachment anywhere, so the native baseline skips memo
+    bookkeeping. Memos are kept across gate flips — they can never be
+    stale. *)
+
 val conversion_cache_enabled : unit -> bool
 
 val conversion_cache_stats : unit -> int * int

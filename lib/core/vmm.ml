@@ -102,6 +102,10 @@ type fault = {
   fault_engine : Ebpf.Vm.engine;
   fault_pc : int option;
   fault_insn : string option;
+  fault_chain_slot : int option;
+      (** the faulting slot in the fused chain's address space
+          ({!Ebpf.Chain.layout}); [Some] only for faults caught inside a
+          fused dispatch *)
   fault_msg : string;
   fault_init : bool;
 }
@@ -119,15 +123,38 @@ let render_fault f =
       f.fault_msg
 
 let fault_detail f =
+  let chain =
+    match f.fault_chain_slot with
+    | Some off -> Printf.sprintf "; chain slot %d" off
+    | None -> ""
+  in
   let where =
     match (f.fault_pc, f.fault_insn) with
-    | Some pc, Some insn -> Printf.sprintf " [%s, slot %d: %s]"
-        (Ebpf.Vm.engine_name f.fault_engine) pc insn
+    | Some pc, Some insn -> Printf.sprintf " [%s, slot %d: %s%s]"
+        (Ebpf.Vm.engine_name f.fault_engine) pc insn chain
     | Some pc, None ->
-      Printf.sprintf " [%s, slot %d]" (Ebpf.Vm.engine_name f.fault_engine) pc
+      Printf.sprintf " [%s, slot %d%s]"
+        (Ebpf.Vm.engine_name f.fault_engine) pc chain
     | None, _ -> Printf.sprintf " [%s]" (Ebpf.Vm.engine_name f.fault_engine)
   in
   render_fault f ^ where
+
+(* Per-dispatch context of a fused chain: [run] arms the host's ops,
+   args and native default here (three stores), the fused sites and the
+   fallback read them. One preallocated cell per compiled unit. *)
+type fused_ctx = {
+  mutable c_ops : Host_intf.ops;
+  mutable c_args : Host_intf.Args.t;
+  mutable c_default : unit -> int64;
+}
+
+(* A whole-chain compiled dispatch unit — the [Chain] engine's upper
+   half (its lower half, inside [Ebpf.Vm], executes as [Block]). *)
+type fused = {
+  f_enter : unit -> int64;
+  f_ctx : fused_ctx;
+  f_layout : Ebpf.Chain.layout;
+}
 
 type t = {
   host : string;
@@ -150,6 +177,17 @@ type t = {
   mutable recorder : Obs.Recorder.t option;
       (** flight recorder for faults, native fallbacks and map
           evictions; [None] (the default) costs one load per event *)
+  fused : fused option array;
+      (** indexed by [Api.point_index]: the point's whole-chain compiled
+          dispatch unit, valid while [fused_gen] matches [generation].
+          [None] under a current generation means the chain is not
+          fusable (empty, or not all-[Chain]) and [run] keeps the
+          generic loop *)
+  fused_gen : int array;
+      (** [generation] when the point's fused slot was last (re)built;
+          attach/detach/[replace_program] all bump [generation], so the
+          next dispatch recompiles — the same invalidation edge that
+          update-group keys revalidate on *)
   (* Last-dispatch trace: which bytecodes of the chain ran and what
      each returned, captured by [run] into preallocated arrays so the
      hot path pays two int stores per bytecode and nothing allocates.
@@ -194,6 +232,8 @@ let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
     last_fault_record = None;
     generation = 0;
     recorder = None;
+    fused = Array.make Api.num_points None;
+    fused_gen = Array.make Api.num_points (-1);
     trace_point = -1;
     trace_gen = -1;
     trace_len = 0;
@@ -339,6 +379,15 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
          ~writable:true ext.scratch);
   (* the program's manifest-declared engine wins over the VMM default *)
   let engine = Option.value ext.prog.engine ~default:t.engine in
+  (* Map-helper slots bind their live [Ebpf.Map] instances here, once:
+     runtimes are only ever built for a program whose maps are already
+     up ([attach] and [replace_program] call [ensure_maps_live] first),
+     and a runtime dies with its attachment while the maps outlive it —
+     so the per-call [ext.maps] match of earlier revisions bought
+     nothing. A program with no maps binds the empty array. *)
+  let live_maps =
+    match ext.maps with Some live -> live | None -> [||]
+  in
   let rec rt =
     lazy
       {
@@ -368,15 +417,9 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
   and read_mem vm addr len =
     Ebpf.Memory.read_bytes (Ebpf.Vm.memory vm) addr len
   and live_map idx =
-    match ext.maps with
-    | None ->
-      (* unreachable from an attached bytecode (attach brings maps up),
-         kept as a hard fault rather than a silent empty map *)
-      raise (Ebpf.Vm.Error (Printf.sprintf "map %d: maps not live" idx))
-    | Some live ->
-      if idx < 0 || idx >= Array.length live then
-        raise (Ebpf.Vm.Error (Printf.sprintf "no map %d" idx))
-      else live.(idx)
+    if idx < 0 || idx >= Array.length live_maps then
+      raise (Ebpf.Vm.Error (Printf.sprintf "no map %d" idx))
+    else live_maps.(idx)
   and helpers =
     [
       (Api.h_next, fun _ _ -> raise Next);
@@ -580,7 +623,7 @@ let exec_one t att ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t) :
 (* Capture the structured fault record and bump the labeled fault
    counter. The disassembly is best effort: exact for the interpreter,
    the faulting block's leader for [Block], absent for [Compiled]. *)
-let record_fault t att point ~init msg =
+let record_fault ?chain_slot t att point ~init msg =
   let vm = att.runtime.vm in
   let pc = Ebpf.Vm.fault_pc vm in
   let insn =
@@ -596,6 +639,7 @@ let record_fault t att point ~init msg =
       fault_engine = Ebpf.Vm.engine vm;
       fault_pc = pc;
       fault_insn = insn;
+      fault_chain_slot = chain_slot;
       fault_msg = msg;
       fault_init = init;
     }
@@ -650,6 +694,182 @@ let make_probe t (ext : ext) ~bytecode ~point =
         ~help:"ephemeral-heap bytes used by the last run (max = high water)"
         ~name:"xbgp_heap_bytes" ~labels ();
   }
+
+(* --- whole-chain compilation: the [Chain] engine's upper half ---
+
+   [Block] removed per-instruction dispatch *inside* one bytecode; the
+   E8/E9 ablation showed the residual native-vs-extension gap lives in
+   the crossing *around* it — [exec_one]'s engine dispatch, outcome
+   boxing, and the loop that walks the attachment chain. When every
+   attachment at a point resolves to the [Chain] engine, the VMM
+   compiles the point's whole chain into one closure ([Ebpf.Chain.fuse])
+   on the first dispatch after the chains change:
+
+   - each site specializes its prologue/epilogue — budget refill, heap
+     reset, probe handles, trace stores — around [Vm.prepared_entry],
+     which resolves the VM's engine dispatch and entry checks once;
+   - the attach-time dispatch summary prunes argument plumbing for
+     bytecodes that provably never read an argument ([get_attr] TLVs
+     already cross at most once per dispatch: conversion caching keys on
+     the route, so a chain of N programs re-reading the same attribute
+     marshals it once, not N times);
+   - map-helper slots were bound to their live [Ebpf.Map] instances when
+     the runtime was built (see [make_runtime]);
+   - a value exits the closure directly, a deferral falls through to the
+     next site's closure with no loop re-entry, a fault routes to the
+     shared fallback.
+
+   Per-site budget refill is kept deliberately: hoisting a single budget
+   across the chain would change which programs exhaust it — the fused
+   unit must stay bit-exact with the generic loop (the N-way fuzz oracle
+   checks value, registers, helper trace, map fingerprints and
+   provenance across engines on every campaign).
+
+   Anything unfusable — an empty chain, a mixed-engine chain — keeps the
+   generic loop below, which is exact for [Chain] attachments too: a
+   [Chain] VM executes as [Block] inside [Ebpf.Vm]. Invalidation rides
+   the existing [generation] machinery (attach / detach /
+   [replace_program] each bump it), so a rekey recompiles the fused
+   closure on the very next dispatch with no dropped dispatches in
+   between. *)
+
+let unarmed_default () =
+  invalid_arg "xbgp: fused dispatch entered with no armed context"
+
+let fusable chain =
+  Array.length chain > 0
+  && Array.for_all
+       (fun att -> Ebpf.Vm.engine att.runtime.vm = Ebpf.Vm.Chain)
+       chain
+
+let compile_fused t idx point chain =
+  let n = Array.length chain in
+  if Array.length t.trace_out < n then t.trace_out <- Array.make n 0;
+  let ctx =
+    {
+      c_ops = Host_intf.null_ops;
+      c_args = Host_intf.Args.empty;
+      c_default = unarmed_default;
+    }
+  in
+  let layout =
+    Ebpf.Chain.layout
+      (Array.map (fun att -> Ebpf.Vm.program_slots att.runtime.vm) chain)
+  in
+  let fallback () =
+    t.stats.native_fallbacks <- t.stats.native_fallbacks + 1;
+    Telemetry.Counter.inc t.fallbacks.(idx);
+    (match t.recorder with
+    | None -> ()
+    | Some r ->
+      Obs.Recorder.record r Obs.Recorder.Native_fallback
+        [ ("host", t.host); ("point", Api.point_name point) ]);
+    ctx.c_default ()
+  in
+  (* One site = [exec_one]'s exact observable sequence, specialized.
+     [Telemetry.enabled] is re-read per run (the registry is mutable);
+     only what cannot change under this generation is resolved here. *)
+  let site i att =
+    let rt = att.runtime in
+    let probe = att.probe in
+    let entry = Ebpf.Vm.prepared_entry rt.vm in
+    let wants_args = att.summary.Xprog.arg_reads <> Some [] in
+    let budget = t.budget in
+    let run () =
+      rt.ops <- ctx.c_ops;
+      if wants_args then rt.args <- ctx.c_args;
+      rt.heap_pos <- 0;
+      Ebpf.Vm.set_budget rt.vm budget;
+      t.stats.runs <- t.stats.runs + 1;
+      Telemetry.Counter.inc probe.p_runs;
+      let enabled = Telemetry.enabled t.tele in
+      let span =
+        Telemetry.span_begin t.tele ~tags:probe.span_tags "xbgp.run"
+      in
+      let sampled = span.Telemetry.Span.id <> 0 in
+      let before = Ebpf.Vm.executed rt.vm in
+      let t0_ns = if sampled then Telemetry.now_ns t.tele else 0 in
+      let finish outcome =
+        let insns = Ebpf.Vm.executed rt.vm - before in
+        t.stats.insns <- t.stats.insns + insns;
+        if enabled then begin
+          Telemetry.Histogram.observe probe.p_insns insns;
+          Telemetry.Gauge.set probe.p_heap rt.heap_pos
+        end;
+        if sampled then begin
+          Telemetry.Histogram.observe probe.p_ns
+            (Telemetry.now_ns t.tele - t0_ns);
+          Telemetry.span_end t.tele span
+            ~tags:
+              [
+                ("outcome", outcome);
+                ("insns", string_of_int insns);
+                ("budget_left", string_of_int (Ebpf.Vm.budget rt.vm));
+                ("heap", string_of_int rt.heap_pos);
+              ]
+        end;
+        rt.ops <- Host_intf.null_ops;
+        rt.args <- Host_intf.Args.empty
+      in
+      match entry () with
+      | v ->
+        finish "value";
+        v
+      | exception Next ->
+        t.stats.next_calls <- t.stats.next_calls + 1;
+        Telemetry.Counter.inc probe.p_next;
+        finish "next";
+        raise Next
+      | exception ((Ebpf.Vm.Error _ | Ebpf.Memory.Fault _) as e) ->
+        finish "fault";
+        raise e
+    in
+    let on_value v =
+      t.trace_out.(i) <- 0;
+      t.trace_val <- v;
+      t.trace_len <- i + 1
+    in
+    let on_defer () =
+      t.trace_out.(i) <- 1;
+      t.trace_len <- i + 1
+    in
+    let on_fault msg =
+      t.stats.faults <- t.stats.faults + 1;
+      let chain_slot =
+        Option.map
+          (fun pc -> Ebpf.Chain.offset layout ~site:i ~pc)
+          (Ebpf.Vm.fault_pc rt.vm)
+      in
+      let err =
+        render_fault (record_fault ?chain_slot t att point ~init:false msg)
+      in
+      Log.warn (fun m -> m "%s" err);
+      ctx.c_ops.log err;
+      t.trace_out.(i) <- 2;
+      t.trace_len <- i + 1
+    in
+    { Ebpf.Chain.run; on_value; on_defer; on_fault }
+  in
+  let sites = Array.mapi site chain in
+  let f_enter =
+    Ebpf.Chain.fuse
+      ~is_defer:(function Next -> true | _ -> false)
+      ~sites ~fallback
+  in
+  { f_enter; f_ctx = ctx; f_layout = layout }
+
+(* The point's fused unit under the current generation: cached, [None]
+   if the chain is unfusable, recompiled at most once per generation. *)
+let fused_for t idx point chain =
+  if t.fused_gen.(idx) = t.generation then t.fused.(idx)
+  else begin
+    let f =
+      if fusable chain then Some (compile_fused t idx point chain) else None
+    in
+    t.fused.(idx) <- f;
+    t.fused_gen.(idx) <- t.generation;
+    f
+  end
 
 (** Attach one bytecode of a registered program to an insertion point;
     [order] positions it in the point's execution queue (§2.1: "the
@@ -709,6 +929,117 @@ let detach t ~program ~point =
     Option.iter destroy_maps (Hashtbl.find_opt t.extensions program);
   t.generation <- t.generation + 1
 
+(* [Api.point_index] maps to [all_points] order, so the inverse is an
+   array index. *)
+let point_of_index =
+  let arr = Array.of_list Api.all_points in
+  fun i -> arr.(i)
+
+(** Hot-swap a registered program with a new version — the rekey path.
+    Attachments and their orders survive: every point where the program
+    is attached gets fresh runtimes built from the new bytecodes, and
+    the generation bump invalidates everything cached off the chains
+    (update-group keys, fused chain closures), so the very next dispatch
+    runs the new code — there is no detached window in which dispatches
+    would fall back to native. The new version must pass the same
+    verification as [register] and must still carry every bytecode name
+    currently attached. Persistent scratch survives when its size is
+    unchanged; map instances (and their contents) survive when the map
+    specs are unchanged, otherwise they are torn down and recreated. *)
+let replace_program t (prog : Xprog.t) : (unit, string) result =
+  match Hashtbl.find_opt t.extensions prog.name with
+  | None -> Error (Printf.sprintf "program %S not registered" prog.name)
+  | Some old -> (
+    let missing = ref [] in
+    Array.iter
+      (fun chain ->
+        Array.iter
+          (fun att ->
+            if
+              att.ext.prog.Xprog.name = prog.name
+              && Xprog.bytecode prog att.bc_name = None
+            then missing := att.bc_name :: !missing)
+          chain)
+      t.chains;
+    match !missing with
+    | bc :: _ ->
+      Error
+        (Printf.sprintf
+           "replace %S: attached bytecode %S missing from the new version"
+           prog.name bc)
+    | [] -> (
+      let bad =
+        List.filter_map
+          (fun (name, code) ->
+            match
+              Ebpf.Verifier.check ?allowed_helpers:prog.allowed_helpers
+                ~map_helpers:
+                  [ Api.h_map_lookup; Api.h_map_update; Api.h_map_delete ]
+                ~maps:prog.maps code
+            with
+            | Ok () -> None
+            | Error es ->
+              Some
+                (Fmt.str "%s/%s: %a" prog.name name
+                   Fmt.(list ~sep:semi Ebpf.Verifier.pp_error)
+                   es))
+          prog.bytecodes
+      in
+      match bad with
+      | e :: _ -> Error ("verifier rejected " ^ e)
+      | [] ->
+        let scratch =
+          if prog.scratch_size = Bytes.length old.scratch then old.scratch
+          else Bytes.make prog.scratch_size '\x00'
+        in
+        let keep_maps = prog.maps = old.prog.Xprog.maps in
+        if not keep_maps then destroy_maps old;
+        let ext =
+          { prog; maps = (if keep_maps then old.maps else None); scratch }
+        in
+        Hashtbl.replace t.extensions prog.name ext;
+        let attached_somewhere =
+          Array.exists
+            (fun chain ->
+              Array.exists (fun a -> a.ext.prog.Xprog.name = prog.name) chain)
+            t.chains
+        in
+        if attached_somewhere then ensure_maps_live t ext;
+        Array.iteri
+          (fun idx chain ->
+            if
+              Array.exists (fun a -> a.ext.prog.Xprog.name = prog.name) chain
+            then begin
+              let point = point_of_index idx in
+              t.chains.(idx) <-
+                Array.map
+                  (fun att ->
+                    if att.ext.prog.Xprog.name <> prog.name then att
+                    else begin
+                      let code =
+                        Option.get (Xprog.bytecode prog att.bc_name)
+                      in
+                      let summary =
+                        let s = Xprog.dispatch_summary code in
+                        if prog.scratch_size > 0 then
+                          { s with Xprog.effectful = true }
+                        else s
+                      in
+                      {
+                        ext;
+                        bc_name = att.bc_name;
+                        order = att.order;
+                        runtime = make_runtime t ext code;
+                        probe = make_probe t ext ~bytecode:att.bc_name ~point;
+                        summary;
+                      }
+                    end)
+                  chain
+            end)
+          t.chains;
+        t.generation <- t.generation + 1;
+        Ok ()))
+
 let attachments t point =
   List.map
     (fun a -> (a.ext.prog.name, a.bc_name, a.order))
@@ -716,6 +1047,38 @@ let attachments t point =
 
 let has_attachment t point =
   Array.length t.chains.(Api.point_index point) > 0
+
+let has_any_attachment t =
+  Array.exists (fun chain -> Array.length chain > 0) t.chains
+
+(* Whether the point currently dispatches through a compiled fused unit
+   — introspection for the rekey test and the live-status CLI. Compiling
+   is lazy (first dispatch after a generation bump), so this reports the
+   state as of the last dispatch, without forcing a compile. *)
+let chain_compiled t point =
+  let idx = Api.point_index point in
+  t.fused_gen.(idx) = t.generation && Option.is_some t.fused.(idx)
+
+(* Chain offset -> (program, bytecode, local pc) for the chain attached
+   at [point] — fault reporters and divergence reports use it to
+   disassemble a fused-chain slot. Cold path; reuses the compiled unit's
+   layout when one is live, recomputes otherwise, so it works whether or
+   not the point is fused. *)
+let locate_chain_slot t point off =
+  let idx = Api.point_index point in
+  let chain = t.chains.(idx) in
+  let layout =
+    match t.fused.(idx) with
+    | Some f when t.fused_gen.(idx) = t.generation -> f.f_layout
+    | _ ->
+      Ebpf.Chain.layout
+        (Array.map (fun att -> Ebpf.Vm.program_slots att.runtime.vm) chain)
+  in
+  Option.map
+    (fun (site, pc) ->
+      let att = chain.(site) in
+      (att.ext.prog.Xprog.name, att.bc_name, pc))
+    (Ebpf.Chain.locate layout off)
 
 (* True when every bytecode attached at [point] provably computes the
    same result for every element of a batch whose members differ only in
@@ -802,7 +1165,29 @@ let run t point ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t)
   if n = 0 then default ()
     (* the common case — no extension attached — costs one array load
        and a length test, with nothing allocated *)
-  else begin
+  else
+    match fused_for t idx point chain with
+    | Some f ->
+      (* whole-chain fused dispatch: arm the trace and the per-dispatch
+         context, then one call runs the entire chain. The context is
+         disarmed on the way out; an exception escaping the fused unit
+         (a host callback raising) leaves it armed until the next
+         dispatch overwrites it, exactly as harmless as the stale
+         last-dispatch trace. *)
+      t.trace_point <- idx;
+      t.trace_gen <- t.generation;
+      t.trace_len <- 0;
+      let ctx = f.f_ctx in
+      ctx.c_ops <- ops;
+      ctx.c_args <- args;
+      ctx.c_default <- default;
+      let r = f.f_enter () in
+      ctx.c_ops <- Host_intf.null_ops;
+      ctx.c_args <- Host_intf.Args.empty;
+      ctx.c_default <- unarmed_default;
+      r
+    | None ->
+  begin
     (* arm the last-dispatch trace (two stores per bytecode, no
        allocation; [last_trace] rebuilds the structured view on demand) *)
     if Array.length t.trace_out < n then t.trace_out <- Array.make n 0;

@@ -44,6 +44,11 @@ type fault = {
   fault_engine : Ebpf.Vm.engine;
   fault_pc : int option;
   fault_insn : string option;  (** disassembly of the faulting insn *)
+  fault_chain_slot : int option;
+      (** the faulting slot in the fused chain's address space
+          ({!Ebpf.Chain.layout}) — [Some] only for faults caught inside
+          a whole-chain fused dispatch; {!locate_chain_slot} inverts
+          it *)
   fault_msg : string;
   fault_init : bool;  (** faulted during {!run_init} *)
 }
@@ -109,10 +114,41 @@ val detach : t -> program:string -> point:Api.point -> unit
     (entries dropped, telemetry entry gauges zeroed; the monotone map
     counters survive in the registry). *)
 
+val replace_program : t -> Xprog.t -> (unit, string) result
+(** Hot-swap a registered program with a new version — the rekey path.
+    Attachments and their orders survive: every point where the program
+    is attached gets fresh runtimes built from the new bytecodes, and
+    the generation bump invalidates everything cached off the chains
+    (update-group keys, fused whole-chain closures), so the very next
+    dispatch runs the new code with no detached window. The new version
+    must pass {!register}'s verification and still carry every bytecode
+    name currently attached. Persistent scratch survives when its size
+    is unchanged; map instances (and contents) survive when the map
+    specs are unchanged, else they are recreated. *)
+
 val attachments : t -> Api.point -> (string * string * int) list
 (** [(program, bytecode, order)] per attachment, in execution order. *)
 
 val has_attachment : t -> Api.point -> bool
+
+val has_any_attachment : t -> bool
+(** True when any point has at least one attachment — the hosts gate
+    their conversion caches on this so the pure-native baseline pays
+    for no memoization it can never use. *)
+
+val chain_compiled : t -> Api.point -> bool
+(** Whether [point] currently dispatches through a whole-chain fused
+    closure (every attachment resolved to the [Chain] engine and the
+    unit has been compiled by a dispatch under the current generation).
+    Compilation is lazy, so right after an attach/detach/rekey this is
+    [false] until the next dispatch. *)
+
+val locate_chain_slot :
+  t -> Api.point -> int -> (string * string * int) option
+(** Invert a fused-chain slot ({!fault}'s [fault_chain_slot]) to
+    [(program, bytecode, local pc)] for the chain currently attached at
+    [point]. *)
+
 val registered : t -> string list
 
 val batch_invariant : t -> Api.point -> variant_args:int list -> bool
@@ -146,9 +182,10 @@ val chain_signature : t -> Api.point -> string
     the chain attached at [point]; update-group keys embed it. *)
 
 val generation : t -> int
-(** Monotonic counter bumped by every {!attach} and {!detach} — lets a
-    host revalidate chain-derived cached decisions (update-group keys)
-    with one integer compare. *)
+(** Monotonic counter bumped by every {!attach}, {!detach} and
+    {!replace_program} — lets a host revalidate chain-derived cached
+    decisions (update-group keys) with one integer compare; the fused
+    whole-chain closures invalidate on the same edge. *)
 
 val set_recorder : t -> Obs.Recorder.t option -> unit
 (** Attach a flight recorder: bytecode faults, native fallbacks and LRU
@@ -181,7 +218,11 @@ val run :
     [Host_intf.Args.of_list]; [default] is the host's native
     implementation, used when nothing is attached, when the last
     bytecode calls [next()], or when a bytecode faults. A point with no
-    attachments costs one array load before [default] runs. *)
+    attachments costs one array load before [default] runs. A point
+    whose attachments all resolve to the [Chain] engine dispatches
+    through one whole-chain fused closure, compiled lazily on the first
+    dispatch after the chains change; every other shape takes the
+    generic loop, with identical observable behavior. *)
 
 val run_init : t -> ops:Host_intf.ops -> unit
 (** Run every bytecode attached to [Bgp_init] once (manifest load time);

@@ -1,0 +1,117 @@
+(* Whole-chain fusion for the [Chain] engine.
+
+   [Block] removed per-instruction dispatch inside one bytecode; what is
+   left of the extension-vs-native gap is the crossing *around* each
+   bytecode — per-program VM entry/exit, outcome boxing, and the
+   dispatch loop that walks the attachment chain (the E8/E9 ablation).
+   This module fuses an attachment point's entire chain into a single
+   closure built once, at attach time:
+
+   - each attached bytecode becomes a [site]: a prologue/epilogue pair
+     specialized by the caller (the xBGP VMM binds budget refill, heap
+     reset, telemetry probes and trace capture there, resolving
+     everything resolvable from the attach-time dispatch summary), plus
+     the VM's {!Vm.prepared_entry};
+   - the sites are chained last-to-first so one dispatch is one call:
+     a returned value exits the fused closure directly, the deferral
+     exception ([next()] — injected by the caller via [is_defer], since
+     the control exception belongs to the VMM layer) falls through to
+     the next site's closure, and a contained fault ({!Vm.Error} /
+     {!Memory.Fault}) routes to the shared fallback;
+   - past the last site (or after a fault) control reaches [fallback],
+     where the caller put the native-fallback bookkeeping and the
+     host's default function.
+
+   The module is engine-agnostic glue: it never inspects bytecode and
+   holds no VM state, so its semantics are exactly the dispatch loop it
+   replaces — the N-way fuzz oracle checks that on every campaign.
+
+   [layout] is the fused unit's address space: site [i]'s slots occupy
+   chain offsets [bases.(i) .. bases.(i) + slots_i). Fault reporters use
+   it to render a faulting slot in both coordinate systems (local pc for
+   disassembly, chain offset for the fused view). *)
+
+(* --- chain-offset <-> (site, pc) tables --- *)
+
+type layout = {
+  bases : int array;  (** chain offset of each site's slot 0 *)
+  total : int;  (** total slots across the chain *)
+}
+
+let layout slot_counts =
+  let n = Array.length slot_counts in
+  let bases = Array.make n 0 in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    bases.(i) <- !pos;
+    pos := !pos + slot_counts.(i)
+  done;
+  { bases; total = !pos }
+
+let total l = l.total
+let base l site = l.bases.(site)
+let offset l ~site ~pc = l.bases.(site) + pc
+
+(* Sites are few (a chain is a handful of bytecodes); linear scan. *)
+let locate l off =
+  if off < 0 || off >= l.total then None
+  else begin
+    let n = Array.length l.bases in
+    let site = ref 0 in
+    for i = 0 to n - 1 do
+      if l.bases.(i) <= off then site := i
+    done;
+    Some (!site, off - l.bases.(!site))
+  end
+
+(* --- fusion --- *)
+
+type site = {
+  run : unit -> int64;
+      (** prologue + VM entry + epilogue, as specialized by the caller;
+          returns r0, raises the deferral exception on [next()], and
+          {!Vm.Error}/{!Memory.Fault} on a contained fault (with the
+          epilogue already applied — the caller wraps it around the
+          raise) *)
+  on_value : int64 -> unit;  (** bookkeeping for a deciding return *)
+  on_defer : unit -> unit;  (** bookkeeping for a [next()] deferral *)
+  on_fault : string -> unit;
+      (** bookkeeping for a contained fault (fault record, counters,
+          logs); the fused closure then routes to [fallback] *)
+}
+
+(** Fuse [sites] into one closure. [is_defer] recognizes the caller's
+    control exception for [next()]; [fallback] is entered after the last
+    site defers or any site faults — exactly the dispatch loop's two
+    paths into the host's native default. Any other exception (a bug,
+    or a host callback raising) propagates unchanged, as it does out of
+    the unfused loop. *)
+let fuse ~(is_defer : exn -> bool) ~(sites : site array)
+    ~(fallback : unit -> int64) : unit -> int64 =
+  let n = Array.length sites in
+  (* built last-to-first so each site's closure tail-calls its successor
+     directly — no loop, no index, no outcome variant allocated *)
+  let rec build i =
+    if i >= n then fallback
+    else begin
+      let s = sites.(i) in
+      let next = build (i + 1) in
+      fun () ->
+        match s.run () with
+        | v ->
+          s.on_value v;
+          v
+        | exception e ->
+          if is_defer e then begin
+            s.on_defer ();
+            next ()
+          end
+          else (
+            match e with
+            | Vm.Error msg | Memory.Fault msg ->
+              s.on_fault msg;
+              fallback ()
+            | e -> raise e)
+    end
+  in
+  build 0

@@ -1,0 +1,50 @@
+(** Whole-chain fusion for the [Chain] engine.
+
+    Fuses an attachment point's entire bytecode chain into a single
+    closure: each attached bytecode is a {!site} (caller-specialized
+    prologue/epilogue around {!Vm.prepared_entry}); a returned value
+    exits directly, a deferral ([next()], recognized via [is_defer])
+    falls through to the next site, a contained fault routes to the
+    shared fallback. Semantics are exactly the dispatch loop this
+    replaces — the N-way fuzz oracle machine-checks that equivalence.
+
+    {!layout} maps between chain offsets and per-site pcs so fault
+    reporters can render a faulting slot in the fused coordinate
+    system. *)
+
+type layout = {
+  bases : int array;  (** chain offset of each site's slot 0 *)
+  total : int;  (** total slots across the chain *)
+}
+
+val layout : int array -> layout
+(** [layout slot_counts] lays the sites out consecutively. *)
+
+val total : layout -> int
+val base : layout -> int -> int
+
+val offset : layout -> site:int -> pc:int -> int
+(** Chain offset of [pc] inside site [site]. *)
+
+val locate : layout -> int -> (int * int) option
+(** Inverse of {!offset}: [(site, pc)], or [None] out of range. *)
+
+type site = {
+  run : unit -> int64;
+      (** prologue + VM entry + epilogue; returns r0, raises the
+          deferral exception on [next()], {!Vm.Error}/{!Memory.Fault}
+          on a contained fault *)
+  on_value : int64 -> unit;
+  on_defer : unit -> unit;
+  on_fault : string -> unit;
+}
+
+val fuse :
+  is_defer:(exn -> bool) ->
+  sites:site array ->
+  fallback:(unit -> int64) ->
+  unit ->
+  int64
+(** One closure for the whole chain. [fallback] is entered after the
+    last site defers or any site faults; other exceptions propagate
+    unchanged. *)

@@ -11,7 +11,7 @@
    [Error]; the caller (the xBGP virtual machine manager) catches it and
    falls back to the host's native code, as §2.1 of the paper specifies.
 
-   Three engines share these semantics bit for bit:
+   Four engines share these semantics bit for bit:
    - [Interpreted]: a classic decode-and-dispatch loop over the slots;
    - [Compiled]: closure threading — at VM creation every instruction is
      translated once into an OCaml closure that performs the operation
@@ -30,7 +30,16 @@
      reuse a preallocated argument buffer. When the remaining budget
      cannot cover a whole block the engine re-enters the interpreter at
      the block's leader, so budget-exhaustion faults (including partial
-     helper side effects) are bit-identical to the interpreter's.
+     helper side effects) are bit-identical to the interpreter's;
+   - [Chain]: block compilation plus whole-chain fusion one layer up.
+     Inside this module [Chain] executes exactly as [Block] (same block
+     closures, same metering, same faults); the variant exists so the
+     xBGP VMM can tell, per attachment, that the *dispatch* around the
+     VM should also be specialized — the [Chain] module fuses an
+     attachment point's whole bytecode chain (prologue, argument
+     plumbing, outcome routing, fallback) into one closure entered via
+     {!prepared_entry}, removing the per-program entry/exit from every
+     dispatch.
 
    Engine equivalence on success is exact: same r0, same final register
    file, same helper-call sequence, same retired-instruction count. On a
@@ -44,20 +53,22 @@ exception Error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
-type engine = Interpreted | Compiled | Block
+type engine = Interpreted | Compiled | Block | Chain
 
 let engine_name = function
   | Interpreted -> "interpreted"
   | Compiled -> "compiled"
   | Block -> "block"
+  | Chain -> "chain"
 
 let engine_of_name = function
   | "interpreted" -> Some Interpreted
   | "compiled" -> Some Compiled
   | "block" -> Some Block
+  | "chain" -> Some Chain
   | _ -> None
 
-let all_engines = [ Interpreted; Compiled; Block ]
+let all_engines = [ Interpreted; Compiled; Block; Chain ]
 
 type slot = I of Insn.t | Pad
 
@@ -80,9 +91,11 @@ type t = {
   mutable compiled : (unit -> int64) array;
       (** per-slot entry points; empty unless the engine is [Compiled] *)
   mutable blocks : (unit -> int64) array;
-      (** per-basic-block entry points; empty unless the engine is [Block] *)
+      (** per-basic-block entry points; empty unless the engine is
+          [Block] or [Chain] *)
   mutable block_index : int array;
-      (** slot -> block id (-1 when not a leader); empty unless [Block] *)
+      (** slot -> block id (-1 when not a leader); empty unless [Block]
+          or [Chain] *)
 }
 
 and helper = t -> int64 array -> int64
@@ -107,6 +120,7 @@ let reg t r = t.regs.(Insn.reg_index r)
 let set_reg t r v = t.regs.(Insn.reg_index r) <- v
 let executed t = t.executed
 let helper_calls t = t.helper_calls
+let program_slots t = Array.length t.program
 let set_budget t b = t.budget <- b
 let budget t = t.budget
 let fault_pc t = if t.last_pc < 0 then None else Some t.last_pc
@@ -691,7 +705,7 @@ let create ?(budget = default_budget) ?(engine = Interpreted) ?mem ~helpers
   (match engine with
   | Interpreted -> ()
   | Compiled -> t.compiled <- compile t
-  | Block ->
+  | Block | Chain ->
     let bfns, index = compile_blocks t in
     t.blocks <- bfns;
     t.block_index <- index);
@@ -716,10 +730,45 @@ let run ?(entry = 0) t =
     if entry < 0 || entry >= n then
       error "pc %d out of program (0..%d)" entry (n - 1);
     t.compiled.(entry) ()
-  | Block ->
+  | Block | Chain ->
     if entry < 0 || entry >= n then
       error "pc %d out of program (0..%d)" entry (n - 1);
     let bid = t.block_index.(entry) in
     (* a non-leader entry (possible only through an explicit [~entry])
        runs interpreted; block dispatch needs a leader *)
     if bid >= 0 then t.blocks.(bid) () else interp_from t entry
+
+(** A closure equivalent to [run t] (entry 0), with the engine dispatch,
+    the entry bounds check and the r10 value all resolved now instead of
+    per run. The whole-chain compiler calls each attachment's VM through
+    this — one indirect call per bytecode, no per-run [match]. *)
+let prepared_entry t =
+  let n = Array.length t.program in
+  let r10 = Int64.add (Memory.region_addr t.stack) (Int64.of_int stack_size) in
+  let reset () =
+    t.last_pc <- -1;
+    Array.fill t.regs 0 10 0L;
+    t.regs.(10) <- r10
+  in
+  if n = 0 then fun () ->
+    reset ();
+    error "pc 0 out of program (0..%d)" (n - 1)
+  else
+    match t.engine with
+    | Interpreted ->
+      fun () ->
+        reset ();
+        interp_from t 0
+    | Compiled ->
+      let entry = t.compiled.(0) in
+      fun () ->
+        reset ();
+        entry ()
+    | Block | Chain ->
+      let bid = t.block_index.(0) in
+      if bid >= 0 then fun () ->
+        reset ();
+        t.blocks.(bid) ()
+      else fun () ->
+        reset ();
+        interp_from t 0

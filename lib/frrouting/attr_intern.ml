@@ -171,10 +171,19 @@ let cache_enabled = ref true
 let cache_hits = ref 0
 let cache_misses = ref 0
 
+(* The daemon drives this from [Vmm.has_any_attachment]: with no
+   extension attached nothing ever probes a TLV, so the native baseline
+   must not pay for memo bookkeeping it can never use (the BENCH_pr4
+   native-speedup regression). Unlike [set_conversion_cache], flipping
+   the gate keeps the memo table — a detach/re-attach cycle restarts
+   warm. *)
+let cache_gate = ref true
+
 let set_conversion_cache b =
   cache_enabled := b;
   if not b then Hashtbl.reset memo_tbl
 
+let set_cache_gate b = cache_gate := b
 let conversion_cache_enabled () = !cache_enabled
 let conversion_cache_stats () = (!cache_hits, !cache_misses)
 
@@ -255,7 +264,8 @@ let to_attrs_fresh t : Bgp.Attr.t list =
     ]
 
 let to_attrs t =
-  if (not !cache_enabled) || t.uid = 0 then to_attrs_fresh t
+  if (not !cache_enabled) || (not !cache_gate) || t.uid = 0 then
+    to_attrs_fresh t
   else begin
     let m = memo_for t in
     match m.m_attrs with
@@ -327,7 +337,8 @@ let has_code t acode =
   || List.exists (fun (c, _, _) -> c = acode) t.extra
 
 let get_tlv t acode =
-  if (not !cache_enabled) || t.uid = 0 then get_tlv_fresh t acode
+  if (not !cache_enabled) || (not !cache_gate) || t.uid = 0 then
+    get_tlv_fresh t acode
   else if not (has_code t acode) then None
   else begin
     let m = memo_for t in

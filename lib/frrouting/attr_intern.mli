@@ -83,6 +83,14 @@ val set_conversion_cache : bool -> unit
     so re-enabling starts cold — what the bench ablation and the fuzz
     force-on/off runs use. *)
 
+val set_cache_gate : bool -> unit
+(** The attachment gate (default on): the daemon lowers it while its
+    VMM has no attachment anywhere, so the pure-native baseline never
+    pays for memo bookkeeping no extension can read. Composes with
+    {!set_conversion_cache} (the memo runs only when both are on);
+    unlike it, flipping the gate keeps the memo table, so a
+    detach/re-attach cycle restarts warm. *)
+
 val conversion_cache_enabled : unit -> bool
 
 val conversion_cache_stats : unit -> int * int

@@ -164,6 +164,9 @@ type t = {
       (** both outbound points pass {!Xbgp.Vmm.group_invariant}; when
           false every peer gets a singleton "solo" group *)
   mutable chain_sig : string;  (** outbound chain signatures *)
+  mutable gate_gen : int;
+      (** {!Xbgp.Vmm.generation} at the last conversion-cache gate sync;
+          -1 forces the first dispatch to sync *)
   prov : (Bgp.Prefix.t * int, Obs.Provenance.t) Hashtbl.t;
       (** import half of the provenance record, keyed by (prefix, source
           peer index; -1 = local). Decision disposal is computed on
@@ -258,7 +261,27 @@ let release_args t a =
   in
   go 0
 
+(* Keep the global conversion-cache gate in sync with whether any
+   extension is attached — one integer compare per dispatch. The
+   BENCH_pr4 native-speedup regression came from the pure-native
+   baseline paying for memo bookkeeping nothing could ever read; with
+   the gate lowered while no attachment exists, the baseline converts
+   exactly as it did before the cache existed. Instances sharing the
+   global cache re-assert their own state here, so the last dispatcher
+   wins — correct in the single-threaded runtime, where conversions
+   happen inside the asserting instance's processing window. *)
+let refresh_cache_gate t =
+  let gen = match t.vmm with Some v -> Xbgp.Vmm.generation v | None -> 0 in
+  if gen <> t.gate_gen then begin
+    Attr_intern.set_cache_gate
+      (match t.vmm with
+      | Some v -> Xbgp.Vmm.has_any_attachment v
+      | None -> false);
+    t.gate_gen <- gen
+  end
+
 let vmm_run t point ~ops ~args ~default =
+  refresh_cache_gate t;
   match t.vmm with
   | None -> default ()
   | Some vmm -> Xbgp.Vmm.run vmm point ~ops ~args ~default
@@ -1238,6 +1261,7 @@ let create ?telemetry ?vmm ~sched (config : config)
       group_gen = -1;
       groupable = false;
       chain_sig = "";
+      gate_gen = -1;
       prov = Hashtbl.create 64;
       last_prov = Hashtbl.create 16;
       recorder = None;

@@ -401,15 +401,33 @@ let render_map_state ms =
                  maps)))
   |> String.concat "|"
 
+(* Engine-blind provenance fingerprint of the dispatch the VMM just
+   traced. [Obs.Provenance.step] embeds the engine name (truthful
+   display), so the cross-engine oracle renders every field *but* that
+   one: program, bytecode, dynamic verdict, attribute mutability and
+   writable maps must all agree between the generic loop and the fused
+   chain. *)
+let render_provenance = function
+  | None -> "-"
+  | Some steps ->
+    String.concat ";"
+      (List.map
+         (fun (s : Obs.Provenance.step) ->
+           Printf.sprintf "%s/%s:%s%s[%s]" s.program s.bytecode s.outcome
+             (if s.attrs_mutated then "!" else "")
+             (String.concat "," s.maps_written))
+         steps)
+
 (* Full VMM round trip on one engine: register the program
    (re-verifying it, now including the static map-access checks against
    the declared map), attach it to the inbound filter and run it the
    way a daemon would. The VMM contract is that nothing escapes [run] —
    faults turn into the native default. Returns the chain result, the
-   fault/fallback counters and the final map-state fingerprint, all of
-   which every engine must agree on. *)
+   fault/fallback counters, the final map-state fingerprint and the
+   dispatch's provenance fingerprint, all of which every engine must
+   agree on. *)
 let vmm_round_trip engine prog :
-    (int64 * int * int * string, string) result =
+    (int64 * int * int * string * string, string) result =
   match
     let xp =
       Xbgp.Xprog.v ~name:"fuzzcase"
@@ -434,13 +452,18 @@ let vmm_round_trip engine prog :
                  [ (Xbgp.Api.arg_prefix, prefix_arg) ])
             ~default:(fun () -> 0L)
         in
+        let prov =
+          render_provenance
+            (Xbgp.Vmm.last_trace vmm Xbgp.Api.Bgp_inbound_filter)
+        in
         let st = Xbgp.Vmm.stats vmm in
         ( v,
           st.faults,
           st.native_fallbacks,
-          render_map_state (Xbgp.Vmm.map_state vmm) )
-      | Error _ -> (0L, 0, 0, ""))
-    | Error _ -> (0L, 0, 0, "")
+          render_map_state (Xbgp.Vmm.map_state vmm),
+          prov )
+      | Error _ -> (0L, 0, 0, "", ""))
+    | Error _ -> (0L, 0, 0, "", "")
   with
   | r -> Ok r
   | exception e -> Error (Printexc.to_string e)
@@ -526,7 +549,7 @@ let check_prog ~perturb pi prog =
         List.map
           (fun (e, o) ->
             match (e, o.result) with
-            | Ebpf.Vm.Block, Value v ->
+            | Ebpf.Vm.Chain, Value v ->
               (e, { o with result = Value (Int64.add v 1L) })
             | _ -> (e, o))
           outs
@@ -575,8 +598,9 @@ let check_prog ~perturb pi prog =
           (fun (e, r) ->
             match r with
             | Ok res when res <> bres ->
-              let render (v, f, nf, ms) =
-                Fmt.str "r0=%Ld faults=%d fallbacks=%d maps=%s" v f nf ms
+              let render (v, f, nf, ms, prov) =
+                Fmt.str "r0=%Ld faults=%d fallbacks=%d maps=%s prov=%s" v f nf
+                  ms prov
               in
               Some
                 (divergence

@@ -512,6 +512,104 @@ let test_detach_and_listing () =
   check_bool "programs still registered" true
     (List.sort compare (Xbgp.Vmm.registered vmm) = [ "p"; "q" ])
 
+(* --- whole-chain fused dispatch --- *)
+
+let test_fused_fault_location () =
+  (* a fault caught inside the fused closure carries its slot in the
+     chain's address space; pin the rendering and the inversion *)
+  let vmm = Xbgp.Vmm.create ~host:"test" ~engine:Ebpf.Vm.Chain () in
+  let crash =
+    Xbgp.Xprog.v ~name:"crash"
+      [ ("main", assemble [ lddw r1 0xdeadL; ldxw r0 r1 0; exit_ ]) ]
+  in
+  ok (Xbgp.Vmm.register vmm (next_prog "front"));
+  ok (Xbgp.Vmm.register vmm crash);
+  ok
+    (Xbgp.Vmm.attach vmm ~program:"front" ~bytecode:"main"
+       ~point:Xbgp.Api.Bgp_inbound_filter ~order:0);
+  ok
+    (Xbgp.Vmm.attach vmm ~program:"crash" ~bytecode:"main"
+       ~point:Xbgp.Api.Bgp_inbound_filter ~order:1);
+  check_bool "compilation is lazy" false
+    (Xbgp.Vmm.chain_compiled vmm Xbgp.Api.Bgp_inbound_filter);
+  check_i64 "fault falls back through the fused unit" 5L
+    (run_point vmm Xbgp.Api.Bgp_inbound_filter (fun () -> 5L));
+  check_bool "chain fused" true
+    (Xbgp.Vmm.chain_compiled vmm Xbgp.Api.Bgp_inbound_filter);
+  check Alcotest.int "fault counted" 1 (Xbgp.Vmm.stats vmm).faults;
+  match Xbgp.Vmm.last_fault_record vmm with
+  | None -> Alcotest.fail "no fault record"
+  | Some f ->
+    (* [front] is call/movi/exit = 3 slots, so the crash site's base is
+       3; its faulting block leads at local pc 0 *)
+    check
+      Alcotest.(option int)
+      "chain slot" (Some 3) f.Xbgp.Vmm.fault_chain_slot;
+    check_bool "detail renders the chain slot" true
+      (let detail = Xbgp.Vmm.fault_detail f in
+       let needle = "; chain slot 3]" in
+       let n = String.length needle and l = String.length detail in
+       l >= n && String.sub detail (l - n) n = needle);
+    check_bool "slot inverts to the faulting bytecode" true
+      (Xbgp.Vmm.locate_chain_slot vmm Xbgp.Api.Bgp_inbound_filter 3
+      = Some ("crash", "main", 0))
+
+let test_rekey_recompiles_fused_chain () =
+  (* replace_program invalidates the fused closure; the next dispatch
+     runs the new code with preserved scratch and no dropped dispatch *)
+  let vmm = Xbgp.Vmm.create ~host:"test" ~engine:Ebpf.Vm.Chain () in
+  let counter ~bonus =
+    Xbgp.Xprog.v ~name:"ctr" ~scratch_size:8
+      [
+        ( "main",
+          assemble
+            [
+              lddw r1 Xbgp.Api.scratch_base;
+              ldxdw r0 r1 0;
+              addi r0 1;
+              stxdw r1 0 r0;
+              addi r0 bonus;
+              exit_;
+            ] );
+      ]
+  in
+  ok (Xbgp.Vmm.register vmm (counter ~bonus:0));
+  ok
+    (Xbgp.Vmm.attach vmm ~program:"ctr" ~bytecode:"main"
+       ~point:Xbgp.Api.Bgp_decision ~order:0);
+  check_i64 "v1 run 1" 1L
+    (run_point vmm Xbgp.Api.Bgp_decision (fun () -> -1L));
+  check_i64 "v1 run 2" 2L
+    (run_point vmm Xbgp.Api.Bgp_decision (fun () -> -1L));
+  check_bool "fused before rekey" true
+    (Xbgp.Vmm.chain_compiled vmm Xbgp.Api.Bgp_decision);
+  ok (Xbgp.Vmm.replace_program vmm (counter ~bonus:100));
+  check_bool "rekey invalidates the fused unit" false
+    (Xbgp.Vmm.chain_compiled vmm Xbgp.Api.Bgp_decision);
+  (* counter reads 2, becomes 3: new code ran AND scratch survived *)
+  check_i64 "v2 sees v1's scratch" 103L
+    (run_point vmm Xbgp.Api.Bgp_decision (fun () -> -1L));
+  check_bool "recompiled after rekey" true
+    (Xbgp.Vmm.chain_compiled vmm Xbgp.Api.Bgp_decision);
+  check Alcotest.int "no dispatch dropped to native" 0
+    (Xbgp.Vmm.stats vmm).native_fallbacks;
+  check Alcotest.int "no faults" 0 (Xbgp.Vmm.stats vmm).faults;
+  (* error paths: unregistered name; attached bytecode missing *)
+  check_bool "unregistered program rejected" true
+    (match Xbgp.Vmm.replace_program vmm (const_prog "ghost" 1) with
+    | Error _ -> true
+    | Ok () -> false);
+  let renamed =
+    Xbgp.Xprog.v ~name:"ctr" [ ("other", assemble [ movi r0 0; exit_ ]) ]
+  in
+  check_bool "missing attached bytecode rejected" true
+    (match Xbgp.Vmm.replace_program vmm renamed with
+    | Error _ -> true
+    | Ok () -> false);
+  (* and the rejected swaps left the live chain untouched *)
+  check_i64 "chain still live after rejected swaps" 104L
+    (run_point vmm Xbgp.Api.Bgp_decision (fun () -> -1L))
+
 let () =
   Alcotest.run "xbgp"
     [
@@ -553,5 +651,9 @@ let () =
           Alcotest.test_case "run_init" `Quick test_run_init;
           Alcotest.test_case "detach and listing" `Quick
             test_detach_and_listing;
+          Alcotest.test_case "fused fault location" `Quick
+            test_fused_fault_location;
+          Alcotest.test_case "rekey recompiles fused chain" `Quick
+            test_rekey_recompiles_fused_chain;
         ] );
     ]
