@@ -41,12 +41,16 @@ type config = {
       (** partition peers into update groups and run export policy,
           outbound dispatch and UPDATE encoding once per group (off =
           the legacy per-peer path, kept as the fan-out baseline) *)
+  shards : int;
+      (** partition the Loc-RIB (and the VMM's per-prefix dispatch
+          state) across this many OCaml domains; 1 = the sequential
+          daemon, bit-for-bit today's behaviour with no domain spawned *)
 }
 
 let config ?(cluster_id = 0) ?(hold_time = 90) ?(native_rr = false)
     ?native_ov ?(igp_metric = fun _ -> 0) ?(xtras = [])
-    ?(batch_updates = true) ?(update_groups = true) ~name ~router_id
-    ~local_as ~local_addr () =
+    ?(batch_updates = true) ?(update_groups = true) ?(shards = 1) ~name
+    ~router_id ~local_as ~local_addr () =
   {
     name;
     router_id;
@@ -60,6 +64,7 @@ let config ?(cluster_id = 0) ?(hold_time = 90) ?(native_rr = false)
     xtras;
     batch_updates;
     update_groups;
+    shards = max 1 shards;
   }
 
 (* identical tag values to the FRR-like daemon so results are comparable *)
@@ -144,7 +149,12 @@ type t = {
   mutable peers : peer array;
   adj_in : route Rib.Adj_rib.t;
   adj_out : Eattr.set Rib.Adj_rib.t;
-  loc : route Rib.Loc_rib.t;
+  loc : route Shard.Sharded_loc.t;
+  pool : Shard.Runtime.t option;  (** worker domains; [None] unsharded *)
+  mutable par_batches : int;
+      (** NLRI batches whose import dispatch ran on the worker pool *)
+  mutable seq_batches : int;
+      (** batches the serial lane took (chain not shard-parallel-safe) *)
   pending_adv : (int, (Bgp.Prefix.t * Eattr.set) list ref) Hashtbl.t;
   pending_wd : (int, Bgp.Prefix.t list ref) Hashtbl.t;
   mutable flush_scheduled : bool;
@@ -265,18 +275,27 @@ let release_args t a =
 let refresh_cache_gate t =
   let gen = match t.vmm with Some v -> Xbgp.Vmm.generation v | None -> 0 in
   if gen <> t.gate_gen then begin
+    (* the per-set memos are written without synchronization, so a
+       sharded daemon keeps the gate down: worker dispatches convert
+       fresh instead of racing on the memo fields *)
     Eattr.set_cache_gate
-      (match t.vmm with
+      (t.config.shards = 1
+      &&
+      match t.vmm with
       | Some v -> Xbgp.Vmm.has_any_attachment v
       | None -> false);
+    (* a chain change may alter the BGP_DECISION behaviour hidden inside
+       the Loc-RIB's compare closure: drop the incumbent fast path until
+       each prefix has re-selected in full *)
+    Shard.Sharded_loc.invalidate_best t.loc;
     t.gate_gen <- gen
   end
 
-let vmm_run t point ~ops ~args ~default =
+let vmm_run ?(shard = 0) t point ~ops ~args ~default =
   refresh_cache_gate t;
   match t.vmm with
   | None -> default ()
-  | Some vmm -> Xbgp.Vmm.run vmm point ~ops ~args ~default
+  | Some vmm -> Xbgp.Vmm.run ~shard vmm point ~ops ~args ~default
 
 let set_prefix_arg b p =
   Bytes.set_int32_be b 0 (Int32.of_int (Bgp.Prefix.addr p));
@@ -342,14 +361,17 @@ let candidate_arg t (r : route) =
       cd_is_ebgp = r.src_type = src_ebgp;
     }
 
-let decision_compare t vmm a b =
+(* [shard] is the Loc-RIB slice asking: decision dispatches run on that
+   slice's VM shard, so a per-shard decision map stays partitioned by
+   prefix just like the filter points' maps. *)
+let decision_compare t vmm ~shard a b =
   Telemetry.Counter.inc t.probes.c_decisions;
   if Xbgp.Vmm.has_attachment vmm Xbgp.Api.Bgp_decision then begin
     let args = borrow_args t in
     Xbgp.Host_intf.Args.set args Xbgp.Api.arg_candidate_a (candidate_arg t a);
     Xbgp.Host_intf.Args.set args Xbgp.Api.arg_candidate_b (candidate_arg t b);
     let verdict =
-      Xbgp.Vmm.run vmm Xbgp.Api.Bgp_decision ~ops:t.base_ops ~args
+      Xbgp.Vmm.run ~shard vmm Xbgp.Api.Bgp_decision ~ops:t.base_ops ~args
         ~default:(fun () -> Xbgp.Api.decision_tie)
     in
     release_args t args;
@@ -372,11 +394,11 @@ let src_label t idx =
 (* Read the import chain's execution trace immediately after the
    dispatch: the VMM keeps only the last dispatch per point, and the
    propagate step below re-enters it for the outbound chain. *)
-let import_trace t =
+let import_trace ?(shard = 0) t =
   match t.vmm with
   | None -> []
   | Some vmm -> (
-    match Xbgp.Vmm.last_trace vmm Xbgp.Api.Bgp_inbound_filter with
+    match Xbgp.Vmm.last_trace ~shard vmm Xbgp.Api.Bgp_inbound_filter with
     | Some steps -> steps
     | None -> [])
 
@@ -398,10 +420,10 @@ let import_verdict chain ~accepted =
    [Xprog_decided]. *)
 let decision_info t prefix ~src :
     Obs.Provenance.decision option * Obs.Provenance.status =
-  match Rib.Loc_rib.best_with_peer t.loc prefix with
+  match Shard.Sharded_loc.best_with_peer t.loc prefix with
   | None -> (None, Obs.Provenance.Withdrawn)
   | Some (bpeer, best) ->
-    let cands = Rib.Loc_rib.candidates t.loc prefix in
+    let cands = Shard.Sharded_loc.candidates t.loc prefix in
     let others = List.filter (fun (p, _) -> p <> bpeer) cands in
     let xprog =
       match t.vmm with
@@ -658,6 +680,12 @@ and flush t =
    class's frames once, and share the buffers across every member
    session. A class of one degrades to exactly the per-peer baseline. *)
 and flush_groups t =
+  (* Drain every group's flush classes first: the class list (in group
+     order) is the deterministic work-list both the sequential and the
+     offloaded encode path walk. Classes without a live session are
+     dropped before encoding so the offloaded path never runs an encode
+     dispatch the sequential daemon would have skipped. *)
+  let classes = ref [] in
   Rib.Update_group.iter_groups t.ugroups (fun g ->
       List.iter
         (fun (members, wds, advs) ->
@@ -669,19 +697,80 @@ and flush_groups t =
                 else None)
               members
           in
-          if sessions <> [] then begin
-            let fan frame =
-              let sent = Session.Fsm.send_raw_shared sessions frame in
-              Telemetry.Counter.add t.probes.c_updates_tx sent;
-              Rib.Update_group.note_fanout_saved t.ugroups
-                ((sent - 1) * Bytes.length frame)
-            in
-            List.iter fan (withdrawal_frames wds);
-            if advs <> [] then
-              List.iter fan
-                (advertisement_frames t t.peers.(List.hd members) advs)
-          end)
-        (Rib.Update_group.take_classes g))
+          if sessions <> [] then
+            classes := (members, wds, advs, sessions) :: !classes)
+        (Rib.Update_group.take_classes g));
+  let classes = Array.of_list (List.rev !classes) in
+  let send sessions frames =
+    List.iter
+      (fun frame ->
+        let sent = Session.Fsm.send_raw_shared sessions frame in
+        Telemetry.Counter.add t.probes.c_updates_tx sent;
+        Rib.Update_group.note_fanout_saved t.ugroups
+          ((sent - 1) * Bytes.length frame))
+      frames
+  in
+  let offload =
+    match t.pool with
+    | Some pool when Array.length classes > 1 -> (
+      match t.vmm with
+      | Some vmm ->
+        if Xbgp.Vmm.shard_parallel_safe vmm Xbgp.Api.Bgp_encode_message then
+          Some pool
+        else None
+      | None -> Some pool)
+    | _ -> None
+  in
+  match offload with
+  | Some pool ->
+    (* UPDATE encoding (attribute serialization + the encode-point
+       dispatch + 4096-byte framing) fans out across the worker pool,
+       one class per job; sending stays on this domain, in class order.
+       [parallel_map] places item [i] on worker [i mod workers] — the
+       dispatch runs on that worker's VM shard, so each shard's VMs
+       still see a single driving domain. *)
+    refresh_cache_gate t;
+    let w = Shard.Runtime.workers pool in
+    let indexed = Array.mapi (fun i c -> (i, c)) classes in
+    let encoded =
+      Shard.Runtime.parallel_map pool indexed
+        (fun (i, (members, wds, advs, _sessions)) ->
+          let shard = i mod w in
+          (match t.vmm with
+          | Some vmm -> Xbgp.Vmm.begin_events vmm ~shard
+          | None -> ());
+          let wd_frames = withdrawal_frames wds in
+          let adv_frames =
+            if advs = [] then []
+            else
+              advertisement_frames ~shard ~isolated:true t
+                t.peers.(List.hd members)
+                advs
+          in
+          let events =
+            match t.vmm with
+            | Some vmm -> Xbgp.Vmm.take_events vmm ~shard
+            | None -> []
+          in
+          (wd_frames, adv_frames, events))
+    in
+    Array.iteri
+      (fun i (wd_frames, adv_frames, events) ->
+        (match t.vmm with
+        | Some vmm -> Xbgp.Vmm.replay_events vmm events
+        | None -> ());
+        let _, _, _, sessions = classes.(i) in
+        send sessions wd_frames;
+        send sessions adv_frames)
+      encoded
+  | None ->
+    Array.iter
+      (fun (members, wds, advs, sessions) ->
+        send sessions (withdrawal_frames wds);
+        if advs <> [] then
+          send sessions
+            (advertisement_frames t t.peers.(List.hd members) advs))
+      classes
 
 and send_withdrawals t peer prefixes =
   List.iter
@@ -695,7 +784,10 @@ and send_withdrawals t peer prefixes =
    member — sound because peers only share a group when the outbound
    chains pass [Vmm.group_invariant], so the bytecode provably never
    observes which peer the ops record answers for. *)
-and advertisement_frames t peer advs =
+(* [isolated] marks a call running on a worker domain: it must not touch
+   the daemon's argument-buffer pool or the cache-gate bookkeeping, and
+   its encode dispatch is pinned to [shard]'s VMs. *)
+and advertisement_frames ?(shard = 0) ?(isolated = false) t peer advs =
   (* BIRD groups by the serialized attribute bytes themselves *)
   let groups : (string, (Eattr.set * Bgp.Prefix.t list ref)) Hashtbl.t =
     Hashtbl.create 16
@@ -727,13 +819,23 @@ and advertisement_frames t peer advs =
               true);
         }
       in
-      let args = borrow_args t in
+      let args =
+        if isolated then Xbgp.Host_intf.Args.create () else borrow_args t
+      in
       Xbgp.Host_intf.Args.set args Xbgp.Api.arg_update_payload
         (Buffer.to_bytes buf);
-      ignore
-        (vmm_run t Xbgp.Api.Bgp_encode_message ~ops ~args
-           ~default:(fun () -> Xbgp.Api.ret_ok));
-      release_args t args;
+      (if isolated then
+         match t.vmm with
+         | None -> ()
+         | Some vmm ->
+           ignore
+             (Xbgp.Vmm.run ~shard vmm Xbgp.Api.Bgp_encode_message ~ops ~args
+                ~default:(fun () -> Xbgp.Api.ret_ok))
+       else
+         ignore
+           (vmm_run ~shard t Xbgp.Api.Bgp_encode_message ~ops ~args
+              ~default:(fun () -> Xbgp.Api.ret_ok)));
+      if not isolated then release_args t args;
       let attr_bytes = Buffer.to_bytes buf in
       Bgp.Message.split_update_raw ~withdrawn:[] ~attr_bytes ~nlri:prefixes)
     (List.rev !order)
@@ -754,7 +856,12 @@ and export t (target : peer) prefix (r : route) : Eattr.set option =
     Xbgp.Host_intf.Args.set args Xbgp.Api.arg_prefix (prefix_arg prefix);
     Xbgp.Host_intf.Args.set args Xbgp.Api.arg_source (source_arg r);
     let verdict =
-      vmm_run t Xbgp.Api.Bgp_outbound_filter ~ops ~args
+      (* outbound dispatches stay on this domain, but still run on the
+         prefix's owning VM shard so a per-shard outbound map keeps its
+         keys partitioned exactly like the inbound points' maps *)
+      vmm_run
+        ~shard:(Shard.Sharded_loc.shard_of t.loc prefix)
+        t Xbgp.Api.Bgp_outbound_filter ~ops ~args
         ~default:(fun () -> native_export t route_ref target)
     in
     release_args t args;
@@ -897,7 +1004,7 @@ let withdraw_prefix t peer prefix =
         ~status:Obs.Provenance.Withdrawn
     in
     note_gone t prefix ~src:peer.idx pr;
-    let change = Rib.Loc_rib.update t.loc ~peer:peer.idx prefix None in
+    let change = Shard.Sharded_loc.update t.loc ~peer:peer.idx prefix None in
     record_route_event t Obs.Recorder.Route_withdraw prefix pr;
     propagate t prefix change
   | None -> ()
@@ -914,7 +1021,7 @@ let accept_route t peer prefix (r : route) ~chain ~import =
       ~status:Obs.Provenance.Candidate
   in
   Hashtbl.replace t.prov (prefix, peer.idx) stored;
-  let change = Rib.Loc_rib.update t.loc ~peer:peer.idx prefix (Some r) in
+  let change = Shard.Sharded_loc.update t.loc ~peer:peer.idx prefix (Some r) in
   (match t.recorder with
   | None -> ()
   | Some _ ->
@@ -937,8 +1044,9 @@ let reject_route t peer prefix ~chain ~import =
 let learn_route t peer prefix (route : route) =
   let route_ref = ref route in
   let ops = route_ops t ~peer:(Some peer) ~route_ref in
+  let shard = Shard.Sharded_loc.shard_of t.loc prefix in
   let verdict =
-    vmm_run t Xbgp.Api.Bgp_inbound_filter ~ops
+    vmm_run ~shard t Xbgp.Api.Bgp_inbound_filter ~ops
       ~args:
         (Xbgp.Host_intf.Args.of_list
            [
@@ -947,7 +1055,7 @@ let learn_route t peer prefix (route : route) =
            ])
       ~default:(fun () -> native_import t route_ref prefix peer)
   in
-  let chain = import_trace t in
+  let chain = import_trace ~shard t in
   if verdict = Xbgp.Api.filter_accept then
     accept_route t peer prefix !route_ref ~chain
       ~import:(import_verdict chain ~accepted:true)
@@ -1014,35 +1122,124 @@ let learn_routes t peer prefixes (route : route) =
           prefixes
     end
     else begin
-      (* Per-prefix verdicts are required (inbound bytecode or origin
-         validation), but the ops record, the source argument and the
-         argument buffer are still hoisted out of the loop. The 5-byte
-         prefix buffer is mutated in place between runs — safe because
-         [get_arg] copies the payload into the VM heap. *)
-      let route_ref = ref route in
-      let ops = route_ops t ~peer:(Some peer) ~route_ref in
-      let src = source_arg route in
-      let pbuf = Bytes.create 5 in
-      let args = borrow_args t in
-      Xbgp.Host_intf.Args.set args Xbgp.Api.arg_prefix pbuf;
-      Xbgp.Host_intf.Args.set args Xbgp.Api.arg_source src;
-      List.iter
-        (fun prefix ->
-          route_ref := route;
-          set_prefix_arg pbuf prefix;
-          let verdict =
-            vmm_run t Xbgp.Api.Bgp_inbound_filter ~ops ~args
-              ~default:(fun () -> native_import t route_ref prefix peer)
-          in
-          let chain = import_trace t in
-          if verdict = Xbgp.Api.filter_accept then
-            accept_route t peer prefix !route_ref ~chain
-              ~import:(import_verdict chain ~accepted:true)
-          else
-            reject_route t peer prefix ~chain
-              ~import:(import_verdict chain ~accepted:false))
-        prefixes;
-      release_args t args
+      let parallel_ok =
+        t.pool <> None
+        && ((not has_inbound_ext)
+           ||
+           match t.vmm with
+           | Some vmm ->
+             Xbgp.Vmm.shard_parallel_safe vmm Xbgp.Api.Bgp_inbound_filter
+           | None -> true)
+      in
+      match (t.pool, parallel_ok) with
+      | Some pool, true when List.length prefixes > 1 ->
+        (* The parallel import lane — see the FRR-like host for the
+           full determinism argument. Workers run only the dispatch
+           for the prefixes their shard owns (in NLRI order within the
+           shard); every state transition happens afterwards on this
+           domain in NLRI order, with staged recorder events replayed
+           at each commit. *)
+        refresh_cache_gate t;
+        let arr = Array.of_list prefixes in
+        let n = Array.length arr in
+        let results = Array.make n None in
+        let nshards = Shard.Runtime.workers pool in
+        let buckets = Array.make nshards [] in
+        for i = n - 1 downto 0 do
+          let s = Shard.Sharded_loc.shard_of t.loc arr.(i) in
+          buckets.(s) <- (i, arr.(i)) :: buckets.(s)
+        done;
+        Array.iteri
+          (fun s items ->
+            if items <> [] then
+              Shard.Runtime.submit pool ~worker:s (fun () ->
+                  let route_ref = ref route in
+                  let ops = route_ops t ~peer:(Some peer) ~route_ref in
+                  let src = source_arg route in
+                  let pbuf = Bytes.create 5 in
+                  let args = Xbgp.Host_intf.Args.create () in
+                  Xbgp.Host_intf.Args.set args Xbgp.Api.arg_prefix pbuf;
+                  Xbgp.Host_intf.Args.set args Xbgp.Api.arg_source src;
+                  List.iter
+                    (fun (i, prefix) ->
+                      route_ref := route;
+                      set_prefix_arg pbuf prefix;
+                      (match t.vmm with
+                      | Some vmm -> Xbgp.Vmm.begin_events vmm ~shard:s
+                      | None -> ());
+                      let verdict =
+                        match t.vmm with
+                        | Some vmm when has_inbound_ext ->
+                          Xbgp.Vmm.run ~shard:s vmm Xbgp.Api.Bgp_inbound_filter
+                            ~ops ~args ~default:(fun () ->
+                              native_import t route_ref prefix peer)
+                        | _ -> native_import t route_ref prefix peer
+                      in
+                      let chain =
+                        if has_inbound_ext then import_trace ~shard:s t
+                        else []
+                      in
+                      let events =
+                        match t.vmm with
+                        | Some vmm -> Xbgp.Vmm.take_events vmm ~shard:s
+                        | None -> []
+                      in
+                      results.(i) <- Some (verdict, !route_ref, chain, events))
+                    items))
+          buckets;
+        Shard.Runtime.barrier pool;
+        t.par_batches <- t.par_batches + 1;
+        Array.iteri
+          (fun i result ->
+            match result with
+            | None -> ()
+            | Some (verdict, rt, chain, events) ->
+              (match t.vmm with
+              | Some vmm -> Xbgp.Vmm.replay_events vmm events
+              | None -> ());
+              let prefix = arr.(i) in
+              if verdict = Xbgp.Api.filter_accept then
+                accept_route t peer prefix rt ~chain
+                  ~import:(import_verdict chain ~accepted:true)
+              else
+                reject_route t peer prefix ~chain
+                  ~import:(import_verdict chain ~accepted:false))
+          results
+      | _ ->
+        (* The serial per-prefix lane (also the sharded daemon's
+           fallback when the chain is not shard-parallel-safe): the ops
+           record, the source argument and the argument buffer are
+           hoisted out of the loop. The 5-byte prefix buffer is mutated
+           in place between runs — safe because [get_arg] copies the
+           payload into the VM heap. Dispatches still run on each
+           prefix's owning VM shard, so per-shard map placement never
+           depends on which lane ran. *)
+        if t.pool <> None then t.seq_batches <- t.seq_batches + 1;
+        let route_ref = ref route in
+        let ops = route_ops t ~peer:(Some peer) ~route_ref in
+        let src = source_arg route in
+        let pbuf = Bytes.create 5 in
+        let args = borrow_args t in
+        Xbgp.Host_intf.Args.set args Xbgp.Api.arg_prefix pbuf;
+        Xbgp.Host_intf.Args.set args Xbgp.Api.arg_source src;
+        List.iter
+          (fun prefix ->
+            route_ref := route;
+            set_prefix_arg pbuf prefix;
+            let shard = Shard.Sharded_loc.shard_of t.loc prefix in
+            let verdict =
+              vmm_run ~shard t Xbgp.Api.Bgp_inbound_filter ~ops ~args
+                ~default:(fun () -> native_import t route_ref prefix peer)
+            in
+            let chain = import_trace ~shard t in
+            if verdict = Xbgp.Api.filter_accept then
+              accept_route t peer prefix !route_ref ~chain
+                ~import:(import_verdict chain ~accepted:true)
+            else
+              reject_route t peer prefix ~chain
+                ~import:(import_verdict chain ~accepted:false))
+          prefixes;
+        release_args t args
     end
 
 (* RFC 7606 treat-as-withdraw: NLRI announced without the mandatory
@@ -1168,7 +1365,7 @@ let sync_peer t peer =
     (* catch-up: one fresh export per Loc-RIB best, targeted at the
        joiner only — identical to a baseline initial sync, and
        self-healing for group entries dropped while nobody listened *)
-    Rib.Loc_rib.iter_best t.loc (fun prefix r ->
+    Shard.Sharded_loc.iter_best t.loc (fun prefix r ->
         match export t peer prefix r with
         | Some attrs ->
           let skip =
@@ -1179,7 +1376,7 @@ let sync_peer t peer =
         | None -> ())
   end
   else
-    Rib.Loc_rib.iter_best t.loc (fun prefix r -> advertise_to t peer prefix r);
+    Shard.Sharded_loc.iter_best t.loc (fun prefix r -> advertise_to t peer prefix r);
   schedule_flush t
 
 let on_close t peer =
@@ -1214,7 +1411,7 @@ let on_close t peer =
           ~status:Obs.Provenance.Withdrawn
       in
       note_gone t prefix ~src:peer.idx pr;
-      let change = Rib.Loc_rib.update t.loc ~peer:peer.idx prefix None in
+      let change = Shard.Sharded_loc.update t.loc ~peer:peer.idx prefix None in
       record_route_event t Obs.Recorder.Route_withdraw prefix pr;
       propagate t prefix change)
     prefixes;
@@ -1232,6 +1429,12 @@ let create ?telemetry ?vmm ~sched (config : config)
       | Some v -> Xbgp.Vmm.telemetry v
       | None -> Telemetry.create ~enabled:false ())
   in
+  (match vmm with
+  | Some v when config.shards > 1 && Xbgp.Vmm.shards v <> config.shards -> (
+    match Xbgp.Vmm.set_shards v config.shards with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Bgpd.create: " ^ e))
+  | _ -> ());
   let t =
     {
       config;
@@ -1242,7 +1445,13 @@ let create ?telemetry ?vmm ~sched (config : config)
       peers = [||];
       adj_in = Rib.Adj_rib.create ();
       adj_out = Rib.Adj_rib.create ();
-      loc = Rib.Loc_rib.create decision_view;
+      loc = Shard.Sharded_loc.create ~shards:config.shards decision_view;
+      pool =
+        (if config.shards > 1 then
+           Some (Shard.Runtime.create ~workers:config.shards ())
+         else None);
+      par_batches = 0;
+      seq_batches = 0;
       pending_adv = Hashtbl.create 8;
       pending_wd = Hashtbl.create 8;
       flush_scheduled = false;
@@ -1303,15 +1512,25 @@ let create ?telemetry ?vmm ~sched (config : config)
            Lazy.force peer)
          peer_confs);
   (match vmm with
-  | Some vmm -> Rib.Loc_rib.set_compare t.loc (Some (decision_compare t vmm))
+  | Some vmm ->
+    (* bake each slice's shard index into its compare closure, so
+       decision dispatches land on the VM shard owning the prefix *)
+    for s = 0 to config.shards - 1 do
+      Rib.Loc_rib.set_compare
+        (Shard.Sharded_loc.slice t.loc s)
+        (Some (fun a b -> decision_compare t vmm ~shard:s a b))
+    done
   | None ->
     (* still count decision comparisons when no VMM is attached *)
-    Rib.Loc_rib.set_compare t.loc
+    Shard.Sharded_loc.set_compare t.loc
       (Some
          (fun a b ->
            Telemetry.Counter.inc t.probes.c_decisions;
            Rib.Decision.compare decision_view a b)));
   t
+
+let shutdown t =
+  match t.pool with Some p -> Shard.Runtime.shutdown p | None -> ()
 
 let start t =
   (match t.vmm with
@@ -1337,7 +1556,7 @@ let originate t prefix (attrs : Bgp.Attr.t list) =
       ~import:"accepted (local origination)" ~status:Obs.Provenance.Candidate
   in
   Hashtbl.replace t.prov (prefix, -1) stored;
-  let change = Rib.Loc_rib.update t.loc ~peer:(-1) prefix (Some route) in
+  let change = Shard.Sharded_loc.update t.loc ~peer:(-1) prefix (Some route) in
   (match t.recorder with
   | None -> ()
   | Some _ ->
@@ -1371,7 +1590,7 @@ let withdraw_local t prefix =
     note_gone t prefix ~src:(-1) pr;
     record_route_event t Obs.Recorder.Route_withdraw prefix pr
   end;
-  let change = Rib.Loc_rib.update t.loc ~peer:(-1) prefix None in
+  let change = Shard.Sharded_loc.update t.loc ~peer:(-1) prefix None in
   propagate t prefix change
 
 (** Replace (or add) one named configuration extra at runtime — how the
@@ -1403,12 +1622,12 @@ let restart_sessions t =
 let refresh_exports t =
   if t.config.update_groups then begin
     refresh_grouping t;
-    Rib.Loc_rib.iter_best t.loc (fun prefix r ->
+    Shard.Sharded_loc.iter_best t.loc (fun prefix r ->
         Rib.Update_group.iter_groups t.ugroups (fun g ->
             export_to_group t g prefix r))
   end
   else
-    Rib.Loc_rib.iter_best t.loc (fun prefix r ->
+    Shard.Sharded_loc.iter_best t.loc (fun prefix r ->
         Array.iter
           (fun peer ->
             if Session.Fsm.is_established peer.session && peer.synced then
@@ -1418,9 +1637,9 @@ let refresh_exports t =
 
 (* --- introspection --- *)
 
-let loc_count t = Rib.Loc_rib.count t.loc
-let loc_best t prefix = Rib.Loc_rib.best t.loc prefix
-let iter_loc t f = Rib.Loc_rib.iter_best t.loc f
+let loc_count t = Shard.Sharded_loc.count t.loc
+let loc_best t prefix = Shard.Sharded_loc.best t.loc prefix
+let iter_loc t f = Shard.Sharded_loc.iter_best t.loc f
 (* a point-in-time snapshot assembled from the registry counters *)
 let stats t : stats =
   {
@@ -1433,6 +1652,26 @@ let stats t : stats =
   }
 
 let telemetry t = t.tele
+let shard_info t : Shard.Info.t =
+  let n = Shard.Sharded_loc.shards t.loc in
+  {
+    Shard.Info.shards = n;
+    counts = Shard.Sharded_loc.counts t.loc;
+    runs =
+      (match t.vmm with
+      | Some vmm -> Array.init n (fun s -> Xbgp.Vmm.shard_runs vmm s)
+      | None -> Array.make n 0);
+    queues =
+      (match t.pool with
+      | Some pool ->
+        Array.init (Shard.Runtime.workers pool) (fun i ->
+            Shard.Runtime.worker_stats pool i)
+      | None -> [||]);
+    barriers = (match t.pool with Some p -> Shard.Runtime.barriers p | None -> 0);
+    par_batches = t.par_batches;
+    seq_batches = t.seq_batches;
+  }
+
 let group_count t = Rib.Update_group.group_count t.ugroups
 let vmm t = t.vmm
 
@@ -1460,7 +1699,7 @@ let collector t = t.collector
     computed against the live Loc-RIB), falling back to the last
     reject/withdraw record once no candidate is left. *)
 let provenance t prefix =
-  match Rib.Loc_rib.best_with_peer t.loc prefix with
+  match Shard.Sharded_loc.best_with_peer t.loc prefix with
   | Some (bpeer, _) -> (
     match Hashtbl.find_opt t.prov (prefix, bpeer) with
     | Some stored -> Some (assemble_prov t prefix stored ~src:bpeer)
@@ -1474,12 +1713,12 @@ let provenance_candidates t prefix =
       Option.map
         (fun stored -> assemble_prov t prefix stored ~src)
         (Hashtbl.find_opt t.prov (prefix, src)))
-    (Rib.Loc_rib.candidates t.loc prefix)
+    (Shard.Sharded_loc.candidates t.loc prefix)
 
 (** One provenance record per installed best route, sorted by prefix. *)
 let provenance_snapshot t =
   let acc = ref [] in
-  Rib.Loc_rib.iter_best t.loc (fun p _ ->
+  Shard.Sharded_loc.iter_best t.loc (fun p _ ->
       match provenance t p with
       | Some pr -> acc := (p, pr) :: !acc
       | None -> ());

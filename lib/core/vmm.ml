@@ -32,6 +32,11 @@ exception Next
    monotone — the chaos telemetry oracle depends on that. *)
 type live_map = {
   map : Ebpf.Map.t;
+  m_lock : Mutex.t option;
+      (** [Some] iff the spec is [shared]: the single instance serves
+          every shard, so helper calls on it serialize here. Per-shard
+          instances are only ever touched from one domain at a time and
+          need no lock. *)
   m_entries : Telemetry.Gauge.t;
   m_hits : Telemetry.Counter.t;
   m_misses : Telemetry.Counter.t;
@@ -42,9 +47,13 @@ type live_map = {
 
 type ext = {
   prog : Xprog.t;
-  mutable maps : live_map array option;
+  mutable maps : live_map array array option;
       (** [Some] while the program is attached anywhere; [None] before
-          the first attach and after the last detach *)
+          the first attach and after the last detach. Outer index =
+          shard, inner = map declaration index. A [shared] map is ONE
+          physical [live_map] referenced from every shard's row; an
+          unshared map is one instance per shard. Unsharded VMMs have a
+          single row. *)
   scratch : bytes;  (** persistent across runs, shared by the program *)
 }
 
@@ -79,7 +88,13 @@ type attachment = {
   ext : ext;
   bc_name : string;
   order : int;
-  runtime : runtime;
+  runtimes : runtime array;
+      (** one VM per shard — the per-shard execution surface. A shard's
+          runtimes are only ever driven from one domain at a time (the
+          shard's worker in the parallel lane, or the coordinating
+          domain after a barrier), which is what makes the mutable
+          [runtime] fields safe without locks. Unsharded VMMs have a
+          single entry. *)
   probe : probe;
   summary : Xprog.dispatch_summary;
       (** computed once at attach time; persistent scratch makes the
@@ -156,6 +171,66 @@ type fused = {
   f_layout : Ebpf.Chain.layout;
 }
 
+(* Last-dispatch trace: which bytecodes of the chain ran and what each
+   returned, captured by [run] into preallocated arrays so the hot path
+   pays two int stores per bytecode and nothing allocates. Hosts turn it
+   into provenance steps via [last_trace] immediately after their
+   dispatch wrapper returns — a nested dispatch (import -> rib_add ->
+   export) overwrites it. One trace per shard: concurrent dispatches on
+   different shards each keep their own. *)
+type trace = {
+  mutable trace_point : int;  (** point index of the traced dispatch; -1 none *)
+  mutable trace_gen : int;  (** [generation] at capture; stale -> no trace *)
+  mutable trace_len : int;
+  mutable trace_out : int array;  (** 0 = returned value, 1 = next(), 2 = fault *)
+  mutable trace_val : int64;  (** r0 of the deciding bytecode *)
+}
+
+(* A staged recorder event: what [Obs.Recorder.record] would have been
+   called with. Workers stage instead of recording so the coordinating
+   domain can replay events in deterministic (submission) order. *)
+type event = Obs.Recorder.kind * (string * string) list
+
+(* Everything a dispatch mutates, split per shard so shard [s]'s
+   dispatches — driven from at most one domain at a time — never share
+   mutable state with shard [s']'s. The single-writer-per-shard
+   discipline is the host's to uphold (workers own their shard; the
+   coordinating domain only touches a shard's surface after a barrier);
+   the VMM provides the partitioned state. *)
+type shard_state = {
+  s_stats : stats;
+  s_trace : trace;
+  s_fused : fused option array;
+      (** indexed by [Api.point_index]: the point's whole-chain compiled
+          dispatch unit for this shard, valid while [s_fused_gen]
+          matches [generation]. [None] under a current generation means
+          the chain is not fusable (empty, or not all-[Chain]) and [run]
+          keeps the generic loop *)
+  s_fused_gen : int array;
+  mutable s_events : event list;  (** staged, newest first *)
+  mutable s_capturing : bool;
+      (** when set, recorder-bound events from this shard's dispatches
+          are staged in [s_events] instead of hitting the recorder *)
+}
+
+let fresh_shard_state () =
+  {
+    s_stats =
+      { runs = 0; native_fallbacks = 0; faults = 0; next_calls = 0; insns = 0 };
+    s_trace =
+      {
+        trace_point = -1;
+        trace_gen = -1;
+        trace_len = 0;
+        trace_out = Array.make 8 0;
+        trace_val = 0L;
+      };
+    s_fused = Array.make Api.num_points None;
+    s_fused_gen = Array.make Api.num_points (-1);
+    s_events = [];
+    s_capturing = false;
+  }
+
 type t = {
   host : string;
   extensions : (string, ext) Hashtbl.t;
@@ -166,7 +241,9 @@ type t = {
   heap_size : int;
   budget : int;
   engine : Ebpf.Vm.engine;
-  stats : stats;
+  mutable shard_state : shard_state array;
+      (** one per shard; length 1 = the unsharded VMM, where every code
+          path below degenerates to the pre-sharding behaviour *)
   tele : Telemetry.t;
   fallbacks : Telemetry.Counter.t array;  (** indexed by [Api.point_index] *)
   mutable last_fault_record : fault option;
@@ -177,28 +254,6 @@ type t = {
   mutable recorder : Obs.Recorder.t option;
       (** flight recorder for faults, native fallbacks and map
           evictions; [None] (the default) costs one load per event *)
-  fused : fused option array;
-      (** indexed by [Api.point_index]: the point's whole-chain compiled
-          dispatch unit, valid while [fused_gen] matches [generation].
-          [None] under a current generation means the chain is not
-          fusable (empty, or not all-[Chain]) and [run] keeps the
-          generic loop *)
-  fused_gen : int array;
-      (** [generation] when the point's fused slot was last (re)built;
-          attach/detach/[replace_program] all bump [generation], so the
-          next dispatch recompiles — the same invalidation edge that
-          update-group keys revalidate on *)
-  (* Last-dispatch trace: which bytecodes of the chain ran and what
-     each returned, captured by [run] into preallocated arrays so the
-     hot path pays two int stores per bytecode and nothing allocates.
-     Hosts turn it into provenance steps via [last_trace] immediately
-     after their dispatch wrapper returns — a nested dispatch (import
-     -> rib_add -> export) overwrites it. *)
-  mutable trace_point : int;  (** point index of the traced dispatch; -1 none *)
-  mutable trace_gen : int;  (** [generation] at capture; stale -> no trace *)
-  mutable trace_len : int;
-  mutable trace_out : int array;  (** 0 = returned value, 1 = next(), 2 = fault *)
-  mutable trace_val : int64;  (** r0 of the deciding bytecode *)
 }
 
 let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
@@ -225,29 +280,87 @@ let create ?(heap_size = 1 lsl 16) ?(budget = Ebpf.Vm.default_budget)
     heap_size;
     budget;
     engine;
-    stats =
-      { runs = 0; native_fallbacks = 0; faults = 0; next_calls = 0; insns = 0 };
+    shard_state = [| fresh_shard_state () |];
     tele;
     fallbacks;
     last_fault_record = None;
     generation = 0;
     recorder = None;
-    fused = Array.make Api.num_points None;
-    fused_gen = Array.make Api.num_points (-1);
-    trace_point = -1;
-    trace_gen = -1;
-    trace_len = 0;
-    trace_out = Array.make 8 0;
-    trace_val = 0L;
   }
 
-let stats t = t.stats
+let shards t = Array.length t.shard_state
+
+(** Re-partition the VMM into [n] shards. Only legal while nothing is
+    attached: attachments own per-shard VMs and live maps, and resizing
+    under them would have to rebuild both (hosts set the shard count
+    once, before loading the manifest). *)
+let set_shards t n : (unit, string) result =
+  if n < 1 then Error "set_shards: shard count must be >= 1"
+  else if Array.exists (fun c -> Array.length c > 0) t.chains then
+    Error "set_shards: programs are attached; set the shard count first"
+  else begin
+    t.shard_state <- Array.init n (fun _ -> fresh_shard_state ());
+    Ok ()
+  end
+
+(* Aggregate stats across shards. The unsharded VMM hands out its live
+   record (callers hold it across runs and read updated fields — the
+   historical contract); a sharded one sums into a fresh snapshot. *)
+let stats t =
+  if Array.length t.shard_state = 1 then t.shard_state.(0).s_stats
+  else
+    Array.fold_left
+      (fun acc ss ->
+        {
+          runs = acc.runs + ss.s_stats.runs;
+          native_fallbacks = acc.native_fallbacks + ss.s_stats.native_fallbacks;
+          faults = acc.faults + ss.s_stats.faults;
+          next_calls = acc.next_calls + ss.s_stats.next_calls;
+          insns = acc.insns + ss.s_stats.insns;
+        })
+      { runs = 0; native_fallbacks = 0; faults = 0; next_calls = 0; insns = 0 }
+      t.shard_state
+
+let shard_runs t shard = t.shard_state.(shard).s_stats.runs
 let generation t = t.generation
 let telemetry t = t.tele
 let last_fault_record t = t.last_fault_record
 let last_fault t = Option.map render_fault t.last_fault_record
 let set_recorder t r = t.recorder <- r
 let recorder t = t.recorder
+
+(* Route one recorder-bound event: staged when the shard is capturing
+   (the host replays it later in deterministic order), straight to the
+   recorder otherwise. *)
+let emit_event t ~shard kind fields =
+  let ss = t.shard_state.(shard) in
+  if ss.s_capturing then ss.s_events <- (kind, fields) :: ss.s_events
+  else
+    match t.recorder with
+    | None -> ()
+    | Some r -> Obs.Recorder.record r kind fields
+
+(** Start staging recorder-bound events (faults, native fallbacks, map
+    evictions) from [shard]'s dispatches instead of recording them. *)
+let begin_events t ~shard =
+  let ss = t.shard_state.(shard) in
+  ss.s_events <- [];
+  ss.s_capturing <- true
+
+(** Stop staging and return the staged events in emission order. *)
+let take_events t ~shard : event list =
+  let ss = t.shard_state.(shard) in
+  let evs = List.rev ss.s_events in
+  ss.s_events <- [];
+  ss.s_capturing <- false;
+  evs
+
+(** Replay events captured by {!take_events} into the recorder — called
+    by the coordinating domain, in commit order. *)
+let replay_events t (evs : event list) =
+  match t.recorder with
+  | None -> ()
+  | Some r -> List.iter (fun (k, fields) -> Obs.Recorder.record r k fields) evs
 
 (** Register an xBGP program: verify every bytecode against the structural
     checks, the program's helper whitelist and its map declarations, then
@@ -291,15 +404,23 @@ let register t (prog : Xprog.t) : (unit, string) result =
    of them can run). Contents do survive plain dispatches; only the
    attach/detach edges move state. *)
 
-let map_probe t (ext : ext) (spec : Ebpf.Map.spec) : live_map =
+let map_probe t (ext : ext) ?shard (spec : Ebpf.Map.spec) : live_map =
   let labels =
     [ ("host", t.host); ("program", ext.prog.Xprog.name); ("map", spec.name) ]
+    @
+    (* per-shard instances get their own telemetry series; the single
+       instance of a shared map (and every map of an unsharded VMM)
+       keeps the historical label set *)
+    match shard with
+    | Some s -> [ ("shard", string_of_int s) ]
+    | None -> []
   in
   let counter help name =
     Telemetry.counter t.tele ~help ~name ~labels ()
   in
   {
     map = Ebpf.Map.create spec;
+    m_lock = (if spec.shared then Some (Mutex.create ()) else None);
     m_entries =
       Telemetry.gauge t.tele ~help:"live map entries" ~name:"xbgp_map_entries"
         ~labels ();
@@ -314,13 +435,37 @@ let ensure_maps_live t (ext : ext) =
   match ext.maps with
   | Some _ -> ()
   | None ->
+    let n = Array.length t.shard_state in
+    let specs = ext.prog.Xprog.maps in
+    (* a shared spec yields ONE instance referenced from every shard's
+       row; an unshared spec yields one instance per shard *)
+    let shared_insts =
+      List.map
+        (fun (s : Ebpf.Map.spec) ->
+          if s.shared then Some (map_probe t ext s) else None)
+        specs
+    in
     ext.maps <-
-      Some (Array.of_list (List.map (map_probe t ext) ext.prog.Xprog.maps))
+      Some
+        (Array.init n (fun shard ->
+             Array.of_list
+               (List.map2
+                  (fun (s : Ebpf.Map.spec) pre ->
+                    match pre with
+                    | Some lm -> lm
+                    | None ->
+                      map_probe t ext
+                        ?shard:(if n > 1 then Some shard else None)
+                        s)
+                  specs shared_insts)))
 
 let destroy_maps (ext : ext) =
   (match ext.maps with
-  | Some live ->
-    Array.iter (fun lm -> Telemetry.Gauge.set lm.m_entries 0) live
+  | Some rows ->
+    Array.iter
+      (fun live ->
+        Array.iter (fun lm -> Telemetry.Gauge.set lm.m_entries 0) live)
+      rows
   | None -> ());
   ext.maps <- None
 
@@ -367,7 +512,7 @@ let instrument_helper t (id, f) =
    resetting [heap_pos]; its *contents* are not scrubbed, which is safe
    because the region starts zeroed and belongs to one attachment of one
    program (its own earlier writes are all it can ever see). *)
-let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
+let make_runtime t (ext : ext) ~shard (code : Ebpf.Insn.t list) : runtime =
   let mem = Ebpf.Memory.create () in
   let heap =
     Ebpf.Memory.add_region mem ~name:"heap" ~base:Api.heap_base ~writable:true
@@ -386,7 +531,17 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
      so the per-call [ext.maps] match of earlier revisions bought
      nothing. A program with no maps binds the empty array. *)
   let live_maps =
-    match ext.maps with Some live -> live | None -> [||]
+    match ext.maps with Some rows -> rows.(shard) | None -> [||]
+  in
+  (* a shared map's single instance is hit from every shard's VMs, so
+     its helper bodies serialize on the instance lock; per-shard
+     instances take the [None] branch and pay nothing *)
+  let with_map_lock lm f =
+    match lm.m_lock with
+    | None -> f ()
+    | Some l ->
+      Mutex.lock l;
+      Fun.protect ~finally:(fun () -> Mutex.unlock l) f
   in
   let rec rt =
     lazy
@@ -500,7 +655,7 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
           let lm = live_map (u32_of a.(0)) in
           let ks = (Ebpf.Map.spec lm.map).Ebpf.Map.key_size in
           let key = Bytes.to_string (read_mem vm a.(1) ks) in
-          match Ebpf.Map.lookup lm.map key with
+          match with_map_lock lm (fun () -> Ebpf.Map.lookup lm.map key) with
           | Some value ->
             Telemetry.Counter.inc lm.m_hits;
             alloc_bytes (Bytes.of_string value)
@@ -517,25 +672,26 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
           let value =
             Bytes.to_string (read_mem vm a.(2) spec.Ebpf.Map.value_size)
           in
-          let ev0 = (Ebpf.Map.stats lm.map).Ebpf.Map.evictions in
-          let ok = Ebpf.Map.update lm.map key value in
-          let ev1 = (Ebpf.Map.stats lm.map).Ebpf.Map.evictions in
-          if ev1 > ev0 then begin
-            Telemetry.Counter.add lm.m_evictions (ev1 - ev0);
-            match t.recorder with
-            | None -> ()
-            | Some r ->
-              Obs.Recorder.record r Obs.Recorder.Map_evict
-                [
-                  ("host", t.host);
-                  ("program", ext.prog.Xprog.name);
-                  ("map", spec.Ebpf.Map.name);
-                  ("n", string_of_int (ev1 - ev0));
-                ]
+          let ok, evicted, entries =
+            with_map_lock lm (fun () ->
+                let ev0 = (Ebpf.Map.stats lm.map).Ebpf.Map.evictions in
+                let ok = Ebpf.Map.update lm.map key value in
+                let ev1 = (Ebpf.Map.stats lm.map).Ebpf.Map.evictions in
+                (ok, ev1 - ev0, Ebpf.Map.length lm.map))
+          in
+          if evicted > 0 then begin
+            Telemetry.Counter.add lm.m_evictions evicted;
+            emit_event t ~shard Obs.Recorder.Map_evict
+              [
+                ("host", t.host);
+                ("program", ext.prog.Xprog.name);
+                ("map", spec.Ebpf.Map.name);
+                ("n", string_of_int evicted);
+              ]
           end;
           if ok then begin
             Telemetry.Counter.inc lm.m_updates;
-            Telemetry.Gauge.set lm.m_entries (Ebpf.Map.length lm.map);
+            Telemetry.Gauge.set lm.m_entries entries;
             0L
           end
           else -1L );
@@ -544,9 +700,13 @@ let make_runtime t (ext : ext) (code : Ebpf.Insn.t list) : runtime =
           let lm = live_map (u32_of a.(0)) in
           let ks = (Ebpf.Map.spec lm.map).Ebpf.Map.key_size in
           let key = Bytes.to_string (read_mem vm a.(1) ks) in
-          if Ebpf.Map.delete lm.map key then begin
+          let deleted, entries =
+            with_map_lock lm (fun () ->
+                (Ebpf.Map.delete lm.map key, Ebpf.Map.length lm.map))
+          in
+          if deleted then begin
             Telemetry.Counter.inc lm.m_deletes;
-            Telemetry.Gauge.set lm.m_entries (Ebpf.Map.length lm.map);
+            Telemetry.Gauge.set lm.m_entries entries;
             0L
           end
           else -1L );
@@ -571,14 +731,15 @@ let outcome_name = function
   | Deferred -> "next"
   | Faulted _ -> "fault"
 
-let exec_one t att ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t) :
+let exec_one t att ~shard ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t) :
     exec_outcome =
-  let rt = att.runtime in
+  let rt = att.runtimes.(shard) in
+  let st = t.shard_state.(shard).s_stats in
   rt.ops <- ops;
   rt.args <- args;
   rt.heap_pos <- 0;
   Ebpf.Vm.set_budget rt.vm t.budget;
-  t.stats.runs <- t.stats.runs + 1;
+  st.runs <- st.runs + 1;
   Telemetry.Counter.inc att.probe.p_runs;
   let enabled = Telemetry.enabled t.tele in
   (* [span_begin] applies the registry's 1-in-N sampling; a dummy span
@@ -591,7 +752,7 @@ let exec_one t att ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t) :
   let outcome =
     try Value (Ebpf.Vm.run rt.vm) with
     | Next ->
-      t.stats.next_calls <- t.stats.next_calls + 1;
+      st.next_calls <- st.next_calls + 1;
       Telemetry.Counter.inc att.probe.p_next;
       Deferred
     | Ebpf.Vm.Error msg | Ebpf.Memory.Fault msg -> Faulted msg
@@ -599,7 +760,7 @@ let exec_one t att ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t) :
   (* [Ebpf.Vm.executed] is cumulative over the reused VM's lifetime; the
      per-run figure is the delta *)
   let insns = Ebpf.Vm.executed rt.vm - before in
-  t.stats.insns <- t.stats.insns + insns;
+  st.insns <- st.insns + insns;
   if enabled then begin
     Telemetry.Histogram.observe att.probe.p_insns insns;
     Telemetry.Gauge.set att.probe.p_heap rt.heap_pos
@@ -623,8 +784,8 @@ let exec_one t att ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t) :
 (* Capture the structured fault record and bump the labeled fault
    counter. The disassembly is best effort: exact for the interpreter,
    the faulting block's leader for [Block], absent for [Compiled]. *)
-let record_fault ?chain_slot t att point ~init msg =
-  let vm = att.runtime.vm in
+let record_fault ?chain_slot t att ~shard point ~init msg =
+  let vm = att.runtimes.(shard).vm in
   let pc = Ebpf.Vm.fault_pc vm in
   let insn =
     Option.bind pc (fun pc ->
@@ -651,17 +812,14 @@ let record_fault ?chain_slot t att point ~init msg =
        ~labels:
          (att.probe.span_tags @ [ ("insn", Option.value ~default:"-" insn) ])
        ());
-  (match t.recorder with
-  | None -> ()
-  | Some r ->
-    Obs.Recorder.record r Obs.Recorder.Xprog_fault
-      [
-        ("host", t.host);
-        ("point", Api.point_name point);
-        ("program", att.ext.prog.name);
-        ("bytecode", att.bc_name);
-        ("msg", msg);
-      ]);
+  emit_event t ~shard Obs.Recorder.Xprog_fault
+    [
+      ("host", t.host);
+      ("point", Api.point_name point);
+      ("program", att.ext.prog.name);
+      ("bytecode", att.bc_name);
+      ("msg", msg);
+    ];
   f
 
 let make_probe t (ext : ext) ~bytecode ~point =
@@ -739,12 +897,15 @@ let unarmed_default () =
 let fusable chain =
   Array.length chain > 0
   && Array.for_all
-       (fun att -> Ebpf.Vm.engine att.runtime.vm = Ebpf.Vm.Chain)
+       (fun att -> Ebpf.Vm.engine att.runtimes.(0).vm = Ebpf.Vm.Chain)
        chain
 
-let compile_fused t idx point chain =
+let compile_fused t ~shard idx point chain =
+  let ss = t.shard_state.(shard) in
+  let st = ss.s_stats in
+  let tr = ss.s_trace in
   let n = Array.length chain in
-  if Array.length t.trace_out < n then t.trace_out <- Array.make n 0;
+  if Array.length tr.trace_out < n then tr.trace_out <- Array.make n 0;
   let ctx =
     {
       c_ops = Host_intf.null_ops;
@@ -754,23 +915,20 @@ let compile_fused t idx point chain =
   in
   let layout =
     Ebpf.Chain.layout
-      (Array.map (fun att -> Ebpf.Vm.program_slots att.runtime.vm) chain)
+      (Array.map (fun att -> Ebpf.Vm.program_slots att.runtimes.(shard).vm) chain)
   in
   let fallback () =
-    t.stats.native_fallbacks <- t.stats.native_fallbacks + 1;
+    st.native_fallbacks <- st.native_fallbacks + 1;
     Telemetry.Counter.inc t.fallbacks.(idx);
-    (match t.recorder with
-    | None -> ()
-    | Some r ->
-      Obs.Recorder.record r Obs.Recorder.Native_fallback
-        [ ("host", t.host); ("point", Api.point_name point) ]);
+    emit_event t ~shard Obs.Recorder.Native_fallback
+      [ ("host", t.host); ("point", Api.point_name point) ];
     ctx.c_default ()
   in
   (* One site = [exec_one]'s exact observable sequence, specialized.
      [Telemetry.enabled] is re-read per run (the registry is mutable);
      only what cannot change under this generation is resolved here. *)
   let site i att =
-    let rt = att.runtime in
+    let rt = att.runtimes.(shard) in
     let probe = att.probe in
     let entry = Ebpf.Vm.prepared_entry rt.vm in
     let wants_args = att.summary.Xprog.arg_reads <> Some [] in
@@ -780,7 +938,7 @@ let compile_fused t idx point chain =
       if wants_args then rt.args <- ctx.c_args;
       rt.heap_pos <- 0;
       Ebpf.Vm.set_budget rt.vm budget;
-      t.stats.runs <- t.stats.runs + 1;
+      st.runs <- st.runs + 1;
       Telemetry.Counter.inc probe.p_runs;
       let enabled = Telemetry.enabled t.tele in
       let span =
@@ -791,7 +949,7 @@ let compile_fused t idx point chain =
       let t0_ns = if sampled then Telemetry.now_ns t.tele else 0 in
       let finish outcome =
         let insns = Ebpf.Vm.executed rt.vm - before in
-        t.stats.insns <- t.stats.insns + insns;
+        st.insns <- st.insns + insns;
         if enabled then begin
           Telemetry.Histogram.observe probe.p_insns insns;
           Telemetry.Gauge.set probe.p_heap rt.heap_pos
@@ -816,7 +974,7 @@ let compile_fused t idx point chain =
         finish "value";
         v
       | exception Next ->
-        t.stats.next_calls <- t.stats.next_calls + 1;
+        st.next_calls <- st.next_calls + 1;
         Telemetry.Counter.inc probe.p_next;
         finish "next";
         raise Next
@@ -825,28 +983,29 @@ let compile_fused t idx point chain =
         raise e
     in
     let on_value v =
-      t.trace_out.(i) <- 0;
-      t.trace_val <- v;
-      t.trace_len <- i + 1
+      tr.trace_out.(i) <- 0;
+      tr.trace_val <- v;
+      tr.trace_len <- i + 1
     in
     let on_defer () =
-      t.trace_out.(i) <- 1;
-      t.trace_len <- i + 1
+      tr.trace_out.(i) <- 1;
+      tr.trace_len <- i + 1
     in
     let on_fault msg =
-      t.stats.faults <- t.stats.faults + 1;
+      st.faults <- st.faults + 1;
       let chain_slot =
         Option.map
           (fun pc -> Ebpf.Chain.offset layout ~site:i ~pc)
           (Ebpf.Vm.fault_pc rt.vm)
       in
       let err =
-        render_fault (record_fault ?chain_slot t att point ~init:false msg)
+        render_fault
+          (record_fault ?chain_slot t att ~shard point ~init:false msg)
       in
       Log.warn (fun m -> m "%s" err);
       ctx.c_ops.log err;
-      t.trace_out.(i) <- 2;
-      t.trace_len <- i + 1
+      tr.trace_out.(i) <- 2;
+      tr.trace_len <- i + 1
     in
     { Ebpf.Chain.run; on_value; on_defer; on_fault }
   in
@@ -858,16 +1017,21 @@ let compile_fused t idx point chain =
   in
   { f_enter; f_ctx = ctx; f_layout = layout }
 
-(* The point's fused unit under the current generation: cached, [None]
-   if the chain is unfusable, recompiled at most once per generation. *)
-let fused_for t idx point chain =
-  if t.fused_gen.(idx) = t.generation then t.fused.(idx)
+(* The (point, shard) fused unit under the current generation: cached,
+   [None] if the chain is unfusable, recompiled at most once per
+   generation per shard. Lazy compilation inherits the shard's
+   single-driver discipline: whoever dispatches on the shard compiles
+   for it, and nobody else dispatches on it concurrently. *)
+let fused_for t ~shard idx point chain =
+  let ss = t.shard_state.(shard) in
+  if ss.s_fused_gen.(idx) = t.generation then ss.s_fused.(idx)
   else begin
     let f =
-      if fusable chain then Some (compile_fused t idx point chain) else None
+      if fusable chain then Some (compile_fused t ~shard idx point chain)
+      else None
     in
-    t.fused.(idx) <- f;
-    t.fused_gen.(idx) <- t.generation;
+    ss.s_fused.(idx) <- f;
+    ss.s_fused_gen.(idx) <- t.generation;
     f
   end
 
@@ -881,7 +1045,34 @@ let attach t ~program ~bytecode ~point ~order : (unit, string) result =
     match Xprog.bytecode ext.prog bytecode with
     | None ->
       Error (Printf.sprintf "program %S has no bytecode %S" program bytecode)
-    | Some code ->
+    | Some code -> (
+      let nshards = Array.length t.shard_state in
+      (* Control points (message decode/encode/init) are not routed by
+         prefix, so under sharding their dispatches may land on any
+         shard — a per-shard map there would silently split state the
+         program expects to be whole. Prefix-scoped points are exempt:
+         their per-shard instances see a stable prefix partition. *)
+      let control_point =
+        match point with
+        | Api.Bgp_init | Api.Bgp_receive_message | Api.Bgp_encode_message ->
+          true
+        | Api.Bgp_inbound_filter | Api.Bgp_decision | Api.Bgp_outbound_filter
+          ->
+          false
+      in
+      let per_shard_map =
+        List.find_opt
+          (fun (s : Ebpf.Map.spec) -> not s.shared)
+          ext.prog.Xprog.maps
+      in
+      match per_shard_map with
+      | Some m when nshards > 1 && control_point ->
+        Error
+          (Printf.sprintf
+             "program %S declares per-shard map %S; attaching at control \
+              point %s under %d shards requires declaring it 'shared'"
+             program m.Ebpf.Map.name (Api.point_name point) nshards)
+      | _ ->
       let idx = Api.point_index point in
       let summary =
         let s = Xprog.dispatch_summary code in
@@ -895,7 +1086,8 @@ let attach t ~program ~bytecode ~point ~order : (unit, string) result =
           ext;
           bc_name = bytecode;
           order;
-          runtime = make_runtime t ext code;
+          runtimes =
+            Array.init nshards (fun shard -> make_runtime t ext ~shard code);
           probe = make_probe t ext ~bytecode ~point;
           summary;
         }
@@ -908,7 +1100,7 @@ let attach t ~program ~bytecode ~point ~order : (unit, string) result =
              (fun a b -> Int.compare a.order b.order)
              (att :: Array.to_list t.chains.(idx)));
       t.generation <- t.generation + 1;
-      Ok ())
+      Ok ()))
 
 let detach t ~program ~point =
   let idx = Api.point_index point in
@@ -1029,7 +1221,10 @@ let replace_program t (prog : Xprog.t) : (unit, string) result =
                         ext;
                         bc_name = att.bc_name;
                         order = att.order;
-                        runtime = make_runtime t ext code;
+                        runtimes =
+                          Array.init
+                            (Array.length t.shard_state)
+                            (fun shard -> make_runtime t ext ~shard code);
                         probe = make_probe t ext ~bytecode:att.bc_name ~point;
                         summary;
                       }
@@ -1054,10 +1249,12 @@ let has_any_attachment t =
 (* Whether the point currently dispatches through a compiled fused unit
    — introspection for the rekey test and the live-status CLI. Compiling
    is lazy (first dispatch after a generation bump), so this reports the
-   state as of the last dispatch, without forcing a compile. *)
+   state as of the last dispatch, without forcing a compile. Shard 0 is
+   the reference surface (the only one in an unsharded VMM). *)
 let chain_compiled t point =
   let idx = Api.point_index point in
-  t.fused_gen.(idx) = t.generation && Option.is_some t.fused.(idx)
+  let ss = t.shard_state.(0) in
+  ss.s_fused_gen.(idx) = t.generation && Option.is_some ss.s_fused.(idx)
 
 (* Chain offset -> (program, bytecode, local pc) for the chain attached
    at [point] — fault reporters and divergence reports use it to
@@ -1067,12 +1264,13 @@ let chain_compiled t point =
 let locate_chain_slot t point off =
   let idx = Api.point_index point in
   let chain = t.chains.(idx) in
+  let ss = t.shard_state.(0) in
   let layout =
-    match t.fused.(idx) with
-    | Some f when t.fused_gen.(idx) = t.generation -> f.f_layout
+    match ss.s_fused.(idx) with
+    | Some f when ss.s_fused_gen.(idx) = t.generation -> f.f_layout
     | _ ->
       Ebpf.Chain.layout
-        (Array.map (fun att -> Ebpf.Vm.program_slots att.runtime.vm) chain)
+        (Array.map (fun att -> Ebpf.Vm.program_slots att.runtimes.(0).vm) chain)
   in
   Option.map
     (fun (site, pc) ->
@@ -1138,6 +1336,63 @@ let group_invariant t point ~allow_write_buf =
            att.summary.Xprog.helpers)
     t.chains.(Api.point_index point)
 
+(* True when the chain at [point] may be dispatched concurrently from
+   per-shard workers, one prefix-disjoint task stream per shard, and
+   still be indistinguishable — route-for-route, map-entry-for-map-entry
+   — from dispatching the same tasks sequentially. Each clause kills a
+   specific way parallel order could become observable:
+
+   - persistent scratch is one byte region shared by every shard's VMs:
+     any scratch program both races and observes scheduling order;
+   - helpers outside [batchable_helpers] (logging, rib_add, write_buf)
+     have host-visible per-call effects whose interleaving the host
+     cannot re-serialize; map writes are re-admitted below under their
+     own placement rule;
+   - a write to a SHARED map is applied under the instance lock in
+     worker completion order, which is not submission order — only
+     per-shard instances (disjoint key spaces, deterministic per-shard
+     FIFO) keep writes deterministic;
+   - a read of a shared LRU map refreshes recency, a write in disguise
+     — the same reason LRU reads disqualify batching. Per-shard LRU
+     reads stay in: each instance sees its shard's deterministic
+     subsequence.
+
+   Statically unresolvable map accesses ([None]) fail closed. An empty
+   chain is vacuously safe (nothing runs). Hosts gate their parallel
+   lane on this per generation and fall back to the serial lane — which
+   still routes through the same per-shard VMs, so map placement never
+   flips with the lane. *)
+let shard_parallel_safe t point =
+  Array.for_all
+    (fun att ->
+      att.ext.prog.Xprog.scratch_size = 0
+      && List.for_all
+           (fun id ->
+             List.mem id Xprog.batchable_helpers
+             || id = Api.h_map_update || id = Api.h_map_delete)
+           att.summary.Xprog.helpers
+      && (match att.summary.Xprog.map_writes with
+         | None -> false
+         | Some idxs ->
+           List.for_all
+             (fun i ->
+               match List.nth_opt att.ext.prog.Xprog.maps i with
+               | Some spec -> not spec.Ebpf.Map.shared
+               | None -> false)
+             idxs)
+      &&
+      match att.summary.Xprog.map_reads with
+      | None -> false
+      | Some idxs ->
+        List.for_all
+          (fun i ->
+            match List.nth_opt att.ext.prog.Xprog.maps i with
+            | Some spec ->
+              (not spec.Ebpf.Map.shared) || spec.Ebpf.Map.kind <> Ebpf.Map.Lru
+            | None -> false)
+          idxs)
+    t.chains.(Api.point_index point)
+
 (* A stable textual identity of the chain at [point] — update-group keys
    embed it so an attach/detach re-partitions the peers. *)
 let chain_signature t point =
@@ -1157,8 +1412,8 @@ let registered t =
     (ids from [Api]); [default] is the host's native implementation of the
     operation, used when nothing is attached, when the last bytecode calls
     [next()], or when a bytecode faults. *)
-let run t point ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t)
-    ~(default : unit -> int64) : int64 =
+let run ?(shard = 0) t point ~(ops : Host_intf.ops)
+    ~(args : Host_intf.Args.t) ~(default : unit -> int64) : int64 =
   let idx = Api.point_index point in
   let chain = t.chains.(idx) in
   let n = Array.length chain in
@@ -1166,7 +1421,7 @@ let run t point ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t)
     (* the common case — no extension attached — costs one array load
        and a length test, with nothing allocated *)
   else
-    match fused_for t idx point chain with
+    match fused_for t ~shard idx point chain with
     | Some f ->
       (* whole-chain fused dispatch: arm the trace and the per-dispatch
          context, then one call runs the entire chain. The context is
@@ -1174,9 +1429,10 @@ let run t point ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t)
          (a host callback raising) leaves it armed until the next
          dispatch overwrites it, exactly as harmless as the stale
          last-dispatch trace. *)
-      t.trace_point <- idx;
-      t.trace_gen <- t.generation;
-      t.trace_len <- 0;
+      let tr = t.shard_state.(shard).s_trace in
+      tr.trace_point <- idx;
+      tr.trace_gen <- t.generation;
+      tr.trace_len <- 0;
       let ctx = f.f_ctx in
       ctx.c_ops <- ops;
       ctx.c_args <- args;
@@ -1188,60 +1444,65 @@ let run t point ~(ops : Host_intf.ops) ~(args : Host_intf.Args.t)
       r
     | None ->
   begin
+    let ss = t.shard_state.(shard) in
+    let st = ss.s_stats in
+    let tr = ss.s_trace in
     (* arm the last-dispatch trace (two stores per bytecode, no
        allocation; [last_trace] rebuilds the structured view on demand) *)
-    if Array.length t.trace_out < n then t.trace_out <- Array.make n 0;
-    t.trace_point <- idx;
-    t.trace_gen <- t.generation;
-    t.trace_len <- 0;
+    if Array.length tr.trace_out < n then tr.trace_out <- Array.make n 0;
+    tr.trace_point <- idx;
+    tr.trace_gen <- t.generation;
+    tr.trace_len <- 0;
     let i = ref 0 and decided = ref false and result = ref 0L in
     while (not !decided) && !i < n do
       let att = chain.(!i) in
-      match exec_one t att ~ops ~args with
+      match exec_one t att ~shard ~ops ~args with
       | Value v ->
         result := v;
         decided := true;
-        t.trace_out.(!i) <- 0;
-        t.trace_val <- v;
-        t.trace_len <- !i + 1
+        tr.trace_out.(!i) <- 0;
+        tr.trace_val <- v;
+        tr.trace_len <- !i + 1
       | Deferred ->
-        t.trace_out.(!i) <- 1;
-        t.trace_len <- !i + 1;
+        tr.trace_out.(!i) <- 1;
+        tr.trace_len <- !i + 1;
         incr i
       | Faulted msg ->
-        t.stats.faults <- t.stats.faults + 1;
-        let err = render_fault (record_fault t att point ~init:false msg) in
+        st.faults <- st.faults + 1;
+        let err =
+          render_fault (record_fault t att ~shard point ~init:false msg)
+        in
         Log.warn (fun m -> m "%s" err);
         ops.log err;
-        t.trace_out.(!i) <- 2;
-        t.trace_len <- !i + 1;
+        tr.trace_out.(!i) <- 2;
+        tr.trace_len <- !i + 1;
         (* a fault abandons the rest of the chain and falls back *)
         i := n
     done;
     if !decided then !result
     else begin
-      t.stats.native_fallbacks <- t.stats.native_fallbacks + 1;
+      st.native_fallbacks <- st.native_fallbacks + 1;
       Telemetry.Counter.inc t.fallbacks.(idx);
-      (match t.recorder with
-      | None -> ()
-      | Some r ->
-        Obs.Recorder.record r Obs.Recorder.Native_fallback
-          [ ("host", t.host); ("point", Api.point_name point) ]);
+      emit_event t ~shard Obs.Recorder.Native_fallback
+        [ ("host", t.host); ("point", Api.point_name point) ];
       default ()
     end
   end
 
 (** Run every bytecode attached to [Bgp_init] once (manifest load time).
-    Faults are logged; initialization continues with the next bytecode. *)
+    Faults are logged; initialization continues with the next bytecode.
+    Init runs on shard 0 — persistent scratch and maps reachable from
+    init must be shared or shard-0-resident by the attach-time rule. *)
 let run_init t ~ops =
   Array.iter
     (fun att ->
-      match exec_one t att ~ops ~args:Host_intf.Args.empty with
+      match exec_one t att ~shard:0 ~ops ~args:Host_intf.Args.empty with
       | Value _ | Deferred -> ()
       | Faulted msg ->
-        t.stats.faults <- t.stats.faults + 1;
+        t.shard_state.(0).s_stats.faults <-
+          t.shard_state.(0).s_stats.faults + 1;
         let err =
-          render_fault (record_fault t att Api.Bgp_init ~init:true msg)
+          render_fault (record_fault t att ~shard:0 Api.Bgp_init ~init:true msg)
         in
         ops.log err)
     t.chains.(Api.point_index Api.Bgp_init)
@@ -1270,18 +1531,19 @@ let outcome_value_name point v =
    [None] when the last traced dispatch was at a different point or the
    chains changed since — callers must read it before dispatching
    anything else (a nested import -> rib_add -> export overwrites it). *)
-let last_trace t point : Obs.Provenance.step list option =
+let last_trace ?(shard = 0) t point : Obs.Provenance.step list option =
   let idx = Api.point_index point in
-  if t.trace_point <> idx || t.trace_gen <> t.generation then None
+  let tr = t.shard_state.(shard).s_trace in
+  if tr.trace_point <> idx || tr.trace_gen <> t.generation then None
   else begin
     let chain = t.chains.(idx) in
-    let n = min t.trace_len (Array.length chain) in
+    let n = min tr.trace_len (Array.length chain) in
     let steps = ref [] in
     for i = n - 1 downto 0 do
       let att = chain.(i) in
       let outcome =
-        match t.trace_out.(i) with
-        | 0 -> outcome_value_name point t.trace_val
+        match tr.trace_out.(i) with
+        | 0 -> outcome_value_name point tr.trace_val
         | 1 -> "next()"
         | _ -> "fault"
       in
@@ -1314,44 +1576,84 @@ let last_trace t point : Obs.Provenance.step list option =
     Some !steps
   end
 
+(* The physical instances behind map declaration [idx]: one (the first
+   row's) for a shared map, one per shard otherwise. *)
+let map_instances (rows : live_map array array) idx =
+  let lm0 = rows.(0).(idx) in
+  if (Ebpf.Map.spec lm0.map).Ebpf.Map.shared then [ lm0 ]
+  else Array.to_list rows |> List.map (fun row -> row.(idx))
+
 let map_size t ~program idx =
   match Hashtbl.find_opt t.extensions program with
   | Some ext when idx >= 0 && idx < List.length ext.prog.Xprog.maps -> (
     match ext.maps with
-    | Some live -> Some (Ebpf.Map.length live.(idx).map)
+    | Some rows ->
+      Some
+        (List.fold_left
+           (fun n lm -> n + Ebpf.Map.length lm.map)
+           0 (map_instances rows idx))
     | None -> Some 0 (* declared but not live: registered, unattached *))
   | _ -> None
 
 let map_stats t ~program idx =
   match Hashtbl.find_opt t.extensions program with
-  | Some { maps = Some live; _ } when idx >= 0 && idx < Array.length live ->
-    Some (Ebpf.Map.stats live.(idx).map)
+  | Some { maps = Some rows; _ } when idx >= 0 && idx < Array.length rows.(0)
+    ->
+    Some
+      (List.fold_left
+         (fun (acc : Ebpf.Map.stats) lm ->
+           let s = Ebpf.Map.stats lm.map in
+           {
+             Ebpf.Map.lookups = acc.lookups + s.Ebpf.Map.lookups;
+             hits = acc.hits + s.Ebpf.Map.hits;
+             updates = acc.updates + s.Ebpf.Map.updates;
+             deletes = acc.deletes + s.Ebpf.Map.deletes;
+             evictions = acc.evictions + s.Ebpf.Map.evictions;
+           })
+         { Ebpf.Map.lookups = 0; hits = 0; updates = 0; deletes = 0;
+           evictions = 0 }
+         (map_instances rows idx))
   | _ -> None
+
+(* One declaration's canonical dump: the union of its physical
+   instances' dumps, re-sorted by key bytes. For a prefix-keyed
+   per-shard map the shards hold disjoint keys, so the union is exactly
+   what a single-instance run would dump; a key duplicated across
+   shards surfaces as a duplicate entry — deliberately, because it
+   means the program violated the per-shard keying contract and the
+   equality oracle SHOULD fail. *)
+let merged_dump rows idx =
+  map_instances rows idx
+  |> List.concat_map (fun lm -> Ebpf.Map.dump lm.map)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* Canonical dumps for the fuzz oracles: every live map of [program] (in
    declaration order) with its entries sorted by key bytes. *)
 let map_dump t ~program =
   match Hashtbl.find_opt t.extensions program with
-  | Some { maps = Some live; _ } ->
+  | Some { maps = Some rows; prog; _ } ->
     Some
-      (Array.to_list live
-      |> List.map (fun lm ->
-             ((Ebpf.Map.spec lm.map).Ebpf.Map.name, Ebpf.Map.dump lm.map)))
+      (List.mapi
+         (fun idx (s : Ebpf.Map.spec) -> (s.Ebpf.Map.name, merged_dump rows idx))
+         prog.Xprog.maps)
   | _ -> None
 
 (* The whole VMM's live map state, sorted by program name — the
    cross-leg comparison unit of the map-state oracle. Programs with no
    live maps are omitted, so a VMM that never attached a stateful
-   program compares equal to one that attached and fully detached it. *)
+   program compares equal to one that attached and fully detached it.
+   Sharded VMMs report the merged canonical union, so a sharded leg
+   compares route-for-route against a sequential one. *)
 let map_state t =
   Hashtbl.fold
     (fun name ext acc ->
       match ext.maps with
-      | Some live when Array.length live > 0 ->
+      | Some rows when Array.length rows.(0) > 0 ->
         let dumps =
-          Array.to_list live
-          |> List.map (fun lm ->
-                 ((Ebpf.Map.spec lm.map).Ebpf.Map.name, Ebpf.Map.dump lm.map))
+          List.mapi
+            (fun idx (s : Ebpf.Map.spec) ->
+              (s.Ebpf.Map.name, merged_dump rows idx))
+            ext.prog.Xprog.maps
         in
         (name, dumps) :: acc
       | _ -> acc)

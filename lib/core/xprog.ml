@@ -12,13 +12,14 @@ type map_spec = Ebpf.Map.spec = {
   key_size : int;
   value_size : int;
   max_entries : int;
+  shared : bool;
 }
 
 (* Spec builder for the common case: a small anonymous hash map. [v]
    names anonymous maps "map<i>" by declaration index. *)
-let map ?(name = "") ?(kind = Ebpf.Map.Hash) ?(max_entries = 1024) ~key_size
-    ~value_size () =
-  { name; kind; key_size; value_size; max_entries }
+let map ?(name = "") ?(kind = Ebpf.Map.Hash) ?(max_entries = 1024)
+    ?(shared = false) ~key_size ~value_size () =
+  { name; kind; key_size; value_size; max_entries; shared }
 
 type t = {
   name : string;

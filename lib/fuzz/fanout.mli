@@ -40,11 +40,12 @@ type obs = {
           context, never compared between legs *)
 }
 
-val run_leg : case -> grouped:bool -> obs
+val run_leg : case -> grouped:bool -> shards:int -> obs
 (** Execute one export mode of the case and snapshot everything the
-    oracle compares (exposed for tests). *)
+    oracle compares (exposed for tests); [shards > 1] runs the DUT
+    sharded (worker domains are joined before returning). *)
 
-val run_case : ?perturb:bool -> case -> string list
+val run_case : ?perturb:bool -> ?shards:int -> case -> string list
 (** Run both export modes and compare; returns divergence descriptions
     (empty = equivalent). [perturb] corrupts one grouped-side frame and
     the map fingerprint so the oracle provably fires (self-test mode). *)
@@ -58,8 +59,11 @@ val pp_summary : Format.formatter -> summary -> unit
 
 val campaign :
   ?perturb:bool ->
+  ?shards:int ->
   ?log:(string -> unit) ->
   seed:int ->
   cases:int ->
   unit ->
   summary
+(** [shards] (default 1) runs every DUT sharded across that many worker
+    domains — both export modes must still agree byte-for-byte. *)

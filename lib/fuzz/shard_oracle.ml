@@ -1,0 +1,294 @@
+(* The sharding oracle.
+
+   The sharded daemon claims the multicore pipeline is invisible: with
+   [shards = N] the import-filter dispatch fans out to per-shard worker
+   domains and UPDATE encoding is offloaded to a domain pool, but every
+   state commit happens on the coordinating domain in submission order —
+   so the observable routing state must be identical, route for route,
+   to the deterministic single-domain daemon. This oracle executes the
+   SAME star-topology scenario twice — [shards = 1] and [shards = N for
+   N in {2, 3, 8}] — and requires an identical DUT Loc-RIB, for every
+   spoke a byte-identical UPDATE frame stream (content AND framing AND
+   order) and derived adj-RIB-in, a byte-identical provenance snapshot,
+   and an identical merged map-state fingerprint.
+
+   Cases sweep both hosts, the shard counts, peer counts, extensions
+   (none — the sharded native lane; a map-carrying inbound chain; an
+   inbound chain the safety analysis REJECTS, forcing the serial
+   fallback, which must be just as invisible; a grouped outbound chain
+   riding the encode offload) and churn, including a withdrawal racing
+   the re-advertisement of the same prefixes through another peer in
+   one unsettled window — the commit-order trap a racy shard merge
+   would lose. *)
+
+type churn =
+  | No_churn
+  | Bounce  (** one spoke's link fails, hold timers expire, it rejoins *)
+  | Sink_feed  (** one spoke originates routes into the hub, then withdraws *)
+  | Wd_race
+      (** a withdrawal and a re-advertisement of the same prefixes from
+          another peer land in one unsettled window *)
+
+let churn_name = function
+  | No_churn -> "none"
+  | Bounce -> "bounce"
+  | Sink_feed -> "sink_feed"
+  | Wd_race -> "wd_race"
+
+type case = {
+  seed : int;
+  index : int;
+  host : Scenario.Testbed.host;
+  shards : int;  (** the sharded leg's domain count (2, 3 or 8) *)
+  npeers : int;
+  extension : string option;  (** registry manifest name *)
+  churn : churn;
+  routes : Dataset.Ris_gen.route list;
+}
+
+let host_name = function `Frr -> "frr" | `Bird -> "bird"
+
+let pp_case ppf (c : case) =
+  Format.fprintf ppf
+    "shard case %d.%d: host=%s shards=%d peers=%d ext=%s churn=%s (%d routes)"
+    c.seed c.index (host_name c.host) c.shards c.npeers
+    (Option.value ~default:"none" c.extension)
+    (churn_name c.churn) (List.length c.routes)
+
+let case ~seed ~index : case =
+  let rand = Random.State.make [| seed; index; 0x5a4d |] in
+  let host = if Random.State.bool rand then `Frr else `Bird in
+  let shards = [| 2; 3; 8 |].(Random.State.int rand 3) in
+  let npeers = 2 + Random.State.int rand 4 in
+  let extension =
+    match Random.State.int rand 5 with
+    | 0 -> None  (* the sharded native import lane *)
+    | 1 -> Some "flap_damping"  (* map-carrying inbound chain *)
+    | 2 -> Some "prefix_limit"
+      (* shard-unsafe inbound chain (rejected by the safety analysis):
+         must fall back to the serial lane and stay invisible *)
+    | 3 -> Some "community_strip"  (* outbound chain, encode offload *)
+    | _ -> Some "igp_filter"
+  in
+  let churn =
+    match Random.State.int rand 4 with
+    | 0 -> No_churn
+    | 1 -> Bounce
+    | 2 -> Sink_feed
+    | _ -> Wd_race
+  in
+  let routes =
+    Dataset.Ris_gen.generate
+      {
+        Dataset.Ris_gen.default_config with
+        seed = (seed * 6007) + index;
+        count = 16 + Random.State.int rand 48;
+      }
+  in
+  { seed; index; host; shards; npeers; extension; churn; routes }
+
+(* what both legs look like after the identical scenario settles *)
+type obs = {
+  frames : string list array;  (** per sink, raw UPDATE frames in order *)
+  ribs : (Bgp.Prefix.t * Bgp.Attr.t list) list array;
+  loc : (Bgp.Prefix.t * Bgp.Attr.t list) list;
+  prov : string list;  (** rendered provenance snapshot, sorted by prefix *)
+  maps : string;  (** merged map-state fingerprint, all VM shards *)
+  info : Shard.Info.t;
+  tail : string list;  (** DUT flight-recorder tail, report context *)
+}
+
+let extra_prefix k = Bgp.Prefix.v (Bgp.Prefix.addr_of_quad (199, 52, k, 0)) 24
+let feed_prefix k = Bgp.Prefix.v (Bgp.Prefix.addr_of_quad (198, 19, k, 0)) 24
+
+(* Wd_race prefixes: a /24 run long enough that every shard count in the
+   sweep owns at least one of them, so the race always crosses a shard
+   boundary. *)
+let race_prefixes = List.init 8 feed_prefix
+
+let sink_attrs star j =
+  Bgp.Attr.
+    [
+      v (Origin Igp);
+      v (As_path [ Seq [ 65101 + j ] ]);
+      v (Next_hop (Scenario.Star.sink_address star j));
+    ]
+
+let run_leg (c : case) ~shards : obs =
+  let manifest = Option.bind c.extension Xprogs.Registry.find_manifest in
+  let xtras =
+    if c.extension = Some "prefix_limit" then
+      [ ("max_prefix", Xprogs.Util.encode_u32 1024) ]
+    else []
+  in
+  let star =
+    Scenario.Star.create ~host:c.host ?manifest ~shards ~hold_time:3 ~xtras
+      ~npeers:c.npeers ()
+  in
+  let rc = Obs.Recorder.create ~capacity:4096 ~name:"dut" () in
+  Scenario.Star.attach_recorder star rc;
+  Scenario.Star.establish star;
+  List.iter
+    (fun (r : Dataset.Ris_gen.route) ->
+      Scenario.Star.originate star r.prefix r.attrs)
+    c.routes;
+  Scenario.Star.settle star;
+  let j = c.index mod c.npeers in
+  (match c.churn with
+  | No_churn -> ()
+  | Bounce ->
+    Scenario.Star.set_link_up star j false;
+    Scenario.Star.run_for star 4_000_000;
+    Scenario.Star.set_link_up star j true;
+    Scenario.Star.restart star;
+    if
+      not
+        (Scenario.Star.run_until star (fun () ->
+             Scenario.Star.all_established star))
+    then failwith "shard_oracle: bounce did not re-establish";
+    Scenario.Star.settle star
+  | Sink_feed ->
+    let fed = List.init 4 feed_prefix in
+    Scenario.Star.sink_announce star j ~attrs:(sink_attrs star j) fed;
+    Scenario.Star.settle star;
+    Scenario.Star.sink_withdraw star j [ feed_prefix 0; feed_prefix 2 ];
+    Scenario.Star.settle star
+  | Wd_race ->
+    (* sink j advertises a block spanning every shard; once settled, its
+       withdrawal and sink (j+1)'s re-advertisement of the SAME prefixes
+       land in one unsettled window. The sharded daemon must serialize
+       the two batches exactly as the sequential one does. *)
+    let k = (j + 1) mod c.npeers in
+    Scenario.Star.sink_announce star j ~attrs:(sink_attrs star j)
+      race_prefixes;
+    Scenario.Star.settle star;
+    Scenario.Star.sink_withdraw star j race_prefixes;
+    Scenario.Star.sink_announce star k ~attrs:(sink_attrs star k)
+      race_prefixes;
+    Scenario.Star.settle star);
+  (* a post-churn incremental change rides through the final state *)
+  Scenario.Star.originate star (extra_prefix 0)
+    Bgp.Attr.
+      [ v (Origin Igp); v (As_path [ Seq [ 64998 ] ]); v (Next_hop 0x0A000001) ];
+  Scenario.Star.withdraw_local star
+    (match c.routes with r :: _ -> r.prefix | [] -> extra_prefix 1);
+  Scenario.Star.settle star;
+  let dut = Scenario.Star.dut star in
+  let obs =
+    {
+      frames =
+        Array.init c.npeers (fun i ->
+            List.map Bytes.to_string (Scenario.Star.sink_frames star i));
+      ribs = Array.init c.npeers (Scenario.Star.sink_rib star);
+      loc = Scenario.Daemon.loc_snapshot dut;
+      prov =
+        List.map
+          (fun (p, pr) ->
+            Bgp.Prefix.to_string p ^ " " ^ Obs.Provenance.to_text pr)
+          (Scenario.Daemon.provenance_snapshot dut);
+      maps =
+        (match Scenario.Star.dut_vmm star with
+        | Some vmm -> Oracle.render_map_state (Xbgp.Vmm.map_state vmm)
+        | None -> "");
+      info = Scenario.Daemon.shard_info dut;
+      tail = Obs.Recorder.tail_lines ~n:12 ~prefix:"    " rc;
+    }
+  in
+  Scenario.Star.shutdown star;
+  obs
+
+let first_mismatch a b =
+  let rec go i a b =
+    match (a, b) with
+    | [], [] -> None
+    | x :: a, y :: b when x = y -> go (i + 1) a b
+    | _ -> Some i
+  in
+  go 0 a b
+
+let diff (c : case) (sh : obs) (sq : obs) : string list =
+  let fs = ref [] in
+  let add fmt = Format.kasprintf (fun s -> fs := s :: !fs) fmt in
+  if sh.loc <> sq.loc then
+    add "DUT Loc-RIB differs between shards=%d and shards=1 (%d vs %d routes)"
+      c.shards (List.length sh.loc) (List.length sq.loc);
+  for i = 0 to c.npeers - 1 do
+    if sh.frames.(i) <> sq.frames.(i) then
+      add
+        "sink %d: frame stream diverges at frame %s (sharded %d frames, \
+         sequential %d)"
+        i
+        (match first_mismatch sh.frames.(i) sq.frames.(i) with
+        | Some k -> string_of_int k
+        | None -> "?")
+        (List.length sh.frames.(i))
+        (List.length sq.frames.(i));
+    if sh.ribs.(i) <> sq.ribs.(i) then
+      add
+        "sink %d: derived adj-RIB-in differs (sharded %d routes, sequential \
+         %d)"
+        i
+        (List.length sh.ribs.(i))
+        (List.length sq.ribs.(i))
+  done;
+  if sh.prov <> sq.prov then
+    add "provenance snapshot diverges at entry %s (%d vs %d records)"
+      (match first_mismatch sh.prov sq.prov with
+      | Some k -> string_of_int k
+      | None -> "?")
+      (List.length sh.prov) (List.length sq.prov);
+  if sh.maps <> sq.maps then
+    add "merged map state differs (sharded=%s sequential=%s)" sh.maps sq.maps;
+  (* internal sanity on the sharded leg itself: the slices partition the
+     Loc-RIB, and the shard count is what the case asked for *)
+  let counted = Array.fold_left ( + ) 0 sh.info.Shard.Info.counts in
+  if counted <> List.length sh.loc then
+    add "shard slice counts sum to %d but the Loc-RIB holds %d routes" counted
+      (List.length sh.loc);
+  if sh.info.Shard.Info.shards <> c.shards then
+    add "sharded leg reports %d shards, case asked for %d"
+      sh.info.Shard.Info.shards c.shards;
+  List.rev !fs
+
+let run_case ?(perturb = false) (c : case) : string list =
+  let sharded = run_leg c ~shards:c.shards in
+  let sequential = run_leg c ~shards:1 in
+  let sharded =
+    if perturb && Array.length sharded.frames > 0 then (
+      (* self-test: corrupt one sharded frame AND the map fingerprint so
+         both the stream oracle and the map-state oracle provably fire *)
+      let frames = Array.copy sharded.frames in
+      frames.(0) <- frames.(0) @ [ "CORRUPT" ];
+      { sharded with frames; maps = sharded.maps ^ "|corrupt" })
+    else sharded
+  in
+  match diff c sharded sequential with
+  | [] -> []
+  | fs ->
+    let tail who lines =
+      if lines = [] then [] else ("  " ^ who ^ " flight-recorder tail:") :: lines
+    in
+    fs
+    @ tail "sharded leg" sharded.tail
+    @ tail "sequential leg" sequential.tail
+
+type summary = {
+  cases : int;
+  failures : (case * string list) list;  (** failing cases only *)
+}
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "shard oracle: %d cases, %d divergent (sharded vs sequential)" s.cases
+    (List.length s.failures)
+
+let campaign ?(perturb = false) ?(log = fun _ -> ()) ~seed ~cases () : summary =
+  let failures = ref [] in
+  for index = 0 to cases - 1 do
+    let c = case ~seed ~index in
+    log (Format.asprintf "%a" pp_case c);
+    match run_case ~perturb c with
+    | [] -> ()
+    | fs -> failures := (c, fs) :: !failures
+  done;
+  { cases; failures = List.rev !failures }

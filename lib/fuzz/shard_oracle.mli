@@ -1,0 +1,52 @@
+(** The sharding oracle: the multicore daemon ([shards = N]) must be
+    observationally identical — route for route, frame for frame, byte
+    for byte — to the deterministic single-domain daemon. Each case runs
+    the SAME star scenario under [shards = 1] and [shards = N] (N drawn
+    from 2/3/8) and compares the DUT Loc-RIB, every spoke's raw UPDATE
+    frame stream and derived adj-RIB-in, the rendered provenance
+    snapshot and the merged map-state fingerprint. *)
+
+type churn =
+  | No_churn
+  | Bounce
+  | Sink_feed
+  | Wd_race
+      (** a withdrawal and a re-advertisement of the same prefixes from
+          another peer land in one unsettled window — the commit-order
+          trap a racy shard merge would lose *)
+
+val churn_name : churn -> string
+
+type case = {
+  seed : int;
+  index : int;
+  host : Scenario.Testbed.host;
+  shards : int;  (** the sharded leg's domain count (2, 3 or 8) *)
+  npeers : int;
+  extension : string option;  (** registry manifest name *)
+  churn : churn;
+  routes : Dataset.Ris_gen.route list;
+}
+
+val case : seed:int -> index:int -> case
+val pp_case : Format.formatter -> case -> unit
+
+val run_case : ?perturb:bool -> case -> string list
+(** Run both legs and diff; [[]] means equivalent. [perturb] corrupts
+    the sharded leg's observation — the self-test knob proving the
+    oracle fires. Worker domains are joined before returning. *)
+
+type summary = {
+  cases : int;
+  failures : (case * string list) list;  (** failing cases only *)
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val campaign :
+  ?perturb:bool ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  summary

@@ -2,11 +2,18 @@
    §3.2). The same container serves both directions; daemons keep one
    [t] for inbound state (exact routes as learned, pre-decision) and one
    for outbound state (what has been advertised to each peer, which lets
-   them send implicit withdraws only when something actually changed). *)
+   them send implicit withdraws only when something actually changed).
 
-type 'r t = { tables : (int, 'r Ptrie.t) Hashtbl.t }
+   A running size counter makes [total] O(1): it is read from stats
+   snapshots and [show rib] on every query, where folding [Ptrie.size]
+   over each peer table was O(peers x prefixes). *)
 
-let create () = { tables = Hashtbl.create 8 }
+type 'r t = {
+  tables : (int, 'r Ptrie.t) Hashtbl.t;
+  mutable total : int;  (** live bindings across every peer table *)
+}
+
+let create () = { tables = Hashtbl.create 8; total = 0 }
 
 let table t peer =
   match Hashtbl.find_opt t.tables peer with
@@ -18,19 +25,30 @@ let table t peer =
 
 (** Store (or replace) the route for [p] learned from / sent to [peer];
     returns the previous route if any. *)
-let set t ~peer p r = Ptrie.replace (table t peer) p r
+let set t ~peer p r =
+  let prev = Ptrie.replace (table t peer) p r in
+  if prev = None then t.total <- t.total + 1;
+  prev
 
 (** Remove the route for [p]; returns the removed route if any. *)
-let clear t ~peer p = Ptrie.remove (table t peer) p
+let clear t ~peer p =
+  let prev = Ptrie.remove (table t peer) p in
+  if prev <> None then t.total <- t.total - 1;
+  prev
 
 let find t ~peer p = Ptrie.find (table t peer) p
 
 (** Drop the whole table of [peer] (session reset). *)
-let drop_peer t peer = Hashtbl.remove t.tables peer
+let drop_peer t peer =
+  (match Hashtbl.find_opt t.tables peer with
+  | Some tr -> t.total <- t.total - Ptrie.size tr
+  | None -> ());
+  Hashtbl.remove t.tables peer
 
 let iter_peer t ~peer f = Ptrie.iter (table t peer) f
 let count_peer t ~peer = Ptrie.size (table t peer)
 
 let peers t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
 
-let total t = Hashtbl.fold (fun _ tr acc -> acc + Ptrie.size tr) t.tables 0
+(** Live bindings across every peer table. O(1). *)
+let total t = t.total

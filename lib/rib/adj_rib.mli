@@ -22,3 +22,5 @@ val iter_peer : 'r t -> peer:int -> (Bgp.Prefix.t -> 'r -> unit) -> unit
 val count_peer : 'r t -> peer:int -> int
 val peers : 'r t -> int list
 val total : 'r t -> int
+(** Live bindings across every peer table. O(1) — maintained as a
+    running counter rather than folded over the peer tables. *)

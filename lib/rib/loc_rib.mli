@@ -18,6 +18,13 @@ val set_compare : 'r t -> ('r -> 'r -> int) option -> unit
     insertion point. [None] restores the RFC 4271 decision process.
     Affects subsequent updates only. *)
 
+val invalidate_best : 'r t -> unit
+(** Signal that the installed compare closure's behaviour may have
+    changed behind the RIB's back (e.g. a BGP_DECISION chain was
+    attached or detached inside it). The incumbent fast path skips the
+    full re-selection fold while the route order is stable; after this
+    call each prefix re-selects in full on its next update. *)
+
 val update : 'r t -> peer:int -> Bgp.Prefix.t -> 'r option -> 'r change
 (** Replace ([Some r]) or withdraw ([None]) the candidate contributed by
     [peer] for a prefix. *)

@@ -1,0 +1,24 @@
+(* The [show shards] payload — one flat record both daemons fill from
+   their sharded Loc-RIB, their VMM and their worker pool, so the
+   introspection layer formats one shape regardless of host. *)
+
+type t = {
+  shards : int;
+  counts : int array;  (* best routes per Loc-RIB slice *)
+  runs : int array;  (* bytecode executions per VM shard *)
+  queues : Runtime.worker_stats array;  (* one per worker; empty unsharded *)
+  barriers : int;  (* merge points executed so far *)
+  par_batches : int;  (* NLRI batches taken by the parallel lane *)
+  seq_batches : int;  (* batches that fell back to the serial lane *)
+}
+
+let unsharded ~count =
+  {
+    shards = 1;
+    counts = [| count |];
+    runs = [| 0 |];
+    queues = [||];
+    barriers = 0;
+    par_batches = 0;
+    seq_batches = 0;
+  }

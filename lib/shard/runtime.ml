@@ -1,0 +1,123 @@
+(* One domain per shard, each draining its own bounded SPSC queue.
+   See the .mli for the determinism contract split between the runtime
+   (per-worker FIFO, barrier visibility) and the caller (disjoint
+   state, commit by submission sequence). *)
+
+type worker_stats = {
+  submitted : int;
+  completed : int;
+  queue_depth : int;
+  queue_hwm : int;
+}
+
+type t = {
+  queues : (unit -> unit) Spsc.t array;
+  mutable domains : unit Domain.t array;  (* filled right after spawn *)
+  submitted : int array;  (* written by the coordinating domain only *)
+  completed : int Atomic.t array;
+  mutable total_submitted : int;
+  mutable barrier_count : int;
+  poison : (exn * Printexc.raw_backtrace) option Atomic.t;
+      (* first job exception since the last barrier; re-raised there *)
+  progress_lock : Mutex.t;
+  progress : Condition.t;  (* signalled by workers after each job *)
+  mutable alive : bool;
+}
+
+let workers t = Array.length t.queues
+
+let worker_loop t i =
+  let q = t.queues.(i) in
+  let rec go () =
+    match Spsc.pop q with
+    | None -> () (* closed and drained: shutdown *)
+    | Some job ->
+      (try job ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set t.poison None (Some (e, bt))));
+      Atomic.incr t.completed.(i);
+      Mutex.lock t.progress_lock;
+      Condition.broadcast t.progress;
+      Mutex.unlock t.progress_lock;
+      go ()
+  in
+  go ()
+
+let create ?(queue_capacity = 256) ~workers () =
+  if workers < 1 then invalid_arg "Runtime.create: workers must be >= 1";
+  let t =
+    {
+      queues = Array.init workers (fun _ -> Spsc.create ~capacity:queue_capacity);
+      domains = [||];
+      submitted = Array.make workers 0;
+      completed = Array.init workers (fun _ -> Atomic.make 0);
+      total_submitted = 0;
+      barrier_count = 0;
+      poison = Atomic.make None;
+      progress_lock = Mutex.create ();
+      progress = Condition.create ();
+      alive = true;
+    }
+  in
+  t.domains <-
+    Array.init workers (fun i -> Domain.spawn (fun () -> worker_loop t i));
+  t
+
+let submit t ~worker job =
+  if not t.alive then invalid_arg "Runtime.submit: runtime was shut down";
+  t.submitted.(worker) <- t.submitted.(worker) + 1;
+  t.total_submitted <- t.total_submitted + 1;
+  Spsc.push t.queues.(worker) job
+
+let completed_total t =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.completed
+
+let reraise_poison t =
+  match Atomic.exchange t.poison None with
+  | None -> ()
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let barrier t =
+  Mutex.lock t.progress_lock;
+  while completed_total t < t.total_submitted do
+    Condition.wait t.progress t.progress_lock
+  done;
+  Mutex.unlock t.progress_lock;
+  t.barrier_count <- t.barrier_count + 1;
+  reraise_poison t
+
+let parallel_map (type b) t items (f : _ -> b) : b array =
+  let n = Array.length items in
+  let out : b option array = Array.make n None in
+  let w = workers t in
+  for i = 0 to n - 1 do
+    let item = items.(i) in
+    submit t ~worker:(i mod w) (fun () -> out.(i) <- Some (f item))
+  done;
+  barrier t;
+  Array.map
+    (function
+      | Some r -> r
+      | None ->
+        (* only reachable when the producing job raised — the barrier
+           re-raises first, so this is belt and braces *)
+        invalid_arg "Runtime.parallel_map: missing result")
+    out
+
+let barriers t = t.barrier_count
+
+let worker_stats t i =
+  {
+    submitted = t.submitted.(i);
+    completed = Atomic.get t.completed.(i);
+    queue_depth = Spsc.depth t.queues.(i);
+    queue_hwm = Spsc.high_water t.queues.(i);
+  }
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Array.iter Spsc.close t.queues;
+    Array.iter Domain.join t.domains
+  end

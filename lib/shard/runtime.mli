@@ -1,0 +1,63 @@
+(** The shard worker pool: one OCaml 5 domain per shard, each draining a
+    bounded {!Spsc} queue of jobs submitted by the coordinating domain.
+
+    The contract that makes the sharded daemons deterministic lives
+    here, split between the two sides:
+
+    - the runtime guarantees each worker executes its own queue's jobs
+      in FIFO submission order, and that {!barrier} returns only after
+      every job submitted so far (on every worker) has finished, with
+      all their writes visible to the caller;
+    - the caller guarantees jobs submitted to different workers touch
+      disjoint state (the prefix partition), tags results with their
+      global submission sequence, and commits them in that order after
+      the barrier — a k-way merge by sequence number, not by completion
+      order.
+
+    Workers never steal: a shard's tasks form a deterministic
+    subsequence of the submission stream, which is what lets per-shard
+    state (VM scratch-free dispatch, per-shard maps, LRU recency) match
+    the sequential baseline shard by shard. *)
+
+type t
+
+type worker_stats = {
+  submitted : int;  (** jobs handed to this worker so far *)
+  completed : int;  (** jobs it has finished *)
+  queue_depth : int;  (** currently waiting in its queue *)
+  queue_hwm : int;  (** deepest the queue has ever been *)
+}
+
+val create : ?queue_capacity:int -> workers:int -> unit -> t
+(** Spawn [workers] domains (>= 1), each with a bounded submission
+    queue (default capacity 256). *)
+
+val workers : t -> int
+
+val submit : t -> worker:int -> (unit -> unit) -> unit
+(** Enqueue a job on one worker, blocking while its queue is full.
+    Jobs run on the worker domain in submission order. A job that
+    raises poisons the runtime: the exception is re-raised (with its
+    original backtrace) by the next {!barrier}. *)
+
+val barrier : t -> unit
+(** Block until every job submitted so far has completed; afterwards
+    all their effects are visible to the caller. Re-raises the first
+    exception any job raised since the last barrier. *)
+
+val parallel_map : t -> 'a array -> ('a -> 'b) -> 'b array
+(** Run [f] over the array with items distributed round-robin across
+    the workers ([item i] on [worker (i mod workers)]), wait for all of
+    them, and return results in item order — completion order never
+    shows. Includes a {!barrier}, so earlier submitted jobs are also
+    drained. *)
+
+val barriers : t -> int
+(** Barriers executed so far (each one is a full merge point) — for the
+    [show shards] introspection surface. *)
+
+val worker_stats : t -> int -> worker_stats
+
+val shutdown : t -> unit
+(** Drain, stop and join every worker domain. Idempotent; the runtime
+    is unusable afterwards. *)

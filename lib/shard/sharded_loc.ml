@@ -1,0 +1,88 @@
+(* Prefix-sharded Loc-RIB: n independent Rib.Loc_rib slices plus the
+   routing hash and the merged-order iteration that hides the split. *)
+
+type 'r t = { slices : 'r Rib.Loc_rib.t array }
+
+(* A deterministic avalanche hash — NOT Hashtbl.hash, whose output is
+   only specified per-process. Placement must agree across runs,
+   builds and the equivalence oracle's two daemons. *)
+let shard_of_prefix ~shards p =
+  if shards <= 1 then 0
+  else begin
+    let h = Bgp.Prefix.addr p lxor (Bgp.Prefix.len p * 0x9E3779B1) in
+    let h = h lxor (h lsr 16) in
+    let h = h * 0x7FEB352D land 0xFFFFFFFF in
+    let h = h lxor (h lsr 15) in
+    h mod shards
+  end
+
+let create ~shards view =
+  if shards < 1 then invalid_arg "Sharded_loc.create: shards must be >= 1";
+  { slices = Array.init shards (fun _ -> Rib.Loc_rib.create view) }
+
+let shards t = Array.length t.slices
+let shard_of t p = shard_of_prefix ~shards:(shards t) p
+let slice t i = t.slices.(i)
+let owner t p = t.slices.(shard_of t p)
+
+let set_compare t cmp = Array.iter (fun s -> Rib.Loc_rib.set_compare s cmp) t.slices
+let invalidate_best t = Array.iter Rib.Loc_rib.invalidate_best t.slices
+
+let update t ~peer p r = Rib.Loc_rib.update (owner t p) ~peer p r
+let best t p = Rib.Loc_rib.best (owner t p) p
+let best_with_peer t p = Rib.Loc_rib.best_with_peer (owner t p) p
+let candidates t p = Rib.Loc_rib.candidates (owner t p) p
+
+let count t = Array.fold_left (fun acc s -> acc + Rib.Loc_rib.count s) 0 t.slices
+let counts t = Array.map Rib.Loc_rib.count t.slices
+
+(* The unsharded table (a Ptrie) yields address ascending, SHORTER
+   prefix first on address ties — which is NOT Prefix.compare (that
+   one puts the more-specific first). The merge must replicate the
+   trie order exactly or the equivalence oracle would flag phantom
+   diffs on e.g. 10.0.0.0/8 vs 10.0.0.0/16. *)
+let trie_order a b =
+  let c = compare (Bgp.Prefix.addr a) (Bgp.Prefix.addr b) in
+  if c <> 0 then c else compare (Bgp.Prefix.len a) (Bgp.Prefix.len b)
+
+(* K-way merge over per-slice in-order streams. Shard counts are tiny
+   (<= 8 in practice), so a linear min-scan beats a heap. *)
+let fold_best t f init =
+  let n = Array.length t.slices in
+  if n = 1 then Rib.Loc_rib.fold_best t.slices.(0) f init
+  else begin
+    let streams =
+      Array.map
+        (fun s ->
+          (* materialize in order; slices are disjoint so total memory
+             matches one whole-table listing *)
+          ref (List.rev (Rib.Loc_rib.fold_best s (fun p r acc -> (p, r) :: acc) [])))
+        t.slices
+    in
+    let acc = ref init in
+    let continue = ref true in
+    while !continue do
+      let best_i = ref (-1) in
+      for i = 0 to n - 1 do
+        match !(streams.(i)) with
+        | [] -> ()
+        | (p, _) :: _ ->
+          (match !best_i with
+          | -1 -> best_i := i
+          | j ->
+            let (pj, _) = List.hd !(streams.(j)) in
+            if trie_order p pj < 0 then best_i := i)
+      done;
+      match !best_i with
+      | -1 -> continue := false
+      | i ->
+        (match !(streams.(i)) with
+        | (p, r) :: rest ->
+          streams.(i) := rest;
+          acc := f p r !acc
+        | [] -> assert false)
+    done;
+    !acc
+  end
+
+let iter_best t f = fold_best t (fun p r () -> f p r) ()

@@ -1,0 +1,62 @@
+(** A Loc-RIB partitioned by prefix across [n] independent slices — the
+    structural backbone of the sharded daemons.
+
+    Every candidate and best route for a prefix lives in exactly one
+    slice, chosen by {!shard_of_prefix} — a deterministic hash of
+    (address, length) — so two daemons (or two runs) with the same shard
+    count agree on placement, and per-prefix operations never touch two
+    slices. Updates route to the owning slice; whole-table iteration
+    re-establishes the unsharded order by k-way-merging the slices'
+    in-order streams, so [iter_best] over a sharded table is
+    byte-for-byte the sequence an unsharded [Rib.Loc_rib] would produce
+    — the property the sharding equivalence oracle leans on.
+
+    The table itself is not thread-safe: the daemons mutate it from the
+    coordinating domain only (workers dispatch filters; commits are
+    serialized), so no slice ever sees concurrent writers. *)
+
+type 'r t
+
+val shard_of_prefix : shards:int -> Bgp.Prefix.t -> int
+(** The owning shard of a prefix: a deterministic avalanche hash of
+    (address, length) reduced mod [shards]. Always [0] when
+    [shards <= 1]. *)
+
+val create : shards:int -> 'r Rib.Decision.view -> 'r t
+(** [shards >= 1] independent slices sharing one decision view. *)
+
+val shards : 'r t -> int
+
+val shard_of : 'r t -> Bgp.Prefix.t -> int
+(** {!shard_of_prefix} under this table's shard count. *)
+
+val slice : 'r t -> int -> 'r Rib.Loc_rib.t
+(** Direct access to one slice (per-shard introspection; the fuzz
+    oracle compares slices pairwise). *)
+
+val set_compare : 'r t -> ('r -> 'r -> int) option -> unit
+(** Install (or clear) a route-order override on every slice. *)
+
+val invalidate_best : 'r t -> unit
+(** {!Rib.Loc_rib.invalidate_best} on every slice. *)
+
+val update : 'r t -> peer:int -> Bgp.Prefix.t -> 'r option -> 'r Rib.Loc_rib.change
+(** Routes to the owning slice; semantics of {!Rib.Loc_rib.update}. *)
+
+val best : 'r t -> Bgp.Prefix.t -> 'r option
+val best_with_peer : 'r t -> Bgp.Prefix.t -> (int * 'r) option
+val candidates : 'r t -> Bgp.Prefix.t -> (int * 'r) list
+
+val count : 'r t -> int
+(** Prefixes with a best route, across all slices. O(shards). *)
+
+val counts : 'r t -> int array
+(** Per-slice best counts — the [show shards] balance view. *)
+
+val iter_best : 'r t -> (Bgp.Prefix.t -> 'r -> unit) -> unit
+(** Visit best routes across all slices in the unsharded table order
+    (address ascending, shorter prefix first on ties) via a k-way merge
+    of the slices' in-order streams. *)
+
+val fold_best : 'r t -> (Bgp.Prefix.t -> 'r -> 'b -> 'b) -> 'b -> 'b
+(** Same merged order as {!iter_best}. *)

@@ -1,0 +1,87 @@
+(* Bounded SPSC queue: mutex-guarded ring + two condition doorbells.
+   See the .mli for why this is deliberately not a lock-free ring. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;  (* next pop slot *)
+  mutable len : int;
+  mutable closed : bool;
+  mutable hwm : int;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    len = 0;
+    closed = false;
+    hwm = 0;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let cap t = Array.length t.buf
+
+let push t v =
+  Mutex.lock t.lock;
+  while t.len = cap t && not t.closed do
+    Condition.wait t.not_full t.lock
+  done;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Spsc.push: queue is closed"
+  end;
+  t.buf.((t.head + t.len) mod cap t) <- Some v;
+  t.len <- t.len + 1;
+  if t.len > t.hwm then t.hwm <- t.len;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.lock
+
+let take_locked t =
+  let v = t.buf.(t.head) in
+  t.buf.(t.head) <- None;
+  t.head <- (t.head + 1) mod cap t;
+  t.len <- t.len - 1;
+  Condition.signal t.not_full;
+  v
+
+let pop t =
+  Mutex.lock t.lock;
+  while t.len = 0 && not t.closed do
+    Condition.wait t.not_empty t.lock
+  done;
+  let v = if t.len = 0 then None (* closed and drained *) else take_locked t in
+  Mutex.unlock t.lock;
+  v
+
+let try_pop t =
+  Mutex.lock t.lock;
+  let v = if t.len = 0 then None else take_locked t in
+  Mutex.unlock t.lock;
+  v
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  (* wake a blocked popper (sees the closed flag) and a blocked pusher
+     (raises) *)
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.lock
+
+let depth t =
+  Mutex.lock t.lock;
+  let n = t.len in
+  Mutex.unlock t.lock;
+  n
+
+let high_water t =
+  Mutex.lock t.lock;
+  let n = t.hwm in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,37 @@
+(** A bounded single-producer / single-consumer queue with a blocking
+    doorbell — the submission channel between the coordinating domain
+    and one shard worker.
+
+    The implementation is a mutex-guarded ring with two condition
+    variables rather than a lock-free ring: correctness is load-bearing
+    here (the sharding equivalence oracle runs on top of it) and the
+    daemons amortize the lock over multi-route tasks, so the constant
+    factor is noise next to an eBPF dispatch. Blocking — not spinning —
+    also keeps oversubscribed hosts (more shards than cores) honest:
+    a waiting worker yields its core instead of burning it. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val push : 'a t -> 'a -> unit
+(** Enqueue, blocking while full. @raise Invalid_argument if closed. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue, blocking while empty; [None] once the queue is closed AND
+    drained — the worker's exit signal. *)
+
+val try_pop : 'a t -> 'a option
+(** Non-blocking dequeue; [None] when currently empty (says nothing
+    about closure). *)
+
+val close : 'a t -> unit
+(** No further pushes; pending elements remain poppable. Idempotent. *)
+
+val depth : 'a t -> int
+(** Elements currently queued. *)
+
+val high_water : 'a t -> int
+(** Maximum depth ever observed — queue-pressure introspection for
+    [show shards]. *)

@@ -112,8 +112,11 @@ let program =
   Xbgp.Xprog.v ~name:"rate_limit"
     ~maps:
       [
+        (* shared across VMM shards: the window is indexed by peer, not
+           prefix, so per-shard instances would each see a fraction of
+           the peer's true announcement rate *)
         Xbgp.Xprog.map ~name:"win" ~kind:Ebpf.Map.Per_peer_array
-          ~max_entries:slots ~key_size:4 ~value_size:8 ();
+          ~max_entries:slots ~key_size:4 ~value_size:8 ~shared:true ();
       ]
     ~allowed_helpers:
       Xbgp.Api.

@@ -1,0 +1,407 @@
+(* Multicore sharding tests: the SPSC queue and worker runtime that
+   carry the parallel import lane, the prefix-sharded Loc-RIB's
+   equivalence with the plain table (iteration order included), the
+   shard-parallel safety analysis, the O(1) Adj-RIB total, a live check
+   that a safe inbound chain actually engages the parallel lane, and
+   the sharding equivalence oracle itself — property-swept over shard
+   counts {2, 3, 8} on both hosts, with the withdrawal-racing-
+   re-advertisement regression pinned across a shard boundary. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Spsc: the bounded producer/consumer channel --- *)
+
+let test_spsc_fifo () =
+  let q = Shard.Spsc.create ~capacity:16 in
+  for i = 0 to 9 do
+    Shard.Spsc.push q i
+  done;
+  check_int "depth" 10 (Shard.Spsc.depth q);
+  check_int "high water" 10 (Shard.Spsc.high_water q);
+  for i = 0 to 9 do
+    match Shard.Spsc.pop q with
+    | Some v -> check_int "fifo order" i v
+    | None -> Alcotest.fail "queue closed early"
+  done;
+  check_int "drained" 0 (Shard.Spsc.depth q);
+  Shard.Spsc.close q;
+  check_bool "pop after close+drain is None" true (Shard.Spsc.pop q = None);
+  check_bool "push after close raises" true
+    (try
+       Shard.Spsc.push q 99;
+       false
+     with Invalid_argument _ -> true)
+
+let test_spsc_cross_domain () =
+  (* a real producer/consumer pair over a tiny ring: order survives the
+     domain boundary and the ring never exceeds its capacity *)
+  let q = Shard.Spsc.create ~capacity:4 in
+  let received = ref [] in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec drain () =
+          match Shard.Spsc.pop q with
+          | Some v ->
+            received := v :: !received;
+            drain ()
+          | None -> ()
+        in
+        drain ())
+  in
+  for i = 0 to 99 do
+    Shard.Spsc.push q i
+  done;
+  Shard.Spsc.close q;
+  Domain.join consumer;
+  check_bool "order preserved across domains" true
+    (List.rev !received = List.init 100 Fun.id);
+  check_bool "ring bounded by capacity" true (Shard.Spsc.high_water q <= 4)
+
+(* --- Runtime: per-worker FIFO, barrier, stats, poisoning --- *)
+
+let test_runtime_fifo_and_stats () =
+  let pool = Shard.Runtime.create ~workers:3 () in
+  let logs = Array.make 3 [] in
+  for i = 0 to 19 do
+    let w = i mod 3 in
+    Shard.Runtime.submit pool ~worker:w (fun () -> logs.(w) <- i :: logs.(w))
+  done;
+  Shard.Runtime.barrier pool;
+  for w = 0 to 2 do
+    let expect =
+      List.filter (fun i -> i mod 3 = w) (List.init 20 Fun.id)
+    in
+    check_bool
+      (Printf.sprintf "worker %d ran its jobs in submission order" w)
+      true
+      (List.rev logs.(w) = expect);
+    let st = Shard.Runtime.worker_stats pool w in
+    check_int "submitted" (List.length expect) st.Shard.Runtime.submitted;
+    check_int "completed" (List.length expect) st.Shard.Runtime.completed;
+    check_int "queue drained" 0 st.Shard.Runtime.queue_depth
+  done;
+  check_int "one barrier so far" 1 (Shard.Runtime.barriers pool);
+  let doubled =
+    Shard.Runtime.parallel_map pool (Array.init 50 Fun.id) (fun x -> 2 * x)
+  in
+  check_bool "parallel_map keeps item order" true
+    (doubled = Array.init 50 (fun i -> 2 * i));
+  Shard.Runtime.shutdown pool
+
+let test_runtime_poison () =
+  let pool = Shard.Runtime.create ~workers:2 () in
+  Shard.Runtime.submit pool ~worker:0 (fun () -> failwith "boom");
+  let raised =
+    try
+      Shard.Runtime.barrier pool;
+      false
+    with Failure m -> m = "boom"
+  in
+  check_bool "barrier re-raises the job's exception" true raised;
+  Shard.Runtime.shutdown pool
+
+(* --- Sharded_loc == plain Loc_rib, iteration order included --- *)
+
+(* integer routes under a one-step decision view: higher wins *)
+let int_view : int Rib.Decision.view =
+  {
+    local_pref = Fun.id;
+    as_path_len = (fun _ -> 0);
+    origin = (fun _ -> 0);
+    med = (fun _ -> 0);
+    neighbor_as = (fun _ -> 0);
+    is_ebgp = (fun _ -> true);
+    igp_cost = (fun _ -> 0);
+    originator_id = (fun _ -> 0);
+    cluster_list_len = (fun _ -> 0);
+    peer_addr = (fun _ -> 0);
+  }
+
+let op_prefix k =
+  let k = k land 63 in
+  if k mod 3 = 0 then Bgp.Prefix.v ((k lsl 16) * 256) 16
+  else Bgp.Prefix.v (0x0A00_0000 lor (k lsl 8)) 24
+
+let test_shard_of_prefix_stable () =
+  for k = 0 to 63 do
+    let p = op_prefix k in
+    check_int "shards:1 always maps to 0" 0
+      (Shard.Sharded_loc.shard_of_prefix ~shards:1 p);
+    List.iter
+      (fun n ->
+        let s = Shard.Sharded_loc.shard_of_prefix ~shards:n p in
+        check_bool "within range" true (s >= 0 && s < n);
+        check_int "deterministic" s
+          (Shard.Sharded_loc.shard_of_prefix ~shards:n p))
+      [ 2; 3; 8 ]
+  done
+
+let apply_ops_plain ops =
+  let rib = Rib.Loc_rib.create int_view in
+  List.iter
+    (fun (peer, k, r) -> ignore (Rib.Loc_rib.update rib ~peer (op_prefix k) r))
+    ops;
+  rib
+
+let apply_ops_sharded ~shards ops =
+  let t = Shard.Sharded_loc.create ~shards int_view in
+  List.iter
+    (fun (peer, k, r) -> ignore (Shard.Sharded_loc.update t ~peer (op_prefix k) r))
+    ops;
+  t
+
+let prop_sharded_loc_equiv =
+  QCheck.Test.make ~count:200
+    ~name:"sharded Loc-RIB == plain Loc-RIB (contents and iteration order)"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 60)
+           (triple (int_bound 3) (int_bound 63)
+              (option (int_bound 1000))))
+        (int_range 2 8))
+    (fun (ops, shards) ->
+      let plain = apply_ops_plain ops in
+      let sharded = apply_ops_sharded ~shards ops in
+      let stream rib_fold =
+        List.rev (rib_fold (fun p r acc -> (p, r) :: acc) [])
+      in
+      let sp = stream (fun f -> Rib.Loc_rib.fold_best plain f) in
+      let ss = stream (fun f -> Shard.Sharded_loc.fold_best sharded f) in
+      sp = ss
+      && Rib.Loc_rib.count plain = Shard.Sharded_loc.count sharded
+      && Array.fold_left ( + ) 0 (Shard.Sharded_loc.counts sharded)
+         = Rib.Loc_rib.count plain
+      && List.for_all
+           (fun (peer, k, _) ->
+             let p = op_prefix k in
+             Rib.Loc_rib.best plain p = Shard.Sharded_loc.best sharded p
+             && Rib.Loc_rib.candidates plain p
+                = Shard.Sharded_loc.candidates sharded p
+             && ignore peer = ())
+           ops)
+
+(* --- Adj-RIB total stays an O(1) running counter --- *)
+
+let test_adj_total_consistent () =
+  let adj = Rib.Adj_rib.create () in
+  let recount () =
+    List.fold_left
+      (fun acc peer -> acc + Rib.Adj_rib.count_peer adj ~peer)
+      0 (Rib.Adj_rib.peers adj)
+  in
+  let check_total ctx = check_int ctx (recount ()) (Rib.Adj_rib.total adj) in
+  check_total "empty";
+  for peer = 0 to 3 do
+    for k = 0 to 15 do
+      ignore (Rib.Adj_rib.set adj ~peer (op_prefix k) (peer + k))
+    done
+  done;
+  check_total "after 64 sets";
+  (* replacing is not an insert *)
+  ignore (Rib.Adj_rib.set adj ~peer:0 (op_prefix 0) 999);
+  check_total "after replace";
+  ignore (Rib.Adj_rib.clear adj ~peer:1 (op_prefix 3));
+  ignore (Rib.Adj_rib.clear adj ~peer:1 (op_prefix 3));
+  (* double clear: second is a no-op *)
+  check_total "after clear";
+  Rib.Adj_rib.drop_peer adj 2;
+  check_total "after drop_peer";
+  check_int "total reflects the drops" 47 (Rib.Adj_rib.total adj)
+
+(* --- the shard-parallel safety analysis --- *)
+
+let attach_inbound vmm name prog =
+  (match Xbgp.Vmm.register vmm (Xbgp.Xprog.v ~name [ ("main", prog) ]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match
+    Xbgp.Vmm.attach vmm ~program:name ~bytecode:"main"
+      ~point:Xbgp.Api.Bgp_inbound_filter ~order:0
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let pure_prefix_reader =
+  Ebpf.Asm.(
+    assemble
+      [
+        movi Ebpf.Insn.R1 Xbgp.Api.arg_prefix;
+        call Xbgp.Api.h_get_arg;
+        movi Ebpf.Insn.R0 0;
+        exit_;
+      ])
+
+let test_parallel_safety_analysis () =
+  (* a pure prefix-reading chain is parallel-safe *)
+  let vmm = Xbgp.Vmm.create ~host:"t" () in
+  attach_inbound vmm "pure" pure_prefix_reader;
+  check_bool "pure prefix reader is parallel-safe" true
+    (Xbgp.Vmm.shard_parallel_safe vmm Xbgp.Api.Bgp_inbound_filter);
+  (* persistent scratch is shared across every shard's VMs: unsafe *)
+  let vmm = Xbgp.Vmm.create ~host:"t" () in
+  (match
+     Xbgp.Vmm.register vmm
+       (Xbgp.Xprog.v ~name:"scr" ~scratch_size:8
+          [ ("main", pure_prefix_reader) ])
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match
+     Xbgp.Vmm.attach vmm ~program:"scr" ~bytecode:"main"
+       ~point:Xbgp.Api.Bgp_inbound_filter ~order:0
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_bool "scratch-carrying chain is not parallel-safe" false
+    (Xbgp.Vmm.shard_parallel_safe vmm Xbgp.Api.Bgp_inbound_filter);
+  (* flap_damping writes SHARED maps on import — completion-order
+     visible, so the analysis must reject it (it rides the serial lane,
+     which the sharding oracle separately proves invisible) *)
+  match Xprogs.Registry.find_manifest "flap_damping" with
+  | None -> Alcotest.fail "flap_damping manifest missing"
+  | Some m ->
+    let vmm = Xprogs.Registry.vmm_of_manifest ~host:"t" m in
+    check_bool "shared-map-writing chain is not parallel-safe" false
+      (Xbgp.Vmm.shard_parallel_safe vmm Xbgp.Api.Bgp_inbound_filter)
+
+(* --- the parallel lane engages and commits deterministically --- *)
+
+let test_parallel_lane_engages () =
+  List.iter
+    (fun host ->
+      let vmm = Xbgp.Vmm.create ~host:"dut" () in
+      (match Xbgp.Vmm.set_shards vmm 2 with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      attach_inbound vmm "pure" pure_prefix_reader;
+      let star = Scenario.Star.create ~host ~vmm ~shards:2 ~npeers:2 () in
+      Scenario.Star.establish star;
+      Scenario.Star.sink_announce star 0
+        ~attrs:
+          Bgp.Attr.
+            [
+              v (Origin Igp);
+              v (As_path [ Seq [ 65101 ] ]);
+              v (Next_hop (Scenario.Star.sink_address star 0));
+            ]
+        (List.init 20 op_prefix
+        |> List.sort_uniq compare);
+      Scenario.Star.settle star;
+      let info = Scenario.Daemon.shard_info (Scenario.Star.dut star) in
+      check_bool "parallel lane took the batch" true
+        (info.Shard.Info.par_batches > 0);
+      check_int "no serial fallback for a safe chain" 0
+        info.Shard.Info.seq_batches;
+      check_int "loc-rib holds the batch"
+        (Array.fold_left ( + ) 0 info.Shard.Info.counts)
+        (Scenario.Daemon.loc_count (Scenario.Star.dut star));
+      Scenario.Star.shutdown star)
+    [ `Frr; `Bird ]
+
+(* --- the sharding equivalence oracle ---
+
+   Each case runs the SAME star scenario under [shards = 1] and
+   [shards = N], N drawn from {2, 3, 8}, and demands identical Loc-RIB,
+   byte-identical per-sink UPDATE streams, provenance and merged map
+   state. The generator sweeps hosts, extensions (including the
+   serial-fallback chain) and churn. *)
+
+let shard_equivalence_prop =
+  QCheck.Test.make ~count:12
+    ~name:"sharded daemon is byte-equivalent to single-domain"
+    QCheck.(pair (int_bound 100_000) (int_bound 500))
+    (fun (seed, index) ->
+      Fuzz.Shard_oracle.run_case (Fuzz.Shard_oracle.case ~seed ~index) = [])
+
+(* the commit-order trap, pinned: a withdrawal and a re-advertisement
+   of the same 8-prefix block (spanning every shard under any swept
+   count) land in one unsettled window, on both hosts *)
+let test_wd_race_pinned () =
+  let seen = Hashtbl.create 4 in
+  let index = ref 0 in
+  while Hashtbl.length seen < 2 && !index < 600 do
+    let c = Fuzz.Shard_oracle.case ~seed:4242 ~index:!index in
+    if c.churn = Fuzz.Shard_oracle.Wd_race && not (Hashtbl.mem seen c.host)
+    then begin
+      Hashtbl.replace seen c.host ();
+      check_bool
+        (Format.asprintf "equivalent: %a" Fuzz.Shard_oracle.pp_case c)
+        true
+        (Fuzz.Shard_oracle.run_case c = [])
+    end;
+    incr index
+  done;
+  check_int "wd_race exercised on both hosts" 2 (Hashtbl.length seen)
+
+(* every swept shard count appears and holds *)
+let test_every_shard_count () =
+  let seen = Hashtbl.create 4 in
+  let index = ref 0 in
+  while Hashtbl.length seen < 3 && !index < 200 do
+    let c = Fuzz.Shard_oracle.case ~seed:99 ~index:!index in
+    if not (Hashtbl.mem seen c.shards) then begin
+      Hashtbl.replace seen c.shards ();
+      check_bool
+        (Format.asprintf "equivalent: %a" Fuzz.Shard_oracle.pp_case c)
+        true
+        (Fuzz.Shard_oracle.run_case c = [])
+    end;
+    incr index
+  done;
+  check_int "shard counts 2, 3 and 8 all exercised" 3 (Hashtbl.length seen)
+
+(* the oracle provably fires: a corrupted sharded observation must be
+   reported as both a stream and a map-state divergence *)
+let test_oracle_self_test () =
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let c = Fuzz.Shard_oracle.case ~seed:7 ~index:0 in
+  let findings = Fuzz.Shard_oracle.run_case ~perturb:true c in
+  check_bool "perturbation caught" true (findings <> []);
+  check_bool "frame-stream divergence reported" true
+    (List.exists (contains ~sub:"frame stream diverges") findings);
+  check_bool "map-state divergence reported" true
+    (List.exists (contains ~sub:"map state differs") findings)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "spsc",
+        [
+          ("fifo, depth, close", `Quick, test_spsc_fifo);
+          ("cross-domain order and bounding", `Quick, test_spsc_cross_domain);
+        ] );
+      ( "runtime",
+        [
+          ("per-worker fifo + stats + barrier", `Quick,
+            test_runtime_fifo_and_stats);
+          ("job exception poisons the barrier", `Quick, test_runtime_poison);
+        ] );
+      ( "sharded_loc",
+        [
+          ("shard_of_prefix stable and in range", `Quick,
+            test_shard_of_prefix_stable);
+          Qc.to_alcotest prop_sharded_loc_equiv;
+        ] );
+      ( "adj_rib",
+        [ ("total is a consistent running counter", `Quick,
+            test_adj_total_consistent) ] );
+      ( "safety",
+        [
+          ("parallel-safety analysis verdicts", `Quick,
+            test_parallel_safety_analysis);
+          ("safe chain engages the parallel lane", `Quick,
+            test_parallel_lane_engages);
+        ] );
+      ( "equivalence",
+        [
+          Qc.to_alcotest shard_equivalence_prop;
+          ("withdrawal racing re-advertisement", `Quick, test_wd_race_pinned);
+          ("every shard count", `Quick, test_every_shard_count);
+          ("oracle self-test", `Quick, test_oracle_self_test);
+        ] );
+    ]
